@@ -1,0 +1,253 @@
+// Command sstd-master runs the SSTD Work Queue master over TCP: it loads or
+// generates a trace, listens for sstd-worker processes, distributes the
+// per-claim TD jobs across them and prints results as jobs complete.
+//
+// Usage:
+//
+//	sstd-master -listen :9123 -trace boston -scale 0.005 -min-workers 2
+//
+// then start one or more workers:
+//
+//	sstd-worker -master localhost:9123
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/tracegen"
+	"github.com/social-sensing/sstd/internal/traceio"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// taskPayload mirrors the worker-side payload of cmd/sstd-worker: a chunk
+// of one claim's reports plus the interval grid.
+type taskPayload struct {
+	Claim    socialsensing.ClaimID  `json:"claim"`
+	Origin   time.Time              `json:"origin"`
+	Interval time.Duration          `json:"interval_ns"`
+	Reports  []socialsensing.Report `json:"reports"`
+}
+
+// taskOutput mirrors the worker's result: partial ACS interval sums.
+type taskOutput struct {
+	Sums map[int]float64 `json:"sums"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sstd-master:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":9123", "address to accept workers on")
+		in         = flag.String("in", "", "trace file (from the tracegen command)")
+		trace      = flag.String("trace", "paris", "synthetic profile when -in is absent")
+		scale      = flag.Float64("scale", 0.005, "synthetic trace scale")
+		seed       = flag.Int64("seed", 1, "random seed")
+		intervals  = flag.Int("intervals", 80, "HMM time steps across the trace")
+		window     = flag.Int("window", 3, "ACS sliding window in intervals")
+		tasksPer   = flag.Int("tasks-per-job", 4, "tasks per TD job")
+		minWorkers = flag.Int("min-workers", 1, "wait for this many workers before submitting")
+		status     = flag.String("status", "", "optional address for the JSON status endpoint (e.g. :9124)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*in, *trace, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	st := tr.Summarize()
+	fmt.Printf("trace %s: %d reports, %d claims\n", st.Name, st.Reports, st.Claims)
+
+	master := workqueue.NewMaster(workqueue.MasterConfig{Seed: *seed, ResultBuffer: 256})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		if err := master.Serve(ctx, l); err != nil {
+			fmt.Fprintln(os.Stderr, "sstd-master: serve:", err)
+		}
+	}()
+	if *status != "" {
+		statusSrv := &http.Server{Addr: *status, Handler: master.StatusHandler()}
+		go func() {
+			if err := statusSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sstd-master: status endpoint:", err)
+			}
+		}()
+		defer func() { _ = statusSrv.Close() }()
+		fmt.Printf("status endpoint on %s\n", *status)
+	}
+	fmt.Printf("listening on %s, waiting for %d worker(s)...\n", l.Addr(), *minWorkers)
+	for master.WorkerCount() < *minWorkers {
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	width := tr.Duration() / time.Duration(*intervals)
+	byClaim := tr.ReportsByClaim()
+	tasksPerJob := make(map[string]int, len(byClaim))
+	taskTotal := 0
+	for claim, reports := range byClaim {
+		chunks := split(reports, *tasksPer)
+		tasksPerJob[string(claim)] = len(chunks)
+		for i, chunk := range chunks {
+			payload, err := json.Marshal(taskPayload{
+				Claim: claim, Origin: tr.Start, Interval: width, Reports: chunk,
+			})
+			if err != nil {
+				return err
+			}
+			task := workqueue.Task{
+				ID:      fmt.Sprintf("%s/%d", claim, i),
+				JobID:   string(claim),
+				Payload: payload,
+			}
+			if err := master.Submit(task); err != nil {
+				return err
+			}
+			taskTotal++
+		}
+	}
+	fmt.Printf("submitted %d tasks across %d jobs\n", taskTotal, len(byClaim))
+
+	// Merge partial sums per job and decode when each job completes.
+	dec, err := core.NewDecoder(core.DefaultDecoderConfig())
+	if err != nil {
+		return err
+	}
+	sums := make(map[string]map[int]float64)
+	done := make(map[string]int)
+	start := time.Now()
+	finished := 0
+	for finished < len(byClaim) {
+		res, ok := <-master.Results()
+		if !ok {
+			return fmt.Errorf("results closed with %d/%d jobs finished", finished, len(byClaim))
+		}
+		if res.Err != "" {
+			return fmt.Errorf("task %s failed on %s: %s", res.TaskID, res.WorkerID, res.Err)
+		}
+		var out taskOutput
+		if err := json.Unmarshal(res.Output, &out); err != nil {
+			return fmt.Errorf("task %s output: %w", res.TaskID, err)
+		}
+		if sums[res.JobID] == nil {
+			sums[res.JobID] = make(map[int]float64)
+		}
+		for idx, s := range out.Sums {
+			sums[res.JobID][idx] += s
+		}
+		done[res.JobID]++
+		if done[res.JobID] == tasksPerJob[res.JobID] {
+			finished++
+			series := windowed(sums[res.JobID], *window)
+			truth, err := dec.Decode(series)
+			if err != nil {
+				return fmt.Errorf("decode %s: %w", res.JobID, err)
+			}
+			trueCount := 0
+			for _, v := range truth {
+				if v == socialsensing.True {
+					trueCount++
+				}
+			}
+			fmt.Printf("job %-28s done: %3d intervals, true in %3d\n", res.JobID, len(truth), trueCount)
+		}
+	}
+	fmt.Printf("all %d jobs finished in %s across %d workers\n",
+		len(byClaim), time.Since(start).Round(time.Millisecond), master.WorkerCount())
+	cancel()
+	master.Shutdown()
+	return nil
+}
+
+func loadTrace(in, profile string, scale float64, seed int64) (*socialsensing.Trace, error) {
+	if in != "" {
+		return traceio.Load(in)
+	}
+	var prof tracegen.Profile
+	switch profile {
+	case "boston":
+		prof = tracegen.BostonBombing()
+	case "paris":
+		prof = tracegen.ParisShooting()
+	case "football":
+		prof = tracegen.CollegeFootball()
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	g, err := tracegen.New(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(scale)
+}
+
+func split(reports []socialsensing.Report, n int) [][]socialsensing.Report {
+	if n < 1 {
+		n = 1
+	}
+	if len(reports) == 0 {
+		return [][]socialsensing.Report{{}}
+	}
+	if n > len(reports) {
+		n = len(reports)
+	}
+	size := len(reports) / n
+	rem := len(reports) % n
+	chunks := make([][]socialsensing.Report, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		chunks = append(chunks, reports[start:end])
+		start = end
+	}
+	return chunks
+}
+
+func windowed(sums map[int]float64, window int) []float64 {
+	maxIdx := 0
+	for idx := range sums {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	dense := make([]float64, maxIdx+1)
+	for idx, s := range sums {
+		if idx >= 0 {
+			dense[idx] = s
+		}
+	}
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(dense))
+	acc := 0.0
+	for t := range dense {
+		acc += dense[t]
+		if t >= window {
+			acc -= dense[t-window]
+		}
+		out[t] = acc
+	}
+	return out
+}

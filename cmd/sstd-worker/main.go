@@ -1,0 +1,94 @@
+// Command sstd-worker is a Work Queue worker process: it connects to an
+// sstd-master over TCP, pulls TD tasks (chunks of one claim's reports),
+// computes partial Aggregated Contribution Score sums and returns them.
+// Start as many as the machine allows; the master balances work across all
+// connected workers.
+//
+// Usage:
+//
+//	sstd-worker -master localhost:9123 -id worker-a
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// taskPayload mirrors cmd/sstd-master's task encoding.
+type taskPayload struct {
+	Claim    socialsensing.ClaimID  `json:"claim"`
+	Origin   time.Time              `json:"origin"`
+	Interval time.Duration          `json:"interval_ns"`
+	Reports  []socialsensing.Report `json:"reports"`
+}
+
+type taskOutput struct {
+	Sums map[int]float64 `json:"sums"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sstd-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		master = flag.String("master", "localhost:9123", "master address")
+		id     = flag.String("id", "", "worker id (defaults to host-pid)")
+	)
+	flag.Parse()
+
+	workerID := *id
+	if workerID == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		workerID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &workqueue.Worker{ID: workerID, Exec: execute}
+	fmt.Printf("worker %s connecting to %s\n", workerID, *master)
+	err := w.Dial(ctx, *master)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	fmt.Println("worker done")
+	return nil
+}
+
+// execute computes the partial per-interval contribution score sums for a
+// chunk of reports (the SSTD preprocessing step).
+func execute(_ context.Context, payload []byte) ([]byte, error) {
+	var p taskPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("bad payload: %w", err)
+	}
+	if p.Interval <= 0 {
+		return nil, errors.New("payload has no interval")
+	}
+	out := taskOutput{Sums: make(map[int]float64)}
+	for _, r := range p.Reports {
+		idx := 0
+		if r.Timestamp.After(p.Origin) {
+			idx = int(r.Timestamp.Sub(p.Origin) / p.Interval)
+		}
+		out.Sums[idx] += r.ContributionScore()
+	}
+	return json.Marshal(out)
+}

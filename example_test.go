@@ -1,0 +1,124 @@
+package sstd_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-sensing/sstd"
+)
+
+// exampleOrigin anchors the interval grids of the runnable examples.
+func exampleOrigin() time.Time {
+	return time.Date(2016, 11, 28, 7, 0, 0, 0, time.UTC)
+}
+
+// ExampleNewEngine shows the minimal truth discovery session: ingest
+// scored reports, decode the claim's truth timeline, query it.
+func ExampleNewEngine() {
+	origin := exampleOrigin()
+	eng, err := sstd.NewEngine(sstd.DefaultConfig(origin))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Thirty minutes of reports: the claim is true for the first 15
+	// minutes, then debunked; sources report it faithfully here.
+	for minute := 0; minute < 30; minute++ {
+		att := sstd.Agree
+		if minute >= 15 {
+			att = sstd.Disagree
+		}
+		for k := 0; k < 4; k++ {
+			_ = eng.Ingest(sstd.Report{
+				Source:       sstd.SourceID(fmt.Sprintf("witness-%d", k)),
+				Claim:        "campus-shooting",
+				Timestamp:    origin.Add(time.Duration(minute) * time.Minute),
+				Attitude:     att,
+				Uncertainty:  0.1,
+				Independence: 0.9,
+			})
+		}
+	}
+	estimates, err := eng.DecodeClaim("campus-shooting")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	early, _ := sstd.TruthAt(estimates, origin.Add(5*time.Minute))
+	late, _ := sstd.TruthAt(estimates, origin.Add(25*time.Minute))
+	fmt.Println("at minute 5:", early)
+	fmt.Println("at minute 25:", late)
+	// Output:
+	// at minute 5: true
+	// at minute 25: false
+}
+
+// ExampleNewScorer runs the raw-text preprocessing pipeline on a denial.
+func ExampleNewScorer() {
+	scorer := sstd.NewScorer()
+	report := scorer.ScorePost(sstd.Post{
+		Source:    "skeptic",
+		Claim:     "bomb-threat",
+		Timestamp: exampleOrigin(),
+		Text:      "the bomb threat at the library is fake news",
+	})
+	fmt.Println("attitude:", report.Attitude == sstd.Disagree)
+	fmt.Println("negative contribution:", report.ContributionScore() < 0)
+	// Output:
+	// attitude: true
+	// negative contribution: true
+}
+
+// ExampleNewPipeline runs the composed ingestion path: raw text posts are
+// keyword-filtered, clustered into claims, semantically scored and fed to
+// the engine in one call.
+func ExampleNewPipeline() {
+	origin := exampleOrigin()
+	engineCfg := sstd.DefaultConfig(origin)
+	clusterCfg := sstd.DefaultClusterConfig()
+	clusterCfg.Keywords = []string{"marathon", "boston"}
+	p, err := sstd.NewPipeline(sstd.PipelineConfig{Engine: engineCfg, Cluster: clusterCfg})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	posts := []sstd.RawPost{
+		{Source: "a", Time: origin, Text: "two explosions at the boston marathon finish line"},
+		{Source: "b", Time: origin.Add(time.Minute), Text: "explosions at the boston marathon finish line confirmed"},
+		{Source: "c", Time: origin.Add(2 * time.Minute), Text: "nice sandwich for lunch"},
+	}
+	if err := p.ProcessAll(posts); err != nil {
+		fmt.Println(err)
+		return
+	}
+	stats := p.Stats()
+	fmt.Println("kept:", stats.Kept)
+	fmt.Println("filtered:", stats.Filtered)
+	fmt.Println("claims:", stats.Claims)
+	// Output:
+	// kept: 2
+	// filtered: 1
+	// claims: 1
+}
+
+// ExampleNewStreamingDecoder decodes a claim live with fixed-lag
+// smoothing: each new ACS observation yields an immediate estimate.
+func ExampleNewStreamingDecoder() {
+	dec, err := sstd.NewStreamingDecoder(sstd.DefaultConfig(exampleOrigin()).Decoder, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	series := []float64{4, 4, 4, 4, 4, -4, -4, -4, -4, -4}
+	var last sstd.TruthValue
+	for _, v := range series {
+		last, err = dec.Append(v)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Println("live estimate after the flip:", last)
+	// Output:
+	// live estimate after the flip: false
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest useful SSTD program. A handful of sources
+// report on one evolving claim ("there is a shooting on campus"); the
+// engine ingests the reports and decodes the claim's truth minute by
+// minute, recovering the moment the situation was cleared.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/social-sensing/sstd"
+)
+
+func main() {
+	start := time.Date(2016, 11, 28, 7, 0, 0, 0, time.UTC)
+
+	eng, err := sstd.NewEngine(sstd.DefaultConfig(start))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate 60 minutes of reports: the claim is true for the first 25
+	// minutes, then debunked. Sources are noisy — 20% report the wrong
+	// state — and a few hedge or retweet.
+	rng := rand.New(rand.NewSource(42))
+	const claim = sstd.ClaimID("campus-shooting")
+	for minute := 0; minute < 60; minute++ {
+		actuallyTrue := minute < 25
+		for k := 0; k < 6; k++ {
+			correct := rng.Float64() < 0.8
+			att := sstd.Disagree
+			if actuallyTrue == correct {
+				att = sstd.Agree
+			}
+			report := sstd.Report{
+				Source:       sstd.SourceID(fmt.Sprintf("user-%d", k)),
+				Claim:        claim,
+				Timestamp:    start.Add(time.Duration(minute) * time.Minute),
+				Attitude:     att,
+				Uncertainty:  0.1 + 0.3*rng.Float64(),
+				Independence: 0.9,
+			}
+			if err := eng.Ingest(report); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	estimates, err := eng.DecodeClaim(claim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("decoded truth timeline (one column per minute):")
+	for _, e := range estimates {
+		if e.Value == sstd.True {
+			fmt.Print("T")
+		} else {
+			fmt.Print("f")
+		}
+	}
+	fmt.Println()
+
+	// Query the timeline at arbitrary instants.
+	for _, probe := range []int{10, 40} {
+		at := start.Add(time.Duration(probe) * time.Minute)
+		v, _ := sstd.TruthAt(estimates, at)
+		fmt.Printf("at minute %2d the claim is estimated %v\n", probe, v)
+	}
+}

@@ -1,0 +1,90 @@
+// Reliability: recover per-source reliability from decoded truth — the
+// other half of the truth discovery problem statement. SSTD never needs
+// per-source reliability online (that is what makes its jobs decompose per
+// claim), but once truth timelines are decoded, every source's track
+// record falls out: score each report against the decoded truth and
+// interval-estimate the source's accuracy. The example checks the ranking
+// against the generator's hidden reliabilities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/social-sensing/sstd"
+)
+
+func main() {
+	gen, err := sstd.NewTraceGenerator(sstd.BostonBombingProfile(), 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := gen.Generate(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sstd.DefaultConfig(trace.Start)
+	cfg.ACS.Interval = trace.Duration() / 80
+	engine, err := sstd.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range trace.Reports {
+		if err := engine.Ingest(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	decoded, err := engine.DecodeAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded %d claims from %d reports by %d sources\n",
+		len(decoded), len(trace.Reports), len(trace.Sources))
+
+	truth := func(c sstd.ClaimID, at time.Time) (sstd.TruthValue, bool) {
+		return sstd.TruthAt(decoded[c], at)
+	}
+	relCfg := sstd.DefaultSourceRelConfig()
+	relCfg.MinReports = 10 // rank only sources with a real track record
+	ranked, err := sstd.RankSources(trace.Reports, truth, relCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d sources have >= %d stance-bearing reports\n\n",
+		len(ranked), relCfg.MinReports)
+
+	hidden := make(map[sstd.SourceID]float64, len(trace.Sources))
+	for _, s := range trace.Sources {
+		hidden[s.ID] = s.Reliability
+	}
+
+	show := 5
+	if show > len(ranked) {
+		show = len(ranked)
+	}
+	fmt.Println("most reliable (by Wilson lower bound):")
+	fmt.Printf("%-30s %8s %14s %18s %s\n", "source", "reports", "est. accuracy", "95% interval", "hidden reliability")
+	for _, e := range ranked[:show] {
+		fmt.Printf("%-30s %8d %14.3f [%5.3f, %5.3f]   %.2f\n",
+			e.Source, e.Reports, e.Accuracy, e.Lower, e.Upper, hidden[e.Source])
+	}
+	fmt.Println("\nleast reliable:")
+	for _, e := range ranked[len(ranked)-show:] {
+		fmt.Printf("%-30s %8d %14.3f [%5.3f, %5.3f]   %.2f\n",
+			e.Source, e.Reports, e.Accuracy, e.Lower, e.Upper, hidden[e.Source])
+	}
+
+	// Quantify the agreement between estimated ranking and hidden truth.
+	q := len(ranked) / 4
+	if q > 0 {
+		top, bottom := 0.0, 0.0
+		for i := 0; i < q; i++ {
+			top += hidden[ranked[i].Source]
+			bottom += hidden[ranked[len(ranked)-1-i].Source]
+		}
+		fmt.Printf("\nhidden reliability, top quartile of estimates:    %.3f\n", top/float64(q))
+		fmt.Printf("hidden reliability, bottom quartile of estimates: %.3f\n", bottom/float64(q))
+	}
+}

@@ -1,0 +1,91 @@
+// Sports: streaming truth discovery on a College-Football-style trace.
+// Score-change claims flip frequently (every touchdown), so this example
+// replays the trace interval by interval — the way a live deployment sees
+// it — re-decoding after each batch and measuring how quickly the engine
+// tracks each truth flip, compared against the evolving ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/social-sensing/sstd"
+)
+
+func main() {
+	gen, err := sstd.NewTraceGenerator(sstd.CollegeFootballProfile(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := gen.Generate(0.004)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d reports over %s as a live stream\n",
+		len(trace.Reports), trace.Duration())
+
+	const steps = 60
+	width := trace.Duration() / steps
+
+	cfg := sstd.DefaultConfig(trace.Start)
+	cfg.ACS.Interval = width
+	cfg.ACS.WindowIntervals = 3
+	engine, err := sstd.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the busiest claim to follow live.
+	byClaim := trace.ReportsByClaim()
+	var followed sstd.ClaimID
+	most := 0
+	for id, rs := range byClaim {
+		if len(rs) > most {
+			followed, most = id, len(rs)
+		}
+	}
+	fmt.Printf("following claim %s (%d reports)\n\n", followed, most)
+
+	// Stream interval by interval: ingest the batch, re-decode, compare
+	// the newest estimate with ground truth.
+	next := 0
+	correct, total := 0, 0
+	fmt.Println("step  reports  estimate  truth  verdict")
+	for step := 0; step < steps; step++ {
+		cutoff := trace.Start.Add(time.Duration(step+1) * width)
+		batch := 0
+		for next < len(trace.Reports) && trace.Reports[next].Timestamp.Before(cutoff) {
+			if err := engine.Ingest(trace.Reports[next]); err != nil {
+				log.Fatal(err)
+			}
+			next++
+			batch++
+		}
+		estimates, err := engine.DecodeClaim(followed)
+		if err != nil {
+			// The claim may not have arrived yet.
+			continue
+		}
+		now := cutoff.Add(-width / 2)
+		est, ok := sstd.TruthAt(estimates, now)
+		if !ok {
+			continue
+		}
+		truth, ok := trace.TruthAt(followed, now)
+		if !ok {
+			continue
+		}
+		total++
+		verdict := "MISS"
+		if est == truth {
+			correct++
+			verdict = "ok"
+		}
+		if step%5 == 0 || verdict == "MISS" {
+			fmt.Printf("%4d  %7d  %8v  %5v  %s\n", step, batch, est, truth, verdict)
+		}
+	}
+	fmt.Printf("\nlive tracking accuracy on %s: %.1f%% (%d/%d steps)\n",
+		followed, 100*float64(correct)/float64(total), correct, total)
+}

@@ -1,0 +1,3 @@
+module github.com/social-sensing/sstd
+
+go 1.22

@@ -1,0 +1,366 @@
+package sstd_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd"
+	"github.com/social-sensing/sstd/internal/baselines"
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/stream"
+	"github.com/social-sensing/sstd/internal/tracegen"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// TestFullRawTextPipeline drives the complete system the way the paper's
+// deployment would: synthetic tweets -> keyword filter + online clustering
+// (claims) -> semantic scoring (contribution scores) -> HMM engine
+// (decoded truth), and checks the decoded timelines against ground truth
+// through the cluster/claim correspondence.
+func TestFullRawTextPipeline(t *testing.T) {
+	prof := sstd.ParisShootingProfile()
+	gen, err := sstd.NewTraceGenerator(prof, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := gen.Generate(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clusterCfg := sstd.DefaultClusterConfig()
+	clusterCfg.Keywords = prof.Keywords
+	clusterer := sstd.NewClusterer(clusterCfg)
+	scorer := sstd.NewScorer()
+
+	engCfg := sstd.DefaultConfig(trace.Start)
+	engCfg.ACS.Interval = trace.Duration() / 80
+	engine, err := sstd.NewEngine(engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Track which true claim dominates each discovered cluster so the
+	// decoded timeline can be scored against real ground truth.
+	clusterToClaim := make(map[sstd.ClaimID]map[sstd.ClaimID]int)
+	kept := 0
+	for _, raw := range trace.Reports {
+		clusterID, ok := clusterer.Assign(raw.Text, raw.Timestamp)
+		if !ok {
+			continue
+		}
+		kept++
+		cid := sstd.ClaimID(clusterID)
+		report := scorer.ScorePost(sstd.Post{
+			Source: raw.Source, Claim: cid, Timestamp: raw.Timestamp, Text: raw.Text,
+		})
+		if err := engine.Ingest(report); err != nil {
+			t.Fatal(err)
+		}
+		if clusterToClaim[cid] == nil {
+			clusterToClaim[cid] = make(map[sstd.ClaimID]int)
+		}
+		clusterToClaim[cid][raw.Claim]++
+	}
+	if kept < len(trace.Reports)/2 {
+		t.Fatalf("keyword filter kept only %d/%d posts", kept, len(trace.Reports))
+	}
+
+	decoded, err := engine.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correct, total := 0, 0
+	for cid, counts := range clusterToClaim {
+		// Majority true claim for the cluster, and its share (cluster
+		// purity): only score reasonably pure clusters.
+		var majority sstd.ClaimID
+		best, sum := 0, 0
+		for claim, n := range counts {
+			sum += n
+			if n > best {
+				best, majority = n, claim
+			}
+		}
+		if sum < 30 || float64(best)/float64(sum) < 0.8 {
+			continue
+		}
+		est := decoded[cid]
+		if len(est) == 0 {
+			continue
+		}
+		for _, e := range est {
+			truth, ok := trace.TruthAt(majority, e.Start)
+			if !ok {
+				continue
+			}
+			total++
+			if e.Value == truth {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pure clusters to score")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.7 {
+		t.Errorf("end-to-end raw-text accuracy = %.3f over %d samples, want >= 0.7", acc, total)
+	}
+}
+
+// TestDistributedMatchesLocalOverTCP runs the identical TD workload
+// through the in-process engine and through a real TCP master with two
+// worker connections, checking the decoded truth agrees.
+func TestDistributedMatchesLocalOverTCP(t *testing.T) {
+	gen, err := tracegen.New(tracegen.CollegeFootball(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := tr.Duration() / 60
+
+	// Local decode.
+	cfg := core.DefaultConfig(tr.Start)
+	cfg.ACS.Interval = width
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestAll(tr.Reports); err != nil {
+		t.Fatal(err)
+	}
+	local, err := eng.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed: master over TCP; workers compute partial ACS sums
+	// exactly like cmd/sstd-worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	master := workqueue.NewMaster(workqueue.MasterConfig{Seed: 1, ResultBuffer: 128})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = master.Serve(ctx, l) }()
+	type payload struct {
+		Claim    socialsensing.ClaimID  `json:"claim"`
+		Origin   time.Time              `json:"origin"`
+		Interval time.Duration          `json:"interval_ns"`
+		Reports  []socialsensing.Report `json:"reports"`
+	}
+	type output struct {
+		Sums map[int]float64 `json:"sums"`
+	}
+	exec := func(_ context.Context, raw []byte) ([]byte, error) {
+		var p payload
+		if err := jsonUnmarshal(raw, &p); err != nil {
+			return nil, err
+		}
+		out := output{Sums: make(map[int]float64)}
+		for _, r := range p.Reports {
+			idx := 0
+			if r.Timestamp.After(p.Origin) {
+				idx = int(r.Timestamp.Sub(p.Origin) / p.Interval)
+			}
+			out.Sums[idx] += r.ContributionScore()
+		}
+		return jsonMarshal(out)
+	}
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			w := &workqueue.Worker{ID: fmt.Sprintf("itw-%d", i), Exec: exec}
+			_ = w.Dial(ctx, l.Addr().String())
+		}(i)
+	}
+
+	byClaim := tr.ReportsByClaim()
+	jobs := 0
+	for claim, reports := range byClaim {
+		half := len(reports) / 2
+		for i, chunk := range [][]socialsensing.Report{reports[:half], reports[half:]} {
+			raw, err := jsonMarshal(payload{Claim: claim, Origin: tr.Start, Interval: width, Reports: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := master.Submit(workqueue.Task{
+				ID: fmt.Sprintf("%s/%d", claim, i), JobID: string(claim), Payload: raw,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		jobs++
+	}
+
+	sums := make(map[string]map[int]float64)
+	done := make(map[string]int)
+	finished := 0
+	timeout := time.After(30 * time.Second)
+	for finished < jobs {
+		select {
+		case res := <-master.Results():
+			if res.Err != "" {
+				t.Fatalf("task %s: %s", res.TaskID, res.Err)
+			}
+			var out output
+			if err := jsonUnmarshal(res.Output, &out); err != nil {
+				t.Fatal(err)
+			}
+			if sums[res.JobID] == nil {
+				sums[res.JobID] = make(map[int]float64)
+			}
+			for idx, s := range out.Sums {
+				sums[res.JobID][idx] += s
+			}
+			done[res.JobID]++
+			if done[res.JobID] == 2 {
+				finished++
+			}
+		case <-timeout:
+			t.Fatalf("timed out with %d/%d jobs", finished, jobs)
+		}
+	}
+
+	dec, err := core.NewDecoder(core.DefaultDecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for claim, claimSums := range sums {
+		maxIdx := 0
+		for idx := range claimSums {
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+		dense := make([]float64, maxIdx+1)
+		for idx, s := range claimSums {
+			dense[idx] = s
+		}
+		window := cfg.ACS.WindowIntervals
+		series := make([]float64, len(dense))
+		acc := 0.0
+		for i := range dense {
+			acc += dense[i]
+			if i >= window {
+				acc -= dense[i-window]
+			}
+			series[i] = acc
+		}
+		truth, err := dec.Decode(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		localEst := local[socialsensing.ClaimID(claim)]
+		if len(localEst) != len(truth) {
+			t.Fatalf("claim %s length mismatch: %d vs %d", claim, len(localEst), len(truth))
+		}
+		for i := range truth {
+			if truth[i] != localEst[i].Value {
+				t.Fatalf("claim %s interval %d: distributed %v vs local %v", claim, i, truth[i], localEst[i].Value)
+			}
+		}
+	}
+}
+
+// TestSSTDBeatsBaselinesEndToEnd is the headline integration check: on a
+// freshly generated trace, SSTD's dynamic accuracy exceeds every baseline.
+func TestSSTDBeatsBaselinesEndToEnd(t *testing.T) {
+	gen, err := tracegen.New(tracegen.BostonBombing(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := gen.Generate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := tr.Duration() / 80
+
+	cfg := core.DefaultConfig(tr.Start)
+	cfg.ACS.Interval = width
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestAll(tr.Reports); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := eng.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sstdConf, err := evalmetrics.EvaluateDynamic(tr, func(c socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
+		return core.TruthAt(decoded[c], at)
+	}, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := baselines.BuildDataset(tr.Reports)
+	ests := []baselines.Estimator{
+		baselines.NewTruthFinder(), baselines.NewRTD(), baselines.NewCATD(),
+		baselines.NewInvest(), baselines.NewThreeEstimates(),
+		baselines.NewAvgLog(), baselines.NewPooledInvest(),
+	}
+	for _, est := range ests {
+		verdicts := est.Estimate(ds)
+		conf, err := evalmetrics.EvaluateDynamic(tr, func(c socialsensing.ClaimID, _ time.Time) (socialsensing.TruthValue, bool) {
+			v, ok := verdicts[c]
+			return v, ok
+		}, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conf.Accuracy() >= sstdConf.Accuracy() {
+			t.Errorf("%s accuracy %.3f >= SSTD %.3f", est.Name(), conf.Accuracy(), sstdConf.Accuracy())
+		}
+	}
+
+	// And the streaming baseline.
+	batches, err := stream.SplitByInterval(tr, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := baselines.NewDynaTD()
+	type snap struct {
+		at  time.Time
+		est map[socialsensing.ClaimID]socialsensing.TruthValue
+	}
+	var history []snap
+	for _, b := range batches {
+		cur := d.ProcessInterval(b.Reports)
+		cp := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(cur))
+		for k, v := range cur {
+			cp[k] = v
+		}
+		history = append(history, snap{at: b.Start, est: cp})
+	}
+	dynaConf, err := evalmetrics.EvaluateDynamic(tr, func(c socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
+		var cur socialsensing.TruthValue
+		ok := false
+		for _, s := range history {
+			if s.at.After(at) {
+				break
+			}
+			if v, have := s.est[c]; have {
+				cur, ok = v, true
+			}
+		}
+		return cur, ok
+	}, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynaConf.Accuracy() >= sstdConf.Accuracy() {
+		t.Errorf("DynaTD accuracy %.3f >= SSTD %.3f", dynaConf.Accuracy(), sstdConf.Accuracy())
+	}
+}

@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"math"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Invest implements Pasternack & Roth's Investment algorithm (COLING
+// 2010): each source uniformly "invests" its trustworthiness across its
+// claims; claim credibility grows the invested trust with a non-linear
+// function G(x) = x^G; source trust is then the sum over its claims of the
+// claim's credibility weighted by the share the source invested.
+type Invest struct {
+	// G is the non-linear growth exponent (paper default 1.2).
+	G float64
+	// MaxIterations bounds the fixpoint loop. Default 20.
+	MaxIterations int
+}
+
+var _ Estimator = (*Invest)(nil)
+
+// NewInvest returns Invest with the published defaults.
+func NewInvest() *Invest {
+	return &Invest{G: 1.2, MaxIterations: 20}
+}
+
+// Name implements Estimator.
+func (in *Invest) Name() string { return "Invest" }
+
+// factKey identifies a (claim, asserted value) pair — the "fact" unit the
+// Investment algorithm scores.
+type factKey struct {
+	claim socialsensing.ClaimID
+	value socialsensing.TruthValue
+}
+
+// Estimate implements Estimator.
+func (in *Invest) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	trust := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+	for _, s := range ds.Sources {
+		trust[s] = 1.0
+	}
+	cred := make(map[factKey]float64)
+
+	for iter := 0; iter < in.MaxIterations; iter++ {
+		// Invested amount per fact: sum over asserting sources of
+		// trust / #claims the source voted on.
+		invested := make(map[factKey]float64)
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				continue
+			}
+			share := trust[s] / float64(len(votes))
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				invested[factKey{v.Claim, v.Value}] += share
+			}
+		}
+		// Grow credibility non-linearly.
+		for k, x := range invested {
+			cred[k] = math.Pow(x, in.G)
+		}
+		// Pay sources back proportionally to their investment share.
+		next := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				next[s] = trust[s]
+				continue
+			}
+			share := trust[s] / float64(len(votes))
+			sum := 0.0
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				k := factKey{v.Claim, v.Value}
+				if invested[k] > 0 {
+					sum += cred[k] * share / invested[k]
+				}
+			}
+			next[s] = sum
+		}
+		// Normalize trust to keep the fixpoint bounded.
+		maxT := 0.0
+		for _, v := range next {
+			if v > maxT {
+				maxT = v
+			}
+		}
+		if maxT > 0 {
+			for s := range next {
+				next[s] /= maxT
+			}
+		}
+		trust = next
+	}
+
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		out[c] = decide(cred[factKey{c, socialsensing.True}] - cred[factKey{c, socialsensing.False}])
+	}
+	return out
+}

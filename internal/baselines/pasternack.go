@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"math"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// AvgLog implements Pasternack & Roth's AverageLog algorithm (COLING
+// 2010), one of the extended fact-finders the paper cites alongside
+// Invest: source trustworthiness is the mean belief of the source's claims
+// scaled by log of its claim count — rewarding prolific sources without
+// letting volume alone dominate — and claim belief is the sum of its
+// supporters' trustworthiness.
+type AvgLog struct {
+	// MaxIterations bounds the fixpoint loop. Default 20.
+	MaxIterations int
+}
+
+var _ Estimator = (*AvgLog)(nil)
+
+// NewAvgLog returns AvgLog with defaults.
+func NewAvgLog() *AvgLog {
+	return &AvgLog{MaxIterations: 20}
+}
+
+// Name implements Estimator.
+func (a *AvgLog) Name() string { return "AvgLog" }
+
+// Estimate implements Estimator.
+func (a *AvgLog) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	trust := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+	for _, s := range ds.Sources {
+		trust[s] = 1
+	}
+	belief := make(map[factKey]float64)
+
+	for iter := 0; iter < a.MaxIterations; iter++ {
+		// Fact beliefs from supporter trust.
+		for k := range belief {
+			delete(belief, k)
+		}
+		for _, v := range ds.Votes {
+			belief[factKey{v.Claim, v.Value}] += trust[v.Source]
+		}
+		// Source trust: log(|claims|) * mean belief of asserted facts.
+		maxT := 0.0
+		next := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				next[s] = trust[s]
+				continue
+			}
+			sum := 0.0
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				sum += belief[factKey{v.Claim, v.Value}]
+			}
+			t := math.Log(float64(len(votes))+1) * sum / float64(len(votes))
+			next[s] = t
+			if t > maxT {
+				maxT = t
+			}
+		}
+		if maxT > 0 {
+			for s := range next {
+				next[s] /= maxT
+			}
+		}
+		trust = next
+	}
+
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		out[c] = decide(belief[factKey{c, socialsensing.True}] - belief[factKey{c, socialsensing.False}])
+	}
+	return out
+}
+
+// PooledInvest implements Pasternack & Roth's PooledInvestment: like
+// Invest, sources spread their trust across their claims, but a fact's
+// grown credibility is re-pooled linearly within each claim's mutual
+// exclusion set {true, false}, which stops the non-linear growth from
+// running away with whichever side got an early lead.
+type PooledInvest struct {
+	// G is the growth exponent (paper default 1.4 for pooled).
+	G float64
+	// MaxIterations bounds the fixpoint loop. Default 20.
+	MaxIterations int
+}
+
+var _ Estimator = (*PooledInvest)(nil)
+
+// NewPooledInvest returns PooledInvestment with the published defaults.
+func NewPooledInvest() *PooledInvest {
+	return &PooledInvest{G: 1.4, MaxIterations: 20}
+}
+
+// Name implements Estimator.
+func (p *PooledInvest) Name() string { return "PooledInvest" }
+
+// Estimate implements Estimator.
+func (p *PooledInvest) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	trust := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+	for _, s := range ds.Sources {
+		trust[s] = 1
+	}
+	pooled := make(map[factKey]float64)
+
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		// Invested amount per fact.
+		invested := make(map[factKey]float64)
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				continue
+			}
+			share := trust[s] / float64(len(votes))
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				invested[factKey{v.Claim, v.Value}] += share
+			}
+		}
+		// Pool within each claim's mutual exclusion set:
+		// H(f) = I(f) * G(I(f)) / Σ_{f' ∈ M(c)} G(I(f')).
+		for k := range pooled {
+			delete(pooled, k)
+		}
+		for _, c := range ds.Claims {
+			tKey := factKey{c, socialsensing.True}
+			fKey := factKey{c, socialsensing.False}
+			gt := math.Pow(invested[tKey], p.G)
+			gf := math.Pow(invested[fKey], p.G)
+			den := gt + gf
+			if den == 0 {
+				continue
+			}
+			pooled[tKey] = invested[tKey] * gt / den
+			pooled[fKey] = invested[fKey] * gf / den
+		}
+		// Pay sources back proportionally to their investment share.
+		next := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+		maxT := 0.0
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				next[s] = trust[s]
+				continue
+			}
+			share := trust[s] / float64(len(votes))
+			sum := 0.0
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				k := factKey{v.Claim, v.Value}
+				if invested[k] > 0 {
+					sum += pooled[k] * share / invested[k]
+				}
+			}
+			next[s] = sum
+			if sum > maxT {
+				maxT = sum
+			}
+		}
+		if maxT > 0 {
+			for s := range next {
+				next[s] /= maxT
+			}
+		}
+		trust = next
+	}
+
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		out[c] = decide(pooled[factKey{c, socialsensing.True}] - pooled[factKey{c, socialsensing.False}])
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+func TestAvgLogCleanData(t *testing.T) {
+	ds, truth := synthStatic(t, 11, 30, 10, 4, 0.95, 0.3)
+	got := NewAvgLog().Estimate(ds)
+	if acc := accuracyOf(got, truth); acc < 0.9 {
+		t.Errorf("AvgLog accuracy = %.2f on clean data", acc)
+	}
+}
+
+func TestPooledInvestCleanData(t *testing.T) {
+	ds, truth := synthStatic(t, 13, 30, 10, 4, 0.95, 0.3)
+	got := NewPooledInvest().Estimate(ds)
+	if acc := accuracyOf(got, truth); acc < 0.9 {
+		t.Errorf("PooledInvest accuracy = %.2f on clean data", acc)
+	}
+}
+
+func TestAvgLogRewardsProlificAccurateSources(t *testing.T) {
+	// A prolific accurate source plus scattered one-shot noise: AvgLog's
+	// log(|claims|) factor should weight the prolific voice up.
+	base := time.Date(2013, 4, 15, 0, 0, 0, 0, time.UTC)
+	var reports []socialsensing.Report
+	truth := make(map[socialsensing.ClaimID]socialsensing.TruthValue)
+	for ci := 0; ci < 15; ci++ {
+		c := socialsensing.ClaimID(rune('a' + ci))
+		truth[c] = socialsensing.True
+		reports = append(reports, socialsensing.Report{
+			Source: "wire-service", Claim: c, Timestamp: base,
+			Attitude: socialsensing.Agree, Independence: 1,
+		})
+		// One single-claim denier per claim.
+		reports = append(reports, socialsensing.Report{
+			Source: socialsensing.SourceID(string(rune('a'+ci)) + "-denier"), Claim: c,
+			Timestamp: base, Attitude: socialsensing.Disagree, Independence: 1,
+		})
+	}
+	ds := BuildDataset(reports)
+	got := NewAvgLog().Estimate(ds)
+	if acc := accuracyOf(got, truth); acc < 0.99 {
+		t.Errorf("AvgLog accuracy = %.2f, want ~1 (prolific source should win ties)", acc)
+	}
+}
+
+func TestPooledInvestBoundedBeliefs(t *testing.T) {
+	// Pooling keeps the per-claim fact credibilities from blowing up:
+	// unlike raw Invest, the pooled credibilities within a claim sum to
+	// at most the invested total.
+	ds, _ := synthStatic(t, 5, 20, 8, 4, 0.9, 0.4)
+	est := NewPooledInvest()
+	got := est.Estimate(ds)
+	if len(got) != 20 {
+		t.Fatalf("claims decided = %d", len(got))
+	}
+}
+
+func TestPasternackVariantsUnderNoise(t *testing.T) {
+	// The discriminating scenario from the shared baseline suite: a
+	// small reliable core outnumbered by noisy sources. Both Pasternack
+	// variants should beat unweighted voting on average.
+	voteTot, avgTot, pooledTot := 0.0, 0.0, 0.0
+	const seeds = 5
+	for seed := int64(0); seed < seeds; seed++ {
+		ds, truth := synthStatic(t, seed, 60, 5, 15, 0.95, 0.45)
+		voteTot += accuracyOf((&MajorityVote{}).Estimate(ds), truth)
+		avgTot += accuracyOf(NewAvgLog().Estimate(ds), truth)
+		pooledTot += accuracyOf(NewPooledInvest().Estimate(ds), truth)
+	}
+	vote, avg, pooled := voteTot/seeds, avgTot/seeds, pooledTot/seeds
+	if avg < vote-0.02 {
+		t.Errorf("AvgLog %.3f below voting %.3f", avg, vote)
+	}
+	if pooled < vote-0.02 {
+		t.Errorf("PooledInvest %.3f below voting %.3f", pooled, vote)
+	}
+}
+
+func TestPasternackVariantsOnEmptyAndNames(t *testing.T) {
+	empty := BuildDataset(nil)
+	for _, est := range []Estimator{NewAvgLog(), NewPooledInvest()} {
+		if out := est.Estimate(empty); len(out) != 0 {
+			t.Errorf("%s on empty dataset = %v", est.Name(), out)
+		}
+	}
+	if NewAvgLog().Name() == NewPooledInvest().Name() {
+		t.Error("duplicate names")
+	}
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// ThreeEstimates implements Galland, Abiteboul, Marian & Senellart's
+// 3-Estimates algorithm (WSDM 2010), which jointly estimates three
+// quantities: the truth of each claim, the error rate of each source, and
+// the hardness of each claim (how difficult it is to get right). A
+// source's error on an easy claim is penalized more than on a hard one.
+type ThreeEstimates struct {
+	// MaxIterations bounds the fixpoint loop. Default 20.
+	MaxIterations int
+}
+
+var _ Estimator = (*ThreeEstimates)(nil)
+
+// NewThreeEstimates returns the algorithm with defaults.
+func NewThreeEstimates() *ThreeEstimates {
+	return &ThreeEstimates{MaxIterations: 20}
+}
+
+// Name implements Estimator.
+func (te *ThreeEstimates) Name() string { return "3-Estimates" }
+
+// Estimate implements Estimator.
+func (te *ThreeEstimates) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	// error rate epsilon per source, hardness theta per claim, truth
+	// score in [-1, 1] per claim (sign decides the value).
+	eps := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+	for _, s := range ds.Sources {
+		eps[s] = 0.2
+	}
+	hard := make(map[socialsensing.ClaimID]float64, len(ds.Claims))
+	truthScore := make(map[socialsensing.ClaimID]float64, len(ds.Claims))
+	for _, c := range ds.Claims {
+		hard[c] = 0.5
+	}
+
+	clamp := func(x, lo, hi float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+
+	for iter := 0; iter < te.MaxIterations; iter++ {
+		// (1) Truth estimate: weighted vote where a source's weight is
+		// its probability of being right on this claim,
+		// p = 1 - eps(s)*theta(c), mapped to [-1,1] via 2p-1.
+		for _, c := range ds.Claims {
+			score := 0.0
+			for _, vi := range ds.ClaimVotes(c) {
+				v := ds.Votes[vi]
+				p := 1 - eps[v.Source]*hard[c]
+				w := 2*p - 1
+				if v.Value == socialsensing.True {
+					score += w
+				} else {
+					score -= w
+				}
+			}
+			truthScore[c] = score
+		}
+		// (2) Source error rates: fraction of its votes disagreeing with
+		// the current estimates, discounted by claim hardness (being
+		// wrong on a hard claim is less damning).
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				continue
+			}
+			num, den := 0.0, 0.0
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				est := decide(truthScore[v.Claim])
+				weight := 1 - hard[v.Claim] + 1e-9
+				if v.Value != est {
+					num += weight
+				}
+				den += weight
+			}
+			eps[s] = clamp(num/den, 0.01, 0.99)
+		}
+		// (3) Claim hardness: fraction of reliable-ish sources that
+		// still get the claim wrong.
+		for _, c := range ds.Claims {
+			votes := ds.ClaimVotes(c)
+			if len(votes) == 0 {
+				continue
+			}
+			num, den := 0.0, 0.0
+			est := decide(truthScore[c])
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				rel := 1 - eps[v.Source]
+				if v.Value != est {
+					num += rel
+				}
+				den += rel
+			}
+			hard[c] = clamp(num/den, 0.01, 0.99)
+		}
+	}
+
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		out[c] = decide(truthScore[c])
+	}
+	return out
+}

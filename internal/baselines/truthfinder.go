@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"math"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// TruthFinder implements Yin, Han & Yu's pseudo-probabilistic iterative
+// algorithm (TKDE 2008), the first formal truth discovery method. Source
+// trustworthiness t(w) is the average confidence of the facts it provides;
+// fact confidence combines the trustworthiness scores tau(w) = -ln(1-t(w))
+// of its providers through a sigmoid with dampening factor gamma. For
+// binary claims, "claim is true" and "claim is false" are two mutually
+// exclusive facts whose confidences are compared.
+type TruthFinder struct {
+	// Gamma is the dampening factor of the sigmoid (paper default 0.3).
+	Gamma float64
+	// Rho is the influence weight between conflicting facts (paper
+	// default 0.5): providers of the opposing fact subtract rho * tau.
+	Rho float64
+	// InitialTrust seeds every source (paper default 0.9).
+	InitialTrust float64
+	// MaxIterations bounds the fixpoint loop. Default 20.
+	MaxIterations int
+	// Tolerance stops iteration when no source trust moves more than
+	// this. Default 1e-6.
+	Tolerance float64
+}
+
+var _ Estimator = (*TruthFinder)(nil)
+
+// NewTruthFinder returns TruthFinder with the published defaults.
+func NewTruthFinder() *TruthFinder {
+	return &TruthFinder{
+		Gamma:         0.3,
+		Rho:           0.5,
+		InitialTrust:  0.9,
+		MaxIterations: 20,
+		Tolerance:     1e-6,
+	}
+}
+
+// Name implements Estimator.
+func (tf *TruthFinder) Name() string { return "TruthFinder" }
+
+// Estimate implements Estimator.
+func (tf *TruthFinder) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	const maxTrust = 0.999999 // keep -ln(1-t) finite
+	trust := make(map[socialsensing.SourceID]float64, len(ds.Sources))
+	for _, s := range ds.Sources {
+		trust[s] = tf.InitialTrust
+	}
+	confTrue := make(map[socialsensing.ClaimID]float64, len(ds.Claims))
+	confFalse := make(map[socialsensing.ClaimID]float64, len(ds.Claims))
+
+	for iter := 0; iter < tf.MaxIterations; iter++ {
+		// Fact confidences from source trustworthiness.
+		for _, c := range ds.Claims {
+			var sigmaTrue, sigmaFalse float64
+			for _, vi := range ds.ClaimVotes(c) {
+				v := ds.Votes[vi]
+				tau := -math.Log(1 - math.Min(trust[v.Source], maxTrust))
+				if v.Value == socialsensing.True {
+					sigmaTrue += tau
+					sigmaFalse -= tf.Rho * tau
+				} else {
+					sigmaFalse += tau
+					sigmaTrue -= tf.Rho * tau
+				}
+			}
+			confTrue[c] = 1 / (1 + math.Exp(-tf.Gamma*sigmaTrue))
+			confFalse[c] = 1 / (1 + math.Exp(-tf.Gamma*sigmaFalse))
+		}
+		// Source trust as mean confidence of asserted facts.
+		maxDelta := 0.0
+		for _, s := range ds.Sources {
+			votes := ds.SourceVotes(s)
+			if len(votes) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, vi := range votes {
+				v := ds.Votes[vi]
+				if v.Value == socialsensing.True {
+					sum += confTrue[v.Claim]
+				} else {
+					sum += confFalse[v.Claim]
+				}
+			}
+			next := sum / float64(len(votes))
+			if d := math.Abs(next - trust[s]); d > maxDelta {
+				maxDelta = d
+			}
+			trust[s] = next
+		}
+		if maxDelta < tf.Tolerance {
+			break
+		}
+	}
+
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		out[c] = decide(confTrue[c] - confFalse[c])
+	}
+	return out
+}

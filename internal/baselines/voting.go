@@ -1,0 +1,43 @@
+package baselines
+
+import "github.com/social-sensing/sstd/internal/socialsensing"
+
+// MajorityVote is the simple heuristic baseline: a claim is true when the
+// (weighted) votes asserting it outweigh the votes denying it.
+type MajorityVote struct {
+	// Weighted uses vote weights (aggregate contribution scores) instead
+	// of plain counts.
+	Weighted bool
+}
+
+var _ Estimator = (*MajorityVote)(nil)
+
+// Name implements Estimator.
+func (m *MajorityVote) Name() string {
+	if m.Weighted {
+		return "WeightedVote"
+	}
+	return "MajorityVote"
+}
+
+// Estimate implements Estimator.
+func (m *MajorityVote) Estimate(ds *Dataset) map[socialsensing.ClaimID]socialsensing.TruthValue {
+	out := make(map[socialsensing.ClaimID]socialsensing.TruthValue, len(ds.Claims))
+	for _, c := range ds.Claims {
+		score := 0.0
+		for _, vi := range ds.ClaimVotes(c) {
+			v := ds.Votes[vi]
+			w := 1.0
+			if m.Weighted {
+				w = v.Weight
+			}
+			if v.Value == socialsensing.True {
+				score += w
+			} else {
+				score -= w
+			}
+		}
+		out[c] = decide(score)
+	}
+	return out
+}

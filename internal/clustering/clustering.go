@@ -1,0 +1,263 @@
+// Package clustering implements the paper's online claim generator
+// (§V-A2): a streaming variant of K-means over micro-blog text using
+// Jaccard distance. A newly arrived post joins the nearest existing
+// cluster if it is close enough, otherwise it seeds a new cluster; a
+// cluster whose diameter exceeds a threshold is split in two.
+package clustering
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/textutil"
+)
+
+// Config tunes the online clusterer.
+type Config struct {
+	// JoinThreshold is the maximum Jaccard distance between a post and a
+	// cluster centroid for the post to join the cluster.
+	JoinThreshold float64
+	// SplitDiameter is the cluster diameter (max pairwise distance among
+	// sampled members) beyond which a cluster is split in two.
+	SplitDiameter float64
+	// MaxMembersTracked bounds the per-cluster member sample kept for
+	// diameter estimation and splitting.
+	MaxMembersTracked int
+	// Keywords optionally filters posts: when non-empty, posts containing
+	// none of the keywords are ignored (the paper first filters tweets by
+	// pre-specified event keywords).
+	Keywords []string
+}
+
+// DefaultConfig returns thresholds that work well for short tweet-length
+// texts (learned from prior case studies per the paper).
+func DefaultConfig() Config {
+	return Config{
+		JoinThreshold:     0.7,
+		SplitDiameter:     0.9,
+		MaxMembersTracked: 32,
+	}
+}
+
+// Cluster is one group of similar posts, treated downstream as a claim.
+type Cluster struct {
+	ID       string
+	Centroid map[string]bool
+	Size     int
+	Created  time.Time
+
+	members []member
+}
+
+type member struct {
+	tokens map[string]bool
+	text   string
+}
+
+// Clusterer assigns posts to clusters online. Not safe for concurrent use.
+type Clusterer struct {
+	cfg      Config
+	clusters []*Cluster
+	nextID   int
+}
+
+// New returns a Clusterer with the given configuration.
+func New(cfg Config) *Clusterer {
+	if cfg.MaxMembersTracked <= 0 {
+		cfg.MaxMembersTracked = 32
+	}
+	return &Clusterer{cfg: cfg}
+}
+
+// Assign routes text observed at time t into a cluster and returns the
+// cluster ID. It returns ok=false when the post is filtered out by the
+// keyword list.
+func (c *Clusterer) Assign(text string, t time.Time) (clusterID string, ok bool) {
+	if len(c.cfg.Keywords) > 0 && !textutil.ContainsAny(text, c.cfg.Keywords) {
+		return "", false
+	}
+	tokens := textutil.TokenSet(text)
+	best := -1
+	bestDist := c.cfg.JoinThreshold
+	for i, cl := range c.clusters {
+		d := textutil.JaccardDistance(tokens, cl.Centroid)
+		if d <= bestDist {
+			best = i
+			bestDist = d
+		}
+	}
+	if best == -1 {
+		cl := &Cluster{
+			ID:       fmt.Sprintf("cluster-%d", c.nextID),
+			Centroid: copySet(tokens),
+			Created:  t,
+		}
+		c.nextID++
+		cl.add(member{tokens: tokens, text: text}, c.cfg.MaxMembersTracked)
+		c.clusters = append(c.clusters, cl)
+		return cl.ID, true
+	}
+	cl := c.clusters[best]
+	cl.add(member{tokens: tokens, text: text}, c.cfg.MaxMembersTracked)
+	cl.updateCentroid()
+	if cl.diameter() > c.cfg.SplitDiameter && len(cl.members) >= 4 {
+		c.split(best)
+	}
+	return cl.ID, true
+}
+
+// Clusters returns a snapshot of current clusters sorted by descending size.
+func (c *Clusterer) Clusters() []Cluster {
+	out := make([]Cluster, len(c.clusters))
+	for i, cl := range c.clusters {
+		out[i] = Cluster{ID: cl.ID, Centroid: copySet(cl.Centroid), Size: cl.Size, Created: cl.Created}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of clusters.
+func (c *Clusterer) Len() int { return len(c.clusters) }
+
+// Compact merges clusters whose centroids sit within the join threshold of
+// each other — drift during streaming can fragment one topic into several
+// clusters, and the claim generator benefits from periodically re-fusing
+// them. Members and sizes of merged clusters are combined; the larger
+// cluster's ID survives. Returns the number of merges performed.
+func (c *Clusterer) Compact() int {
+	merges := 0
+	for i := 0; i < len(c.clusters); i++ {
+		for j := i + 1; j < len(c.clusters); j++ {
+			a, b := c.clusters[i], c.clusters[j]
+			if textutil.JaccardDistance(a.Centroid, b.Centroid) > c.cfg.JoinThreshold {
+				continue
+			}
+			// Merge the smaller into the larger.
+			if b.Size > a.Size {
+				a, b = b, a
+				c.clusters[i] = a
+			}
+			a.Size += b.Size
+			for _, m := range b.members {
+				a.add(m, c.cfg.MaxMembersTracked)
+				a.Size-- // add() already counted the member once via Size++
+			}
+			a.updateCentroid()
+			c.clusters = append(c.clusters[:j], c.clusters[j+1:]...)
+			merges++
+			j--
+		}
+	}
+	return merges
+}
+
+func (cl *Cluster) add(m member, maxTracked int) {
+	cl.Size++
+	if len(cl.members) < maxTracked {
+		cl.members = append(cl.members, m)
+		return
+	}
+	// Reservoir-style replacement keeps the sample fresh without
+	// unbounded growth; deterministic rotation avoids randomness here.
+	cl.members[cl.Size%maxTracked] = m
+}
+
+// updateCentroid recomputes the centroid as the set of tokens appearing in
+// at least half of the tracked members (a medoid-like set centroid suited
+// to Jaccard space).
+func (cl *Cluster) updateCentroid() {
+	counts := make(map[string]int)
+	for _, m := range cl.members {
+		for tok := range m.tokens {
+			counts[tok]++
+		}
+	}
+	threshold := (len(cl.members) + 1) / 2
+	centroid := make(map[string]bool)
+	for tok, n := range counts {
+		if n >= threshold {
+			centroid[tok] = true
+		}
+	}
+	if len(centroid) == 0 {
+		// Degenerate case (no common tokens): fall back to the union to
+		// keep the centroid non-empty.
+		for tok := range counts {
+			centroid[tok] = true
+		}
+	}
+	cl.Centroid = centroid
+}
+
+// diameter estimates the max pairwise Jaccard distance among tracked
+// members.
+func (cl *Cluster) diameter() float64 {
+	maxD := 0.0
+	for i := 0; i < len(cl.members); i++ {
+		for j := i + 1; j < len(cl.members); j++ {
+			d := textutil.JaccardDistance(cl.members[i].tokens, cl.members[j].tokens)
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+// split breaks cluster idx in two around its two most distant members,
+// mirroring the paper's "a cluster will be broken into two clusters if the
+// diameter is larger than a threshold" rule.
+func (c *Clusterer) split(idx int) {
+	cl := c.clusters[idx]
+	ai, bi := 0, 1
+	maxD := -1.0
+	for i := 0; i < len(cl.members); i++ {
+		for j := i + 1; j < len(cl.members); j++ {
+			d := textutil.JaccardDistance(cl.members[i].tokens, cl.members[j].tokens)
+			if d > maxD {
+				maxD, ai, bi = d, i, j
+			}
+		}
+	}
+	seedA, seedB := cl.members[ai], cl.members[bi]
+	newCl := &Cluster{
+		ID:      fmt.Sprintf("cluster-%d", c.nextID),
+		Created: cl.Created,
+	}
+	c.nextID++
+	var keep, move []member
+	for _, m := range cl.members {
+		da := textutil.JaccardDistance(m.tokens, seedA.tokens)
+		db := textutil.JaccardDistance(m.tokens, seedB.tokens)
+		if db < da {
+			move = append(move, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	if len(move) == 0 || len(keep) == 0 {
+		return // split failed to separate; keep as-is
+	}
+	moved := len(move)
+	cl.members = keep
+	cl.Size -= moved
+	cl.updateCentroid()
+	newCl.members = move
+	newCl.Size = moved
+	newCl.updateCentroid()
+	c.clusters = append(c.clusters, newCl)
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

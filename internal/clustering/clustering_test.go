@@ -1,0 +1,172 @@
+package clustering
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func at() time.Time { return time.Date(2013, 4, 15, 14, 50, 0, 0, time.UTC) }
+
+func TestSimilarPostsShareCluster(t *testing.T) {
+	c := New(DefaultConfig())
+	id1, ok := c.Assign("two explosions at the boston marathon finish line", at())
+	if !ok {
+		t.Fatal("post filtered unexpectedly")
+	}
+	id2, _ := c.Assign("explosions at the boston marathon finish line reported", at())
+	if id1 != id2 {
+		t.Errorf("near-identical posts in different clusters: %q vs %q", id1, id2)
+	}
+}
+
+func TestDissimilarPostsSplitClusters(t *testing.T) {
+	c := New(DefaultConfig())
+	id1, _ := c.Assign("two explosions at the boston marathon finish line", at())
+	id2, _ := c.Assign("suspect seen near the jfk library with a backpack", at())
+	if id1 == id2 {
+		t.Error("unrelated posts landed in the same cluster")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cluster count = %d, want 2", c.Len())
+	}
+}
+
+func TestKeywordFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Keywords = []string{"boston", "marathon", "bombing"}
+	c := New(cfg)
+	if _, ok := c.Assign("nice sandwich for lunch today", at()); ok {
+		t.Error("irrelevant post passed keyword filter")
+	}
+	if _, ok := c.Assign("praying for boston this is terrible", at()); !ok {
+		t.Error("relevant post was filtered out")
+	}
+}
+
+func TestClustersSnapshotSortedBySize(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		c.Assign("bomb threat at the jfk library reported", at())
+	}
+	c.Assign("suspect fleeing on boylston street", at())
+	snap := c.Clusters()
+	if len(snap) < 2 {
+		t.Fatalf("snapshot has %d clusters, want >= 2", len(snap))
+	}
+	if snap[0].Size < snap[1].Size {
+		t.Error("snapshot not sorted by descending size")
+	}
+	if snap[0].Size != 5 {
+		t.Errorf("largest cluster size = %d, want 5", snap[0].Size)
+	}
+	// Snapshot centroids must be copies.
+	for tok := range snap[0].Centroid {
+		delete(snap[0].Centroid, tok)
+	}
+	if got := c.Clusters()[0]; len(got.Centroid) == 0 {
+		t.Error("mutating snapshot centroid corrupted internal state")
+	}
+}
+
+func TestDriftingClusterSplits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JoinThreshold = 0.99 // force everything into one cluster first
+	cfg.SplitDiameter = 0.8
+	c := New(cfg)
+	// Two distinct topics that would merge under the loose threshold.
+	for i := 0; i < 4; i++ {
+		c.Assign(fmt.Sprintf("marathon explosion smoke everywhere %d", i), at())
+	}
+	for i := 0; i < 4; i++ {
+		c.Assign(fmt.Sprintf("football touchdown crowd cheering %d", i), at())
+	}
+	if c.Len() < 2 {
+		t.Errorf("diameter-based split did not trigger: %d clusters", c.Len())
+	}
+}
+
+func TestClusterSizesConserved(t *testing.T) {
+	c := New(DefaultConfig())
+	n := 50
+	topics := []string{
+		"explosion at the marathon finish line",
+		"suspect seen near the library",
+		"bridge closed by police",
+	}
+	for i := 0; i < n; i++ {
+		c.Assign(topics[i%len(topics)]+fmt.Sprintf(" extra%d", i%7), at())
+	}
+	total := 0
+	for _, cl := range c.Clusters() {
+		total += cl.Size
+	}
+	if total != n {
+		t.Errorf("sum of cluster sizes = %d, want %d (posts conserved)", total, n)
+	}
+}
+
+func TestManyPostsBoundedMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMembersTracked = 8
+	c := New(cfg)
+	for i := 0; i < 1000; i++ {
+		c.Assign("bomb threat at the jfk library", at().Add(time.Duration(i)*time.Second))
+	}
+	snap := c.Clusters()
+	if snap[0].Size != 1000 {
+		t.Errorf("size = %d, want 1000", snap[0].Size)
+	}
+}
+
+func TestCompactMergesFragments(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JoinThreshold = 0.4 // tight: fragments form easily
+	c := New(cfg)
+	// Two phrasings of the same topic that are just over the tight join
+	// threshold from each other seed separate clusters.
+	c.Assign("explosion at the boston marathon finish line", at())
+	c.Assign("boston marathon explosion reported near the finish", at())
+	if c.Len() < 2 {
+		t.Skip("posts merged at assignment under this threshold")
+	}
+	// Loosen the threshold and compact.
+	c.cfg.JoinThreshold = 0.75
+	total := 0
+	for _, cl := range c.Clusters() {
+		total += cl.Size
+	}
+	merges := c.Compact()
+	if merges == 0 {
+		t.Fatal("no merges performed")
+	}
+	afterTotal := 0
+	for _, cl := range c.Clusters() {
+		afterTotal += cl.Size
+	}
+	if afterTotal != total {
+		t.Errorf("members lost in compaction: %d -> %d", total, afterTotal)
+	}
+	if got := c.Compact(); got != 0 {
+		t.Errorf("second compaction merged %d more", got)
+	}
+}
+
+func TestCompactNoOpOnDistinctTopics(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Assign("explosion at the marathon finish line", at())
+	c.Assign("quarterback injured in the football game", at())
+	if got := c.Compact(); got != 0 {
+		t.Errorf("unrelated clusters merged: %d", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("clusters = %d, want 2", c.Len())
+	}
+}
+
+func TestZeroMaxMembersDefaulted(t *testing.T) {
+	c := New(Config{JoinThreshold: 0.7, SplitDiameter: 0.9})
+	if _, ok := c.Assign("hello world", at()); !ok {
+		t.Error("assign failed with defaulted config")
+	}
+}

@@ -1,0 +1,283 @@
+package condor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func twoNodeCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster([]Node{
+		{Name: "big", Capacity: Resources{Cores: 8, MemoryMB: 16384, DiskMB: 100000}, SpeedFactor: 2},
+		{Name: "small", Capacity: Resources{Cores: 2, MemoryMB: 4096, DiskMB: 50000}, SpeedFactor: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := NewCluster([]Node{{Name: "", SpeedFactor: 1}}); err == nil {
+		t.Error("unnamed node accepted")
+	}
+	if _, err := NewCluster([]Node{
+		{Name: "a", SpeedFactor: 1}, {Name: "a", SpeedFactor: 1},
+	}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewCluster([]Node{{Name: "a", SpeedFactor: 0}}); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestClaimBestFit(t *testing.T) {
+	c := twoNodeCluster(t)
+	// A 2-core claim fits "small" exactly (tightest fit).
+	s, err := c.Claim(Resources{Cores: 2, MemoryMB: 1024, DiskMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node != "small" {
+		t.Errorf("2-core claim placed on %s, want small (best fit)", s.Node)
+	}
+	// A 4-core claim only fits "big".
+	s2, err := c.Claim(Resources{Cores: 4, MemoryMB: 1024, DiskMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Node != "big" {
+		t.Errorf("4-core claim placed on %s, want big", s2.Node)
+	}
+	if s2.Speed != 2 {
+		t.Errorf("slot speed = %v, want node speed 2", s2.Speed)
+	}
+}
+
+func TestClaimRespectsConstraints(t *testing.T) {
+	c := twoNodeCluster(t)
+	// Exhaust all 10 cores.
+	slots := c.ClaimN(20, Resources{Cores: 1})
+	if len(slots) != 10 {
+		t.Fatalf("claimed %d cores, want 10", len(slots))
+	}
+	if _, err := c.Claim(Resources{Cores: 1}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("over-claim error = %v, want ErrNoMatch", err)
+	}
+	if c.FreeCores() != 0 {
+		t.Errorf("FreeCores = %d, want 0", c.FreeCores())
+	}
+	// Memory constraint binds even with free cores.
+	c2 := twoNodeCluster(t)
+	if _, err := c2.Claim(Resources{Cores: 1, MemoryMB: 1 << 30}); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("huge memory claim error = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	c := twoNodeCluster(t)
+	s, err := c.Claim(Resources{Cores: 2, MemoryMB: 2048, DiskMB: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.FreeCores()
+	if err := c.Release(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreeCores(); got != before+2 {
+		t.Errorf("FreeCores after release = %d, want %d", got, before+2)
+	}
+	if err := c.Release(s); err == nil {
+		t.Error("double release accepted")
+	}
+}
+
+func TestClaimReleaseConcurrent(t *testing.T) {
+	c, err := NewHeterogeneousCluster(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.TotalCores()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, err := c.Claim(Resources{Cores: 1})
+				if err != nil {
+					continue
+				}
+				if err := c.Release(s); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.FreeCores(); got != total {
+		t.Errorf("cores leaked: free %d, total %d", got, total)
+	}
+}
+
+func TestHeterogeneousClusterDeterministic(t *testing.T) {
+	a, err := NewHeterogeneousCluster(30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewHeterogeneousCluster(30, 7)
+	an, bn := a.Nodes(), b.Nodes()
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, an[i], bn[i])
+		}
+	}
+	// Heterogeneity: at least two distinct speeds and core counts.
+	speeds := make(map[float64]bool)
+	cores := make(map[int]bool)
+	for _, n := range an {
+		speeds[n.SpeedFactor] = true
+		cores[n.Capacity.Cores] = true
+	}
+	if len(speeds) < 2 || len(cores) < 2 {
+		t.Error("cluster is homogeneous")
+	}
+}
+
+func mkTasks(n int, work float64) []VirtualTask {
+	tasks := make([]VirtualTask, n)
+	for i := range tasks {
+		tasks[i] = VirtualTask{JobID: fmt.Sprintf("job%d", i%4), Work: work}
+	}
+	return tasks
+}
+
+func unitSlots(n int) []Slot {
+	slots := make([]Slot, n)
+	for i := range slots {
+		slots[i] = Slot{ID: i + 1, Node: fmt.Sprintf("n%d", i), Speed: 1}
+	}
+	return slots
+}
+
+func TestSimulateSingleWorkerSerial(t *testing.T) {
+	cm := CostModel{InitTime: time.Second, PerUnit: time.Millisecond}
+	tasks := mkTasks(10, 1000)
+	res, err := Simulate(tasks, unitSlots(1), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(10) * (time.Second + 1000*time.Millisecond)
+	if res.Makespan != want {
+		t.Errorf("serial makespan = %v, want %v", res.Makespan, want)
+	}
+	if len(res.Traces) != 10 {
+		t.Errorf("traces = %d", len(res.Traces))
+	}
+	// Tasks execute back to back.
+	for i := 1; i < len(res.Traces); i++ {
+		if res.Traces[i].Start != res.Traces[i-1].End {
+			t.Errorf("gap between tasks %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestSimulatePerfectParallelism(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	tasks := mkTasks(8, 100)
+	res, err := Simulate(tasks, unitSlots(8), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 100 * time.Millisecond; res.Makespan != want {
+		t.Errorf("parallel makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestSimulateFasterNodeFinishesMore(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	slots := []Slot{
+		{ID: 1, Node: "slow", Speed: 1},
+		{ID: 2, Node: "fast", Speed: 4},
+	}
+	res, err := Simulate(mkTasks(50, 100), slots, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tr := range res.Traces {
+		counts[tr.Slot.Node]++
+	}
+	if counts["fast"] <= counts["slow"] {
+		t.Errorf("fast node ran %d tasks, slow %d; want fast > slow", counts["fast"], counts["slow"])
+	}
+}
+
+func TestSpeedupGrowsWithWorkersAndData(t *testing.T) {
+	cm := CostModel{InitTime: 50 * time.Millisecond, PerUnit: time.Microsecond, Dispatch: 20 * time.Millisecond}
+	small := mkTasks(64, 1_000)
+	large := mkTasks(64, 100_000)
+	s4small, err := Speedup(small, unitSlots(4), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4large, _ := Speedup(large, unitSlots(4), cm)
+	s16large, _ := Speedup(large, unitSlots(16), cm)
+	if s4large <= s4small {
+		t.Errorf("speedup should improve with data size: %v (large) vs %v (small)", s4large, s4small)
+	}
+	if s16large <= s4large {
+		t.Errorf("speedup should improve with workers: 16w=%v vs 4w=%v", s16large, s4large)
+	}
+	if s16large > 16 {
+		t.Errorf("speedup %v exceeds ideal 16", s16large)
+	}
+	if s4large > 4 {
+		t.Errorf("speedup %v exceeds ideal 4", s4large)
+	}
+}
+
+func TestSimulateJobCompletionTimes(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	tasks := []VirtualTask{
+		{JobID: "a", Work: 10},
+		{JobID: "b", Work: 1000},
+	}
+	res, err := Simulate(tasks, unitSlots(2), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobCompletion["a"] >= res.JobCompletion["b"] {
+		t.Errorf("job a (%v) should finish before b (%v)", res.JobCompletion["a"], res.JobCompletion["b"])
+	}
+	if res.Makespan != res.JobCompletion["b"] {
+		t.Error("makespan should equal latest job completion")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	cm := CostModel{}
+	if _, err := Simulate(mkTasks(1, 1), nil, cm); err == nil {
+		t.Error("no slots accepted")
+	}
+	if _, err := Simulate([]VirtualTask{{JobID: "j", Work: -1}}, unitSlots(1), cm); err == nil {
+		t.Error("negative work accepted")
+	}
+	if _, err := Speedup(mkTasks(1, 1), nil, cm); err == nil {
+		t.Error("Speedup without slots accepted")
+	}
+}
+
+func TestCostModelZeroSpeedDefaults(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	if got := cm.Duration(100, 0); got != 100*time.Millisecond {
+		t.Errorf("Duration with zero speed = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package condor
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Eviction models HTCondor's cycle scavenging: desktop machines join the
+// pool while idle and are reclaimed the moment their owner returns. A
+// task running on a reclaimed slot is killed and must restart from
+// scratch elsewhere; the slot leaves the pool.
+type Eviction struct {
+	// SlotID identifies the evicted slot.
+	SlotID int
+	// At is the virtual time the owner reclaims the machine.
+	At time.Duration
+}
+
+// ErrAllSlotsEvicted is returned when tasks remain but every slot has been
+// reclaimed.
+var ErrAllSlotsEvicted = errors.New("condor: all slots evicted with tasks pending")
+
+// SimulateEvictions runs list scheduling like Simulate but with slot
+// reclamation: a task whose execution window covers its slot's eviction
+// time is aborted at that instant (work lost), the slot leaves the pool,
+// and the task is retried on another slot. Aborted attempts appear in the
+// trace with Evicted set.
+func SimulateEvictions(tasks []VirtualTask, slots []Slot, cm CostModel, evictions []Eviction) (SimResult, error) {
+	if len(slots) == 0 {
+		return SimResult{}, errors.New("condor: simulation needs at least one slot")
+	}
+	for i, t := range tasks {
+		if t.Work < 0 {
+			return SimResult{}, fmt.Errorf("condor: task %d has negative work", i)
+		}
+	}
+	// Earliest eviction per slot.
+	evictAt := make(map[int]time.Duration, len(evictions))
+	for _, e := range evictions {
+		if cur, ok := evictAt[e.SlotID]; !ok || e.At < cur {
+			evictAt[e.SlotID] = e.At
+		}
+	}
+
+	h := make(workerHeap, len(slots))
+	for i, s := range slots {
+		h[i] = &workerState{slot: s, ordinal: i}
+	}
+	heap.Init(&h)
+
+	res := SimResult{JobCompletion: make(map[string]time.Duration)}
+	queue := append([]VirtualTask(nil), tasks...)
+	var masterFreeAt time.Duration
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		// Find a worker that is not already reclaimed by the time it
+		// could start.
+		var w *workerState
+		for h.Len() > 0 {
+			cand := heap.Pop(&h).(*workerState)
+			if ev, ok := evictAt[cand.slot.ID]; ok && ev <= cand.freeAt {
+				// Owner returned while the slot was idle: it leaves the
+				// pool silently.
+				continue
+			}
+			w = cand
+			break
+		}
+		if w == nil {
+			return res, ErrAllSlotsEvicted
+		}
+		masterFreeAt += cm.Dispatch
+		start := w.freeAt
+		if masterFreeAt > start {
+			start = masterFreeAt
+		}
+		end := start + cm.Duration(t.Work, w.slot.Speed)
+		if ev, ok := evictAt[w.slot.ID]; ok && ev < end {
+			if ev <= start {
+				// Reclaimed before the task began: requeue, drop slot.
+				queue = append([]VirtualTask{t}, queue...)
+				continue
+			}
+			// Aborted mid-run: work lost, task retried, slot gone.
+			res.Traces = append(res.Traces, TaskTrace{
+				Task: t, Slot: w.slot, Start: start, End: ev, Evicted: true,
+			})
+			res.EvictedAttempts++
+			queue = append([]VirtualTask{t}, queue...)
+			continue
+		}
+		w.freeAt = end
+		heap.Push(&h, w)
+		res.Traces = append(res.Traces, TaskTrace{Task: t, Slot: w.slot, Start: start, End: end})
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		if end > res.JobCompletion[t.JobID] {
+			res.JobCompletion[t.JobID] = end
+		}
+	}
+	return res, nil
+}
+
+// PoolChurn deterministically synthesizes evictions for a slot set: every
+// churnth slot (by sorted ID order) is reclaimed at a stagger of the given
+// period — a simple stand-in for workday owner-return patterns.
+func PoolChurn(slots []Slot, churn int, period time.Duration) []Eviction {
+	if churn < 1 {
+		return nil
+	}
+	ids := make([]int, len(slots))
+	for i, s := range slots {
+		ids[i] = s.ID
+	}
+	sort.Ints(ids)
+	var out []Eviction
+	k := 0
+	for i, id := range ids {
+		if (i+1)%churn == 0 {
+			k++
+			out = append(out, Eviction{SlotID: id, At: time.Duration(k) * period})
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package condor
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSimulateEvictionsNoEvictionsMatchesSimulate(t *testing.T) {
+	cm := CostModel{InitTime: 10 * time.Millisecond, PerUnit: time.Millisecond, Dispatch: time.Millisecond}
+	tasks := mkTasks(20, 50)
+	slots := unitSlots(4)
+	plain, err := Simulate(tasks, slots, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEv, err := SimulateEvictions(tasks, slots, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != withEv.Makespan {
+		t.Errorf("makespan differs without evictions: %v vs %v", plain.Makespan, withEv.Makespan)
+	}
+	if withEv.EvictedAttempts != 0 {
+		t.Errorf("phantom evictions: %d", withEv.EvictedAttempts)
+	}
+}
+
+func TestSimulateEvictionsRetriesLostWork(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	tasks := []VirtualTask{{JobID: "j", Work: 100}} // 100 ms on speed 1
+	slots := []Slot{{ID: 1, Node: "a", Speed: 1}, {ID: 2, Node: "b", Speed: 1}}
+	// Slot 1 is reclaimed 50ms in: the task restarts on slot 2.
+	res, err := SimulateEvictions(tasks, slots, cm, []Eviction{{SlotID: 1, At: 50 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EvictedAttempts != 1 {
+		t.Fatalf("evicted attempts = %d, want 1", res.EvictedAttempts)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2 (abort + retry)", len(res.Traces))
+	}
+	if !res.Traces[0].Evicted || res.Traces[0].Slot.ID != 1 {
+		t.Errorf("first trace should be the evicted attempt: %+v", res.Traces[0])
+	}
+	if res.Traces[1].Evicted || res.Traces[1].Slot.ID != 2 {
+		t.Errorf("second trace should be the clean retry: %+v", res.Traces[1])
+	}
+	if res.Makespan != 100*time.Millisecond {
+		t.Errorf("makespan = %v, want 100ms (retry from t=0 on slot 2)", res.Makespan)
+	}
+}
+
+func TestSimulateEvictionsSlowdown(t *testing.T) {
+	// Churn must never make things faster.
+	cm := CostModel{InitTime: 5 * time.Millisecond, PerUnit: time.Millisecond, Dispatch: time.Millisecond}
+	tasks := mkTasks(40, 30)
+	slots := unitSlots(8)
+	clean, err := SimulateEvictions(tasks, slots, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := SimulateEvictions(tasks, slots, cm, PoolChurn(slots, 3, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churned.Makespan < clean.Makespan {
+		t.Errorf("churned makespan %v < clean %v", churned.Makespan, clean.Makespan)
+	}
+}
+
+func TestSimulateEvictionsAllSlotsGone(t *testing.T) {
+	cm := CostModel{PerUnit: time.Millisecond}
+	tasks := mkTasks(10, 1000)
+	slots := unitSlots(2)
+	evictions := []Eviction{
+		{SlotID: 1, At: 10 * time.Millisecond},
+		{SlotID: 2, At: 10 * time.Millisecond},
+	}
+	_, err := SimulateEvictions(tasks, slots, cm, evictions)
+	if !errors.Is(err, ErrAllSlotsEvicted) {
+		t.Errorf("err = %v, want ErrAllSlotsEvicted", err)
+	}
+}
+
+func TestSimulateEvictionsIdleReclaim(t *testing.T) {
+	// A slot reclaimed before any work starts simply never runs a task.
+	cm := CostModel{PerUnit: time.Millisecond}
+	tasks := mkTasks(6, 20)
+	slots := unitSlots(3)
+	res, err := SimulateEvictions(tasks, slots, cm, []Eviction{{SlotID: 2, At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		if tr.Slot.ID == 2 && !tr.Evicted {
+			t.Errorf("reclaimed-at-zero slot ran a task: %+v", tr)
+		}
+	}
+}
+
+func TestSimulateEvictionsValidation(t *testing.T) {
+	cm := CostModel{}
+	if _, err := SimulateEvictions(mkTasks(1, 1), nil, cm, nil); err == nil {
+		t.Error("no slots accepted")
+	}
+	if _, err := SimulateEvictions([]VirtualTask{{Work: -1}}, unitSlots(1), cm, nil); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+func TestPoolChurn(t *testing.T) {
+	slots := unitSlots(9)
+	ev := PoolChurn(slots, 3, time.Second)
+	if len(ev) != 3 {
+		t.Fatalf("evictions = %d, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if want := time.Duration(i+1) * time.Second; e.At != want {
+			t.Errorf("eviction %d at %v, want %v", i, e.At, want)
+		}
+	}
+	if got := PoolChurn(slots, 0, time.Second); got != nil {
+		t.Errorf("churn 0 = %v, want nil", got)
+	}
+}

@@ -1,0 +1,93 @@
+package condor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestClaimReleaseConservesResources: any interleaving of claims and
+// releases returns the pool to full capacity once everything is released.
+func TestClaimReleaseConservesResources(t *testing.T) {
+	f := func(seed int64, ops []byte) bool {
+		c, err := NewHeterogeneousCluster(10, seed)
+		if err != nil {
+			return false
+		}
+		total := c.TotalCores()
+		var held []Slot
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			if op%2 == 0 || len(held) == 0 {
+				s, err := c.Claim(Resources{Cores: 1 + int(op%3)})
+				if err == nil {
+					held = append(held, s)
+				}
+				continue
+			}
+			i := rng.Intn(len(held))
+			if err := c.Release(held[i]); err != nil {
+				return false
+			}
+			held = append(held[:i], held[i+1:]...)
+		}
+		for _, s := range held {
+			if err := c.Release(s); err != nil {
+				return false
+			}
+		}
+		return c.FreeCores() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimulateInvariants: for random task sets, the makespan bounds hold:
+// at least total-work/capacity (no slot can exceed speed), at most the
+// serial time, and every job completion <= makespan.
+func TestSimulateInvariants(t *testing.T) {
+	cm := CostModel{InitTime: time.Millisecond, PerUnit: 100 * time.Microsecond, Dispatch: 50 * time.Microsecond}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		tasks := make([]VirtualTask, n)
+		for i := range tasks {
+			tasks[i] = VirtualTask{JobID: string(rune('a' + i%5)), Work: float64(rng.Intn(1000))}
+		}
+		workers := 1 + rng.Intn(8)
+		res, err := Simulate(tasks, unitSlots(workers), cm)
+		if err != nil {
+			return false
+		}
+		serial, err := Simulate(tasks, unitSlots(1), cm)
+		if err != nil {
+			return false
+		}
+		if res.Makespan > serial.Makespan {
+			return false
+		}
+		for _, jc := range res.JobCompletion {
+			if jc > res.Makespan {
+				return false
+			}
+		}
+		// Traces are consistent: per slot, executions do not overlap.
+		bySlot := make(map[int][]TaskTrace)
+		for _, tr := range res.Traces {
+			bySlot[tr.Slot.ID] = append(bySlot[tr.Slot.ID], tr)
+		}
+		for _, trs := range bySlot {
+			for i := 1; i < len(trs); i++ {
+				if trs[i].Start < trs[i-1].End {
+					return false
+				}
+			}
+		}
+		return len(res.Traces) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

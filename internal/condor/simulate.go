@@ -1,0 +1,151 @@
+package condor
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// VirtualTask is one task in a virtual-time simulation: Work abstract work
+// units (for SSTD, the number of reports a TD task must process).
+type VirtualTask struct {
+	JobID string
+	Work  float64
+}
+
+// CostModel maps work to execution time, following Eq. 10 of the paper:
+// ET = TI + D * theta, divided by the executing node's speed factor.
+type CostModel struct {
+	// InitTime is TI, the fixed task start-up cost.
+	InitTime time.Duration
+	// PerUnit is theta1, the time per work unit on a speed-1.0 node.
+	PerUnit time.Duration
+	// Dispatch is the master-side serial cost per task (scheduling plus
+	// data transfer). It does not parallelize — the master hands out one
+	// task at a time — and is what makes speedup improve with data size:
+	// small tasks are dispatch-bound, large tasks computation-bound
+	// (the effect visible in the paper's Fig. 7).
+	Dispatch time.Duration
+}
+
+// Duration returns the execution time of a task with the given work on a
+// node with the given speed.
+func (cm CostModel) Duration(work, speed float64) time.Duration {
+	if speed <= 0 {
+		speed = 1
+	}
+	return time.Duration(float64(cm.InitTime)/speed + work*float64(cm.PerUnit)/speed)
+}
+
+// TaskTrace records where and when one task ran in virtual time.
+type TaskTrace struct {
+	Task  VirtualTask
+	Slot  Slot
+	Start time.Duration
+	End   time.Duration
+	// Evicted marks an aborted attempt (the slot's owner reclaimed the
+	// machine mid-run); the task was retried elsewhere.
+	Evicted bool
+}
+
+// SimResult summarizes a virtual execution.
+type SimResult struct {
+	Makespan time.Duration
+	// JobCompletion is the virtual time each job's last task finished.
+	JobCompletion map[string]time.Duration
+	Traces        []TaskTrace
+	// EvictedAttempts counts task attempts lost to slot reclamation.
+	EvictedAttempts int
+}
+
+// workerState orders workers by next availability for list scheduling.
+type workerState struct {
+	slot    Slot
+	freeAt  time.Duration
+	ordinal int // tie-break for determinism
+}
+
+type workerHeap []*workerState
+
+func (h workerHeap) Len() int { return len(h) }
+func (h workerHeap) Less(i, j int) bool {
+	if h[i].freeAt != h[j].freeAt {
+		return h[i].freeAt < h[j].freeAt
+	}
+	return h[i].ordinal < h[j].ordinal
+}
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(*workerState)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate runs list scheduling of tasks (in order) over the slots in
+// virtual time: each task goes to the earliest-available worker, finishing
+// after CostModel.Duration scaled by the worker's node speed. This models
+// the Work Queue pull discipline: idle workers grab the next task.
+func Simulate(tasks []VirtualTask, slots []Slot, cm CostModel) (SimResult, error) {
+	if len(slots) == 0 {
+		return SimResult{}, errors.New("condor: simulation needs at least one slot")
+	}
+	for i, t := range tasks {
+		if t.Work < 0 {
+			return SimResult{}, fmt.Errorf("condor: task %d has negative work", i)
+		}
+	}
+	h := make(workerHeap, len(slots))
+	for i, s := range slots {
+		h[i] = &workerState{slot: s, ordinal: i}
+	}
+	heap.Init(&h)
+
+	res := SimResult{JobCompletion: make(map[string]time.Duration)}
+	res.Traces = make([]TaskTrace, 0, len(tasks))
+	var masterFreeAt time.Duration
+	for _, t := range tasks {
+		w := heap.Pop(&h).(*workerState)
+		// The master dispatches tasks one at a time; a task cannot start
+		// before its dispatch completes.
+		masterFreeAt += cm.Dispatch
+		start := w.freeAt
+		if masterFreeAt > start {
+			start = masterFreeAt
+		}
+		end := start + cm.Duration(t.Work, w.slot.Speed)
+		w.freeAt = end
+		heap.Push(&h, w)
+		res.Traces = append(res.Traces, TaskTrace{Task: t, Slot: w.slot, Start: start, End: end})
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		if end > res.JobCompletion[t.JobID] {
+			res.JobCompletion[t.JobID] = end
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns T(1)/T(n): the serial virtual makespan divided by the
+// parallel one — the metric of the paper's Fig. 7.
+func Speedup(tasks []VirtualTask, slots []Slot, cm CostModel) (float64, error) {
+	if len(slots) == 0 {
+		return 0, errors.New("condor: need slots")
+	}
+	serial, err := Simulate(tasks, slots[:1], cm)
+	if err != nil {
+		return 0, err
+	}
+	parallel, err := Simulate(tasks, slots, cm)
+	if err != nil {
+		return 0, err
+	}
+	if parallel.Makespan == 0 {
+		return 1, nil
+	}
+	return float64(serial.Makespan) / float64(parallel.Makespan), nil
+}

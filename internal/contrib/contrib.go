@@ -1,0 +1,120 @@
+// Package contrib turns raw social sensing posts into scored Reports by
+// combining the three semantic scorers of the paper's preprocessing step
+// (§V-A2) into the contribution score of Eq. 1:
+//
+//	CS = attitude × (1 − uncertainty) × independence.
+package contrib
+
+import (
+	"time"
+
+	"github.com/social-sensing/sstd/internal/nlp"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Post is a raw social-media observation before semantic scoring: a source
+// said something about a claim at a time.
+type Post struct {
+	Source    socialsensing.SourceID
+	Claim     socialsensing.ClaimID
+	Timestamp time.Time
+	Text      string
+}
+
+// Scorer converts posts to fully scored reports. It is not safe for
+// concurrent use; create one per stream partition.
+type Scorer struct {
+	attitude     nlp.AttitudeModel
+	hedge        *nlp.HedgeClassifier
+	independence *nlp.IndependenceScorer
+
+	// DisableUncertainty and DisableIndependence switch off the
+	// corresponding factor of Eq. 1 (used by the ablation experiments).
+	DisableUncertainty  bool
+	DisableIndependence bool
+}
+
+// Option configures a Scorer.
+type Option func(*Scorer)
+
+// WithAttitudeScorer replaces the default emergency-lexicon attitude scorer.
+func WithAttitudeScorer(a *nlp.AttitudeScorer) Option {
+	return func(s *Scorer) { s.attitude = a }
+}
+
+// WithAttitudeModel replaces the attitude component with any stance model,
+// e.g. the trained nlp.StanceClassifier (the paper's §VII polarity-analysis
+// upgrade path: "one can easily update or replace components ... as a
+// plugin of the system").
+func WithAttitudeModel(m nlp.AttitudeModel) Option {
+	return func(s *Scorer) { s.attitude = m }
+}
+
+// WithHedgeClassifier replaces the default hedge classifier.
+func WithHedgeClassifier(h *nlp.HedgeClassifier) Option {
+	return func(s *Scorer) { s.hedge = h }
+}
+
+// WithIndependenceScorer replaces the default independence scorer.
+func WithIndependenceScorer(i *nlp.IndependenceScorer) Option {
+	return func(s *Scorer) { s.independence = i }
+}
+
+// WithoutUncertainty disables the (1-kappa) factor (ablation E10).
+func WithoutUncertainty() Option {
+	return func(s *Scorer) { s.DisableUncertainty = true }
+}
+
+// WithoutIndependence disables the eta factor (ablation E10).
+func WithoutIndependence() Option {
+	return func(s *Scorer) { s.DisableIndependence = true }
+}
+
+// NewScorer builds a Scorer with the paper's default components.
+func NewScorer(opts ...Option) *Scorer {
+	s := &Scorer{
+		attitude:     nlp.NewDefaultAttitudeScorer(),
+		hedge:        nlp.NewDefaultHedgeClassifier(),
+		independence: nlp.NewIndependenceScorer(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ScorePost labels a post with attitude, uncertainty and independence and
+// returns the resulting report. Posts must arrive in non-decreasing time
+// order per claim for independence detection to work.
+func (s *Scorer) ScorePost(p Post) socialsensing.Report {
+	r := socialsensing.Report{
+		Source:    p.Source,
+		Claim:     p.Claim,
+		Timestamp: p.Timestamp,
+		Text:      p.Text,
+	}
+	r.Attitude = s.attitude.Score(p.Text)
+	if s.DisableUncertainty {
+		r.Uncertainty = 0
+	} else {
+		r.Uncertainty = s.hedge.Uncertainty(p.Text)
+	}
+	if s.DisableIndependence {
+		r.Independence = 1
+	} else {
+		r.Independence = s.independence.Score(string(p.Claim), p.Text, p.Timestamp)
+	}
+	return r
+}
+
+// ScoreAll scores a batch of posts in order.
+func (s *Scorer) ScoreAll(posts []Post) []socialsensing.Report {
+	out := make([]socialsensing.Report, len(posts))
+	for i, p := range posts {
+		out[i] = s.ScorePost(p)
+	}
+	return out
+}
+
+// Reset clears per-stream state (the independence window).
+func (s *Scorer) Reset() { s.independence.Reset() }

@@ -1,0 +1,115 @@
+// Package control implements the deadline-driven feedback control system of
+// the paper's §IV-C: a Proportional-Integral-Derivative controller per TD
+// job (Eq. 9) whose signals tune a Local Control Knob (the job's priority)
+// and a Global Control Knob (the worker-pool size), using the WCET model of
+// Eq. 10-12.
+package control
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PIDConfig holds controller gains. The paper tunes them by sweeping each
+// coefficient over [0, 3] in steps of 0.1 and picking the combination that
+// meets the most deadlines, arriving at Kp=1.2, Ki=0.3, Kd=0.2.
+type PIDConfig struct {
+	Kp, Ki, Kd float64
+	// IntegralLimit clamps |integral| to prevent windup. Zero disables
+	// clamping.
+	IntegralLimit float64
+}
+
+// DefaultPIDConfig returns the paper's tuned coefficients.
+func DefaultPIDConfig() PIDConfig {
+	return PIDConfig{Kp: 1.2, Ki: 0.3, Kd: 0.2, IntegralLimit: 50}
+}
+
+// PID is a discrete PID controller. The error convention follows the
+// paper: e(k) = expected finish time - deadline, so a positive control
+// signal means the job is late and needs more resources.
+type PID struct {
+	cfg      PIDConfig
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// NewPID builds a controller.
+func NewPID(cfg PIDConfig) *PID {
+	return &PID{cfg: cfg}
+}
+
+// Update feeds the controller one error sample observed over dt and
+// returns the control signal of Eq. 9. dt must be positive.
+func (p *PID) Update(err float64, dt time.Duration) (float64, error) {
+	if dt <= 0 {
+		return 0, fmt.Errorf("control: dt must be positive, got %v", dt)
+	}
+	dts := dt.Seconds()
+	p.integral += err * dts
+	if lim := p.cfg.IntegralLimit; lim > 0 {
+		p.integral = math.Max(-lim, math.Min(lim, p.integral))
+	}
+	derivative := 0.0
+	if p.primed {
+		derivative = (err - p.prevErr) / dts
+	}
+	p.prevErr = err
+	p.primed = true
+	return p.cfg.Kp*err + p.cfg.Ki*p.integral + p.cfg.Kd*derivative, nil
+}
+
+// Reset clears accumulated state.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.primed = false
+}
+
+// WCETModel is the worst-case execution time model of Eq. 10-12.
+type WCETModel struct {
+	// InitTime is TI of Eq. 10.
+	InitTime time.Duration
+	// Theta1 is the per-data-unit execution cost of Eq. 10.
+	Theta1 time.Duration
+	// Theta2 is the distributed-execution constant of Eq. 11-12.
+	Theta2 time.Duration
+}
+
+// TaskTime returns ET_u = TI + D * theta1 (Eq. 10) for one task over
+// dataSize units.
+func (m WCETModel) TaskTime(dataSize float64) time.Duration {
+	return m.InitTime + time.Duration(dataSize*float64(m.Theta1))
+}
+
+// JobWCET returns Eq. 11: WCET = TI*T_u + D*theta2 / (WK * P_u), the
+// worst-case completion time of a job with tasks tasks and priority
+// priority on a pool of workers workers.
+func (m WCETModel) JobWCET(dataSize float64, tasks, workers int, priority float64) (time.Duration, error) {
+	if tasks < 1 {
+		return 0, fmt.Errorf("control: job needs >= 1 task, got %d", tasks)
+	}
+	if workers < 1 {
+		return 0, fmt.Errorf("control: pool needs >= 1 worker, got %d", workers)
+	}
+	if priority <= 0 {
+		return 0, fmt.Errorf("control: priority must be positive, got %v", priority)
+	}
+	init := time.Duration(tasks) * m.InitTime
+	exec := time.Duration(dataSize * float64(m.Theta2) / (float64(workers) * priority))
+	return init + exec, nil
+}
+
+// JobWCETSimplified is Eq. 12, valid when the per-task init overhead is
+// kept small: WCET ≈ D*theta2 / (WK * P_u).
+func (m WCETModel) JobWCETSimplified(dataSize float64, workers int, priority float64) (time.Duration, error) {
+	if workers < 1 {
+		return 0, fmt.Errorf("control: pool needs >= 1 worker, got %d", workers)
+	}
+	if priority <= 0 {
+		return 0, fmt.Errorf("control: priority must be positive, got %v", priority)
+	}
+	return time.Duration(dataSize * float64(m.Theta2) / (float64(workers) * priority)), nil
+}

@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: the Scalable
+// Streaming Truth Discovery (SSTD) scheme of §III. Reports are aggregated
+// into per-claim Aggregated Contribution Score (ACS) sequences over a
+// sliding window (Eq. 4); a per-claim Hidden Markov Model is fit by
+// Baum-Welch (Eq. 5) and the evolving truth is decoded with Viterbi
+// (Eq. 6-8).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// ACSConfig controls how the ACS observation sequence is derived from raw
+// reports.
+type ACSConfig struct {
+	// Interval is the width of one HMM time step. Reports are bucketed
+	// into consecutive intervals starting at the stream origin.
+	Interval time.Duration
+	// WindowIntervals is the sliding window length sw of Eq. 4, in
+	// intervals: ACS at step t sums contribution scores over steps
+	// (t-sw, t]. Its size should track the expected truth change
+	// frequency of the observed event.
+	WindowIntervals int
+}
+
+// DefaultACSConfig matches a minute-level emergency trace: 1-minute steps
+// with a 5-minute sliding window.
+func DefaultACSConfig() ACSConfig {
+	return ACSConfig{Interval: time.Minute, WindowIntervals: 5}
+}
+
+func (c ACSConfig) validate() error {
+	if c.Interval <= 0 {
+		return fmt.Errorf("core: ACS interval must be positive, got %v", c.Interval)
+	}
+	if c.WindowIntervals < 1 {
+		return fmt.Errorf("core: ACS window must be >= 1 interval, got %d", c.WindowIntervals)
+	}
+	return nil
+}
+
+// ACSAccumulator builds the ACS sequence for one claim incrementally. It
+// keeps only per-interval sums, so memory is O(#intervals), independent of
+// report volume.
+type ACSAccumulator struct {
+	cfg    ACSConfig
+	origin time.Time
+	sums   []float64 // per-interval contribution score totals
+	count  int       // reports ingested
+}
+
+// NewACSAccumulator creates an accumulator whose interval grid starts at
+// origin.
+func NewACSAccumulator(cfg ACSConfig, origin time.Time) (*ACSAccumulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &ACSAccumulator{cfg: cfg, origin: origin}, nil
+}
+
+// Add ingests one report. Reports earlier than the origin are clamped into
+// the first interval.
+func (a *ACSAccumulator) Add(r socialsensing.Report) {
+	idx := a.intervalIndex(r.Timestamp)
+	for len(a.sums) <= idx {
+		a.sums = append(a.sums, 0)
+	}
+	a.sums[idx] += r.ContributionScore()
+	a.count++
+}
+
+// intervalIndex maps a timestamp to its interval number.
+func (a *ACSAccumulator) intervalIndex(t time.Time) int {
+	if t.Before(a.origin) {
+		return 0
+	}
+	return int(t.Sub(a.origin) / a.cfg.Interval)
+}
+
+// Len returns the number of intervals currently covered.
+func (a *ACSAccumulator) Len() int { return len(a.sums) }
+
+// Count returns the number of reports ingested.
+func (a *ACSAccumulator) Count() int { return a.count }
+
+// Series materializes the ACS sequence: for each interval t the sum of
+// contribution scores over the trailing sliding window (Eq. 4). The
+// sequence has Len() entries; an empty accumulator yields nil.
+func (a *ACSAccumulator) Series() []float64 {
+	if len(a.sums) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a.sums))
+	window := 0.0
+	for t := range a.sums {
+		window += a.sums[t]
+		if t >= a.cfg.WindowIntervals {
+			window -= a.sums[t-a.cfg.WindowIntervals]
+		}
+		out[t] = window
+	}
+	return out
+}
+
+// IntervalStart returns the wall-clock start of interval t.
+func (a *ACSAccumulator) IntervalStart(t int) time.Time {
+	return a.origin.Add(time.Duration(t) * a.cfg.Interval)
+}
+
+// Discretizer quantizes continuous ACS values into the symbol alphabet of
+// the discrete HMM. Bins are defined by ascending edge values: a value v
+// maps to the index of the first edge >= v (and to len(edges) when v is
+// beyond the last edge).
+type Discretizer struct {
+	edges []float64
+}
+
+// NewDiscretizer builds a discretizer from strictly ascending edges.
+func NewDiscretizer(edges []float64) (*Discretizer, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("core: discretizer needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("core: discretizer edges not ascending at %d: %v", i, edges)
+		}
+	}
+	return &Discretizer{edges: append([]float64(nil), edges...)}, nil
+}
+
+// NewSymmetricDiscretizer builds 2k+1 bins symmetric around zero with the
+// given positive thresholds, e.g. thresholds (0.5, 2) yield bins
+// (-inf,-2], (-2,-0.5], (-0.5,0.5], (0.5,2], (2,inf) — strongly-negative
+// through strongly-positive evidence.
+func NewSymmetricDiscretizer(thresholds ...float64) (*Discretizer, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("core: need at least one threshold")
+	}
+	edges := make([]float64, 0, 2*len(thresholds))
+	for i := len(thresholds) - 1; i >= 0; i-- {
+		if thresholds[i] <= 0 {
+			return nil, fmt.Errorf("core: thresholds must be positive, got %v", thresholds[i])
+		}
+		edges = append(edges, -thresholds[i])
+	}
+	for _, th := range thresholds {
+		edges = append(edges, th)
+	}
+	return NewDiscretizer(edges)
+}
+
+// Symbols returns the alphabet size (number of bins).
+func (d *Discretizer) Symbols() int { return len(d.edges) + 1 }
+
+// Quantize maps a single value to its bin.
+func (d *Discretizer) Quantize(v float64) int {
+	for i, e := range d.edges {
+		if v <= e {
+			return i
+		}
+	}
+	return len(d.edges)
+}
+
+// QuantizeAll maps a sequence.
+func (d *Discretizer) QuantizeAll(vs []float64) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = d.Quantize(v)
+	}
+	return out
+}

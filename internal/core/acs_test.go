@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+func origin() time.Time { return time.Date(2015, 1, 7, 11, 0, 0, 0, time.UTC) }
+
+func report(minute int, att socialsensing.Attitude) socialsensing.Report {
+	return socialsensing.Report{
+		Source:       "s",
+		Claim:        "c",
+		Timestamp:    origin().Add(time.Duration(minute) * time.Minute),
+		Attitude:     att,
+		Uncertainty:  0,
+		Independence: 1,
+	}
+}
+
+func TestACSConfigValidation(t *testing.T) {
+	if _, err := NewACSAccumulator(ACSConfig{Interval: 0, WindowIntervals: 1}, origin()); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: 0}, origin()); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestACSSeriesSlidingWindow(t *testing.T) {
+	acc, err := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: 2}, origin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +1 at minute 0, +1 at minute 1, -1 at minute 3.
+	acc.Add(report(0, socialsensing.Agree))
+	acc.Add(report(1, socialsensing.Agree))
+	acc.Add(report(3, socialsensing.Disagree))
+	got := acc.Series()
+	// Window of 2 intervals: t0: 1; t1: 1+1=2; t2: 1 (t0 dropped); t3: -1.
+	want := []float64{1, 2, 1, -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Series() = %v, want %v", got, want)
+	}
+}
+
+func TestACSWindowOneIsPerInterval(t *testing.T) {
+	acc, _ := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: 1}, origin())
+	acc.Add(report(0, socialsensing.Agree))
+	acc.Add(report(0, socialsensing.Agree))
+	acc.Add(report(2, socialsensing.Disagree))
+	want := []float64{2, 0, -1}
+	if got := acc.Series(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Series() = %v, want %v", got, want)
+	}
+}
+
+func TestACSEarlyReportsClamped(t *testing.T) {
+	acc, _ := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: 1}, origin())
+	acc.Add(report(-10, socialsensing.Agree))
+	if got := acc.Series(); !reflect.DeepEqual(got, []float64{1}) {
+		t.Errorf("Series() = %v, want [1]", got)
+	}
+}
+
+func TestACSEmpty(t *testing.T) {
+	acc, _ := NewACSAccumulator(DefaultACSConfig(), origin())
+	if got := acc.Series(); got != nil {
+		t.Errorf("empty Series() = %v, want nil", got)
+	}
+	if acc.Len() != 0 || acc.Count() != 0 {
+		t.Errorf("empty accumulator Len=%d Count=%d", acc.Len(), acc.Count())
+	}
+}
+
+func TestACSIntervalStart(t *testing.T) {
+	acc, _ := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: 1}, origin())
+	if got := acc.IntervalStart(3); !got.Equal(origin().Add(3 * time.Minute)) {
+		t.Errorf("IntervalStart(3) = %v", got)
+	}
+}
+
+func TestACSWindowSumMatchesBruteForce(t *testing.T) {
+	// Property: ACS at t equals the brute-force sum over the window.
+	f := func(seed int64) bool {
+		const n, window = 40, 5
+		acc, err := NewACSAccumulator(ACSConfig{Interval: time.Minute, WindowIntervals: window}, origin())
+		if err != nil {
+			return false
+		}
+		perInterval := make([]float64, n)
+		rng := seed
+		next := func() int64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+		for i := 0; i < n; i++ {
+			k := int(uint64(next()) % 3)
+			for j := 0; j < k; j++ {
+				att := socialsensing.Agree
+				if next()%2 == 0 {
+					att = socialsensing.Disagree
+				}
+				acc.Add(report(i, att))
+				perInterval[i] += float64(att)
+			}
+		}
+		series := acc.Series()
+		if len(series) == 0 {
+			return true
+		}
+		for t2 := range series {
+			want := 0.0
+			for j := t2; j > t2-window && j >= 0; j-- {
+				want += perInterval[j]
+			}
+			if math.Abs(series[t2]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizerBins(t *testing.T) {
+	d, err := NewSymmetricDiscretizer(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Symbols() != 5 {
+		t.Fatalf("Symbols() = %d, want 5", d.Symbols())
+	}
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{-10, 0}, {-2, 0}, {-1, 1}, {-0.5, 1}, {0, 2}, {0.5, 2}, {1, 3}, {2, 3}, {5, 4},
+	}
+	for _, tt := range tests {
+		if got := d.Quantize(tt.v); got != tt.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestDiscretizerMonotone(t *testing.T) {
+	d, _ := NewSymmetricDiscretizer(0.5, 2)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return d.Quantize(a) <= d.Quantize(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizerValidation(t *testing.T) {
+	if _, err := NewDiscretizer(nil); err == nil {
+		t.Error("empty edges accepted")
+	}
+	if _, err := NewDiscretizer([]float64{1, 1}); err == nil {
+		t.Error("non-ascending edges accepted")
+	}
+	if _, err := NewSymmetricDiscretizer(); err == nil {
+		t.Error("no thresholds accepted")
+	}
+	if _, err := NewSymmetricDiscretizer(-1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestQuantizeAll(t *testing.T) {
+	d, _ := NewSymmetricDiscretizer(1)
+	got := d.QuantizeAll([]float64{-5, 0, 5})
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("QuantizeAll = %v", got)
+	}
+}

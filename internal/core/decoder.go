@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/social-sensing/sstd/internal/hmm"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// EmissionKind selects the HMM emission family used to model ACS
+// observations.
+type EmissionKind int
+
+// Emission families.
+const (
+	// DiscreteEmissions quantizes ACS values into symbol bins (the
+	// model described in the paper).
+	DiscreteEmissions EmissionKind = iota + 1
+	// GaussianEmissions models raw ACS values with per-state normal
+	// densities (an extension; avoids choosing bin edges).
+	GaussianEmissions
+)
+
+// DecoderConfig parameterizes the per-claim HMM truth decoder.
+type DecoderConfig struct {
+	Emissions EmissionKind
+	// Thresholds defines the symmetric discretizer bins for
+	// DiscreteEmissions. Default (0.5, 2).
+	Thresholds []float64
+	// Train controls Baum-Welch.
+	Train hmm.TrainConfig
+}
+
+// DefaultDecoderConfig returns the paper's discrete-emission setup. The
+// default training regime fits transitions and the initial distribution by
+// EM while keeping the informative emission prior frozen: with one short
+// ACS sequence per claim, full emission re-estimation drifts the hidden
+// state semantics and measurably hurts decode accuracy (see the emission
+// ablation in EXPERIMENTS.md).
+func DefaultDecoderConfig() DecoderConfig {
+	train := hmm.DefaultTrainConfig()
+	train.FreezeEmissions = true
+	return DecoderConfig{
+		Emissions:  DiscreteEmissions,
+		Thresholds: []float64{0.5, 2},
+		Train:      train,
+	}
+}
+
+// Decoder turns one claim's ACS sequence into an estimated truth sequence.
+// The two hidden states are the claim being False (state 0) and True
+// (state 1); emissions are initialized with an informative prior — the
+// True state skews toward positive ACS, the False state toward negative —
+// and then refined by unsupervised EM (Eq. 5), which keeps the state
+// semantics anchored while adapting to each claim's evidence level.
+type Decoder struct {
+	cfg  DecoderConfig
+	disc *Discretizer
+}
+
+// NewDecoder validates the configuration and builds a decoder.
+func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
+	switch cfg.Emissions {
+	case DiscreteEmissions, GaussianEmissions:
+	default:
+		return nil, fmt.Errorf("core: unknown emission kind %d", cfg.Emissions)
+	}
+	d := &Decoder{cfg: cfg}
+	if cfg.Emissions == DiscreteEmissions {
+		th := cfg.Thresholds
+		if len(th) == 0 {
+			th = []float64{0.5, 2}
+		}
+		disc, err := NewSymmetricDiscretizer(th...)
+		if err != nil {
+			return nil, err
+		}
+		d.disc = disc
+	}
+	return d, nil
+}
+
+// TrainedModel is a fitted per-claim parameter set λ_u (Eq. 5) with its
+// state semantics resolved. Models can be trained offline, serialized
+// (both HMM families marshal to JSON) and reused across decodes — the
+// paper trains offline and decodes online, and the Engine caches these per
+// claim.
+type TrainedModel struct {
+	// Exactly one of Discrete / Gauss is set, matching Emissions.
+	Discrete  *hmm.Discrete `json:"discrete,omitempty"`
+	Gauss     *hmm.Gaussian `json:"gaussian,omitempty"`
+	Emissions EmissionKind  `json:"emissions"`
+	// TrueState is the hidden state index meaning "claim is true".
+	TrueState int `json:"trueState"`
+}
+
+// Decode estimates the truth value of the claim at every interval of the
+// ACS series. It trains a fresh 2-state HMM on the sequence and Viterbi-
+// decodes it. An empty series yields an empty result.
+func (d *Decoder) Decode(acs []float64) ([]socialsensing.TruthValue, error) {
+	if len(acs) == 0 {
+		return nil, nil
+	}
+	m, err := d.Train(acs)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeWith(m, acs)
+}
+
+// Train fits a claim model on the ACS series without decoding.
+func (d *Decoder) Train(acs []float64) (*TrainedModel, error) {
+	if len(acs) == 0 {
+		return nil, fmt.Errorf("core: cannot train on an empty series")
+	}
+	switch d.cfg.Emissions {
+	case GaussianEmissions:
+		return d.trainGaussian(acs)
+	default:
+		return d.trainDiscrete(acs)
+	}
+}
+
+// DecodeWith Viterbi-decodes the series under a previously trained model.
+func (d *Decoder) DecodeWith(m *TrainedModel, acs []float64) ([]socialsensing.TruthValue, error) {
+	if len(acs) == 0 {
+		return nil, nil
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: nil trained model")
+	}
+	switch m.Emissions {
+	case GaussianEmissions:
+		if m.Gauss == nil {
+			return nil, fmt.Errorf("core: gaussian model missing parameters")
+		}
+		path, _, err := m.Gauss.Viterbi(acs)
+		if err != nil {
+			return nil, fmt.Errorf("decode claim truth: %w", err)
+		}
+		return pathToTruth(path, m.TrueState), nil
+	default:
+		if m.Discrete == nil {
+			return nil, fmt.Errorf("core: discrete model missing parameters")
+		}
+		path, _, err := m.Discrete.Viterbi(d.disc.QuantizeAll(acs))
+		if err != nil {
+			return nil, fmt.Errorf("decode claim truth: %w", err)
+		}
+		return pathToTruth(path, m.TrueState), nil
+	}
+}
+
+func (d *Decoder) trainDiscrete(acs []float64) (*TrainedModel, error) {
+	obs := d.disc.QuantizeAll(acs)
+	m := d.newDiscreteModel()
+	if _, err := m.BaumWelch([][]int{obs}, d.cfg.Train); err != nil {
+		return nil, fmt.Errorf("train claim model: %w", err)
+	}
+	// Re-anchor state semantics after EM: the True state is the one whose
+	// emission mass sits higher in the (ordered) symbol alphabet.
+	trueState := 1
+	if emissionCenter(m.B[1]) < emissionCenter(m.B[0]) {
+		trueState = 0
+	}
+	return &TrainedModel{Discrete: m, Emissions: DiscreteEmissions, TrueState: trueState}, nil
+}
+
+// newDiscreteModel builds the informative-prior 2-state model: symbol bins
+// are ordered negative→positive, so the False state's emissions decay with
+// bin index and the True state's grow.
+func (d *Decoder) newDiscreteModel() *hmm.Discrete {
+	sym := d.disc.Symbols()
+	m := &hmm.Discrete{
+		A:  [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+		B:  make([][]float64, 2),
+		Pi: []float64{0.5, 0.5},
+	}
+	m.B[0] = make([]float64, sym)
+	m.B[1] = make([]float64, sym)
+	for k := 0; k < sym; k++ {
+		// Linear ramps: False prefers low bins, True prefers high bins.
+		m.B[0][k] = float64(sym - k)
+		m.B[1][k] = float64(k + 1)
+	}
+	normalize(m.B[0])
+	normalize(m.B[1])
+	return m
+}
+
+func (d *Decoder) trainGaussian(acs []float64) (*TrainedModel, error) {
+	spread := maxAbs(acs)
+	if spread == 0 {
+		spread = 1
+	}
+	m, err := hmm.NewGaussian(
+		[]float64{-spread / 2, spread / 2},
+		[]float64{spread, spread},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("init gaussian model: %w", err)
+	}
+	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	if _, err := m.BaumWelch([][]float64{acs}, d.cfg.Train); err != nil {
+		return nil, fmt.Errorf("train claim model: %w", err)
+	}
+	trueState := 1
+	if m.Mean[1] < m.Mean[0] {
+		trueState = 0
+	}
+	return &TrainedModel{Gauss: m, Emissions: GaussianEmissions, TrueState: trueState}, nil
+}
+
+func pathToTruth(path []int, trueState int) []socialsensing.TruthValue {
+	out := make([]socialsensing.TruthValue, len(path))
+	for i, s := range path {
+		if s == trueState {
+			out[i] = socialsensing.True
+		} else {
+			out[i] = socialsensing.False
+		}
+	}
+	return out
+}
+
+// emissionCenter is the expected bin index under an emission distribution.
+func emissionCenter(b []float64) float64 {
+	c := 0.0
+	for k, p := range b {
+		c += float64(k) * p
+	}
+	return c
+}
+
+func normalize(row []float64) {
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+}
+
+func maxAbs(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

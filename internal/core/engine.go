@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Estimate is the decoded truth of one claim at one interval.
+type Estimate struct {
+	Claim socialsensing.ClaimID
+	// Interval is the index of the HMM time step.
+	Interval int
+	// Start is the wall-clock start of the interval.
+	Start time.Time
+	Value socialsensing.TruthValue
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	ACS     ACSConfig
+	Decoder DecoderConfig
+	// Origin anchors the interval grid. Required.
+	Origin time.Time
+	// Parallelism bounds concurrent per-claim decodes in DecodeAll.
+	// Zero means decode claims sequentially.
+	Parallelism int
+	// RetrainGrowth controls per-claim model caching: a claim's HMM is
+	// retrained only when its report count has grown by this fraction
+	// since the cached model was fitted (Viterbi still runs on the
+	// current series every decode). Zero retrains on every decode — the
+	// exact per-decode EM of the paper; 0.2 is a good streaming setting
+	// (retrain after 20% more evidence).
+	RetrainGrowth float64
+}
+
+// DefaultConfig returns the paper's default SSTD setup anchored at origin.
+func DefaultConfig(origin time.Time) Config {
+	return Config{
+		ACS:     DefaultACSConfig(),
+		Decoder: DefaultDecoderConfig(),
+		Origin:  origin,
+	}
+}
+
+// Engine is the streaming SSTD truth discovery engine. Reports stream in
+// via Ingest; DecodeAll (or DecodeClaim, which is what a distributed TD
+// job runs) produces per-interval truth estimates. Engine is safe for
+// concurrent use.
+type Engine struct {
+	cfg     Config
+	decoder *Decoder
+
+	mu     sync.RWMutex
+	claims map[socialsensing.ClaimID]*claimState
+}
+
+// claimState is one claim's accumulator plus its cached trained model.
+type claimState struct {
+	acc *ACSAccumulator
+	// model is the cached λ_u; trainedCount is the report count it was
+	// fitted at.
+	model        *TrainedModel
+	trainedCount int
+}
+
+// NewEngine builds an engine from cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Origin.IsZero() {
+		return nil, fmt.Errorf("core: engine config needs an origin time")
+	}
+	if err := cfg.ACS.validate(); err != nil {
+		return nil, err
+	}
+	dec, err := NewDecoder(cfg.Decoder)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		decoder: dec,
+		claims:  make(map[socialsensing.ClaimID]*claimState),
+	}, nil
+}
+
+// Ingest adds one report to its claim's ACS accumulator, creating the
+// per-claim state on first sight (the paper dynamically spawns a TD job
+// when a new claim appears).
+func (e *Engine) Ingest(r socialsensing.Report) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.claims[r.Claim]
+	if !ok {
+		acc, err := NewACSAccumulator(e.cfg.ACS, e.cfg.Origin)
+		if err != nil {
+			return err
+		}
+		st = &claimState{acc: acc}
+		e.claims[r.Claim] = st
+	}
+	st.acc.Add(r)
+	return nil
+}
+
+// IngestAll adds a batch of reports.
+func (e *Engine) IngestAll(rs []socialsensing.Report) error {
+	for _, r := range rs {
+		if err := e.Ingest(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Claims returns the claim IDs seen so far, sorted.
+func (e *Engine) Claims() []socialsensing.ClaimID {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]socialsensing.ClaimID, 0, len(e.claims))
+	for id := range e.claims {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReportCount returns the total number of ingested reports.
+func (e *Engine) ReportCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, st := range e.claims {
+		n += st.acc.Count()
+	}
+	return n
+}
+
+// ACSSeries returns the current ACS sequence for a claim (nil when the
+// claim is unknown).
+func (e *Engine) ACSSeries(id socialsensing.ClaimID) []float64 {
+	e.mu.RLock()
+	st, ok := e.claims[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return st.acc.Series()
+}
+
+// DecodeClaim runs the full TD job for one claim: materialize the ACS
+// sequence, train (or reuse) the claim's HMM and Viterbi-decode its truth
+// timeline. With RetrainGrowth > 0 the cached model is reused until the
+// claim's evidence has grown by that fraction.
+func (e *Engine) DecodeClaim(id socialsensing.ClaimID) ([]Estimate, error) {
+	e.mu.RLock()
+	st, ok := e.claims[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown claim %q", id)
+	}
+	model, series, err := e.claimModel(st)
+	if err != nil {
+		return nil, fmt.Errorf("claim %q: %w", id, err)
+	}
+	if len(series) == 0 {
+		return nil, nil
+	}
+	truth, err := e.decoder.DecodeWith(model, series)
+	if err != nil {
+		return nil, fmt.Errorf("claim %q: %w", id, err)
+	}
+	out := make([]Estimate, len(truth))
+	for t, v := range truth {
+		out[t] = Estimate{
+			Claim:    id,
+			Interval: t,
+			Start:    st.acc.IntervalStart(t),
+			Value:    v,
+		}
+	}
+	return out, nil
+}
+
+// claimModel returns the claim's trained model and the ACS series the
+// cache decision was made against, refitting when the cache is cold or
+// stale.
+func (e *Engine) claimModel(st *claimState) (*TrainedModel, []float64, error) {
+	e.mu.Lock()
+	count := st.acc.Count()
+	cached := st.model
+	stale := cached == nil ||
+		e.cfg.RetrainGrowth <= 0 ||
+		float64(count) >= float64(st.trainedCount)*(1+e.cfg.RetrainGrowth)
+	series := st.acc.Series()
+	e.mu.Unlock()
+	if len(series) == 0 {
+		return nil, nil, nil
+	}
+	if !stale {
+		return cached, series, nil
+	}
+	model, err := e.decoder.Train(series)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mu.Lock()
+	st.model = model
+	st.trainedCount = count
+	e.mu.Unlock()
+	return model, series, nil
+}
+
+// TrainedModelFor exposes the claim's current fitted parameter set λ_u
+// (training it if needed), e.g. to persist offline-trained models. The
+// returned model is shared; treat it as read-only.
+func (e *Engine) TrainedModelFor(id socialsensing.ClaimID) (*TrainedModel, error) {
+	e.mu.RLock()
+	st, ok := e.claims[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown claim %q", id)
+	}
+	model, series, err := e.claimModel(st)
+	if err != nil {
+		return nil, err
+	}
+	if len(series) == 0 {
+		return nil, fmt.Errorf("core: claim %q has no observations", id)
+	}
+	return model, nil
+}
+
+// DecodeAll decodes every claim, optionally in parallel, and returns the
+// estimates grouped by claim.
+func (e *Engine) DecodeAll() (map[socialsensing.ClaimID][]Estimate, error) {
+	ids := e.Claims()
+	out := make(map[socialsensing.ClaimID][]Estimate, len(ids))
+	if e.cfg.Parallelism <= 1 {
+		for _, id := range ids {
+			est, err := e.DecodeClaim(id)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = est
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id socialsensing.ClaimID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			est, err := e.DecodeClaim(id)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[id] = est
+		}(id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// TruthAt evaluates a decoded estimate timeline at an arbitrary time:
+// the value of the latest interval starting at or before t. Times before
+// the first interval report the first estimate.
+func TruthAt(estimates []Estimate, t time.Time) (socialsensing.TruthValue, bool) {
+	if len(estimates) == 0 {
+		return socialsensing.False, false
+	}
+	v := estimates[0].Value
+	for _, e := range estimates {
+		if e.Start.After(t) {
+			break
+		}
+		v = e.Value
+	}
+	return v, true
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// synthClaim pushes reports for one claim whose ground truth flips at
+// flipMinute: before it, most sources agree; after it, most disagree.
+// Reports carry noise: a fraction of sources report the wrong value.
+func synthClaim(e *Engine, claim socialsensing.ClaimID, minutes, flipMinute int, noise float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	for m := 0; m < minutes; m++ {
+		truthTrue := m < flipMinute
+		for k := 0; k < 8; k++ {
+			correct := rng.Float64() >= noise
+			att := socialsensing.Disagree
+			if truthTrue == correct {
+				att = socialsensing.Agree
+			}
+			r := socialsensing.Report{
+				Source:       socialsensing.SourceID("s"),
+				Claim:        claim,
+				Timestamp:    origin().Add(time.Duration(m) * time.Minute),
+				Attitude:     att,
+				Uncertainty:  0.1 + 0.2*rng.Float64(),
+				Independence: 0.9,
+			}
+			if err := e.Ingest(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func newTestEngine(t *testing.T, par int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Parallelism = par
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineRecoversTruthFlip(t *testing.T) {
+	e := newTestEngine(t, 0)
+	const minutes, flip = 60, 30
+	if err := synthClaim(e, "c1", minutes, flip, 0.15, 42); err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.DecodeClaim("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != minutes {
+		t.Fatalf("got %d estimates, want %d", len(est), minutes)
+	}
+	correct := 0
+	for _, es := range est {
+		want := socialsensing.False
+		if es.Interval < flip {
+			want = socialsensing.True
+		}
+		if es.Value == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(minutes); acc < 0.85 {
+		t.Errorf("flip recovery accuracy = %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestEngineRobustToNoiseSpike(t *testing.T) {
+	// A brief burst of misinformation (3 minutes of majority-wrong
+	// reports inside a long true period) should not flip the decoded
+	// truth for long: HMM stickiness must smooth it out compared to
+	// per-interval voting.
+	e := newTestEngine(t, 0)
+	rng := rand.New(rand.NewSource(7))
+	const minutes = 60
+	for m := 0; m < minutes; m++ {
+		noise := 0.1
+		if m >= 30 && m < 33 {
+			noise = 0.9 // misinformation burst
+		}
+		for k := 0; k < 6; k++ {
+			att := socialsensing.Agree
+			if rng.Float64() < noise {
+				att = socialsensing.Disagree
+			}
+			r := socialsensing.Report{
+				Source: "s", Claim: "c", Attitude: att,
+				Timestamp:   origin().Add(time.Duration(m) * time.Minute),
+				Uncertainty: 0.2, Independence: 0.9,
+			}
+			if err := e.Ingest(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	est, err := e.DecodeClaim("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for _, es := range est {
+		if es.Value != socialsensing.True {
+			wrong++
+		}
+	}
+	if wrong > 8 {
+		t.Errorf("noise spike flipped %d/%d intervals, want few", wrong, len(est))
+	}
+}
+
+func TestEngineGaussianEmissions(t *testing.T) {
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Decoder.Emissions = GaussianEmissions
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synthClaim(e, "c1", 60, 30, 0.15, 11); err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.DecodeClaim("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, es := range est {
+		want := socialsensing.False
+		if es.Interval < 30 {
+			want = socialsensing.True
+		}
+		if es.Value == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 60.0; acc < 0.8 {
+		t.Errorf("gaussian flip recovery = %.2f, want >= 0.8", acc)
+	}
+}
+
+func TestEngineDecodeAllParallelMatchesSequential(t *testing.T) {
+	seq := newTestEngine(t, 0)
+	par := newTestEngine(t, 8)
+	for i, e := range []*Engine{seq, par} {
+		_ = i
+		for c := 0; c < 6; c++ {
+			claim := socialsensing.ClaimID(rune('a' + c))
+			if err := synthClaim(e, claim, 40, 10+c*4, 0.1, int64(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got1, err := seq.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := par.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != 6 || len(got2) != 6 {
+		t.Fatalf("claim counts: %d vs %d", len(got1), len(got2))
+	}
+	for id, e1 := range got1 {
+		e2 := got2[id]
+		if len(e1) != len(e2) {
+			t.Fatalf("claim %s lengths differ: %d vs %d", id, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i].Value != e2[i].Value {
+				t.Fatalf("claim %s interval %d differs: %v vs %v", id, i, e1[i].Value, e2[i].Value)
+			}
+		}
+	}
+}
+
+func TestEngineUnknownClaim(t *testing.T) {
+	e := newTestEngine(t, 0)
+	if _, err := e.DecodeClaim("nope"); err == nil {
+		t.Error("unknown claim decoded without error")
+	}
+}
+
+func TestEngineClaimsAndCounts(t *testing.T) {
+	e := newTestEngine(t, 0)
+	if err := synthClaim(e, "b", 5, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := synthClaim(e, "a", 5, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ids := e.Claims()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("Claims() = %v, want sorted [a b]", ids)
+	}
+	if got := e.ReportCount(); got != 80 {
+		t.Errorf("ReportCount() = %d, want 80", got)
+	}
+	if s := e.ACSSeries("a"); len(s) != 5 {
+		t.Errorf("ACSSeries(a) length = %d, want 5", len(s))
+	}
+	if s := e.ACSSeries("zzz"); s != nil {
+		t.Errorf("ACSSeries(zzz) = %v, want nil", s)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := NewEngine(Config{ACS: DefaultACSConfig(), Decoder: DefaultDecoderConfig()}); err == nil {
+		t.Error("zero origin accepted")
+	}
+	cfg := DefaultConfig(origin())
+	cfg.ACS.Interval = -1
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("negative interval accepted")
+	}
+	cfg = DefaultConfig(origin())
+	cfg.Decoder.Emissions = 0
+	if _, err := NewEngine(cfg); err == nil {
+		t.Error("invalid emission kind accepted")
+	}
+}
+
+func TestTruthAt(t *testing.T) {
+	est := []Estimate{
+		{Interval: 0, Start: origin(), Value: socialsensing.True},
+		{Interval: 1, Start: origin().Add(time.Minute), Value: socialsensing.False},
+	}
+	if v, ok := TruthAt(est, origin().Add(30*time.Second)); !ok || v != socialsensing.True {
+		t.Errorf("TruthAt mid-first-interval = %v,%v", v, ok)
+	}
+	if v, ok := TruthAt(est, origin().Add(2*time.Minute)); !ok || v != socialsensing.False {
+		t.Errorf("TruthAt after flip = %v,%v", v, ok)
+	}
+	if v, ok := TruthAt(est, origin().Add(-time.Hour)); !ok || v != socialsensing.True {
+		t.Errorf("TruthAt before start = %v,%v", v, ok)
+	}
+	if _, ok := TruthAt(nil, origin()); ok {
+		t.Error("TruthAt(nil) reported ok")
+	}
+}
+
+func TestDecoderEmptySeries(t *testing.T) {
+	d, err := NewDecoder(DefaultDecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Decode(nil)
+	if err != nil || got != nil {
+		t.Errorf("Decode(nil) = %v, %v", got, err)
+	}
+}
+
+func TestDecoderConstantPositiveSeries(t *testing.T) {
+	d, _ := NewDecoder(DefaultDecoderConfig())
+	series := make([]float64, 20)
+	for i := range series {
+		series[i] = 5
+	}
+	truth, err := d.Decode(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range truth {
+		if v != socialsensing.True {
+			t.Fatalf("interval %d decoded %v for strongly positive ACS", i, v)
+		}
+	}
+}
+
+func TestDecoderConstantNegativeSeries(t *testing.T) {
+	d, _ := NewDecoder(DefaultDecoderConfig())
+	series := make([]float64, 20)
+	for i := range series {
+		series[i] = -5
+	}
+	truth, err := d.Decode(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range truth {
+		if v != socialsensing.False {
+			t.Fatalf("interval %d decoded %v for strongly negative ACS", i, v)
+		}
+	}
+}

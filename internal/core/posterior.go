@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/social-sensing/sstd/internal/hmm"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Posterior returns, for each interval of the ACS series, the smoothed
+// probability that the claim is true — P(state = True | full sequence) via
+// forward-backward — rather than the hard Viterbi decision. Posteriors are
+// what downstream consumers that combine evidence across claims (see the
+// claimdep package) or need calibrated confidence work with. An empty
+// series yields nil.
+func (d *Decoder) Posterior(acs []float64) ([]float64, error) {
+	if len(acs) == 0 {
+		return nil, nil
+	}
+	switch d.cfg.Emissions {
+	case GaussianEmissions:
+		return d.posteriorGaussian(acs)
+	default:
+		return d.posteriorDiscrete(acs)
+	}
+}
+
+func (d *Decoder) posteriorDiscrete(acs []float64) ([]float64, error) {
+	obs := d.disc.QuantizeAll(acs)
+	m := d.newDiscreteModel()
+	if _, err := m.BaumWelch([][]int{obs}, d.cfg.Train); err != nil {
+		return nil, fmt.Errorf("train claim model: %w", err)
+	}
+	trueState := 1
+	if emissionCenter(m.B[1]) < emissionCenter(m.B[0]) {
+		trueState = 0
+	}
+	gamma, err := m.Posterior(obs)
+	if err != nil {
+		return nil, fmt.Errorf("posterior: %w", err)
+	}
+	out := make([]float64, len(gamma))
+	for t, row := range gamma {
+		out[t] = row[trueState]
+	}
+	return out, nil
+}
+
+func (d *Decoder) posteriorGaussian(acs []float64) ([]float64, error) {
+	spread := maxAbs(acs)
+	if spread == 0 {
+		spread = 1
+	}
+	m, err := hmm.NewGaussian([]float64{-spread / 2, spread / 2}, []float64{spread, spread})
+	if err != nil {
+		return nil, fmt.Errorf("init gaussian model: %w", err)
+	}
+	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	if _, err := m.BaumWelch([][]float64{acs}, d.cfg.Train); err != nil {
+		return nil, fmt.Errorf("train claim model: %w", err)
+	}
+	trueState := 1
+	if m.Mean[1] < m.Mean[0] {
+		trueState = 0
+	}
+	alpha, scale, _, err := m.Forward(acs)
+	if err != nil {
+		return nil, fmt.Errorf("posterior forward: %w", err)
+	}
+	beta, err := m.Backward(acs, scale)
+	if err != nil {
+		return nil, fmt.Errorf("posterior backward: %w", err)
+	}
+	out := make([]float64, len(acs))
+	for t := range acs {
+		num := alpha[t][trueState] * beta[t][trueState]
+		den := alpha[t][0]*beta[t][0] + alpha[t][1]*beta[t][1]
+		if den > 0 {
+			out[t] = num / den
+		}
+	}
+	return out, nil
+}
+
+// PosteriorClaim computes the smoothed truth posterior for one claim's
+// current ACS series.
+func (e *Engine) PosteriorClaim(id socialsensing.ClaimID) ([]float64, error) {
+	e.mu.RLock()
+	st, ok := e.claims[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown claim %q", id)
+	}
+	return e.decoder.Posterior(st.acc.Series())
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// StreamingDecoder decodes one claim's truth incrementally with fixed-lag
+// smoothing: each new ACS observation triggers a re-decode of only the
+// trailing lag window, while estimates older than the lag are pinned. This
+// bounds per-update cost for long-running streams — full Viterbi re-decode
+// grows linearly with stream length — at the cost of not revising old
+// decisions, which is exactly the trade a live deployment wants (the paper
+// targets real-time responsiveness; historical revisions are pointless
+// once the estimate has been acted on).
+type StreamingDecoder struct {
+	decoder *Decoder
+	// Lag is how many trailing observations stay revisable.
+	lag int
+
+	series []float64
+	// pinned[i] holds the frozen decision for interval i < frontier.
+	pinned   []socialsensing.TruthValue
+	frontier int
+}
+
+// NewStreamingDecoder wraps a Decoder with fixed-lag smoothing. lag must
+// be at least 1; the paper's sliding-window intuition suggests a lag a few
+// times the ACS window.
+func NewStreamingDecoder(cfg DecoderConfig, lag int) (*StreamingDecoder, error) {
+	if lag < 1 {
+		return nil, fmt.Errorf("core: streaming decoder lag must be >= 1, got %d", lag)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamingDecoder{decoder: dec, lag: lag}, nil
+}
+
+// Append ingests the next ACS observation and returns the current estimate
+// for the newest interval.
+func (s *StreamingDecoder) Append(acs float64) (socialsensing.TruthValue, error) {
+	s.series = append(s.series, acs)
+	truth, err := s.decoder.Decode(s.windowSeries())
+	if err != nil {
+		return socialsensing.False, err
+	}
+	// Pin everything that has fallen out of the lag window.
+	newFrontier := len(s.series) - s.lag
+	for i := s.frontier; i < newFrontier; i++ {
+		s.pinned = append(s.pinned, truth[i-s.offset()])
+	}
+	if newFrontier > s.frontier {
+		s.frontier = newFrontier
+	}
+	return truth[len(truth)-1], nil
+}
+
+// windowSeries returns the revisable suffix plus pinned-context prefix the
+// decoder sees: the trailing lag observations extended backwards by one
+// lag of context so the HMM has history to anchor its state.
+func (s *StreamingDecoder) windowSeries() []float64 {
+	start := s.offset()
+	return s.series[start:]
+}
+
+// offset is the index of the first observation passed to the decoder.
+func (s *StreamingDecoder) offset() int {
+	start := len(s.series) - 2*s.lag
+	if start < 0 {
+		return 0
+	}
+	return start
+}
+
+// Len returns the number of observations ingested.
+func (s *StreamingDecoder) Len() int { return len(s.series) }
+
+// Timeline returns the full estimate history: pinned decisions followed by
+// the current decode of the revisable suffix.
+func (s *StreamingDecoder) Timeline() ([]socialsensing.TruthValue, error) {
+	if len(s.series) == 0 {
+		return nil, nil
+	}
+	truth, err := s.decoder.Decode(s.windowSeries())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]socialsensing.TruthValue, 0, len(s.series))
+	out = append(out, s.pinned[:s.frontier]...)
+	// The decode window starts at offset(); skip the part already pinned.
+	skip := s.frontier - s.offset()
+	if skip < 0 {
+		skip = 0
+	}
+	out = append(out, truth[skip:]...)
+	return out, nil
+}

@@ -1,0 +1,527 @@
+// Package dtm implements the Dynamic Task Manager of the paper's §IV-B/C:
+// the Work Queue master script that (i) spawns a TD job per claim, splits
+// it into tasks and submits them to the pool, (ii) merges task results and
+// runs the final HMM decode, and (iii) closes the feedback control loop —
+// sampling job progress, feeding per-job PID controllers, and actuating the
+// Local Control Knob (job priorities) and Global Control Knob (worker pool
+// size).
+package dtm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/control"
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ACS and Decoder configure the SSTD pipeline; Origin anchors the
+	// interval grid.
+	ACS     core.ACSConfig
+	Decoder core.DecoderConfig
+	Origin  time.Time
+
+	// TasksPerJob is how many tasks each TD job is split into. The paper
+	// keeps this small to bound init overhead (Eq. 11). Default 4.
+	TasksPerJob int
+	// Workers is the initial pool size (GCK starting point). Default 4.
+	Workers int
+
+	// EnableControl turns the PID feedback loop on.
+	EnableControl bool
+	// Tuner and WCET parameterize the control loop.
+	Tuner control.TunerConfig
+	WCET  control.WCETModel
+	// SampleEvery is the control sampling period (paper: 1 s).
+	SampleEvery time.Duration
+
+	// WorkDelay adds an artificial per-report processing cost in the
+	// executor, used by experiments to emulate computation-heavy loads.
+	WorkDelay time.Duration
+
+	// Seed drives scheduler randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a working configuration.
+func DefaultConfig(origin time.Time) Config {
+	return Config{
+		ACS:         core.DefaultACSConfig(),
+		Decoder:     core.DefaultDecoderConfig(),
+		Origin:      origin,
+		TasksPerJob: 4,
+		Workers:     4,
+		Tuner:       control.DefaultTunerConfig(),
+		WCET: control.WCETModel{
+			InitTime: time.Millisecond,
+			Theta1:   10 * time.Microsecond,
+			Theta2:   40 * time.Microsecond,
+		},
+		SampleEvery: time.Second,
+	}
+}
+
+// JobResult is the outcome of one TD job.
+type JobResult struct {
+	Claim     socialsensing.ClaimID
+	Estimates []core.Estimate
+	Err       error
+	// Elapsed is wall-clock from submission to completion.
+	Elapsed time.Duration
+	// Deadline is the job's soft deadline (zero = none).
+	Deadline time.Duration
+	// MetDeadline reports Elapsed <= Deadline (true when no deadline).
+	MetDeadline bool
+}
+
+// taskPayload is the unit of work shipped to workers: compute partial
+// per-interval contribution-score sums for a chunk of one claim's reports.
+type taskPayload struct {
+	Claim    socialsensing.ClaimID  `json:"claim"`
+	Origin   time.Time              `json:"origin"`
+	Interval time.Duration          `json:"interval_ns"`
+	Reports  []socialsensing.Report `json:"reports"`
+}
+
+// taskOutput is the sparse partial ACS interval sums a worker returns.
+type taskOutput struct {
+	Sums map[int]float64 `json:"sums"`
+}
+
+// jobState tracks one in-flight TD job on the master side.
+type jobState struct {
+	claim     socialsensing.ClaimID
+	submitted time.Time
+	deadline  time.Duration
+	tasks     int
+	done      int
+	failed    int
+	dataSize  float64 // total reports
+	remaining float64 // reports not yet completed
+	perTask   map[string]int
+	sums      map[int]float64
+	firstErr  error
+}
+
+// Manager is the Dynamic Task Manager.
+type Manager struct {
+	cfg     Config
+	master  *workqueue.Master
+	pool    *workqueue.Pool
+	decoder *core.Decoder
+	results chan JobResult
+	tuner   *control.Tuner
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New validates cfg and builds a Manager. Call Start before submitting.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Origin.IsZero() {
+		return nil, errors.New("dtm: config needs an origin time")
+	}
+	if cfg.TasksPerJob <= 0 {
+		cfg.TasksPerJob = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Second
+	}
+	dec, err := core.NewDecoder(cfg.Decoder)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		decoder: dec,
+		results: make(chan JobResult, 64),
+		jobs:    make(map[string]*jobState),
+	}
+	m.master = workqueue.NewMaster(workqueue.MasterConfig{Seed: cfg.Seed, ResultBuffer: 256})
+	m.pool = workqueue.NewPool(m.master, m.execute)
+	if cfg.EnableControl {
+		tn, err := control.NewTuner(cfg.Tuner, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		m.tuner = tn
+	}
+	return m, nil
+}
+
+// Start brings up the worker pool, the result collector and (when enabled)
+// the control loop.
+func (m *Manager) Start(ctx context.Context) {
+	ctx, m.cancel = context.WithCancel(ctx)
+	m.pool.Resize(ctx, m.cfg.Workers)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.collect(ctx)
+	}()
+	if m.tuner != nil {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.controlLoop(ctx)
+		}()
+	}
+}
+
+// SubmitJob registers a TD job for one claim and enqueues its tasks. The
+// deadline is a soft deadline from now; zero means none.
+func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing.Report, deadline time.Duration) error {
+	if claim == "" {
+		return errors.New("dtm: job needs a claim id")
+	}
+	jobID := string(claim)
+	chunks := splitReports(reports, m.cfg.TasksPerJob)
+	js := &jobState{
+		claim:     claim,
+		submitted: time.Now(),
+		deadline:  deadline,
+		tasks:     len(chunks),
+		dataSize:  float64(len(reports)),
+		remaining: float64(len(reports)),
+		perTask:   make(map[string]int, len(chunks)),
+		sums:      make(map[int]float64),
+	}
+	m.mu.Lock()
+	if _, dup := m.jobs[jobID]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("dtm: job %q already submitted", jobID)
+	}
+	m.jobs[jobID] = js
+	m.mu.Unlock()
+
+	for i, chunk := range chunks {
+		payload, err := json.Marshal(taskPayload{
+			Claim:    claim,
+			Origin:   m.cfg.Origin,
+			Interval: m.cfg.ACS.Interval,
+			Reports:  chunk,
+		})
+		if err != nil {
+			return fmt.Errorf("dtm: marshal task: %w", err)
+		}
+		taskID := fmt.Sprintf("%s/%d", jobID, i)
+		m.mu.Lock()
+		js.perTask[taskID] = len(chunk)
+		m.mu.Unlock()
+		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Results streams completed TD jobs. Closed by Close.
+func (m *Manager) Results() <-chan JobResult { return m.results }
+
+// Workers reports the current pool size.
+func (m *Manager) Workers() int { return m.pool.Size() }
+
+// JobProgress is a live snapshot of one in-flight TD job.
+type JobProgress struct {
+	Claim socialsensing.ClaimID
+	// Tasks and TasksDone count the job's work units.
+	Tasks, TasksDone int
+	// Remaining is the data (reports) not yet processed.
+	Remaining float64
+	// Elapsed is time since submission.
+	Elapsed time.Duration
+	// Deadline is the job's soft deadline (zero = none).
+	Deadline time.Duration
+}
+
+// Progress snapshots every in-flight job, sorted by claim — the signal
+// the paper's monitor derives from output-file timestamps, exposed
+// directly.
+func (m *Manager) Progress() []JobProgress {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobProgress, 0, len(m.jobs))
+	for _, js := range m.jobs {
+		out = append(out, JobProgress{
+			Claim:     js.claim,
+			Tasks:     js.tasks,
+			TasksDone: js.done,
+			Remaining: js.remaining,
+			Elapsed:   time.Since(js.submitted),
+			Deadline:  js.deadline,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Claim < out[j].Claim })
+	return out
+}
+
+// Close tears everything down and closes Results.
+func (m *Manager) Close() {
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.pool.Close()
+	m.master.Shutdown()
+	m.wg.Wait()
+	close(m.results)
+}
+
+// execute is the worker-side task body: partial ACS interval sums for a
+// chunk of reports (the preprocessing step of §III-E, which dominates TD
+// job cost and parallelizes across the data).
+func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
+	var p taskPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("dtm: bad task payload: %w", err)
+	}
+	if p.Interval <= 0 {
+		return nil, errors.New("dtm: task payload has no interval")
+	}
+	out := taskOutput{Sums: make(map[int]float64)}
+	for _, r := range p.Reports {
+		if m.cfg.WorkDelay > 0 {
+			// Busy-burn rather than sleep: sub-millisecond per-report
+			// costs matter here and sleep granularity would distort
+			// them. Stay responsive to preemption.
+			deadline := time.Now().Add(m.cfg.WorkDelay)
+			for time.Now().Before(deadline) {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+			}
+		}
+		idx := 0
+		if r.Timestamp.After(p.Origin) {
+			idx = int(r.Timestamp.Sub(p.Origin) / p.Interval)
+		}
+		out.Sums[idx] += r.ContributionScore()
+	}
+	return json.Marshal(out)
+}
+
+// collect merges task results into jobs and finalizes completed jobs.
+func (m *Manager) collect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case r, ok := <-m.master.Results():
+			if !ok {
+				return
+			}
+			m.handleResult(ctx, r)
+		}
+	}
+}
+
+func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
+	m.mu.Lock()
+	js, ok := m.jobs[r.JobID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	js.done++
+	js.remaining -= float64(js.perTask[r.TaskID])
+	if js.remaining < 0 {
+		js.remaining = 0
+	}
+	if r.Err != "" {
+		js.failed++
+		if js.firstErr == nil {
+			js.firstErr = errors.New(r.Err)
+		}
+	} else {
+		var out taskOutput
+		if err := json.Unmarshal(r.Output, &out); err != nil {
+			js.failed++
+			if js.firstErr == nil {
+				js.firstErr = fmt.Errorf("dtm: bad task output: %w", err)
+			}
+		} else {
+			for idx, s := range out.Sums {
+				js.sums[idx] += s
+			}
+		}
+	}
+	finished := js.done == js.tasks
+	if finished {
+		delete(m.jobs, r.JobID)
+	}
+	m.mu.Unlock()
+	if finished {
+		m.finalize(ctx, js)
+	}
+}
+
+// finalize runs the sliding window + HMM decode over the merged interval
+// sums and emits the job result.
+func (m *Manager) finalize(ctx context.Context, js *jobState) {
+	res := JobResult{
+		Claim:    js.claim,
+		Elapsed:  time.Since(js.submitted),
+		Deadline: js.deadline,
+	}
+	res.MetDeadline = js.deadline == 0 || res.Elapsed <= js.deadline
+	if js.firstErr != nil {
+		res.Err = js.firstErr
+		m.emit(ctx, res)
+		return
+	}
+	series := windowedSeries(js.sums, m.cfg.ACS.WindowIntervals)
+	truth, err := m.decoder.Decode(series)
+	if err != nil {
+		res.Err = err
+		m.emit(ctx, res)
+		return
+	}
+	res.Estimates = make([]core.Estimate, len(truth))
+	for t, v := range truth {
+		res.Estimates[t] = core.Estimate{
+			Claim:    js.claim,
+			Interval: t,
+			Start:    m.cfg.Origin.Add(time.Duration(t) * m.cfg.ACS.Interval),
+			Value:    v,
+		}
+	}
+	m.emit(ctx, res)
+}
+
+func (m *Manager) emit(ctx context.Context, res JobResult) {
+	// Block rather than drop when the consumer is slow, but bail out on
+	// shutdown so Close never deadlocks against a full channel.
+	select {
+	case m.results <- res:
+	case <-ctx.Done():
+	}
+}
+
+// controlLoop samples job progress and actuates the knobs.
+func (m *Manager) controlLoop(ctx context.Context) {
+	ticker := time.NewTicker(m.cfg.SampleEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.controlStep(ctx)
+		}
+	}
+}
+
+func (m *Manager) controlStep(ctx context.Context) {
+	workers := m.pool.Size()
+	if workers < 1 {
+		workers = 1
+	}
+	m.mu.Lock()
+	statuses := make([]control.JobStatus, 0, len(m.jobs))
+	for id, js := range m.jobs {
+		elapsed := time.Since(js.submitted)
+		// Expected finish from the WCET model on the remaining data at
+		// the current pool size, assuming equal priority share.
+		prio := 1.0 / float64(len(m.jobs))
+		wcet, err := m.cfg.WCET.JobWCETSimplified(js.remaining, workers, prio)
+		if err != nil {
+			continue
+		}
+		statuses = append(statuses, control.JobStatus{
+			JobID:          id,
+			Deadline:       js.deadline,
+			Elapsed:        elapsed,
+			ExpectedFinish: elapsed + wcet,
+		})
+	}
+	m.mu.Unlock()
+	if len(statuses) == 0 {
+		return
+	}
+	dec, err := m.tuner.Step(statuses, m.cfg.SampleEvery)
+	if err != nil {
+		return
+	}
+	for jobID, p := range dec.Priorities {
+		m.master.SetJobPriority(jobID, p)
+	}
+	if dec.Workers != m.pool.Size() {
+		m.pool.Resize(ctx, dec.Workers)
+	}
+}
+
+// splitReports divides reports into at most n contiguous chunks of nearly
+// equal size (the paper divides a job's data equally between its tasks).
+// It always returns at least one (possibly empty) chunk so every job has a
+// task and therefore a completion event.
+func splitReports(reports []socialsensing.Report, n int) [][]socialsensing.Report {
+	if n < 1 {
+		n = 1
+	}
+	if len(reports) == 0 {
+		return [][]socialsensing.Report{{}}
+	}
+	if n > len(reports) {
+		n = len(reports)
+	}
+	chunks := make([][]socialsensing.Report, 0, n)
+	size := len(reports) / n
+	rem := len(reports) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + size
+		if i < rem {
+			end++
+		}
+		chunks = append(chunks, reports[start:end])
+		start = end
+	}
+	return chunks
+}
+
+// windowedSeries converts sparse interval sums into the dense sliding-
+// window ACS sequence of Eq. 4.
+func windowedSeries(sums map[int]float64, window int) []float64 {
+	if len(sums) == 0 {
+		return nil
+	}
+	maxIdx := 0
+	for idx := range sums {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	dense := make([]float64, maxIdx+1)
+	for idx, s := range sums {
+		if idx >= 0 {
+			dense[idx] = s
+		}
+	}
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(dense))
+	acc := 0.0
+	for t := range dense {
+		acc += dense[t]
+		if t >= window {
+			acc -= dense[t-window]
+		}
+		out[t] = acc
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+// quick returns tiny-but-meaningful options for test runs. The generator
+// scales claim counts with trace size, so even a 1% trace keeps per-claim
+// report density in the regime the paper evaluates.
+func quick() Options {
+	return Options{
+		Scale:           0.01,
+		Seed:            7,
+		Intervals:       80,
+		WindowIntervals: 3,
+		Workers:         4,
+		PerReportCost:   20 * time.Microsecond,
+	}
+}
+
+func reportFor(t *testing.T, pts []AblationPoint, label string) float64 {
+	t.Helper()
+	for _, p := range pts {
+		if p.Label == label {
+			return p.Report.Accuracy
+		}
+	}
+	t.Fatalf("label %q not found", label)
+	return 0
+}
+
+func TestTableII(t *testing.T) {
+	stats, err := TableII(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d traces", len(stats))
+	}
+	names := map[string]bool{}
+	for _, s := range stats {
+		names[s.Name] = true
+		if s.Reports < 100 || s.Sources < 50 || s.Claims < 6 {
+			t.Errorf("trace %s too small: %+v", s.Name, s)
+		}
+	}
+	if !names["boston-bombing"] || !names["paris-shooting"] || !names["college-football"] {
+		t.Errorf("missing traces: %v", names)
+	}
+	var buf bytes.Buffer
+	PrintTableII(&buf, stats)
+	if !strings.Contains(buf.String(), "boston-bombing") {
+		t.Error("PrintTableII missing trace name")
+	}
+}
+
+func TestAccuracyTableSSTDWins(t *testing.T) {
+	// The paper's headline result (Tables III-V): SSTD beats every
+	// baseline on accuracy and F1 on each trace.
+	for _, prof := range tracegen.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			reports, err := AccuracyTable(prof, quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reports) != 7 {
+				t.Fatalf("methods = %d, want 7", len(reports))
+			}
+			if reports[0].Method != "SSTD" {
+				t.Fatalf("first method = %s", reports[0].Method)
+			}
+			sstd := reports[0]
+			if sstd.Accuracy < 0.7 {
+				t.Errorf("SSTD accuracy = %.3f, want >= 0.7", sstd.Accuracy)
+			}
+			for _, r := range reports[1:] {
+				if r.Accuracy > sstd.Accuracy {
+					t.Errorf("%s accuracy %.3f beats SSTD %.3f", r.Method, r.Accuracy, sstd.Accuracy)
+				}
+			}
+			var buf bytes.Buffer
+			PrintAccuracyTable(&buf, prof.Name, reports)
+			if !strings.Contains(buf.String(), "SSTD") {
+				t.Error("print output missing SSTD")
+			}
+		})
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	o := quick()
+	pts, err := Fig4(tracegen.ParisShooting(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string][]ExecTimePoint{}
+	for _, p := range pts {
+		byMethod[p.Method] = append(byMethod[p.Method], p)
+	}
+	if len(byMethod["SSTD"]) != 5 {
+		t.Fatalf("SSTD points = %d, want 5", len(byMethod["SSTD"]))
+	}
+	// Data sizes increase along the sweep for every method.
+	for m, ps := range byMethod {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Reports <= ps[i-1].Reports {
+				t.Errorf("%s sweep not increasing: %+v", m, ps)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, "paris", pts)
+	if !strings.Contains(buf.String(), "SSTD") {
+		t.Error("print missing SSTD")
+	}
+}
+
+func TestFig5BatchFallsBehind(t *testing.T) {
+	o := quick()
+	o.Scale = 0.01 // need enough reports to feed the rate stream
+	pts, err := Fig5(tracegen.BostonBombing(), []int{20, 50}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(method string, rate int) time.Duration {
+		for _, p := range pts {
+			if p.Method == method && p.Rate == rate {
+				return p.Total
+			}
+		}
+		t.Fatalf("missing %s@%d", method, rate)
+		return 0
+	}
+	// Streaming schemes track the 100 s stream duration.
+	for _, m := range []string{"SSTD", "DynaTD"} {
+		for _, r := range []int{20, 50} {
+			if got := total(m, r); got > 110*time.Second {
+				t.Errorf("%s@%d/s total = %v, want ~100s (streaming keeps up)", m, r, got)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, "boston", pts)
+	if !strings.Contains(buf.String(), "DynaTD") {
+		t.Error("print missing DynaTD")
+	}
+}
+
+func TestFig6HitRatesMonotone(t *testing.T) {
+	o := quick()
+	// Make the modeled preprocessing dominate measured-compute jitter so
+	// the test is stable under parallel test load: deadlines then sit in
+	// the multi-millisecond range.
+	o.Scale = 0.02
+	o.PerReportCost = 200 * time.Microsecond
+	pts, err := Fig6(tracegen.CollegeFootball(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string][]HitRatePoint{}
+	for _, p := range pts {
+		byMethod[p.Method] = append(byMethod[p.Method], p)
+	}
+	if len(byMethod) != 7 {
+		t.Fatalf("methods = %d, want 7", len(byMethod))
+	}
+	for m, ps := range byMethod {
+		// Baselines are scored from one set of interval times, so their
+		// hit rate is exactly non-decreasing in the deadline. SSTD
+		// re-runs per deadline (the PID loop adapts to the deadline it
+		// must meet), so small cross-run wobble is legitimate.
+		slack := 1e-9
+		if m == "SSTD" {
+			slack = 0.1
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Deadline > ps[i-1].Deadline && ps[i].HitRate < ps[i-1].HitRate-slack {
+				t.Errorf("%s hit rate decreased with looser deadline: %+v", m, ps)
+			}
+		}
+		// At the loosest deadline everything should mostly hit.
+		last := ps[len(ps)-1]
+		if last.HitRate < 0.5 {
+			t.Errorf("%s hit rate at loosest deadline = %.2f", m, last.HitRate)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, "football", pts)
+	if !strings.Contains(buf.String(), "Method") {
+		t.Error("print missing header")
+	}
+}
+
+func TestFig7SpeedupShape(t *testing.T) {
+	series, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig7DataSizes) {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		// Speedup is non-decreasing in workers and bounded by N.
+		for i := range s.Workers {
+			if s.Speedup[i] > float64(s.Workers[i])+1e-9 {
+				t.Errorf("size %d: speedup %.2f exceeds ideal %d", s.DataSize, s.Speedup[i], s.Workers[i])
+			}
+			if i > 0 && s.Speedup[i] < s.Speedup[i-1]-1e-9 {
+				t.Errorf("size %d: speedup not monotone: %v", s.DataSize, s.Speedup)
+			}
+		}
+	}
+	// Larger data achieves better speedup at high worker counts (the
+	// paper's observation).
+	last := len(Fig7Workers) - 1
+	if !(series[2].Speedup[last] > series[0].Speedup[last]) {
+		t.Errorf("16.9M speedup %.2f not above 100k speedup %.2f",
+			series[2].Speedup[last], series[0].Speedup[last])
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, series)
+	if !strings.Contains(buf.String(), "64w:") {
+		t.Error("print missing 64-worker column")
+	}
+}
+
+func TestAblationWindow(t *testing.T) {
+	pts, err := AblationWindow(tracegen.BostonBombing(), []int{1, 3, 10}, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Report.Accuracy <= 0.5 {
+			t.Errorf("window %s accuracy = %.3f", p.Label, p.Report.Accuracy)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "window", pts)
+	if !strings.Contains(buf.String(), "sw=3") {
+		t.Error("print missing sw=3")
+	}
+}
+
+func TestAblationContribution(t *testing.T) {
+	pts, err := AblationContribution(tracegen.ParisShooting(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	full := reportFor(t, pts, "full-cs")
+	if full < 0.7 {
+		t.Errorf("full CS accuracy = %.3f", full)
+	}
+}
+
+func TestAblationEmissions(t *testing.T) {
+	pts, err := AblationEmissions(tracegen.BostonBombing(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Report.Accuracy < 0.6 {
+			t.Errorf("%s accuracy = %.3f", p.Label, p.Report.Accuracy)
+		}
+	}
+}
+
+func TestAblationDependency(t *testing.T) {
+	pts, err := AblationDependency(tracegen.BostonBombing(), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	indep := reportFor(t, pts, "independent")
+	dep := reportFor(t, pts, "dependency-aware")
+	if indep < 0.7 {
+		t.Errorf("independent accuracy = %.3f", indep)
+	}
+	// The dependency model must never meaningfully hurt on correlated
+	// traces (it typically helps slightly).
+	if dep < indep-0.01 {
+		t.Errorf("dependency-aware accuracy %.3f below independent %.3f", dep, indep)
+	}
+}
+
+func TestAblationPID(t *testing.T) {
+	o := quick()
+	o.Scale = 0.001
+	pts, err := AblationPID(tracegen.ParisShooting(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (RTO, PID, static)", len(pts))
+	}
+	byMethod := map[string]float64{}
+	for _, p := range pts {
+		if p.HitRate < 0 || p.HitRate > 1 {
+			t.Errorf("%s hit rate = %v", p.Method, p.HitRate)
+		}
+		byMethod[p.Method] = p.HitRate
+	}
+	// Both controllers must not do worse than the static pool at the
+	// median-of-static deadline (they typically do much better).
+	if byMethod["SSTD+PID"] < byMethod["SSTD-static"]-0.1 {
+		t.Errorf("PID %v below static %v", byMethod["SSTD+PID"], byMethod["SSTD-static"])
+	}
+	if byMethod["SSTD+RTO"] < byMethod["SSTD-static"]-0.1 {
+		t.Errorf("RTO %v below static %v", byMethod["SSTD+RTO"], byMethod["SSTD-static"])
+	}
+}

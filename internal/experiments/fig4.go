@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/baselines"
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/stream"
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+// ExecTimePoint is one measurement of Fig. 4: a method's execution time at
+// a data size.
+type ExecTimePoint struct {
+	Method  string
+	Reports int
+	Elapsed time.Duration
+}
+
+// Fig4 measures execution time versus data size on one trace: SSTD's
+// preprocessing runs (in virtual time) on the worker pool — the paper uses
+// 4 workers — while the baselines preprocess serially; each method's
+// algorithmic compute is measured and added (see timing.go). The trace is
+// swept at 20..100% of its reports.
+func Fig4(prof tracegen.Profile, o Options) ([]ExecTimePoint, error) {
+	o = o.withDefaults()
+	tr, err := generate(prof, o)
+	if err != nil {
+		return nil, err
+	}
+	return Fig4On(tr, o)
+}
+
+// Fig4On runs the Fig. 4 sweep on an existing trace.
+func Fig4On(tr *socialsensing.Trace, o Options) ([]ExecTimePoint, error) {
+	o = o.withDefaults()
+	fractions := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var out []ExecTimePoint
+	for _, f := range fractions {
+		prefix := stream.Prefix(tr, int(f*float64(len(tr.Reports))))
+		n := len(prefix.Reports)
+
+		// SSTD: parallel preprocessing (virtual) + measured decode.
+		elapsed, err := sstdHybridTime(prefix, o)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 sstd at %.0f%%: %w", f*100, err)
+		}
+		out = append(out, ExecTimePoint{Method: "SSTD", Reports: n, Elapsed: elapsed})
+
+		// DynaTD: serial preprocessing (virtual) + measured streaming
+		// pass.
+		width := evalWidth(prefix, o)
+		batches, err := stream.SplitByInterval(prefix, width)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		d := baselines.NewDynaTD()
+		for _, b := range batches {
+			d.ProcessInterval(b.Reports)
+		}
+		out = append(out, ExecTimePoint{
+			Method:  "DynaTD",
+			Reports: n,
+			Elapsed: serialPreprocessTime(n, o) + time.Since(start),
+		})
+
+		// Batch baselines: serial preprocessing + measured estimation.
+		for _, est := range batchEstimators() {
+			start := time.Now()
+			ds := baselines.BuildDataset(prefix.Reports)
+			est.Estimate(ds)
+			out = append(out, ExecTimePoint{
+				Method:  est.Name(),
+				Reports: n,
+				Elapsed: serialPreprocessTime(n, o) + time.Since(start),
+			})
+		}
+	}
+	return out, nil
+}
+
+// sstdHybridTime is SSTD's Fig. 4 execution time for one trace prefix:
+// virtual parallel preprocessing plus the measured in-process HMM decode of
+// every claim.
+func sstdHybridTime(tr *socialsensing.Trace, o Options) (time.Duration, error) {
+	byClaim := tr.ReportsByClaim()
+	prep, err := sstdPreprocessTime(byClaim, o.Workers, o)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := core.NewEngine(engineConfig(tr, o))
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := eng.IngestAll(tr.Reports); err != nil {
+		return 0, err
+	}
+	if _, err := eng.DecodeAll(); err != nil {
+		return 0, err
+	}
+	return prep + time.Since(start), nil
+}

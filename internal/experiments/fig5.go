@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/social-sensing/sstd/internal/baselines"
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/stream"
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+// StreamingPoint is one measurement of Fig. 5: a method's total running
+// time when data streams in at a given speed for StreamSeconds.
+type StreamingPoint struct {
+	Method string
+	// Rate is reports per second.
+	Rate int
+	// Total is the simulated completion time: stream duration plus any
+	// processing backlog (a scheme that keeps up finishes right at the
+	// stream's end).
+	Total time.Duration
+}
+
+// StreamSeconds is the stream duration of the Fig. 5 experiment.
+const StreamSeconds = 100
+
+// Fig5 measures total running time versus streaming speed. Streaming
+// schemes (SSTD, DynaTD) process each second of data as it arrives; batch
+// schemes (TruthFinder, RTD, CATD, ...) periodically re-run over all data
+// received so far (every 5 data-seconds, per the paper). Arrival is
+// simulated on a virtual clock; each chunk's service time is the virtual
+// preprocessing cost (parallel for SSTD, serial otherwise) plus the
+// measured algorithmic compute, so a scheme whose processing outpaces
+// arrival finishes at ~100 s and one that falls behind accumulates
+// backlog.
+func Fig5(prof tracegen.Profile, rates []int, o Options) ([]StreamingPoint, error) {
+	o = o.withDefaults()
+	tr, err := generate(prof, o)
+	if err != nil {
+		return nil, err
+	}
+	return Fig5On(tr, rates, o)
+}
+
+// Fig5On runs the Fig. 5 sweep against an existing trace.
+func Fig5On(tr *socialsensing.Trace, rates []int, o Options) ([]StreamingPoint, error) {
+	o = o.withDefaults()
+	var out []StreamingPoint
+	for _, rate := range rates {
+		batches, err := stream.RateStream(tr, rate, StreamSeconds*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		// SSTD streaming: parallel per-batch preprocessing plus measured
+		// ingest + incremental re-decode of the touched claims.
+		sstdTime, err := timeSSTDStreaming(tr, batches, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StreamingPoint{Method: "SSTD", Rate: rate, Total: sstdTime})
+
+		// DynaTD streaming: serial per-batch preprocessing plus measured
+		// incremental update.
+		d := baselines.NewDynaTD()
+		out = append(out, StreamingPoint{
+			Method: "DynaTD", Rate: rate,
+			Total: simulateStream(batches, 1, func(bs []socialsensing.Report) time.Duration {
+				d.ProcessInterval(bs)
+				return serialPreprocessTime(len(bs), o)
+			}),
+		})
+
+		// Batch schemes: every 5 data-seconds, re-preprocess and re-run
+		// over everything received so far — which is what makes them
+		// fall behind as the stream speeds up.
+		for _, est := range batchEstimators() {
+			est := est
+			var all []socialsensing.Report
+			out = append(out, StreamingPoint{
+				Method: est.Name(), Rate: rate,
+				Total: simulateStream(batches, 5, func(bs []socialsensing.Report) time.Duration {
+					all = append(all, bs...)
+					est.Estimate(baselines.BuildDataset(all))
+					return serialPreprocessTime(len(all), o)
+				}),
+			})
+		}
+	}
+	return out, nil
+}
+
+// simulateStream plays the batches on a virtual arrival clock: chunkSecs
+// batches are delivered together every chunkSecs seconds; process is
+// called with each chunk, and the chunk's service time is its measured
+// wall time plus the virtual duration process returns. Returns the
+// completion time of the last chunk.
+func simulateStream(batches []stream.Batch, chunkSecs int, process func([]socialsensing.Report) time.Duration) time.Duration {
+	var clock, busyUntil time.Duration
+	for i := 0; i < len(batches); i += chunkSecs {
+		end := i + chunkSecs
+		if end > len(batches) {
+			end = len(batches)
+		}
+		var chunk []socialsensing.Report
+		for _, b := range batches[i:end] {
+			chunk = append(chunk, b.Reports...)
+		}
+		clock = time.Duration(end) * time.Second // arrival of the chunk
+		start := clock
+		if busyUntil > start {
+			start = busyUntil
+		}
+		t0 := time.Now()
+		virtual := process(chunk)
+		busyUntil = start + time.Since(t0) + virtual
+	}
+	if busyUntil < clock {
+		return clock
+	}
+	return busyUntil
+}
+
+// timeSSTDStreaming plays the stream through the SSTD engine: each
+// second's reports are preprocessed on the (virtual) pool, ingested, and
+// the touched claims re-decoded.
+func timeSSTDStreaming(tr *socialsensing.Trace, batches []stream.Batch, o Options) (time.Duration, error) {
+	cfg := core.DefaultConfig(tr.Start)
+	cfg.ACS.Interval = 5 * time.Second
+	cfg.ACS.WindowIntervals = o.WindowIntervals
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var procErr error
+	total := simulateStream(batches, 1, func(bs []socialsensing.Report) time.Duration {
+		byClaim := make(map[socialsensing.ClaimID][]socialsensing.Report)
+		for _, r := range bs {
+			if err := eng.Ingest(r); err != nil {
+				procErr = err
+				return 0
+			}
+			byClaim[r.Claim] = append(byClaim[r.Claim], r)
+		}
+		for c := range byClaim {
+			if _, err := eng.DecodeClaim(c); err != nil {
+				procErr = err
+				return 0
+			}
+		}
+		prep, err := sstdPreprocessTime(byClaim, o.Workers, o)
+		if err != nil {
+			procErr = err
+			return 0
+		}
+		return prep
+	})
+	if procErr != nil {
+		return 0, procErr
+	}
+	return total, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/condor"
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+)
+
+// Fig7DataSizes are the synthetic trace sizes (in tweets) of the
+// scalability experiment; the largest exceeds the Super Bowl 2016 volume
+// the paper cites (16.9M tweets).
+var Fig7DataSizes = []int{100_000, 1_000_000, 16_900_000}
+
+// Fig7Workers are the pool sizes swept.
+var Fig7Workers = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig7CostModel is the virtual-time cost model used for the scalability
+// study: per-report processing dominated by computation, a modest task
+// init cost and a master-side dispatch cost that bounds scaling.
+var Fig7CostModel = condor.CostModel{
+	InitTime: 200 * time.Millisecond,
+	PerUnit:  50 * time.Microsecond,
+	Dispatch: 30 * time.Millisecond,
+}
+
+// Fig7 computes the speedup curves of the scalability experiment on the
+// virtual-time HTCondor simulator: Speedup(N) = T(1)/T(N) for each data
+// size, with tasks shaped like SSTD TD tasks (claims split into equal
+// chunks).
+func Fig7(o Options) ([]evalmetrics.SpeedupSeries, error) {
+	o = o.withDefaults()
+	const claims, tasksPerClaim = 40, 4
+	var out []evalmetrics.SpeedupSeries
+	for _, size := range Fig7DataSizes {
+		tasks := buildVirtualTasks(size, claims, tasksPerClaim)
+		series := evalmetrics.SpeedupSeries{DataSize: size}
+		for _, w := range Fig7Workers {
+			slots := make([]condor.Slot, w)
+			for i := range slots {
+				slots[i] = condor.Slot{ID: i + 1, Node: fmt.Sprintf("n%d", i), Speed: 1}
+			}
+			s, err := condor.Speedup(tasks, slots, Fig7CostModel)
+			if err != nil {
+				return nil, err
+			}
+			series.Workers = append(series.Workers, w)
+			series.Speedup = append(series.Speedup, s)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// buildVirtualTasks shapes a dataset of the given report volume into SSTD
+// TD tasks: reports spread over claims by a Zipf-ish popularity, each
+// claim's job split into equal tasks.
+func buildVirtualTasks(reports, claims, tasksPerClaim int) []condor.VirtualTask {
+	weights := make([]float64, claims)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	var tasks []condor.VirtualTask
+	for i := 0; i < claims; i++ {
+		claimReports := float64(reports) * weights[i] / total
+		per := claimReports / float64(tasksPerClaim)
+		for t := 0; t < tasksPerClaim; t++ {
+			tasks = append(tasks, condor.VirtualTask{
+				JobID: fmt.Sprintf("claim-%02d", i),
+				Work:  per,
+			})
+		}
+	}
+	return tasks
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// PrintTableII writes the Table II statistics.
+func PrintTableII(w io.Writer, stats []socialsensing.Stats) {
+	fmt.Fprintf(w, "%-20s %10s %10s %8s %10s\n", "Data Trace", "Reports", "Sources", "Claims", "Duration")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-20s %10d %10d %8d %10s\n", s.Name, s.Reports, s.Sources, s.Claims, s.Duration)
+	}
+}
+
+// PrintAccuracyTable writes a Tables III-V style effectiveness table.
+func PrintAccuracyTable(w io.Writer, title string, reports []evalmetrics.Report) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-14s %9s %10s %8s %9s\n", "Method", "Accuracy", "Precision", "Recall", "F1-Score")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-14s %9.3f %10.3f %8.3f %9.3f\n", r.Method, r.Accuracy, r.Precision, r.Recall, r.F1)
+	}
+}
+
+// PrintFig4 writes the execution-time series grouped by method.
+func PrintFig4(w io.Writer, title string, points []ExecTimePoint) {
+	fmt.Fprintf(w, "== %s (execution time vs data size) ==\n", title)
+	byMethod := make(map[string][]ExecTimePoint)
+	var methods []string
+	for _, p := range points {
+		if _, ok := byMethod[p.Method]; !ok {
+			methods = append(methods, p.Method)
+		}
+		byMethod[p.Method] = append(byMethod[p.Method], p)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		fmt.Fprintf(w, "%-14s", m)
+		for _, p := range byMethod[m] {
+			fmt.Fprintf(w, "  %d:%s", p.Reports, round(p.Elapsed))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig5 writes the streaming-speed series grouped by method.
+func PrintFig5(w io.Writer, title string, points []StreamingPoint) {
+	fmt.Fprintf(w, "== %s (total running time vs tweets/sec) ==\n", title)
+	byMethod := make(map[string][]StreamingPoint)
+	var methods []string
+	for _, p := range points {
+		if _, ok := byMethod[p.Method]; !ok {
+			methods = append(methods, p.Method)
+		}
+		byMethod[p.Method] = append(byMethod[p.Method], p)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		fmt.Fprintf(w, "%-14s", m)
+		for _, p := range byMethod[m] {
+			fmt.Fprintf(w, "  %d/s:%s", p.Rate, round(p.Total))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig6 writes the hit-rate matrix: methods x deadlines.
+func PrintFig6(w io.Writer, title string, points []HitRatePoint) {
+	fmt.Fprintf(w, "== %s (deadline hit rate) ==\n", title)
+	deadlines := make([]time.Duration, 0)
+	seenD := make(map[time.Duration]bool)
+	byKey := make(map[string]map[time.Duration]float64)
+	var methods []string
+	for _, p := range points {
+		if !seenD[p.Deadline] {
+			seenD[p.Deadline] = true
+			deadlines = append(deadlines, p.Deadline)
+		}
+		if _, ok := byKey[p.Method]; !ok {
+			methods = append(methods, p.Method)
+			byKey[p.Method] = make(map[time.Duration]float64)
+		}
+		byKey[p.Method][p.Deadline] = p.HitRate
+	}
+	sort.Strings(methods)
+	sort.Slice(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+	fmt.Fprintf(w, "%-14s", "Method")
+	for _, d := range deadlines {
+		fmt.Fprintf(w, " %10s", round(d))
+	}
+	fmt.Fprintln(w)
+	for _, m := range methods {
+		fmt.Fprintf(w, "%-14s", m)
+		for _, d := range deadlines {
+			fmt.Fprintf(w, " %10.2f", byKey[m][d])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig7 writes the speedup curves.
+func PrintFig7(w io.Writer, series []evalmetrics.SpeedupSeries) {
+	fmt.Fprintln(w, "== Fig 7 (speedup vs workers) ==")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-12d", s.DataSize)
+		for i, wk := range s.Workers {
+			fmt.Fprintf(w, "  %dw:%.2f", wk, s.Speedup[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintAblation writes an ablation sweep.
+func PrintAblation(w io.Writer, title string, points []AblationPoint) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-18s %9s %10s %8s %9s\n", "Variant", "Accuracy", "Precision", "Recall", "F1-Score")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-18s %9.3f %10.3f %8.3f %9.3f\n",
+			p.Label, p.Report.Accuracy, p.Report.Precision, p.Report.Recall, p.Report.F1)
+	}
+}
+
+// round truncates a duration for display.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(10 * time.Nanosecond)
+	}
+}

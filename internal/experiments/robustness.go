@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/baselines"
+	"github.com/social-sensing/sstd/internal/condor"
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/stream"
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+// RobustnessPoint is one measurement of the noise sweep: the unreliable
+// source fraction and each method's accuracy under it.
+type RobustnessPoint struct {
+	// NoiseFrac is the fraction of sources drawn from the unreliable
+	// band.
+	NoiseFrac float64
+	// Accuracy per method name.
+	Accuracy map[string]float64
+}
+
+// NoiseRobustness sweeps the source reliability mixture toward
+// unreliability and measures every method's truth discovery accuracy —
+// the robustness claim of the paper's introduction ("robust against noisy
+// data"). At each step the unreliable band (reliability ~0.15-0.3) grows
+// at the expense of the reliable bands.
+func NoiseRobustness(prof tracegen.Profile, noiseFracs []float64, o Options) ([]RobustnessPoint, error) {
+	o = o.withDefaults()
+	var out []RobustnessPoint
+	for _, frac := range noiseFracs {
+		if frac < 0 || frac > 0.9 {
+			return nil, fmt.Errorf("experiments: noise fraction %v outside [0, 0.9]", frac)
+		}
+		p := prof
+		// Rescale the profile's reliability mixture: the last band is
+		// treated as the unreliable one and pinned to frac; the others
+		// shrink proportionally.
+		p.Reliability = rescaleNoise(prof.Reliability, frac)
+		tr, err := generate(p, o)
+		if err != nil {
+			return nil, err
+		}
+		point := RobustnessPoint{NoiseFrac: frac, Accuracy: make(map[string]float64)}
+		width := evalWidth(tr, o)
+
+		sstdFn, err := sstdBatch(tr, o)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := evalmetrics.EvaluateDynamic(tr, sstdFn, width)
+		if err != nil {
+			return nil, err
+		}
+		point.Accuracy["SSTD"] = conf.Accuracy()
+
+		batches, err := stream.SplitByInterval(tr, width)
+		if err != nil {
+			return nil, err
+		}
+		bs := make([]batch, len(batches))
+		for i, b := range batches {
+			bs[i] = batch{start: b.Start, reports: b.Reports}
+		}
+		tl := runStreaming(baselines.NewDynaTD(), bs)
+		conf, err = evalmetrics.EvaluateDynamic(tr, tl.truthFunc(), width)
+		if err != nil {
+			return nil, err
+		}
+		point.Accuracy["DynaTD"] = conf.Accuracy()
+
+		ds := baselines.BuildDataset(tr.Reports)
+		for _, est := range batchEstimators() {
+			fn := staticTruthFunc(est.Estimate(ds))
+			conf, err := evalmetrics.EvaluateDynamic(tr, fn, width)
+			if err != nil {
+				return nil, err
+			}
+			point.Accuracy[est.Name()] = conf.Accuracy()
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// rescaleNoise pins the final (least reliable) band to frac and scales the
+// remaining bands to fill 1-frac.
+func rescaleNoise(bands []tracegen.ReliabilityBand, frac float64) []tracegen.ReliabilityBand {
+	out := make([]tracegen.ReliabilityBand, len(bands))
+	copy(out, bands)
+	if len(out) == 0 {
+		return out
+	}
+	last := len(out) - 1
+	restOrig := 0.0
+	for i := 0; i < last; i++ {
+		restOrig += out[i].Frac
+	}
+	out[last].Frac = frac
+	if restOrig > 0 {
+		scale := (1 - frac) / restOrig
+		for i := 0; i < last; i++ {
+			out[i].Frac *= scale
+		}
+	}
+	return out
+}
+
+// Fig7Churn computes the speedup curves on a heterogeneous pool with
+// cycle-scavenging churn (every fourth slot reclaimed during the run) —
+// the operating regime of the paper's actual HTCondor deployment, where
+// workstations come and go.
+func Fig7Churn(o Options) ([]evalmetrics.SpeedupSeries, error) {
+	o = o.withDefaults()
+	const claims, tasksPerClaim = 40, 4
+	cluster, err := condor.NewHeterogeneousCluster(128, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []evalmetrics.SpeedupSeries
+	for _, size := range Fig7DataSizes {
+		tasks := buildVirtualTasks(size, claims, tasksPerClaim)
+		series := evalmetrics.SpeedupSeries{DataSize: size}
+		// Serial reference on one reference-speed slot.
+		serial, err := condor.Simulate(tasks, []condor.Slot{{ID: 1, Node: "ref", Speed: 1}}, Fig7CostModel)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range Fig7Workers {
+			slots := cluster.ClaimN(w, condor.Resources{Cores: 1})
+			if len(slots) < w {
+				return nil, fmt.Errorf("experiments: cluster too small for %d workers", w)
+			}
+			churn := condor.PoolChurn(slots, 4, serial.Makespan/time.Duration(4*w))
+			res, err := condor.SimulateEvictions(tasks, slots, Fig7CostModel, churn)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range slots {
+				if err := cluster.Release(s); err != nil {
+					return nil, err
+				}
+			}
+			series.Workers = append(series.Workers, w)
+			series.Speedup = append(series.Speedup, float64(serial.Makespan)/float64(res.Makespan))
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/social-sensing/sstd/internal/baselines"
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// sstdBatch runs the SSTD pipeline over a full trace and returns a
+// TruthFunc over its decoded per-interval estimates.
+func sstdBatch(tr *socialsensing.Trace, o Options) (evalmetrics.TruthFunc, error) {
+	eng, err := core.NewEngine(engineConfig(tr, o))
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.IngestAll(tr.Reports); err != nil {
+		return nil, err
+	}
+	decoded, err := eng.DecodeAll()
+	if err != nil {
+		return nil, err
+	}
+	return func(claim socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
+		return core.TruthAt(decoded[claim], at)
+	}, nil
+}
+
+// staticTruthFunc adapts a batch estimator's single verdict per claim.
+func staticTruthFunc(est map[socialsensing.ClaimID]socialsensing.TruthValue) evalmetrics.TruthFunc {
+	return func(claim socialsensing.ClaimID, _ time.Time) (socialsensing.TruthValue, bool) {
+		v, ok := est[claim]
+		return v, ok
+	}
+}
+
+// timeline is a per-claim estimate history built interval by interval.
+type timeline struct {
+	starts []time.Time
+	values map[socialsensing.ClaimID][]socialsensing.TruthValue
+}
+
+func newTimeline() *timeline {
+	return &timeline{values: make(map[socialsensing.ClaimID][]socialsensing.TruthValue)}
+}
+
+// record appends one interval's estimates. Claims missing from est carry
+// their previous value forward implicitly at lookup time.
+func (tl *timeline) record(start time.Time, est map[socialsensing.ClaimID]socialsensing.TruthValue) {
+	idx := len(tl.starts)
+	tl.starts = append(tl.starts, start)
+	for c, v := range est {
+		series := tl.values[c]
+		for len(series) < idx {
+			// Pad gaps with the last known value (or False when none).
+			prev := socialsensing.False
+			if len(series) > 0 {
+				prev = series[len(series)-1]
+			}
+			series = append(series, prev)
+		}
+		series = append(series, v)
+		tl.values[c] = series
+	}
+}
+
+// truthFunc evaluates the recorded history.
+func (tl *timeline) truthFunc() evalmetrics.TruthFunc {
+	return func(claim socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
+		series, ok := tl.values[claim]
+		if !ok || len(tl.starts) == 0 {
+			return socialsensing.False, false
+		}
+		idx := -1
+		for i, s := range tl.starts {
+			if s.After(at) {
+				break
+			}
+			idx = i
+		}
+		if idx == -1 {
+			idx = 0
+		}
+		if idx >= len(series) {
+			idx = len(series) - 1
+		}
+		return series[idx], true
+	}
+}
+
+// runStreaming feeds interval batches to a streaming estimator and
+// returns its estimate timeline.
+func runStreaming(est baselines.StreamingEstimator, batches []batch) *timeline {
+	est.Reset()
+	tl := newTimeline()
+	for _, b := range batches {
+		tl.record(b.start, est.ProcessInterval(b.reports))
+	}
+	return tl
+}
+
+// batch decouples experiments from the stream package's Batch type where
+// convenient.
+type batch struct {
+	start   time.Time
+	reports []socialsensing.Report
+}

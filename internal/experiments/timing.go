@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/condor"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Timing model for the efficiency experiments (Figs. 4-6).
+//
+// The paper measures wall-clock time on a real HTCondor pool. This
+// reproduction cannot assume a multi-core host (CI boxes are often single
+// core), so the timing experiments use a documented hybrid: the
+// data-proportional preprocessing cost — which dominates TD job time on
+// real traces and is what parallelizes across Work Queue workers — is
+// charged in *virtual time* (serial for the centralized baselines,
+// list-scheduled over the worker pool for SSTD via the condor simulator),
+// while each method's actual algorithmic compute (EM/Viterbi, fixpoint
+// iterations) is *measured* and added. Shapes are therefore host
+// independent; see DESIGN.md §2.
+
+// costModel derives the virtual-time task cost model from the options.
+func costModel(o Options) condor.CostModel {
+	return condor.CostModel{
+		// Task start-up (Eq. 10's TI): payload transfer to a persistent
+		// Work Queue worker — cheap relative to the data processing but
+		// not free, which is why the DTM bounds tasks per job (Eq. 11).
+		InitTime: 4 * o.PerReportCost,
+		PerUnit:  o.PerReportCost,
+		// Master-side serial dispatch per task (queue pop + send).
+		Dispatch: o.PerReportCost / 2,
+	}
+}
+
+// unitSlots builds n speed-1 worker slots.
+func unitSlots(n int) []condor.Slot {
+	slots := make([]condor.Slot, n)
+	for i := range slots {
+		slots[i] = condor.Slot{ID: i + 1, Node: "virtual", Speed: 1}
+	}
+	return slots
+}
+
+// claimTasks shapes a report set into SSTD TD tasks: one job per claim,
+// split into up to maxTasksPerJob equal chunks but never below
+// minChunkReports reports per task — the paper's DTM keeps the task count
+// per job small precisely because the per-task init overhead of Eq. 10
+// would otherwise swamp small jobs (Eq. 11).
+const (
+	maxTasksPerJob  = 4
+	minChunkReports = 50
+)
+
+func claimTasks(byClaim map[socialsensing.ClaimID][]socialsensing.Report) []condor.VirtualTask {
+	ids := make([]socialsensing.ClaimID, 0, len(byClaim))
+	for id := range byClaim {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var tasks []condor.VirtualTask
+	for _, id := range ids {
+		n := len(byClaim[id])
+		if n == 0 {
+			continue
+		}
+		chunks := n / minChunkReports
+		if chunks < 1 {
+			chunks = 1
+		}
+		if chunks > maxTasksPerJob {
+			chunks = maxTasksPerJob
+		}
+		per := float64(n) / float64(chunks)
+		for c := 0; c < chunks; c++ {
+			tasks = append(tasks, condor.VirtualTask{JobID: string(id), Work: per})
+		}
+	}
+	return tasks
+}
+
+// sstdPreprocessTime returns the virtual makespan of SSTD's parallel
+// preprocessing over the reports on a pool of the given size.
+func sstdPreprocessTime(byClaim map[socialsensing.ClaimID][]socialsensing.Report, workers int, o Options) (time.Duration, error) {
+	tasks := claimTasks(byClaim)
+	if len(tasks) == 0 {
+		return 0, nil
+	}
+	res, err := condor.Simulate(tasks, unitSlots(workers), costModel(o))
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// serialPreprocessTime is the virtual cost a centralized scheme pays to
+// preprocess n reports.
+func serialPreprocessTime(n int, o Options) time.Duration {
+	return time.Duration(n) * o.PerReportCost
+}

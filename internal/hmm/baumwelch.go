@@ -1,0 +1,154 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainConfig controls Baum-Welch training.
+type TrainConfig struct {
+	// MaxIterations bounds EM iterations. Default 100.
+	MaxIterations int
+	// Tolerance stops training when the log-likelihood improvement per
+	// iteration drops below it. Default 1e-6.
+	Tolerance float64
+	// SmoothA, SmoothB and SmoothPi are pseudo-counts added to the
+	// re-estimated transition, emission and initial distributions to keep
+	// every probability strictly positive (important for short, sparse
+	// social sensing sequences). Defaults 1e-3.
+	SmoothA, SmoothB, SmoothPi float64
+	// FreezeEmissions skips the emission (B) re-estimation, fitting only
+	// the transition matrix and initial distribution. With informative
+	// emission priors and a single short training sequence per claim,
+	// full EM can drift the state semantics; freezing B keeps the states
+	// anchored while still learning the truth dynamics.
+	FreezeEmissions bool
+}
+
+// DefaultTrainConfig returns the default training settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		MaxIterations: 100,
+		Tolerance:     1e-6,
+		SmoothA:       1e-3,
+		SmoothB:       1e-3,
+		SmoothPi:      1e-3,
+	}
+}
+
+func (c *TrainConfig) fillDefaults() {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+}
+
+// TrainResult reports how training went.
+type TrainResult struct {
+	Iterations    int
+	LogLikelihood float64
+	Converged     bool
+}
+
+// BaumWelch fits the model in place to one or more observation sequences by
+// expectation maximization (the paper's Eq. 5, solved with the classic
+// Baum 1970 procedure), returning the final log-likelihood. Multiple
+// sequences are combined by accumulating expected counts across sequences.
+func (m *Discrete) BaumWelch(sequences [][]int, cfg TrainConfig) (TrainResult, error) {
+	cfg.fillDefaults()
+	if len(sequences) == 0 {
+		return TrainResult{}, ErrEmptySequence
+	}
+	for _, obs := range sequences {
+		if err := m.checkObs(obs); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	n, sym := m.States(), m.Symbols()
+	prevLL := math.Inf(-1)
+	var res TrainResult
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// Accumulators for expected counts.
+		piAcc := make([]float64, n)
+		aNum := makeMatrix(n, n)
+		bNum := makeMatrix(n, sym)
+		totalLL := 0.0
+
+		for _, obs := range sequences {
+			T := len(obs)
+			alpha, scale, ll, err := m.Forward(obs)
+			if err != nil {
+				return res, fmt.Errorf("baum-welch E-step: %w", err)
+			}
+			totalLL += ll
+			beta, err := m.Backward(obs, scale)
+			if err != nil {
+				return res, fmt.Errorf("baum-welch E-step: %w", err)
+			}
+			// gamma[t][i] and xi accumulation.
+			for t := 0; t < T; t++ {
+				gsum := 0.0
+				gamma := make([]float64, n)
+				for i := 0; i < n; i++ {
+					gamma[i] = alpha[t][i] * beta[t][i]
+					gsum += gamma[i]
+				}
+				if gsum <= 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					g := gamma[i] / gsum
+					if t == 0 {
+						piAcc[i] += g
+					}
+					bNum[i][obs[t]] += g
+				}
+			}
+			// xi[t][i][j] without materializing the 3-D tensor. With the
+			// scaled alpha/beta used here, xi = alpha[t][i]*A[i][j]*
+			// B[j][obs[t+1]]*beta[t+1][j] already normalized per t.
+			for t := 0; t < T-1; t++ {
+				for i := 0; i < n; i++ {
+					ai := alpha[t][i]
+					if ai == 0 {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						xi := ai * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+						aNum[i][j] += xi
+					}
+				}
+			}
+		}
+
+		// M-step with smoothing pseudo-counts.
+		for i := 0; i < n; i++ {
+			piAcc[i] += cfg.SmoothPi
+		}
+		normalizeRow(piAcc)
+		copy(m.Pi, piAcc)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.A[i][j] = aNum[i][j] + cfg.SmoothA
+			}
+			normalizeRow(m.A[i])
+			if !cfg.FreezeEmissions {
+				for k := 0; k < sym; k++ {
+					m.B[i][k] = bNum[i][k] + cfg.SmoothB
+				}
+				normalizeRow(m.B[i])
+			}
+		}
+
+		res.Iterations = iter + 1
+		res.LogLikelihood = totalLL
+		if totalLL-prevLL < cfg.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}

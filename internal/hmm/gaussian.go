@@ -1,0 +1,263 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gaussian is an HMM whose per-state emissions are univariate normal
+// distributions. It is used with raw (continuous) Aggregated Contribution
+// Score sequences, avoiding the quantization step the discrete model needs.
+type Gaussian struct {
+	// A[i][j] is the transition probability from state i to state j.
+	A [][]float64
+	// Pi[i] is the initial state distribution.
+	Pi []float64
+	// Mean[i] and Var[i] parameterize state i's emission density.
+	Mean []float64
+	Var  []float64
+
+	// VarFloor is the minimum variance enforced during training to keep
+	// densities finite. Zero means use the default (1e-4).
+	VarFloor float64
+}
+
+// NewGaussian allocates a model with uniform transitions and the given
+// initial emission parameters. len(means) defines the state count and must
+// equal len(vars).
+func NewGaussian(means, vars []float64) (*Gaussian, error) {
+	if len(means) == 0 || len(means) != len(vars) {
+		return nil, fmt.Errorf("hmm: need matching non-empty means/vars, got %d/%d", len(means), len(vars))
+	}
+	for i, v := range vars {
+		if v <= 0 {
+			return nil, fmt.Errorf("hmm: var[%d] = %v must be positive", i, v)
+		}
+	}
+	n := len(means)
+	return &Gaussian{
+		A:    uniformMatrix(n, n),
+		Pi:   uniformVector(n),
+		Mean: cloneVector(means),
+		Var:  cloneVector(vars),
+	}, nil
+}
+
+// States returns the number of hidden states.
+func (m *Gaussian) States() int { return len(m.Pi) }
+
+func (m *Gaussian) varFloor() float64 {
+	if m.VarFloor > 0 {
+		return m.VarFloor
+	}
+	return 1e-4
+}
+
+// density returns the emission density of observation x in state i.
+func (m *Gaussian) density(i int, x float64) float64 {
+	v := m.Var[i]
+	d := x - m.Mean[i]
+	return math.Exp(-d*d/(2*v)) / math.Sqrt(2*math.Pi*v)
+}
+
+// Forward runs the scaled forward pass; logProb is log P(obs|model) up to
+// the density (not probability) normalization inherent to continuous HMMs.
+func (m *Gaussian) Forward(obs []float64) (alpha [][]float64, scale []float64, logProb float64, err error) {
+	if len(obs) == 0 {
+		return nil, nil, 0, ErrEmptySequence
+	}
+	n, T := m.States(), len(obs)
+	alpha = makeMatrix(T, n)
+	scale = make([]float64, T)
+	for i := 0; i < n; i++ {
+		alpha[0][i] = m.Pi[i] * m.density(i, obs[0])
+	}
+	scale[0] = normalizeRow(alpha[0])
+	for t := 1; t < T; t++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = sum * m.density(j, obs[t])
+		}
+		scale[t] = normalizeRow(alpha[t])
+	}
+	for t := 0; t < T; t++ {
+		if scale[t] <= 0 {
+			return nil, nil, 0, fmt.Errorf("hmm: zero-density observation at t=%d", t)
+		}
+		logProb += math.Log(scale[t])
+	}
+	return alpha, scale, logProb, nil
+}
+
+// Backward runs the scaled backward pass with the forward scaling factors.
+func (m *Gaussian) Backward(obs []float64, scale []float64) ([][]float64, error) {
+	if len(obs) == 0 {
+		return nil, ErrEmptySequence
+	}
+	n, T := m.States(), len(obs)
+	if len(scale) != T {
+		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), T)
+	}
+	beta := makeMatrix(T, n)
+	for i := 0; i < n; i++ {
+		beta[T-1][i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += m.A[i][j] * m.density(j, obs[t+1]) * beta[t+1][j]
+			}
+			beta[t][i] = sum / scale[t]
+		}
+	}
+	return beta, nil
+}
+
+// Viterbi returns the most likely state sequence and its log score.
+func (m *Gaussian) Viterbi(obs []float64) ([]int, float64, error) {
+	if len(obs) == 0 {
+		return nil, 0, ErrEmptySequence
+	}
+	n, T := m.States(), len(obs)
+	delta := makeMatrix(T, n)
+	psi := make([][]int, T)
+	for t := range psi {
+		psi[t] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.density(i, obs[0]))
+	}
+	for t := 1; t < T; t++ {
+		for j := 0; j < n; j++ {
+			best := math.Inf(-1)
+			arg := 0
+			for i := 0; i < n; i++ {
+				v := delta[t-1][i] + safeLog(m.A[i][j])
+				if v > best {
+					best = v
+					arg = i
+				}
+			}
+			delta[t][j] = best + safeLog(m.density(j, obs[t]))
+			psi[t][j] = arg
+		}
+	}
+	best := math.Inf(-1)
+	last := 0
+	for i := 0; i < n; i++ {
+		if delta[T-1][i] > best {
+			best = delta[T-1][i]
+			last = i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = last
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = psi[t][path[t]]
+	}
+	return path, best, nil
+}
+
+// BaumWelch fits transitions, initial distribution and emission moments to
+// the sequences by EM.
+func (m *Gaussian) BaumWelch(sequences [][]float64, cfg TrainConfig) (TrainResult, error) {
+	cfg.fillDefaults()
+	if len(sequences) == 0 {
+		return TrainResult{}, ErrEmptySequence
+	}
+	for _, obs := range sequences {
+		if len(obs) == 0 {
+			return TrainResult{}, ErrEmptySequence
+		}
+	}
+	n := m.States()
+	prevLL := math.Inf(-1)
+	var res TrainResult
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		piAcc := make([]float64, n)
+		aNum := makeMatrix(n, n)
+		gammaSum := make([]float64, n)
+		obsSum := make([]float64, n)
+		obsSqSum := make([]float64, n)
+		totalLL := 0.0
+
+		for _, obs := range sequences {
+			T := len(obs)
+			alpha, scale, ll, err := m.Forward(obs)
+			if err != nil {
+				return res, fmt.Errorf("gaussian baum-welch E-step: %w", err)
+			}
+			totalLL += ll
+			beta, err := m.Backward(obs, scale)
+			if err != nil {
+				return res, fmt.Errorf("gaussian baum-welch E-step: %w", err)
+			}
+			for t := 0; t < T; t++ {
+				gsum := 0.0
+				gamma := make([]float64, n)
+				for i := 0; i < n; i++ {
+					gamma[i] = alpha[t][i] * beta[t][i]
+					gsum += gamma[i]
+				}
+				if gsum <= 0 {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					g := gamma[i] / gsum
+					if t == 0 {
+						piAcc[i] += g
+					}
+					gammaSum[i] += g
+					obsSum[i] += g * obs[t]
+					obsSqSum[i] += g * obs[t] * obs[t]
+				}
+			}
+			for t := 0; t < T-1; t++ {
+				for i := 0; i < n; i++ {
+					ai := alpha[t][i]
+					if ai == 0 {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						aNum[i][j] += ai * m.A[i][j] * m.density(j, obs[t+1]) * beta[t+1][j]
+					}
+				}
+			}
+		}
+
+		for i := 0; i < n; i++ {
+			piAcc[i] += cfg.SmoothPi
+		}
+		normalizeRow(piAcc)
+		copy(m.Pi, piAcc)
+		floor := m.varFloor()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.A[i][j] = aNum[i][j] + cfg.SmoothA
+			}
+			normalizeRow(m.A[i])
+			if gammaSum[i] > 0 {
+				mean := obsSum[i] / gammaSum[i]
+				variance := obsSqSum[i]/gammaSum[i] - mean*mean
+				if variance < floor {
+					variance = floor
+				}
+				m.Mean[i] = mean
+				m.Var[i] = variance
+			}
+		}
+
+		res.Iterations = iter + 1
+		res.LogLikelihood = totalLL
+		if totalLL-prevLL < cfg.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+		prevLL = totalLL
+	}
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package hmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussRef is a well-separated two-state Gaussian model.
+func gaussRef() *Gaussian {
+	m, err := NewGaussian([]float64{-3, 3}, []float64{1, 1})
+	if err != nil {
+		panic(err)
+	}
+	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	m.Pi = []float64{0.5, 0.5}
+	return m
+}
+
+func sampleGauss(m *Gaussian, T int, rng *rand.Rand) (obs []float64, states []int) {
+	obs = make([]float64, T)
+	states = make([]int, T)
+	st := drawFrom(m.Pi, rng)
+	for t := 0; t < T; t++ {
+		states[t] = st
+		obs[t] = m.Mean[st] + rng.NormFloat64()*math.Sqrt(m.Var[st])
+		st = drawFrom(m.A[st], rng)
+	}
+	return obs, states
+}
+
+func TestNewGaussianValidation(t *testing.T) {
+	if _, err := NewGaussian(nil, nil); err == nil {
+		t.Error("empty means accepted")
+	}
+	if _, err := NewGaussian([]float64{0}, []float64{0, 1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewGaussian([]float64{0}, []float64{-1}); err == nil {
+		t.Error("negative variance accepted")
+	}
+	m, err := NewGaussian([]float64{-1, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States() != 2 {
+		t.Errorf("States() = %d", m.States())
+	}
+}
+
+func TestGaussianViterbiRecoversStates(t *testing.T) {
+	m := gaussRef()
+	rng := rand.New(rand.NewSource(17))
+	obs, states := sampleGauss(m, 300, rng)
+	path, _, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := range path {
+		if path[i] != states[i] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(path)); frac > 0.05 {
+		t.Errorf("Viterbi error rate %.3f, want <= 0.05", frac)
+	}
+}
+
+func TestGaussianForwardBackwardConsistency(t *testing.T) {
+	m := gaussRef()
+	rng := rand.New(rand.NewSource(23))
+	obs, _ := sampleGauss(m, 60, rng)
+	alpha, scale, _, err := m.Forward(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := m.Backward(obs, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < len(obs); tt++ {
+		sum := alpha[tt][0]*beta[tt][0] + alpha[tt][1]*beta[tt][1]
+		want := 1 / scale[tt]
+		if math.Abs(sum-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("alpha·beta at t=%d is %v, want 1/scale = %v", tt, sum, want)
+		}
+	}
+}
+
+func TestGaussianBaumWelchRecoversMeans(t *testing.T) {
+	truth := gaussRef()
+	rng := rand.New(rand.NewSource(29))
+	var seqs [][]float64
+	for i := 0; i < 8; i++ {
+		obs, _ := sampleGauss(truth, 200, rng)
+		seqs = append(seqs, obs)
+	}
+	m, err := NewGaussian([]float64{-1, 1}, []float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.BaumWelch(seqs, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	lo, hi := m.Mean[0], m.Mean[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-(-3)) > 0.5 || math.Abs(hi-3) > 0.5 {
+		t.Errorf("means not recovered: %v", m.Mean)
+	}
+	for i, v := range m.Var {
+		if v < m.varFloor() {
+			t.Errorf("var[%d] = %v below floor", i, v)
+		}
+	}
+}
+
+func TestGaussianBaumWelchMonotone(t *testing.T) {
+	truth := gaussRef()
+	rng := rand.New(rand.NewSource(41))
+	obs, _ := sampleGauss(truth, 150, rng)
+	m, _ := NewGaussian([]float64{-0.5, 0.5}, []float64{2, 2})
+	cfg := DefaultTrainConfig()
+	cfg.MaxIterations = 1
+	cfg.SmoothA, cfg.SmoothPi = 0, 0
+	prev := math.Inf(-1)
+	for i := 0; i < 12; i++ {
+		res, err := m.BaumWelch([][]float64{obs}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LogLikelihood < prev-1e-6 {
+			t.Fatalf("iteration %d decreased LL: %v -> %v", i, prev, res.LogLikelihood)
+		}
+		prev = res.LogLikelihood
+	}
+}
+
+func TestGaussianVarianceFloorPreventsCollapse(t *testing.T) {
+	// Identical observations would drive variance to zero without the
+	// floor.
+	m, _ := NewGaussian([]float64{0, 1}, []float64{1, 1})
+	obs := make([]float64, 50) // all zeros
+	if _, err := m.BaumWelch([][]float64{obs}, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Var {
+		if v < m.varFloor() {
+			t.Errorf("var[%d] = %v collapsed below floor", i, v)
+		}
+		if math.IsNaN(v) {
+			t.Errorf("var[%d] is NaN", i)
+		}
+	}
+}
+
+func TestGaussianErrors(t *testing.T) {
+	m := gaussRef()
+	if _, _, _, err := m.Forward(nil); !errors.Is(err, ErrEmptySequence) {
+		t.Errorf("Forward(nil) err = %v", err)
+	}
+	if _, _, err := m.Viterbi(nil); !errors.Is(err, ErrEmptySequence) {
+		t.Errorf("Viterbi(nil) err = %v", err)
+	}
+	if _, err := m.BaumWelch([][]float64{{}}, DefaultTrainConfig()); !errors.Is(err, ErrEmptySequence) {
+		t.Errorf("BaumWelch empty seq err = %v", err)
+	}
+	if _, err := m.Backward([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("Backward wrong scale accepted")
+	}
+}
+
+func TestGaussianSingleObservation(t *testing.T) {
+	m := gaussRef()
+	path, _, err := m.Viterbi([]float64{2.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 1 {
+		t.Errorf("Viterbi(2.9) = %v, want state 1", path)
+	}
+}

@@ -1,0 +1,323 @@
+// Package hmm implements the Hidden Markov Model machinery the SSTD scheme
+// is built on (§III of the paper): scaled forward-backward inference,
+// unsupervised Baum-Welch (EM) parameter estimation (Eq. 5) and Viterbi
+// decoding (Eq. 6-8). Two emission families are provided: discrete symbols
+// (used with a quantized ACS alphabet) and univariate Gaussians (used with
+// raw ACS values).
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common errors.
+var (
+	ErrEmptySequence = errors.New("hmm: observation sequence is empty")
+	ErrBadSymbol     = errors.New("hmm: observation symbol out of range")
+)
+
+// Discrete is a discrete-emission HMM with N hidden states and M
+// observation symbols.
+type Discrete struct {
+	// A[i][j] is the transition probability from state i to state j.
+	A [][]float64
+	// B[i][k] is the probability of emitting symbol k in state i.
+	B [][]float64
+	// Pi[i] is the initial state distribution.
+	Pi []float64
+}
+
+// NewDiscrete allocates a model with uniform parameters.
+func NewDiscrete(states, symbols int) (*Discrete, error) {
+	if states < 1 || symbols < 1 {
+		return nil, fmt.Errorf("hmm: need >=1 states and symbols, got %d, %d", states, symbols)
+	}
+	m := &Discrete{
+		A:  uniformMatrix(states, states),
+		B:  uniformMatrix(states, symbols),
+		Pi: uniformVector(states),
+	}
+	return m, nil
+}
+
+// States returns the number of hidden states.
+func (m *Discrete) States() int { return len(m.Pi) }
+
+// Symbols returns the size of the observation alphabet.
+func (m *Discrete) Symbols() int {
+	if len(m.B) == 0 {
+		return 0
+	}
+	return len(m.B[0])
+}
+
+// Validate checks that all rows are probability distributions.
+func (m *Discrete) Validate() error {
+	n := m.States()
+	if len(m.A) != n || len(m.B) != n {
+		return fmt.Errorf("hmm: inconsistent dimensions (pi=%d, A=%d, B=%d)", n, len(m.A), len(m.B))
+	}
+	if err := checkDistribution("pi", m.Pi); err != nil {
+		return err
+	}
+	for i := range m.A {
+		if len(m.A[i]) != n {
+			return fmt.Errorf("hmm: A row %d has %d entries, want %d", i, len(m.A[i]), n)
+		}
+		if err := checkDistribution(fmt.Sprintf("A[%d]", i), m.A[i]); err != nil {
+			return err
+		}
+	}
+	sym := m.Symbols()
+	for i := range m.B {
+		if len(m.B[i]) != sym {
+			return fmt.Errorf("hmm: B row %d has %d entries, want %d", i, len(m.B[i]), sym)
+		}
+		if err := checkDistribution(fmt.Sprintf("B[%d]", i), m.B[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the model.
+func (m *Discrete) Clone() *Discrete {
+	return &Discrete{
+		A:  cloneMatrix(m.A),
+		B:  cloneMatrix(m.B),
+		Pi: cloneVector(m.Pi),
+	}
+}
+
+// checkObs validates an observation sequence against the alphabet.
+func (m *Discrete) checkObs(obs []int) error {
+	if len(obs) == 0 {
+		return ErrEmptySequence
+	}
+	sym := m.Symbols()
+	for t, o := range obs {
+		if o < 0 || o >= sym {
+			return fmt.Errorf("%w: obs[%d]=%d, alphabet size %d", ErrBadSymbol, t, o, sym)
+		}
+	}
+	return nil
+}
+
+// Forward runs the scaled forward algorithm and returns the per-step scaled
+// alpha matrix, the scaling coefficients and the total log-likelihood
+// log P(obs | model).
+func (m *Discrete) Forward(obs []int) (alpha [][]float64, scale []float64, logProb float64, err error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, nil, 0, err
+	}
+	n, T := m.States(), len(obs)
+	alpha = makeMatrix(T, n)
+	scale = make([]float64, T)
+	for i := 0; i < n; i++ {
+		alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
+	}
+	scale[0] = normalizeRow(alpha[0])
+	for t := 1; t < T; t++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = sum * m.B[j][obs[t]]
+		}
+		scale[t] = normalizeRow(alpha[t])
+	}
+	for t := 0; t < T; t++ {
+		if scale[t] <= 0 {
+			return nil, nil, 0, fmt.Errorf("hmm: zero-probability observation at t=%d", t)
+		}
+		logProb += math.Log(scale[t])
+	}
+	return alpha, scale, logProb, nil
+}
+
+// Backward runs the scaled backward algorithm reusing the forward scaling
+// coefficients.
+func (m *Discrete) Backward(obs []int, scale []float64) ([][]float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, err
+	}
+	n, T := m.States(), len(obs)
+	if len(scale) != T {
+		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), T)
+	}
+	beta := makeMatrix(T, n)
+	for i := 0; i < n; i++ {
+		beta[T-1][i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = sum / scale[t]
+		}
+	}
+	return beta, nil
+}
+
+// LogLikelihood returns log P(obs | model).
+func (m *Discrete) LogLikelihood(obs []int) (float64, error) {
+	_, _, lp, err := m.Forward(obs)
+	return lp, err
+}
+
+// Posterior returns gamma[t][i] = P(state_t = i | obs, model).
+func (m *Discrete) Posterior(obs []int) ([][]float64, error) {
+	alpha, scale, _, err := m.Forward(obs)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := m.Backward(obs, scale)
+	if err != nil {
+		return nil, err
+	}
+	T, n := len(obs), m.States()
+	gamma := makeMatrix(T, n)
+	for t := 0; t < T; t++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			gamma[t][i] = alpha[t][i] * beta[t][i]
+			sum += gamma[t][i]
+		}
+		if sum > 0 {
+			for i := 0; i < n; i++ {
+				gamma[t][i] /= sum
+			}
+		}
+	}
+	return gamma, nil
+}
+
+// Viterbi returns the most likely hidden state sequence for obs and its log
+// probability (Eq. 7-8 of the paper).
+func (m *Discrete) Viterbi(obs []int) ([]int, float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, 0, err
+	}
+	n, T := m.States(), len(obs)
+	delta := makeMatrix(T, n)
+	psi := make([][]int, T)
+	for t := range psi {
+		psi[t] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.B[i][obs[0]])
+	}
+	for t := 1; t < T; t++ {
+		for j := 0; j < n; j++ {
+			best := math.Inf(-1)
+			arg := 0
+			for i := 0; i < n; i++ {
+				v := delta[t-1][i] + safeLog(m.A[i][j])
+				if v > best {
+					best = v
+					arg = i
+				}
+			}
+			delta[t][j] = best + safeLog(m.B[j][obs[t]])
+			psi[t][j] = arg
+		}
+	}
+	best := math.Inf(-1)
+	last := 0
+	for i := 0; i < n; i++ {
+		if delta[T-1][i] > best {
+			best = delta[T-1][i]
+			last = i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = last
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = psi[t][path[t]]
+	}
+	return path, best, nil
+}
+
+// --- shared helpers ---
+
+func uniformMatrix(rows, cols int) [][]float64 {
+	m := makeMatrix(rows, cols)
+	v := 1 / float64(cols)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = v
+		}
+	}
+	return m
+}
+
+func uniformVector(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}
+
+func makeMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := makeMatrix(len(m), len(m[0]))
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+func cloneVector(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// normalizeRow scales row to sum 1 and returns the original sum.
+func normalizeRow(row []float64) float64 {
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	return sum
+}
+
+func checkDistribution(name string, row []float64) error {
+	sum := 0.0
+	for i, v := range row {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("hmm: %s[%d] = %v is not a probability", name, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("hmm: %s sums to %v, want 1", name, sum)
+	}
+	return nil
+}
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,84 @@
+// Package nlp implements the semantic labelling the paper's preprocessing
+// step performs on each report (§V-A2): an attitude score from keyword
+// heuristics, an uncertainty score from a trained hedge classifier (the
+// paper trains a text classifier on the CoNLL-2010 hedge-detection shared
+// task; we ship an equivalent Naive Bayes classifier with a built-in hedge
+// corpus), and an independence score from retweet/similarity analysis.
+package nlp
+
+import (
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/textutil"
+)
+
+// AttitudeScorer classifies a report's stance toward a claim following the
+// paper's heuristic: the presence of denial keywords ("false", "fake",
+// "rumor", "debunked", "not true") flips a report to Disagree; supportive
+// keywords (or the absence of denial for the emergency traces) yield Agree.
+type AttitudeScorer struct {
+	// DenyWords are single tokens indicating the source rejects the claim.
+	DenyWords []string
+	// DenyPhrases are multi-token denial expressions.
+	DenyPhrases []string
+	// SupportWords, when non-empty, gate Agree: a report must contain one
+	// of them to count as supportive; otherwise it is scored Disagree.
+	// This matches the College Football trace setup, where only tweets
+	// with score-change words ("score", "lead", "tied") support the
+	// "score changed" claim and all other tweets are scored -1.
+	SupportWords []string
+	// SupportPhrases are multi-token support expressions.
+	SupportPhrases []string
+}
+
+// NewDefaultAttitudeScorer returns the scorer configured with the denial
+// lexicon the paper lists for the emergency traces. Reports without denial
+// markers are treated as agreeing with the claim they were clustered into.
+func NewDefaultAttitudeScorer() *AttitudeScorer {
+	return &AttitudeScorer{
+		DenyWords:   []string{"false", "fake", "rumor", "rumour", "hoax", "debunked", "untrue", "misinformation"},
+		DenyPhrases: []string{"not true", "no truth", "didn't happen", "did not happen", "fake news"},
+	}
+}
+
+// NewSportsAttitudeScorer returns the scorer configured for the College
+// Football trace: tweets containing score-change language agree with the
+// "score changed" claim, everything else disagrees.
+func NewSportsAttitudeScorer() *AttitudeScorer {
+	return &AttitudeScorer{
+		DenyWords:   []string{"false", "fake", "rumor", "rumour"},
+		DenyPhrases: []string{"not true", "no score", "still scoreless"},
+		SupportWords: []string{
+			"score", "scored", "scores", "touchdown", "td", "fieldgoal", "tied",
+		},
+		SupportPhrases: []string{"taking the lead", "takes the lead", "field goal", "in the lead"},
+	}
+}
+
+// Score returns the attitude of the report text: Disagree when a denial
+// marker is present, otherwise Agree (or Disagree when SupportWords are
+// configured and none match). Empty text yields NoReport.
+func (s *AttitudeScorer) Score(text string) socialsensing.Attitude {
+	if len(textutil.Tokenize(text)) == 0 {
+		return socialsensing.NoReport
+	}
+	if textutil.ContainsAny(text, s.DenyWords) {
+		return socialsensing.Disagree
+	}
+	for _, p := range s.DenyPhrases {
+		if textutil.ContainsPhrase(text, p) {
+			return socialsensing.Disagree
+		}
+	}
+	if len(s.SupportWords) == 0 && len(s.SupportPhrases) == 0 {
+		return socialsensing.Agree
+	}
+	if textutil.ContainsAny(text, s.SupportWords) {
+		return socialsensing.Agree
+	}
+	for _, p := range s.SupportPhrases {
+		if textutil.ContainsPhrase(text, p) {
+			return socialsensing.Agree
+		}
+	}
+	return socialsensing.Disagree
+}

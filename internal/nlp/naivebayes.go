@@ -1,0 +1,123 @@
+package nlp
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/social-sensing/sstd/internal/textutil"
+)
+
+// binaryNB is a multinomial Naive Bayes model over two classes (positive /
+// negative) with Laplace smoothing — the shared core behind the hedge and
+// stance classifiers.
+type binaryNB struct {
+	vocab     map[string]int
+	posCounts []float64
+	negCounts []float64
+	posTotal  float64
+	negTotal  float64
+	posDocs   int
+	negDocs   int
+}
+
+// errNBEmptyCorpus is returned when either class has no examples.
+var errNBEmptyCorpus = errors.New("nlp: corpus must contain both classes")
+
+// trainBinaryNB fits the model on (text, positive?) examples.
+func trainBinaryNB(texts []string, positive []bool) (*binaryNB, error) {
+	if len(texts) != len(positive) {
+		return nil, errors.New("nlp: texts and labels length mismatch")
+	}
+	nb := &binaryNB{vocab: make(map[string]int)}
+	type doc struct {
+		tokens []string
+		pos    bool
+	}
+	docs := make([]doc, 0, len(texts))
+	for i, text := range texts {
+		toks := textutil.Tokenize(text)
+		docs = append(docs, doc{tokens: toks, pos: positive[i]})
+		for _, t := range toks {
+			if _, ok := nb.vocab[t]; !ok {
+				nb.vocab[t] = len(nb.vocab)
+			}
+		}
+		if positive[i] {
+			nb.posDocs++
+		} else {
+			nb.negDocs++
+		}
+	}
+	if nb.posDocs == 0 || nb.negDocs == 0 {
+		return nil, errNBEmptyCorpus
+	}
+	nb.posCounts = make([]float64, len(nb.vocab))
+	nb.negCounts = make([]float64, len(nb.vocab))
+	for _, d := range docs {
+		for _, t := range d.tokens {
+			idx := nb.vocab[t]
+			if d.pos {
+				nb.posCounts[idx]++
+				nb.posTotal++
+			} else {
+				nb.negCounts[idx]++
+				nb.negTotal++
+			}
+		}
+	}
+	return nb, nil
+}
+
+// probPositive returns P(positive | text), clamped strictly inside (0,1).
+func (nb *binaryNB) probPositive(text string) float64 {
+	v := float64(len(nb.vocab))
+	logPos := math.Log(float64(nb.posDocs) / float64(nb.posDocs+nb.negDocs))
+	logNeg := math.Log(float64(nb.negDocs) / float64(nb.posDocs+nb.negDocs))
+	for _, t := range textutil.Tokenize(text) {
+		idx, ok := nb.vocab[t]
+		if !ok {
+			continue
+		}
+		logPos += math.Log((nb.posCounts[idx] + 1) / (nb.posTotal + v))
+		logNeg += math.Log((nb.negCounts[idx] + 1) / (nb.negTotal + v))
+	}
+	m := math.Max(logPos, logNeg)
+	pp := math.Exp(logPos - m)
+	pn := math.Exp(logNeg - m)
+	p := pp / (pp + pn)
+	const eps = 1e-4
+	return math.Min(1-eps, math.Max(eps, p))
+}
+
+// scoredToken pairs a vocabulary token with a class-preference score.
+type scoredToken struct {
+	tok   string
+	score float64
+}
+
+// topPositiveTokens ranks vocabulary by log-likelihood ratio toward the
+// positive class.
+func (nb *binaryNB) topPositiveTokens(n int) []string {
+	v := float64(len(nb.vocab))
+	all := make([]scoredToken, 0, len(nb.vocab))
+	for tok, idx := range nb.vocab {
+		lp := math.Log((nb.posCounts[idx] + 1) / (nb.posTotal + v))
+		ln := math.Log((nb.negCounts[idx] + 1) / (nb.negTotal + v))
+		all = append(all, scoredToken{tok, lp - ln})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].tok < all[j].tok
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].tok
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package nlp
+
+import (
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+func TestDefaultAttitudeScorer(t *testing.T) {
+	s := NewDefaultAttitudeScorer()
+	tests := []struct {
+		name string
+		text string
+		want socialsensing.Attitude
+	}{
+		{"plain report agrees", "There was a shooting at Ohio state please pray", socialsensing.Agree},
+		{"fake flips to disagree", "Liberals putting out fake claims about the attack", socialsensing.Disagree},
+		{"rumor flips", "that bomb threat is just a rumor", socialsensing.Disagree},
+		{"phrase not true", "the shooting story is not true", socialsensing.Disagree},
+		{"fake news phrase", "classic fake news from that account", socialsensing.Disagree},
+		{"empty is no report", "   ", socialsensing.NoReport},
+		{"debunked", "this was debunked hours ago", socialsensing.Disagree},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.Score(tt.text); got != tt.want {
+				t.Errorf("Score(%q) = %v, want %v", tt.text, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSportsAttitudeScorer(t *testing.T) {
+	s := NewSportsAttitudeScorer()
+	tests := []struct {
+		name string
+		text string
+		want socialsensing.Attitude
+	}{
+		{"touchdown agrees", "TOUCHDOWN Irish!!", socialsensing.Agree},
+		{"taking the lead agrees", "the irish are taking the lead", socialsensing.Agree},
+		{"tied agrees", "game is tied at 14", socialsensing.Agree},
+		{"field goal phrase agrees", "Field goal is good!", socialsensing.Agree},
+		{"chatter disagrees", "great tailgate today go irish", socialsensing.Disagree},
+		{"no score phrase disagrees", "still no score in the second quarter", socialsensing.Disagree},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.Score(tt.text); got != tt.want {
+				t.Errorf("Score(%q) = %v, want %v", tt.text, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHedgeClassifierSeparates(t *testing.T) {
+	c := NewDefaultHedgeClassifier()
+	hedged := []string{
+		"there might be a second suspect maybe",
+		"possibly another device near the library",
+		"unconfirmed reports suggest casualties",
+		"i think the game could be delayed",
+	}
+	plain := []string{
+		"police confirmed the arrest",
+		"notre dame scored a touchdown",
+		"the library is on lockdown",
+		"two explosions at the marathon finish line",
+	}
+	for _, h := range hedged {
+		if u := c.Uncertainty(h); u <= 0.5 {
+			t.Errorf("Uncertainty(%q) = %v, want > 0.5", h, u)
+		}
+	}
+	for _, p := range plain {
+		if u := c.Uncertainty(p); u >= 0.5 {
+			t.Errorf("Uncertainty(%q) = %v, want < 0.5", p, u)
+		}
+	}
+}
+
+func TestHedgeClassifierBounds(t *testing.T) {
+	c := NewDefaultHedgeClassifier()
+	texts := []string{"", "zzz qqq xxx unknownwords", "might might might", "confirmed confirmed"}
+	for _, x := range texts {
+		u := c.Uncertainty(x)
+		if u <= 0 || u >= 1 {
+			t.Errorf("Uncertainty(%q) = %v, want strictly in (0,1)", x, u)
+		}
+	}
+}
+
+func TestHedgeClassifierUnknownFallsBackToPrior(t *testing.T) {
+	c := NewDefaultHedgeClassifier()
+	// Built-in corpus is balanced, so unknown text should be ~0.5.
+	u := c.Uncertainty("zzzz yyyy xxxx")
+	if u < 0.4 || u > 0.6 {
+		t.Errorf("prior fallback = %v, want near 0.5", u)
+	}
+}
+
+func TestTrainHedgeClassifierErrors(t *testing.T) {
+	if _, err := TrainHedgeClassifier(nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	onlyHedged := []LabeledSentence{{Text: "maybe", Hedged: true}}
+	if _, err := TrainHedgeClassifier(onlyHedged); err == nil {
+		t.Error("single-class corpus accepted")
+	}
+}
+
+func TestTopHedgeTokens(t *testing.T) {
+	c := NewDefaultHedgeClassifier()
+	top := c.TopHedgeTokens(10)
+	if len(top) != 10 {
+		t.Fatalf("TopHedgeTokens returned %d tokens", len(top))
+	}
+	found := false
+	for _, tok := range top {
+		if tok == "might" || tok == "maybe" || tok == "possibly" || tok == "may" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a hedge cue among top tokens, got %v", top)
+	}
+	if n := c.VocabSize(); n < 50 {
+		t.Errorf("vocab suspiciously small: %d", n)
+	}
+	if got := c.TopHedgeTokens(1 << 20); len(got) != c.VocabSize() {
+		t.Errorf("TopHedgeTokens over-ask returned %d, want %d", len(got), c.VocabSize())
+	}
+}
+
+func TestIndependenceScorerRetweets(t *testing.T) {
+	s := NewIndependenceScorer()
+	t0 := time.Date(2013, 4, 15, 14, 0, 0, 0, time.UTC)
+	if got := s.Score("c1", "RT @user: two explosions at the finish line", t0); got != s.CopyScore {
+		t.Errorf("retweet independence = %v, want %v", got, s.CopyScore)
+	}
+	if got := s.Score("c1", "I saw smoke near the finish line myself", t0.Add(time.Minute)); got != s.OriginalScore {
+		t.Errorf("original independence = %v, want %v", got, s.OriginalScore)
+	}
+}
+
+func TestIndependenceScorerNearDuplicates(t *testing.T) {
+	s := NewIndependenceScorer()
+	t0 := time.Date(2013, 4, 15, 14, 0, 0, 0, time.UTC)
+	orig := "two explosions reported at the boston marathon finish line"
+	if got := s.Score("c1", orig, t0); got != s.OriginalScore {
+		t.Fatalf("first report scored %v, want original", got)
+	}
+	// Near-identical copy inside the window.
+	if got := s.Score("c1", "two explosions reported at the boston marathon finish line!", t0.Add(2*time.Minute)); got != s.CopyScore {
+		t.Errorf("near-duplicate scored %v, want copy %v", got, s.CopyScore)
+	}
+	// Same text after the window has expired is original again.
+	if got := s.Score("c1", orig+" update", t0.Add(time.Hour)); got != s.OriginalScore {
+		t.Errorf("post-window duplicate scored %v, want original", got)
+	}
+}
+
+func TestIndependenceScorerPerClaimIsolation(t *testing.T) {
+	s := NewIndependenceScorer()
+	t0 := time.Date(2015, 1, 7, 11, 0, 0, 0, time.UTC)
+	text := "shots fired at the charlie hebdo office in paris"
+	s.Score("c1", text, t0)
+	// The same text on a different claim is not a copy.
+	if got := s.Score("c2", text, t0.Add(time.Minute)); got != s.OriginalScore {
+		t.Errorf("cross-claim duplicate scored %v, want original", got)
+	}
+}
+
+func TestIndependenceScorerReset(t *testing.T) {
+	s := NewIndependenceScorer()
+	t0 := time.Date(2015, 1, 7, 11, 0, 0, 0, time.UTC)
+	text := "police surround the building"
+	s.Score("c1", text, t0)
+	s.Reset()
+	if got := s.Score("c1", text, t0.Add(time.Second)); got != s.OriginalScore {
+		t.Errorf("after Reset duplicate scored %v, want original", got)
+	}
+}
+
+func TestIndependenceScorerZeroValueUsable(t *testing.T) {
+	var s IndependenceScorer
+	s.Window = 5 * time.Minute
+	s.SimilarityThreshold = 0.8
+	s.CopyScore = 0.1
+	s.OriginalScore = 0.9
+	got := s.Score("c", "hello world report", time.Now())
+	if got != 0.9 {
+		t.Errorf("zero-value scorer = %v, want 0.9", got)
+	}
+}

@@ -1,0 +1,85 @@
+package rto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSolvePropertyBounds: on random instances the solution respects all
+// bounds and its reported WCETs match Eq. 11 recomputed independently.
+func TestSolvePropertyBounds(t *testing.T) {
+	m := Model{InitTime: time.Millisecond, Theta2: 50 * time.Microsecond}
+	limits := Limits{MinWorkers: 1, MaxWorkers: 16, MaxTasksPerJob: 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		jobs := make([]JobSpec, n)
+		for i := range jobs {
+			jobs[i] = JobSpec{
+				ID:       string(rune('a' + i)),
+				DataSize: float64(rng.Intn(5000)),
+				Deadline: time.Duration(1+rng.Intn(100)) * time.Millisecond,
+			}
+		}
+		alloc, err := Solve(jobs, m, limits)
+		if err != nil {
+			return false
+		}
+		if alloc.Workers < limits.MinWorkers || alloc.Workers > limits.MaxWorkers {
+			return false
+		}
+		sum := 0
+		for _, tc := range alloc.Tasks {
+			if tc < 1 || tc > limits.MaxTasksPerJob {
+				return false
+			}
+			sum += tc
+		}
+		misses := 0
+		for _, j := range jobs {
+			want := wcet(j, m, alloc.Workers, alloc.Tasks[j.ID], sum)
+			if alloc.WCET[j.ID] != want {
+				return false
+			}
+			if want > j.Deadline {
+				misses++
+			}
+		}
+		return misses == alloc.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveMonotoneInWorkers: allowing a larger pool can never increase
+// the optimal miss count.
+func TestSolveMonotoneInWorkers(t *testing.T) {
+	m := Model{InitTime: time.Millisecond, Theta2: 50 * time.Microsecond}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		jobs := make([]JobSpec, n)
+		for i := range jobs {
+			jobs[i] = JobSpec{
+				ID:       string(rune('a' + i)),
+				DataSize: float64(rng.Intn(3000)),
+				Deadline: time.Duration(1+rng.Intn(40)) * time.Millisecond,
+			}
+		}
+		small, err := Solve(jobs, m, Limits{MinWorkers: 1, MaxWorkers: 4, MaxTasksPerJob: 4})
+		if err != nil {
+			return false
+		}
+		large, err := Solve(jobs, m, Limits{MinWorkers: 1, MaxWorkers: 32, MaxTasksPerJob: 4})
+		if err != nil {
+			return false
+		}
+		return large.Misses <= small.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

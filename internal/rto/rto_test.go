@@ -1,0 +1,187 @@
+package rto
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func model() Model {
+	return Model{InitTime: time.Millisecond, Theta2: 100 * time.Microsecond}
+}
+
+func jobs3() []JobSpec {
+	return []JobSpec{
+		{ID: "a", DataSize: 500, Deadline: 40 * time.Millisecond},
+		{ID: "b", DataSize: 100, Deadline: 20 * time.Millisecond},
+		{ID: "c", DataSize: 1500, Deadline: 80 * time.Millisecond},
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(nil, model(), DefaultLimits()); err == nil {
+		t.Error("no jobs accepted")
+	}
+	if _, err := Solve(jobs3(), model(), Limits{MinWorkers: 0, MaxWorkers: 4, MaxTasksPerJob: 4}); err == nil {
+		t.Error("bad limits accepted")
+	}
+	if _, err := Solve(jobs3(), Model{Theta2: 0}, DefaultLimits()); err == nil {
+		t.Error("zero theta accepted")
+	}
+	bad := jobs3()
+	bad[0].Deadline = 0
+	if _, err := Solve(bad, model(), DefaultLimits()); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	bad = jobs3()
+	bad[1].ID = ""
+	if _, err := Solve(bad, model(), DefaultLimits()); err == nil {
+		t.Error("unnamed job accepted")
+	}
+	bad = jobs3()
+	bad[2].DataSize = -1
+	if _, err := Solve(bad, model(), DefaultLimits()); err == nil {
+		t.Error("negative data accepted")
+	}
+}
+
+func TestSolveRespectsLimits(t *testing.T) {
+	limits := Limits{MinWorkers: 2, MaxWorkers: 6, MaxTasksPerJob: 3}
+	alloc, err := Solve(jobs3(), model(), limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Workers < 2 || alloc.Workers > 6 {
+		t.Errorf("workers = %d outside [2, 6]", alloc.Workers)
+	}
+	for id, tc := range alloc.Tasks {
+		if tc < 1 || tc > 3 {
+			t.Errorf("job %s task count %d outside [1, 3]", id, tc)
+		}
+	}
+	if len(alloc.Tasks) != 3 || len(alloc.WCET) != 3 {
+		t.Errorf("allocation incomplete: %+v", alloc)
+	}
+}
+
+func TestSolveMatchesExhaustiveSmall(t *testing.T) {
+	limits := Limits{MinWorkers: 1, MaxWorkers: 8, MaxTasksPerJob: 4}
+	cases := [][]JobSpec{
+		jobs3(),
+		{
+			{ID: "x", DataSize: 2000, Deadline: 30 * time.Millisecond},
+			{ID: "y", DataSize: 50, Deadline: 5 * time.Millisecond},
+		},
+		{
+			{ID: "only", DataSize: 800, Deadline: 25 * time.Millisecond},
+		},
+	}
+	for ci, jobs := range cases {
+		got, err := Solve(jobs, model(), limits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveExhaustive(jobs, model(), limits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Misses != want.Misses {
+			t.Errorf("case %d: misses = %d, optimal %d", ci, got.Misses, want.Misses)
+		}
+		if got.Misses == want.Misses && got.Workers > want.Workers {
+			t.Errorf("case %d: workers = %d, optimal %d", ci, got.Workers, want.Workers)
+		}
+	}
+}
+
+func TestSolveScalesWorkersWithLoad(t *testing.T) {
+	light := []JobSpec{{ID: "a", DataSize: 50, Deadline: 100 * time.Millisecond}}
+	heavy := []JobSpec{
+		{ID: "a", DataSize: 20_000, Deadline: 100 * time.Millisecond},
+		{ID: "b", DataSize: 20_000, Deadline: 100 * time.Millisecond},
+	}
+	la, err := Solve(light, model(), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := Solve(heavy, model(), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Workers >= ha.Workers {
+		t.Errorf("light load workers %d >= heavy load workers %d", la.Workers, ha.Workers)
+	}
+	if la.Misses != 0 {
+		t.Errorf("light load missed %d deadlines", la.Misses)
+	}
+	if ha.Misses != 0 {
+		t.Errorf("heavy load missed %d deadlines with up to %d workers", ha.Misses, DefaultLimits().MaxWorkers)
+	}
+}
+
+func TestSolveReportsMissesWhenInfeasible(t *testing.T) {
+	impossible := []JobSpec{{ID: "a", DataSize: 1_000_000, Deadline: time.Millisecond}}
+	alloc, err := Solve(impossible, model(), Limits{MinWorkers: 1, MaxWorkers: 4, MaxTasksPerJob: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Misses != 1 {
+		t.Errorf("misses = %d, want 1", alloc.Misses)
+	}
+	if alloc.MaxLateness <= 1 {
+		t.Errorf("lateness = %v, want > 1", alloc.MaxLateness)
+	}
+}
+
+func TestSolveTaskSplitTradeoff(t *testing.T) {
+	// With zero init cost and competing jobs, a job raises its priority
+	// share P_u = T_u/ΣT by splitting more — the big job should be split
+	// at least as much as the small one, and its WCET must not exceed
+	// what a single-task split would give it.
+	free := Model{InitTime: 0, Theta2: 100 * time.Microsecond}
+	jobs := []JobSpec{
+		{ID: "big", DataSize: 10_000, Deadline: 500 * time.Millisecond},
+		{ID: "small", DataSize: 100, Deadline: 500 * time.Millisecond},
+	}
+	alloc, err := Solve(jobs, free, Limits{MinWorkers: 4, MaxWorkers: 4, MaxTasksPerJob: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Tasks["big"] < alloc.Tasks["small"] {
+		t.Errorf("big job split %d below small job %d", alloc.Tasks["big"], alloc.Tasks["small"])
+	}
+	if alloc.Misses != 0 {
+		t.Errorf("misses = %d", alloc.Misses)
+	}
+	// With a huge init cost, one task per job wins.
+	costly := Model{InitTime: time.Second, Theta2: time.Microsecond}
+	single := []JobSpec{{ID: "a", DataSize: 10_000, Deadline: 2 * time.Second}}
+	alloc, err = Solve(single, costly, Limits{MinWorkers: 4, MaxWorkers: 4, MaxTasksPerJob: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Tasks["a"] != 1 {
+		t.Errorf("costly-init task count = %d, want 1", alloc.Tasks["a"])
+	}
+}
+
+func TestWCETFormula(t *testing.T) {
+	m := Model{InitTime: time.Millisecond, Theta2: time.Microsecond}
+	j := JobSpec{ID: "a", DataSize: 1000, Deadline: time.Second}
+	// 2 tasks of a 6-task total on 3 workers:
+	// init 2ms + 1000µs*6/(3*2) = 2ms + 1ms = 3ms.
+	if got := wcet(j, m, 3, 2, 6); got != 3*time.Millisecond {
+		t.Errorf("wcet = %v, want 3ms", got)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	a, err := Solve(jobs3(), model(), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Solve(jobs3(), model(), DefaultLimits())
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("Solve is not deterministic")
+	}
+}

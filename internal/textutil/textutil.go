@@ -1,0 +1,122 @@
+// Package textutil provides the lightweight text processing primitives used
+// throughout the pipeline: tokenization, normalization, Jaccard similarity
+// and shingling. Jaccard distance over token sets is the micro-blog
+// clustering metric used by the paper (citing Uddin et al.).
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens. Hashtags and mentions
+// keep their leading marker stripped so "#osu" and "osu" collide, matching
+// the keyword-matching heuristics of the paper's preprocessing. Punctuation
+// is dropped; URLs are kept whole so retweet detection can match them.
+func Tokenize(text string) []string {
+	var tokens []string
+	fields := strings.Fields(text)
+	for _, f := range fields {
+		lf := strings.ToLower(f)
+		if strings.HasPrefix(lf, "http://") || strings.HasPrefix(lf, "https://") {
+			tokens = append(tokens, lf)
+			continue
+		}
+		cleaned := strings.TrimFunc(lf, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+		})
+		cleaned = strings.TrimLeft(cleaned, "#@")
+		if cleaned != "" {
+			tokens = append(tokens, cleaned)
+		}
+	}
+	return tokens
+}
+
+// TokenSet returns the set of distinct tokens in text.
+func TokenSet(text string) map[string]bool {
+	toks := Tokenize(text)
+	set := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		set[t] = true
+	}
+	return set
+}
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of two token sets.
+// Two empty sets are defined to have similarity 1.
+func Jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for t := range small {
+		if large[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardDistance returns 1 - Jaccard(a, b).
+func JaccardDistance(a, b map[string]bool) float64 { return 1 - Jaccard(a, b) }
+
+// JaccardText is Jaccard over the token sets of two raw strings.
+func JaccardText(a, b string) float64 { return Jaccard(TokenSet(a), TokenSet(b)) }
+
+// Shingles returns the set of contiguous n-grams (joined by a space) of the
+// token sequence. n must be >= 1; shorter inputs yield a single shingle of
+// all tokens (or an empty set for empty input).
+func Shingles(tokens []string, n int) map[string]bool {
+	out := make(map[string]bool)
+	if len(tokens) == 0 || n < 1 {
+		return out
+	}
+	if len(tokens) < n {
+		out[strings.Join(tokens, " ")] = true
+		return out
+	}
+	for i := 0; i+n <= len(tokens); i++ {
+		out[strings.Join(tokens[i:i+n], " ")] = true
+	}
+	return out
+}
+
+// ContainsAny reports whether any needle occurs as a token of text.
+func ContainsAny(text string, needles []string) bool {
+	set := TokenSet(text)
+	for _, n := range needles {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsPhrase reports whether phrase occurs in text when both are
+// normalized to lowercase token sequences.
+func ContainsPhrase(text, phrase string) bool {
+	tt := Tokenize(text)
+	pt := Tokenize(phrase)
+	if len(pt) == 0 {
+		return true
+	}
+	if len(pt) > len(tt) {
+		return false
+	}
+outer:
+	for i := 0; i+len(pt) <= len(tt); i++ {
+		for j, p := range pt {
+			if tt[i+j] != p {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package textutil
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "There was a shooting", []string{"there", "was", "a", "shooting"}},
+		{"hashtag stripped", "pray for safety #osu", []string{"pray", "for", "safety", "osu"}},
+		{"mention stripped", "near @OSUengineering now", []string{"near", "osuengineering", "now"}},
+		{"punctuation dropped", "Breaking: police, TONS!", []string{"breaking", "police", "tons"}},
+		{"url kept", "see https://t.co/abc now", []string{"see", "https://t.co/abc", "now"}},
+		{"empty", "   ", nil},
+		{"pure punctuation", "!!! ???", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"identical", "boston marathon bombing", "boston marathon bombing", 1},
+		{"disjoint", "boston marathon", "paris shooting", 0},
+		{"half", "a b c d", "c d e f", 1.0 / 3.0},
+		{"both empty", "", "", 1},
+		{"one empty", "a", "", 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JaccardText(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("JaccardText(%q,%q) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	// Symmetry and range.
+	f := func(a, b string) bool {
+		sa, sb := TokenSet(a), TokenSet(b)
+		j1, j2 := Jaccard(sa, sb), Jaccard(sb, sa)
+		if j1 != j2 {
+			return false
+		}
+		return j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Self-similarity is 1.
+	g := func(a string) bool {
+		s := TokenSet(a)
+		return Jaccard(s, s) == 1
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccardDistanceTriangleish(t *testing.T) {
+	// Jaccard distance is a metric; spot-check the triangle inequality on
+	// random word soups.
+	words := []string{"boston", "paris", "osu", "shooting", "bombing", "police", "fake", "lead", "score", "touchdown"}
+	mk := func(seed int) map[string]bool {
+		s := make(map[string]bool)
+		for i, w := range words {
+			if (seed>>i)&1 == 1 {
+				s[w] = true
+			}
+		}
+		return s
+	}
+	for a := 1; a < 64; a += 7 {
+		for b := 1; b < 64; b += 5 {
+			for c := 1; c < 64; c += 11 {
+				da, db, dc := mk(a), mk(b), mk(c)
+				ab := JaccardDistance(da, db)
+				bc := JaccardDistance(db, dc)
+				ac := JaccardDistance(da, dc)
+				if ac > ab+bc+1e-12 {
+					t.Fatalf("triangle violated: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v", a, c, ac, a, b, b, c, ab+bc)
+				}
+			}
+		}
+	}
+}
+
+func TestShingles(t *testing.T) {
+	toks := []string{"a", "b", "c", "d"}
+	got := Shingles(toks, 2)
+	want := map[string]bool{"a b": true, "b c": true, "c d": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Shingles = %v, want %v", got, want)
+	}
+	if got := Shingles([]string{"a"}, 3); !reflect.DeepEqual(got, map[string]bool{"a": true}) {
+		t.Errorf("short input shingles = %v", got)
+	}
+	if got := Shingles(nil, 2); len(got) != 0 {
+		t.Errorf("empty input shingles = %v", got)
+	}
+	if got := Shingles(toks, 0); len(got) != 0 {
+		t.Errorf("n=0 shingles = %v", got)
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	text := "Liberals putting out fake claims about the terrorist attack"
+	if !ContainsAny(text, []string{"rumor", "fake"}) {
+		t.Error("ContainsAny missed 'fake'")
+	}
+	if ContainsAny(text, []string{"touchdown"}) {
+		t.Error("ContainsAny false positive")
+	}
+	if ContainsAny(text, nil) {
+		t.Error("ContainsAny with no needles should be false")
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	text := "The Irish are taking the lead in the game!"
+	tests := []struct {
+		phrase string
+		want   bool
+	}{
+		{"taking the lead", true},
+		{"Taking The LEAD", true},
+		{"the lead in", true},
+		{"lead the taking", false},
+		{"", true},
+		{"the irish are taking the lead in the game extra words", false},
+	}
+	for _, tt := range tests {
+		if got := ContainsPhrase(text, tt.phrase); got != tt.want {
+			t.Errorf("ContainsPhrase(%q) = %v, want %v", tt.phrase, got, tt.want)
+		}
+	}
+}
+
+func TestTokenSetDedups(t *testing.T) {
+	set := TokenSet("boston boston BOSTON #boston")
+	if len(set) != 1 || !set["boston"] {
+		t.Errorf("TokenSet dedup failed: %v", set)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("café naïve 日本")
+	if len(got) != 3 {
+		t.Fatalf("unicode tokens = %v", got)
+	}
+	for _, tok := range got {
+		if strings.TrimSpace(tok) == "" {
+			t.Errorf("blank token in %v", got)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package tracegen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/socialsensing"
+)
+
+// minuteGranularity is the temporal resolution of the arrival process.
+const minuteGranularity = time.Minute
+
+// Generator produces deterministic synthetic traces for a profile.
+type Generator struct {
+	prof Profile
+	seed int64
+}
+
+// New validates the profile and returns a generator.
+func New(prof Profile, seed int64) (*Generator, error) {
+	if prof.Name == "" {
+		return nil, errors.New("tracegen: profile needs a name")
+	}
+	if prof.Duration <= 0 {
+		return nil, errors.New("tracegen: profile needs a positive duration")
+	}
+	if prof.NumClaims < 1 || prof.TargetReports < 1 {
+		return nil, errors.New("tracegen: profile needs claims and reports")
+	}
+	if len(prof.Topics) == 0 {
+		return nil, errors.New("tracegen: profile needs topics")
+	}
+	if prof.SourcesPerReport <= 0 || prof.SourcesPerReport > 1 {
+		return nil, fmt.Errorf("tracegen: SourcesPerReport %v outside (0,1]", prof.SourcesPerReport)
+	}
+	total := 0.0
+	for _, b := range prof.Reliability {
+		if b.Frac < 0 {
+			return nil, errors.New("tracegen: negative reliability fraction")
+		}
+		total += b.Frac
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, fmt.Errorf("tracegen: reliability fractions sum to %v, want 1", total)
+	}
+	return &Generator{prof: prof, seed: seed}, nil
+}
+
+// claimModel is per-claim generation state.
+type claimModel struct {
+	id         socialsensing.ClaimID
+	topic      string
+	popularity float64
+	truth      []socialsensing.GroundTruthPoint
+	// minuteCum is the cumulative arrival weight per minute.
+	minuteCum []float64
+	// recent holds the last few reports for retweet sourcing: a retweet
+	// copies both the text and the stance of the echoed report, which is
+	// how misinformation propagates through cascades.
+	recent []echoable
+}
+
+// echoable is a recently seen report available for retweeting.
+type echoable struct {
+	text string
+	att  socialsensing.Attitude
+}
+
+// Generate synthesizes a trace with approximately TargetReports * scale
+// reports. scale must be positive; use small scales (e.g. 0.01) in tests.
+func (g *Generator) Generate(scale float64) (*socialsensing.Trace, error) {
+	if scale <= 0 {
+		return nil, errors.New("tracegen: scale must be positive")
+	}
+	rng := rand.New(rand.NewSource(g.seed))
+	prof := g.prof
+	nReports := int(float64(prof.TargetReports) * scale)
+	if nReports < 10 {
+		nReports = 10
+	}
+	minutes := int(prof.Duration / minuteGranularity)
+	if minutes < 1 {
+		minutes = 1
+	}
+
+	// Scale the claim count sublinearly with the report volume so that
+	// per-claim report density at small scales stays comparable to the
+	// full-size trace: a 1% sample of the Boston trace spread over all
+	// 40 claims would be far sparser than anything the paper evaluated.
+	numClaims := prof.NumClaims
+	if scale < 1 {
+		scaled := int(math.Round(float64(prof.NumClaims) * 2 * math.Sqrt(scale)))
+		if scaled < numClaims {
+			numClaims = scaled
+		}
+		if numClaims < 6 {
+			numClaims = 6
+		}
+		if numClaims > prof.NumClaims {
+			numClaims = prof.NumClaims
+		}
+	}
+
+	claims := g.buildClaims(rng, minutes, numClaims)
+
+	// Claim selection distribution (Zipf-ish popularity).
+	popCum := make([]float64, len(claims))
+	acc := 0.0
+	for i, c := range claims {
+		acc += c.popularity
+		popCum[i] = acc
+	}
+
+	// Source universe: the long tail is created by drawing a fresh
+	// source with probability newSourceProb, recurring sources from a
+	// Zipf-weighted heavy pool otherwise.
+	newSourceProb := prof.SourcesPerReport
+	// Cap the recurring pool relative to the generated volume so the
+	// sources/reports ratio holds at small scales too: with a pool much
+	// larger than the number of non-tail draws, every "recurring" pick
+	// would still be a fresh source.
+	heavy := prof.HeavySourcePool
+	if poolCap := nReports / 50; heavy > poolCap {
+		heavy = poolCap
+	}
+	if heavy < 1 {
+		heavy = 1
+	}
+	heavyCum := make([]float64, heavy)
+	hacc := 0.0
+	for i := 0; i < heavy; i++ {
+		hacc += 1 / math.Pow(float64(i+1), 0.8)
+		heavyCum[i] = hacc
+	}
+
+	srcReliability := make(map[socialsensing.SourceID]float64)
+	var sources []socialsensing.Source
+	newSource := func(id socialsensing.SourceID) {
+		rel := g.drawReliability(rng)
+		srcReliability[id] = rel
+		sources = append(sources, socialsensing.Source{ID: id, Reliability: rel})
+	}
+
+	reports := make([]socialsensing.Report, 0, nReports)
+	nextTail := 0
+	for k := 0; k < nReports; k++ {
+		// Claim.
+		ci := searchCum(popCum, rng.Float64()*popCum[len(popCum)-1])
+		cm := claims[ci]
+		// Time: minute from the claim's burst-aware distribution plus
+		// sub-minute jitter.
+		mi := searchCum(cm.minuteCum, rng.Float64()*cm.minuteCum[len(cm.minuteCum)-1])
+		ts := prof.Start.Add(time.Duration(mi)*minuteGranularity +
+			time.Duration(rng.Int63n(int64(minuteGranularity))))
+		// Source.
+		var sid socialsensing.SourceID
+		if rng.Float64() < newSourceProb {
+			sid = socialsensing.SourceID(fmt.Sprintf("%s-tail-%07d", prof.Name, nextTail))
+			nextTail++
+			newSource(sid)
+		} else {
+			hi := searchCum(heavyCum, rng.Float64()*hacc)
+			sid = socialsensing.SourceID(fmt.Sprintf("%s-heavy-%05d", prof.Name, hi))
+			if _, ok := srcReliability[sid]; !ok {
+				newSource(sid)
+			}
+		}
+		rel := srcReliability[sid]
+
+		// Hedging and independence are decided first because they shape
+		// the stance: a retweet copies the echoed report's stance
+		// verbatim (misinformation cascades), and a hedged report is
+		// closer to a guess than a measurement.
+		hedged := rng.Float64() < prof.HedgeProb
+		uncertainty := 0.05 + 0.3*rng.Float64()
+		if hedged {
+			uncertainty = 0.55 + 0.4*rng.Float64()
+		}
+		retweet := rng.Float64() < prof.RetweetProb && len(cm.recent) > 0
+		independence := 0.85 + 0.14*rng.Float64()
+		if retweet {
+			independence = 0.05 + 0.25*rng.Float64()
+		}
+
+		truthNow := truthAt(cm.truth, ts)
+		var att socialsensing.Attitude
+		var text string
+		if retweet {
+			echoed := cm.recent[rng.Intn(len(cm.recent))]
+			att = echoed.att
+			text = "RT @user: " + echoed.text
+		} else {
+			acc := rel
+			if hedged {
+				// Hedged reports carry diluted signal: accuracy is
+				// pulled toward a coin flip.
+				acc = 0.5 + (rel-0.5)*0.4
+			}
+			correct := rng.Float64() < acc
+			saysTrue := (truthNow == socialsensing.True) == correct
+			att = socialsensing.Disagree
+			if saysTrue {
+				att = socialsensing.Agree
+			}
+			text = composeText(rng, cm, att, hedged, prof.Keywords)
+			cm.remember(echoable{text: text, att: att})
+		}
+
+		reports = append(reports, socialsensing.Report{
+			Source:       sid,
+			Claim:        cm.id,
+			Timestamp:    ts,
+			Text:         text,
+			Attitude:     att,
+			Uncertainty:  uncertainty,
+			Independence: independence,
+		})
+	}
+
+	sort.Slice(reports, func(i, j int) bool {
+		if !reports[i].Timestamp.Equal(reports[j].Timestamp) {
+			return reports[i].Timestamp.Before(reports[j].Timestamp)
+		}
+		return reports[i].Source < reports[j].Source
+	})
+
+	tr := &socialsensing.Trace{
+		Name:        prof.Name,
+		Start:       prof.Start,
+		End:         prof.Start.Add(prof.Duration),
+		Sources:     sources,
+		Reports:     reports,
+		GroundTruth: make(map[socialsensing.ClaimID][]socialsensing.GroundTruthPoint, len(claims)),
+	}
+	for _, cm := range claims {
+		tr.Claims = append(tr.Claims, socialsensing.Claim{ID: cm.id, Topic: cm.topic, Created: prof.Start})
+		tr.GroundTruth[cm.id] = cm.truth
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// buildClaims creates the claim models: ground truth timelines and
+// burst-aware arrival weights.
+func (g *Generator) buildClaims(rng *rand.Rand, minutes, numClaims int) []*claimModel {
+	prof := g.prof
+	claims := make([]*claimModel, numClaims)
+	var leader *claimModel
+	var leaderFlips []time.Duration
+	for i := range claims {
+		cm := &claimModel{
+			id:         socialsensing.ClaimID(fmt.Sprintf("%s-claim-%02d", prof.Name, i)),
+			topic:      prof.Topics[i%len(prof.Topics)],
+			popularity: 1 / math.Pow(float64(i+1), 0.8),
+		}
+		grouped := prof.CorrelationGroupSize > 1
+		isLeader := !grouped || i%prof.CorrelationGroupSize == 0
+		var flipTimes []time.Duration
+		var val socialsensing.TruthValue
+		if isLeader {
+			// Ground truth: random initial value, Poisson(FlipsPerClaim)
+			// transitions at uniform times.
+			val = socialsensing.False
+			if rng.Float64() < 0.5 {
+				val = socialsensing.True
+			}
+			nFlips := poisson(rng, prof.FlipsPerClaim)
+			flipTimes = make([]time.Duration, nFlips)
+			for f := range flipTimes {
+				flipTimes[f] = time.Duration(rng.Int63n(int64(prof.Duration)))
+			}
+			sort.Slice(flipTimes, func(a, b int) bool { return flipTimes[a] < flipTimes[b] })
+		} else {
+			// Group member: copy or mirror the leader's timeline, so
+			// claims in a block are (anti-)correlated.
+			val = leader.truth[0].Value
+			if rng.Float64() < prof.AntiCorrelationProb {
+				if val == socialsensing.True {
+					val = socialsensing.False
+				} else {
+					val = socialsensing.True
+				}
+			}
+			flipTimes = leaderFlips
+		}
+		cm.truth = append(cm.truth, socialsensing.GroundTruthPoint{
+			Claim: cm.id, Time: prof.Start, Value: val,
+		})
+		for _, ft := range flipTimes {
+			if val == socialsensing.True {
+				val = socialsensing.False
+			} else {
+				val = socialsensing.True
+			}
+			cm.truth = append(cm.truth, socialsensing.GroundTruthPoint{
+				Claim: cm.id, Time: prof.Start.Add(ft), Value: val,
+			})
+		}
+		if isLeader {
+			leader = cm
+			leaderFlips = flipTimes
+		}
+		// Arrival weights: exponential event decay (interest fades over
+		// the event) plus bursts after each transition.
+		cm.minuteCum = make([]float64, minutes)
+		acc := 0.0
+		burstMinutes := int(prof.BurstWindow / minuteGranularity)
+		for m := 0; m < minutes; m++ {
+			frac := float64(m) / float64(minutes)
+			w := 0.25 + math.Exp(-3*frac)
+			for _, ft := range flipTimes {
+				fm := int(ft / minuteGranularity)
+				if m >= fm && m < fm+burstMinutes {
+					w *= prof.BurstFactor
+					break
+				}
+			}
+			acc += w
+			cm.minuteCum[m] = acc
+		}
+		claims[i] = cm
+	}
+	return claims
+}
+
+func (g *Generator) drawReliability(rng *rand.Rand) float64 {
+	r := rng.Float64()
+	acc := 0.0
+	for _, b := range g.prof.Reliability {
+		acc += b.Frac
+		if r < acc {
+			rel := b.Mean + (2*rng.Float64()-1)*b.Spread
+			return math.Min(0.98, math.Max(0.02, rel))
+		}
+	}
+	return 0.7
+}
+
+// remember keeps a small ring of recent reports per claim for retweets.
+func (cm *claimModel) remember(r echoable) {
+	const keep = 8
+	if len(cm.recent) < keep {
+		cm.recent = append(cm.recent, r)
+		return
+	}
+	copy(cm.recent, cm.recent[1:])
+	cm.recent[keep-1] = r
+}
+
+// truthAt evaluates a piecewise-constant truth timeline.
+func truthAt(points []socialsensing.GroundTruthPoint, t time.Time) socialsensing.TruthValue {
+	v := points[0].Value
+	for _, p := range points {
+		if p.Time.After(t) {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// searchCum returns the first index i with cum[i] > x (binary search).
+func searchCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// poisson draws from Poisson(lambda) by Knuth's method (lambda is small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+var (
+	hedgePrefixes = []string{"i think", "possibly", "unconfirmed:", "maybe", "hearing that", "reports suggest"}
+	denyPhrases   = []string{"is fake", "is a rumor", "is not true", "was debunked", "is false news"}
+	agreeSuffixes = []string{"right now", "please stay safe", "confirmed by police", "happening now", "just saw it"}
+)
+
+// composeText builds a tweet-like text consistent with the report's
+// semantic labels, so the full NLP pipeline can re-derive them.
+func composeText(rng *rand.Rand, cm *claimModel, att socialsensing.Attitude, hedged bool, keywords []string) string {
+	text := cm.topic
+	if att == socialsensing.Disagree {
+		text += " " + denyPhrases[rng.Intn(len(denyPhrases))]
+	} else {
+		text += " " + agreeSuffixes[rng.Intn(len(agreeSuffixes))]
+	}
+	if hedged {
+		text = hedgePrefixes[rng.Intn(len(hedgePrefixes))] + " " + text
+	}
+	if len(keywords) > 0 {
+		text += " #" + keywords[rng.Intn(len(keywords))]
+	}
+	return text
+}

@@ -1,0 +1,40 @@
+package workqueue
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzCodecRecv feeds arbitrary bytes to the master's wire decoder: it
+// must either produce a message or an error, never panic or hang — a
+// malformed or malicious worker cannot take the master down.
+func FuzzCodecRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","worker_id":"w"}` + "\n"))
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t"}}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte{0xff, 0xfe, '\n'})
+	f.Fuzz(func(t *testing.T, line []byte) {
+		// Ensure a newline exists so recv terminates.
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			line = append(line, '\n')
+		}
+		a, b := net.Pipe()
+		defer func() { _ = a.Close(); _ = b.Close() }()
+		c := newCodec(b)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = c.recv() // must return, value or error both fine
+		}()
+		if _, err := a.Write(line); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("recv hung on malformed input")
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package workqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// JobStats tracks per-job progress for the feedback control loop.
+type JobStats struct {
+	JobID          string
+	Submitted      int
+	Completed      int
+	Failed         int
+	FirstSubmit    time.Time
+	LastCompletion time.Time
+	// ExecTime is the cumulative worker-side execution time.
+	ExecTime time.Duration
+}
+
+// Done reports whether every submitted task has finished.
+func (js JobStats) Done() bool { return js.Submitted > 0 && js.Completed+js.Failed == js.Submitted }
+
+// MasterConfig tunes a Master.
+type MasterConfig struct {
+	// Seed drives the weighted-random job picker (deterministic tests).
+	Seed int64
+	// ResultBuffer sizes the Results channel. Default 1.
+	ResultBuffer int
+	// MaxRetries bounds how many times a task lost to worker failure is
+	// requeued before it is reported as failed. Zero means retry
+	// indefinitely (suits scavenged pools where eviction is routine; cap
+	// it when a poisonous task could crash workers repeatedly).
+	MaxRetries int
+}
+
+// Master owns the task pool and serves workers. It mirrors the Work Queue
+// master of the paper: the Dynamic Task Manager submits tasks, workers call
+// back and pull work, and results stream out of Results().
+type Master struct {
+	sched      *scheduler
+	results    chan Result
+	maxRetries int
+
+	mu       sync.Mutex
+	stats    map[string]*JobStats
+	workers  map[string]context.CancelFunc // workerID -> wake-up for release
+	released map[string]bool
+	inflight map[string]Task // taskID -> task, for requeue on worker loss
+	attempts map[string]int  // taskID -> requeues so far
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewMaster creates a master.
+func NewMaster(cfg MasterConfig) *Master {
+	buf := cfg.ResultBuffer
+	if buf <= 0 {
+		buf = 1
+	}
+	return &Master{
+		sched:      newScheduler(cfg.Seed),
+		results:    make(chan Result, buf),
+		maxRetries: cfg.MaxRetries,
+		stats:      make(map[string]*JobStats),
+		workers:    make(map[string]context.CancelFunc),
+		released:   make(map[string]bool),
+		inflight:   make(map[string]Task),
+		attempts:   make(map[string]int),
+	}
+}
+
+// Submit adds a task to the pool.
+func (m *Master) Submit(t Task) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errors.New("workqueue: master is shut down")
+	}
+	js, ok := m.stats[t.JobID]
+	if !ok {
+		js = &JobStats{JobID: t.JobID, FirstSubmit: time.Now()}
+		m.stats[t.JobID] = js
+	}
+	js.Submitted++
+	m.mu.Unlock()
+	m.sched.push(t)
+	return nil
+}
+
+// SetJobPriority tunes the Local Control Knob for one job.
+func (m *Master) SetJobPriority(jobID string, p float64) {
+	m.sched.setPriority(jobID, p)
+}
+
+// Results is the stream of task results. It is closed by Shutdown.
+func (m *Master) Results() <-chan Result { return m.results }
+
+// Stats returns a snapshot of the named job's progress (zero value when
+// unknown).
+func (m *Master) Stats(jobID string) JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js, ok := m.stats[jobID]; ok {
+		return *js
+	}
+	return JobStats{JobID: jobID}
+}
+
+// AllStats snapshots every job.
+func (m *Master) AllStats() []JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStats, 0, len(m.stats))
+	for _, js := range m.stats {
+		out = append(out, *js)
+	}
+	return out
+}
+
+// QueueLen reports tasks waiting for a worker.
+func (m *Master) QueueLen() int { return m.sched.len() }
+
+// Release asks a worker to exit gracefully: it finishes its current task
+// (if any), then receives a shutdown instead of new work. Used by the
+// elastic pool to shrink without preempting in-flight tasks. Unknown
+// worker IDs are ignored.
+func (m *Master) Release(workerID string) {
+	m.mu.Lock()
+	wake, ok := m.workers[workerID]
+	if ok {
+		m.released[workerID] = true
+	}
+	m.mu.Unlock()
+	if ok {
+		wake()
+	}
+}
+
+func (m *Master) isReleased(workerID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.released[workerID]
+}
+
+// WorkerCount reports currently attached workers.
+func (m *Master) WorkerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// Serve accepts worker connections from l until ctx is cancelled or the
+// listener fails. Each connection is handled on its own goroutine.
+func (m *Master) Serve(ctx context.Context, l net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { _ = l.Close() })
+	defer stop()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("workqueue: accept: %w", err)
+		}
+		go func() { _ = m.HandleWorker(ctx, conn) }()
+	}
+}
+
+// HandleWorker runs the master side of the protocol for one worker
+// connection until the worker disconnects or ctx is cancelled. In-process
+// workers attach through net.Pipe with the identical protocol.
+func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
+	m.wg.Add(1)
+	defer m.wg.Done()
+	c := newCodec(conn)
+	defer func() { _ = c.close() }()
+
+	hello, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("workqueue: worker hello: %w", err)
+	}
+	if hello.Type != msgHello || hello.WorkerID == "" {
+		return fmt.Errorf("workqueue: bad hello %+v", hello)
+	}
+	workerID := hello.WorkerID
+	wctx, wake := context.WithCancel(ctx)
+	defer wake()
+	m.mu.Lock()
+	m.workers[workerID] = wake
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.workers, workerID)
+		delete(m.released, workerID)
+		m.mu.Unlock()
+	}()
+
+	for {
+		if m.isReleased(workerID) {
+			// Graceful drain: the pool asked this worker to leave after
+			// its current task; no task is lost.
+			_ = c.send(message{Type: msgShutdown})
+			return nil
+		}
+		task, ok := m.sched.next(wctx)
+		if !ok {
+			// Pool closed, ctx done or the worker was released while
+			// idle: tell the worker to exit.
+			_ = c.send(message{Type: msgShutdown})
+			return nil
+		}
+		m.trackInflight(task)
+		if err := c.send(message{Type: msgTask, Task: &task}); err != nil {
+			m.requeue(task)
+			return err
+		}
+		reply, err := c.recv()
+		if err != nil {
+			m.requeue(task)
+			return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
+		}
+		if reply.Type != msgResult || reply.Result == nil {
+			m.requeue(task)
+			return fmt.Errorf("workqueue: worker %s sent %q, want result", workerID, reply.Type)
+		}
+		m.complete(*reply.Result)
+	}
+}
+
+func (m *Master) trackInflight(t Task) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[t.ID] = t
+}
+
+// requeue puts a task back in the pool after a worker failure, preserving
+// at-least-once execution, unless the retry budget is exhausted — then the
+// task is reported as failed.
+func (m *Master) requeue(t Task) {
+	m.mu.Lock()
+	delete(m.inflight, t.ID)
+	closed := m.closed
+	m.attempts[t.ID]++
+	exhausted := m.maxRetries > 0 && m.attempts[t.ID] > m.maxRetries
+	if exhausted {
+		delete(m.attempts, t.ID)
+	}
+	m.mu.Unlock()
+	if closed {
+		return
+	}
+	if exhausted {
+		m.complete(Result{
+			TaskID: t.ID,
+			JobID:  t.JobID,
+			Err:    fmt.Sprintf("workqueue: task lost %d times, retry limit reached", m.maxRetries+1),
+		})
+		return
+	}
+	m.sched.push(t)
+}
+
+func (m *Master) complete(r Result) {
+	m.mu.Lock()
+	delete(m.inflight, r.TaskID)
+	delete(m.attempts, r.TaskID)
+	js, ok := m.stats[r.JobID]
+	if !ok {
+		js = &JobStats{JobID: r.JobID}
+		m.stats[r.JobID] = js
+	}
+	if r.Err != "" {
+		js.Failed++
+	} else {
+		js.Completed++
+	}
+	js.ExecTime += r.Elapsed
+	js.LastCompletion = time.Now()
+	closed := m.closed
+	m.mu.Unlock()
+	if !closed {
+		m.results <- r
+	}
+}
+
+// Shutdown closes the task pool, waits for worker handlers spawned by
+// Serve to drain and closes the Results channel. It is safe to call once.
+func (m *Master) Shutdown() {
+	m.sched.close()
+	m.wg.Wait()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.results)
+}

@@ -1,0 +1,100 @@
+package workqueue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool is an elastic in-process worker pool attached to a master via
+// net.Pipe connections speaking the full protocol — the Worker Pool of the
+// paper's architecture (Fig. 2), whose size is the Global Control Knob.
+type Pool struct {
+	master *Master
+	exec   Executor
+
+	mu      sync.Mutex
+	next    int
+	workers map[string]context.CancelFunc
+	// retired holds cancel funcs of gracefully released workers; they
+	// are invoked at Close purely to free their contexts.
+	retired []context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewPool creates an empty pool feeding the master with workers that run
+// exec.
+func NewPool(master *Master, exec Executor) *Pool {
+	return &Pool{
+		master:  master,
+		exec:    exec,
+		workers: make(map[string]context.CancelFunc),
+	}
+}
+
+// Size returns the current number of workers.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// Resize grows or shrinks the pool to n workers (the GCK actuation).
+// Shrinking is graceful: surplus workers are released through the master,
+// finish their current task and then exit — in-flight work is never
+// preempted. (Hard preemption still happens on Close or context
+// cancellation, where the master requeues the lost task.)
+func (p *Pool) Resize(ctx context.Context, n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.workers) < n {
+		p.spawnLocked(ctx)
+	}
+	for id := range p.workers {
+		if len(p.workers) <= n {
+			break
+		}
+		p.master.Release(id)
+		p.retired = append(p.retired, p.workers[id])
+		delete(p.workers, id)
+	}
+}
+
+// spawnLocked starts one worker goroutine pair (worker + master handler)
+// bridged by an in-process pipe.
+func (p *Pool) spawnLocked(ctx context.Context) {
+	id := fmt.Sprintf("pool-worker-%d", p.next)
+	p.next++
+	wctx, cancel := context.WithCancel(ctx)
+	p.workers[id] = cancel
+
+	mconn, wconn := pipePair()
+	p.wg.Add(2)
+	go func() {
+		defer p.wg.Done()
+		_ = p.master.HandleWorker(wctx, mconn)
+	}()
+	go func() {
+		defer p.wg.Done()
+		w := &Worker{ID: id, Exec: p.exec}
+		_ = w.Run(wctx, wconn)
+	}()
+}
+
+// Close cancels all workers and waits for them to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	for id, cancel := range p.workers {
+		cancel()
+		delete(p.workers, id)
+	}
+	for _, cancel := range p.retired {
+		cancel()
+	}
+	p.retired = nil
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,88 @@
+// Package workqueue is a lightweight master/worker execution engine in the
+// spirit of the CCTools Work Queue system the paper builds SSTD on (§IV-A2):
+// a master process owns a pool of prioritized tasks; workers — in-process
+// over net.Pipe or remote over TCP — call back to the master, pull tasks,
+// execute them and return results. The pool is elastic: workers may join
+// and leave at any time, and job priorities may be retuned while tasks are
+// in flight (the paper's Local Control Knob).
+package workqueue
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Task is one unit of work. Tasks belong to jobs (the paper's TD jobs); a
+// job's priority governs how often its tasks are picked.
+type Task struct {
+	ID      string `json:"id"`
+	JobID   string `json:"job_id"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Result is the outcome of one task execution.
+type Result struct {
+	TaskID   string        `json:"task_id"`
+	JobID    string        `json:"job_id"`
+	WorkerID string        `json:"worker_id"`
+	Output   []byte        `json:"output,omitempty"`
+	Err      string        `json:"error,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// Message types exchanged between master and worker.
+const (
+	msgHello    = "hello"
+	msgTask     = "task"
+	msgResult   = "result"
+	msgShutdown = "shutdown"
+)
+
+// message is the wire envelope: one JSON object per line.
+type message struct {
+	Type     string  `json:"type"`
+	WorkerID string  `json:"worker_id,omitempty"`
+	Task     *Task   `json:"task,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// codec frames messages as newline-delimited JSON over a connection.
+type codec struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// send writes one message.
+func (c *codec) send(m message) error {
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("workqueue: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// recv reads the next message.
+func (c *codec) recv() (message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return message{}, err
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return message{}, fmt.Errorf("workqueue: decode message: %w", err)
+	}
+	return m, nil
+}
+
+func (c *codec) close() error { return c.conn.Close() }

@@ -1,0 +1,136 @@
+package workqueue
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+)
+
+// scheduler is the priority-aware task pool. Jobs carry priorities; an idle
+// worker draws the next task from a job selected with probability
+// proportional to its priority (the paper's P_u = T_u / sum T_u semantics,
+// generalized to arbitrary positive priorities tuned by the PID loop).
+// Within a job, tasks are FIFO.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]Task // jobID -> FIFO queue
+	priority map[string]float64
+	order    []string // jobIDs with pending tasks, stable iteration
+	rng      *rand.Rand
+	closed   bool
+	pending  int
+}
+
+func newScheduler(seed int64) *scheduler {
+	s := &scheduler{
+		queues:   make(map[string][]Task),
+		priority: make(map[string]float64),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push enqueues a task; jobs default to priority 1.
+func (s *scheduler) push(t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.queues[t.JobID]; !ok {
+		s.order = append(s.order, t.JobID)
+	}
+	s.queues[t.JobID] = append(s.queues[t.JobID], t)
+	if _, ok := s.priority[t.JobID]; !ok {
+		s.priority[t.JobID] = 1
+	}
+	s.pending++
+	s.cond.Signal()
+}
+
+// setPriority tunes a job's scheduling weight. Non-positive values are
+// clamped to a small epsilon so the job can still make progress.
+func (s *scheduler) setPriority(jobID string, p float64) {
+	const minPriority = 1e-6
+	if p < minPriority {
+		p = minPriority
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.priority[jobID] = p
+}
+
+// next blocks until a task is available (or ctx is done / scheduler
+// closed) and returns it.
+func (s *scheduler) next(ctx context.Context) (Task, bool) {
+	// Wake the cond wait when the context is cancelled.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending == 0 && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.closed || ctx.Err() != nil || s.pending == 0 {
+		return Task{}, false
+	}
+	jobID := s.pickJobLocked()
+	q := s.queues[jobID]
+	t := q[0]
+	if len(q) == 1 {
+		delete(s.queues, jobID)
+		s.removeOrderLocked(jobID)
+	} else {
+		s.queues[jobID] = q[1:]
+	}
+	s.pending--
+	return t, true
+}
+
+// pickJobLocked selects a job with pending tasks, weighted by priority.
+func (s *scheduler) pickJobLocked() string {
+	total := 0.0
+	for _, id := range s.order {
+		total += s.priority[id]
+	}
+	r := s.rng.Float64() * total
+	acc := 0.0
+	for _, id := range s.order {
+		acc += s.priority[id]
+		if r < acc {
+			return id
+		}
+	}
+	return s.order[len(s.order)-1]
+}
+
+func (s *scheduler) removeOrderLocked(jobID string) {
+	for i, id := range s.order {
+		if id == jobID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// len reports the number of queued tasks.
+func (s *scheduler) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// close wakes all waiters; subsequent pushes are dropped.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}

@@ -1,0 +1,78 @@
+package workqueue
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestStatusSnapshot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewMaster(MasterConfig{ResultBuffer: 16})
+	p := NewPool(m, echoExec)
+	defer p.Close()
+	p.Resize(ctx, 2)
+	waitFor(t, func() bool { return m.WorkerCount() == 2 }, "workers")
+
+	for i := 0; i < 6; i++ {
+		if err := m.Submit(Task{ID: string(rune('a' + i)), JobID: "job1", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, m, 6)
+	st := m.Status()
+	if st.Workers != 2 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].JobID != "job1" {
+		t.Fatalf("jobs = %+v", st.Jobs)
+	}
+	j := st.Jobs[0]
+	if j.Submitted != 6 || j.Completed != 6 || !j.Done {
+		t.Errorf("job status = %+v", j)
+	}
+	if j.FirstSubmit.IsZero() {
+		t.Error("first submit not recorded")
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	m := NewMaster(MasterConfig{})
+	if err := m.Submit(Task{ID: "t", JobID: "j"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.StatusHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueuedTasks != 1 || len(st.Jobs) != 1 {
+		t.Errorf("decoded status = %+v", st)
+	}
+
+	// Non-GET rejected.
+	post, err := http.Post(srv.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", post.StatusCode)
+	}
+}

@@ -1,0 +1,86 @@
+package workqueue
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Executor is the function a worker runs for each task payload.
+type Executor func(ctx context.Context, payload []byte) ([]byte, error)
+
+// Worker executes tasks pulled from a master.
+type Worker struct {
+	// ID identifies the worker to the master. Required.
+	ID string
+	// Exec performs the task. Required.
+	Exec Executor
+}
+
+// Run speaks the worker side of the protocol on conn until the master
+// sends a shutdown, the connection drops, or ctx is cancelled.
+func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
+	if w.ID == "" || w.Exec == nil {
+		return fmt.Errorf("workqueue: worker needs ID and Exec")
+	}
+	c := newCodec(conn)
+	defer func() { _ = c.close() }()
+	// Unblock reads when ctx is cancelled.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	if err := c.send(message{Type: msgHello, WorkerID: w.ID}); err != nil {
+		return err
+	}
+	for {
+		m, err := c.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("workqueue: worker %s recv: %w", w.ID, err)
+		}
+		switch m.Type {
+		case msgShutdown:
+			return nil
+		case msgTask:
+			if m.Task == nil {
+				return fmt.Errorf("workqueue: worker %s got task message without task", w.ID)
+			}
+			start := time.Now()
+			out, execErr := w.Exec(ctx, m.Task.Payload)
+			if execErr != nil && ctx.Err() != nil {
+				// The worker is being preempted (pool shrink or
+				// shutdown): exit without reporting so the master
+				// requeues the task onto a live worker.
+				return nil
+			}
+			res := Result{
+				TaskID:   m.Task.ID,
+				JobID:    m.Task.JobID,
+				WorkerID: w.ID,
+				Output:   out,
+				Elapsed:  time.Since(start),
+			}
+			if execErr != nil {
+				res.Err = execErr.Error()
+			}
+			if err := c.send(message{Type: msgResult, Result: &res}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("workqueue: worker %s got unexpected message %q", w.ID, m.Type)
+		}
+	}
+}
+
+// Dial connects to a master over TCP and runs until shutdown.
+func (w *Worker) Dial(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("workqueue: dial master %s: %w", addr, err)
+	}
+	return w.Run(ctx, conn)
+}

@@ -1,0 +1,7 @@
+package sstd_test
+
+import "encoding/json"
+
+// jsonMarshal / jsonUnmarshal keep the integration test bodies readable.
+func jsonMarshal(v interface{}) ([]byte, error)     { return json.Marshal(v) }
+func jsonUnmarshal(raw []byte, v interface{}) error { return json.Unmarshal(raw, v) }

@@ -1,0 +1,119 @@
+package sstd_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd"
+)
+
+func origin() time.Time { return time.Date(2016, 11, 28, 7, 0, 0, 0, time.UTC) }
+
+func TestPublicEngineRoundTrip(t *testing.T) {
+	eng, err := sstd.NewEngine(sstd.DefaultConfig(origin()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 30; m++ {
+		att := sstd.Agree
+		if m >= 15 {
+			att = sstd.Disagree
+		}
+		for k := 0; k < 5; k++ {
+			err := eng.Ingest(sstd.Report{
+				Source:       "witness",
+				Claim:        "osu-shooting",
+				Timestamp:    origin().Add(time.Duration(m) * time.Minute),
+				Attitude:     att,
+				Uncertainty:  0.1,
+				Independence: 0.9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	est, err := eng.DecodeClaim("osu-shooting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != 30 {
+		t.Fatalf("estimates = %d, want 30", len(est))
+	}
+	if v, ok := sstd.TruthAt(est, origin().Add(5*time.Minute)); !ok || v != sstd.True {
+		t.Errorf("truth at minute 5 = %v,%v; want True", v, ok)
+	}
+	if v, ok := sstd.TruthAt(est, origin().Add(25*time.Minute)); !ok || v != sstd.False {
+		t.Errorf("truth at minute 25 = %v,%v; want False", v, ok)
+	}
+}
+
+func TestPublicScorer(t *testing.T) {
+	s := sstd.NewScorer()
+	r := s.ScorePost(sstd.Post{
+		Source:    "user1",
+		Claim:     "bomb-threat",
+		Timestamp: origin(),
+		Text:      "the bomb threat at the library is fake news",
+	})
+	if r.Attitude != sstd.Disagree {
+		t.Errorf("attitude = %v, want Disagree", r.Attitude)
+	}
+	if cs := r.ContributionScore(); cs >= 0 {
+		t.Errorf("contribution score = %v, want negative", cs)
+	}
+}
+
+func TestPublicTraceGeneration(t *testing.T) {
+	g, err := sstd.NewTraceGenerator(sstd.ParisShootingProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Generate(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+	if len(tr.Reports) == 0 || len(tr.Sources) == 0 {
+		t.Error("empty trace")
+	}
+}
+
+func TestPublicManager(t *testing.T) {
+	cfg := sstd.DefaultManagerConfig(origin())
+	cfg.Workers = 2
+	m, err := sstd.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+
+	var reports []sstd.Report
+	for i := 0; i < 40; i++ {
+		reports = append(reports, sstd.Report{
+			Source:       sstd.SourceID("s"),
+			Claim:        "c",
+			Timestamp:    origin().Add(time.Duration(i) * time.Minute),
+			Attitude:     sstd.Agree,
+			Independence: 1,
+		})
+	}
+	if err := m.SubmitJob("c", reports, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-m.Results():
+		if res.Err != nil {
+			t.Fatalf("job error: %v", res.Err)
+		}
+		if len(res.Estimates) == 0 {
+			t.Error("no estimates")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out")
+	}
+}
