@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The ROADMAP's tier-1 gate.
+check: test
+
+# The race tier: static checks plus the full suite under the race detector
+# (the obs stress tests and workqueue leak tests are written for this).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

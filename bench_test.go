@@ -181,6 +181,30 @@ func BenchmarkEngineIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineIngestTelemetry is BenchmarkEngineIngest with a live
+// metrics registry; comparing the two shows the cost of telemetry on the
+// hottest path (the off state, above, pays only nil checks).
+func BenchmarkEngineIngestTelemetry(b *testing.B) {
+	origin := time.Date(2016, 9, 30, 12, 0, 0, 0, time.UTC)
+	cfg := sstd.DefaultConfig(origin)
+	cfg.Metrics = sstd.NewMetricsRegistry()
+	eng, err := sstd.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sstd.Report{
+		Source: "s", Claim: "c", Timestamp: origin,
+		Attitude: sstd.Agree, Uncertainty: 0.2, Independence: 0.9,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Timestamp = origin.Add(time.Duration(i) * time.Second)
+		if err := eng.Ingest(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScorerPipeline measures raw-text semantic scoring (the
 // preprocessing that dominates TD job cost).
 func BenchmarkScorerPipeline(b *testing.B) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/experiments"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/tracegen"
 )
 
@@ -35,8 +36,9 @@ func run() error {
 		exp     = flag.String("exp", "all", "experiment to run (comma separated), or all")
 		scale   = flag.Float64("scale", 0.02, "trace scale relative to the paper's datasets")
 		seed    = flag.Int64("seed", 7, "random seed")
-		workers = flag.Int("workers", 4, "SSTD worker pool size")
-		cost    = flag.Duration("per-report-cost", 50*time.Microsecond, "modelled per-report preprocessing cost for the timing figures")
+		workers   = flag.Int("workers", 4, "SSTD worker pool size")
+		cost      = flag.Duration("per-report-cost", 50*time.Microsecond, "modelled per-report preprocessing cost for the timing figures")
+		telemetry = flag.String("telemetry", "", "write the control-loop time series of the PID-driven experiments (fig6, ablation-pid) to this JSON file")
 	)
 	flag.Parse()
 
@@ -45,6 +47,11 @@ func run() error {
 		Seed:          *seed,
 		Workers:       *workers,
 		PerReportCost: *cost,
+	}
+	var controlLog *obs.ControlRecorder
+	if *telemetry != "" {
+		controlLog = obs.NewControlRecorder(0)
+		o.ControlLog = controlLog
 	}
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -216,6 +223,12 @@ func run() error {
 		}
 		experiments.PrintFig6(w, "Ablation - allocation policy: RTO vs PID vs static (Paris)", pts)
 		fmt.Fprintln(w)
+	}
+	if *telemetry != "" {
+		if err := obs.WriteArtifactFile(*telemetry, nil, controlLog); err != nil {
+			return fmt.Errorf("write telemetry: %w", err)
+		}
+		fmt.Fprintf(w, "control-loop telemetry written to %s (%d PID samples)\n", *telemetry, controlLog.Len())
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 	"github.com/social-sensing/sstd/internal/traceio"
@@ -62,6 +63,7 @@ func run() error {
 		tasksPer   = flag.Int("tasks-per-job", 4, "tasks per TD job")
 		minWorkers = flag.Int("min-workers", 1, "wait for this many workers before submitting")
 		status     = flag.String("status", "", "optional address for the JSON status endpoint (e.g. :9124)")
+		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace and /debug/pprof (e.g. :9125)")
 	)
 	flag.Parse()
 
@@ -72,7 +74,18 @@ func run() error {
 	st := tr.Summarize()
 	fmt.Printf("trace %s: %d reports, %d claims\n", st.Name, st.Reports, st.Claims)
 
-	master := workqueue.NewMaster(workqueue.MasterConfig{Seed: *seed, ResultBuffer: 256})
+	var (
+		metrics *obs.Registry
+		tracer  *obs.Tracer
+	)
+	if *telemetry != "" {
+		metrics = obs.NewRegistry()
+		tracer = obs.NewTracer(0)
+	}
+	master := workqueue.NewMaster(workqueue.MasterConfig{
+		Seed: *seed, ResultBuffer: 256,
+		Metrics: metrics, Tracer: tracer,
+	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *listen, err)
@@ -93,6 +106,16 @@ func run() error {
 		}()
 		defer func() { _ = statusSrv.Close() }()
 		fmt.Printf("status endpoint on %s\n", *status)
+	}
+	if *telemetry != "" {
+		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, tracer)}
+		go func() {
+			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sstd-master: telemetry endpoint:", err)
+			}
+		}()
+		defer func() { _ = telemetrySrv.Close() }()
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /debug/pprof)\n", *telemetry)
 	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)...\n", l.Addr(), *minWorkers)
 	for master.WorkerCount() < *minWorkers {

@@ -20,6 +20,7 @@ import (
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/dtm"
 	"github.com/social-sensing/sstd/internal/evalmetrics"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/sourcerel"
 	"github.com/social-sensing/sstd/internal/tracegen"
@@ -44,6 +45,8 @@ func run() error {
 		window    = flag.Int("window", 3, "ACS sliding window in intervals")
 		show      = flag.Int("show", 3, "number of claim timelines to print")
 		rank      = flag.Int("rank-sources", 0, "also print the N most / least reliable sources (0 = off)")
+		telemetry = flag.String("telemetry", "", "write a metrics + control-loop JSON artifact to this file")
+		deadline  = flag.Duration("deadline", 0, "per-job deadline enabling the PID control loop (distributed runs only)")
 	)
 	flag.Parse()
 
@@ -60,12 +63,27 @@ func run() error {
 	cfg.ACS.Interval = width
 	cfg.ACS.WindowIntervals = *window
 
+	var tel sinks
+	if *telemetry != "" {
+		tel.metrics = obs.NewRegistry()
+		tel.tracer = obs.NewTracer(0)
+		tel.control = obs.NewControlRecorder(0)
+	}
+
 	start := time.Now()
-	decoded, err := decode(tr, cfg, *workers, *seed)
+	decoded, err := decode(tr, cfg, *workers, *seed, *deadline, tel)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+
+	if *telemetry != "" {
+		if err := obs.WriteArtifactFile(*telemetry, tel.metrics, tel.control); err != nil {
+			return fmt.Errorf("write telemetry: %w", err)
+		}
+		fmt.Printf("telemetry artifact written to %s (%d control samples, %d spans)\n",
+			*telemetry, tel.control.Len(), tel.tracer.Total())
+	}
 
 	conf, err := evalmetrics.EvaluateDynamic(tr, func(c socialsensing.ClaimID, at time.Time) (socialsensing.TruthValue, bool) {
 		return core.TruthAt(decoded[c], at)
@@ -137,9 +155,17 @@ func loadTrace(in, profile string, scale float64, seed int64) (*socialsensing.Tr
 	return g.Generate(scale)
 }
 
+// sinks groups the optional -telemetry outputs threaded into decode.
+type sinks struct {
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+	control *obs.ControlRecorder
+}
+
 // decode runs either the in-process engine or the distributed manager.
-func decode(tr *socialsensing.Trace, cfg core.Config, workers int, seed int64) (map[socialsensing.ClaimID][]core.Estimate, error) {
+func decode(tr *socialsensing.Trace, cfg core.Config, workers int, seed int64, deadline time.Duration, tel sinks) (map[socialsensing.ClaimID][]core.Estimate, error) {
 	if workers <= 0 {
+		cfg.Metrics = tel.metrics
 		eng, err := core.NewEngine(cfg)
 		if err != nil {
 			return nil, err
@@ -154,6 +180,17 @@ func decode(tr *socialsensing.Trace, cfg core.Config, workers int, seed int64) (
 	mcfg.Decoder = cfg.Decoder
 	mcfg.Workers = workers
 	mcfg.Seed = seed
+	mcfg.Metrics = tel.metrics
+	mcfg.Tracer = tel.tracer
+	mcfg.ControlLog = tel.control
+	if deadline > 0 {
+		// Deadlines only matter if the PID loop can react to them; sample
+		// well within the deadline so short jobs still see a few ticks.
+		mcfg.EnableControl = true
+		if s := deadline / 10; s < mcfg.SampleEvery {
+			mcfg.SampleEvery = s
+		}
+	}
 	m, err := dtm.New(mcfg)
 	if err != nil {
 		return nil, err
@@ -162,7 +199,7 @@ func decode(tr *socialsensing.Trace, cfg core.Config, workers int, seed int64) (
 	defer m.Close()
 	byClaim := tr.ReportsByClaim()
 	for claim, reports := range byClaim {
-		if err := m.SubmitJob(claim, reports, 0); err != nil {
+		if err := m.SubmitJob(claim, reports, deadline); err != nil {
 			return nil, err
 		}
 	}

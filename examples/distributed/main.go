@@ -33,6 +33,12 @@ func main() {
 	cfg.SampleEvery = 20 * time.Millisecond
 	cfg.WorkDelay = 100 * time.Microsecond // emulate preprocessing cost
 
+	// Telemetry: metrics + per-tick control-loop samples, summarized below.
+	metrics := sstd.NewMetricsRegistry()
+	control := sstd.NewControlRecorder(0)
+	cfg.Metrics = metrics
+	cfg.ControlLog = control
+
 	manager, err := sstd.NewManager(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +75,13 @@ func main() {
 	}
 	fmt.Printf("\n%d/%d deadlines met; pool ended at %d workers (started at %d)\n",
 		met, submitted, manager.Workers(), cfg.Workers)
+
+	// One-line telemetry summary: deadline hit rate from the counters and
+	// job latency quantiles from the dtm_job_latency_ms histogram.
+	snap := metrics.Snapshot()
+	hit := snap.Counters["dtm_deadline_hit_total"]
+	miss := snap.Counters["dtm_deadline_miss_total"]
+	lat := snap.Histograms["dtm_job_latency_ms"]
+	fmt.Printf("telemetry: deadline hit rate %.0f%% (%d/%d), job latency p50=%.0fms p99=%.0fms, %d PID ticks recorded\n",
+		100*float64(hit)/float64(hit+miss), hit, hit+miss, lat.P50, lat.P99, control.Len())
 }

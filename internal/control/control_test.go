@@ -286,3 +286,98 @@ func TestTunerRejectsBadDt(t *testing.T) {
 		t.Error("dt=0 accepted")
 	}
 }
+
+func TestPIDSnapshotTracksTerms(t *testing.T) {
+	p := NewPID(PIDConfig{Kp: 2, Ki: 1, Kd: 0.5})
+	if s := p.Snapshot(); s.Primed || s.Updates != 0 || s.Integral != 0 {
+		t.Fatalf("fresh snapshot = %+v, want zero state", s)
+	}
+	if _, err := p.Update(3, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if !s.Primed || s.Updates != 1 {
+		t.Fatalf("snapshot after one update = %+v", s)
+	}
+	if s.Err != 3 || s.P != 6 || s.I != 3 || s.D != 0 {
+		t.Errorf("terms = err %v P %v I %v D %v, want 3/6/3/0", s.Err, s.P, s.I, s.D)
+	}
+	if s.Signal != s.P+s.I+s.D {
+		t.Errorf("signal %v != P+I+D %v", s.Signal, s.P+s.I+s.D)
+	}
+	// Second sample: derivative kicks in, integral accumulates.
+	if _, err := p.Update(5, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s = p.Snapshot()
+	if s.Updates != 2 || s.PrevErr != 5 {
+		t.Fatalf("snapshot after two updates = %+v", s)
+	}
+	if s.Integral != 8 {
+		t.Errorf("integral = %v, want 8", s.Integral)
+	}
+	if s.D != 0.5*(5-3) {
+		t.Errorf("D term = %v, want 1", s.D)
+	}
+}
+
+func TestPIDSnapshotWindupClamp(t *testing.T) {
+	p := NewPID(PIDConfig{Ki: 1, IntegralLimit: 4})
+	for i := 0; i < 10; i++ {
+		if _, err := p.Update(100, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Snapshot()
+	if s.Integral != 4 {
+		t.Errorf("clamped integral = %v, want 4", s.Integral)
+	}
+	if s.I != 4 {
+		t.Errorf("I term = %v, want clamped 4", s.I)
+	}
+	// Clamp must hold symmetrically on the negative side.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Update(-100, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s = p.Snapshot(); s.Integral != -4 {
+		t.Errorf("negative clamped integral = %v, want -4", s.Integral)
+	}
+}
+
+func TestPIDSnapshotResets(t *testing.T) {
+	p := NewPID(DefaultPIDConfig())
+	if _, err := p.Update(2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if s := p.Snapshot(); s != (PIDState{}) {
+		t.Errorf("snapshot after reset = %+v, want zero", s)
+	}
+}
+
+func TestTunerPIDState(t *testing.T) {
+	tn, err := NewTuner(DefaultTunerConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tn.PIDState("job"); ok {
+		t.Fatal("PIDState before any step should report ok=false")
+	}
+	_, err = tn.Step([]JobStatus{{JobID: "job", Deadline: time.Second, ExpectedFinish: 2 * time.Second}}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := tn.PIDState("job")
+	if !ok || s.Updates != 1 || s.Err <= 0 {
+		t.Fatalf("PIDState after step = %+v ok=%v, want late-job error", s, ok)
+	}
+	// Done jobs leave the loop and lose their controller.
+	if _, err := tn.Step([]JobStatus{{JobID: "job", Done: true}}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tn.PIDState("job"); ok {
+		t.Fatal("PIDState after done should report ok=false")
+	}
+}

@@ -99,6 +99,16 @@ func NewTuner(cfg TunerConfig, initialWorkers int) (*Tuner, error) {
 // Workers returns the current GCK value.
 func (t *Tuner) Workers() int { return t.workers }
 
+// PIDState returns the snapshot of one job's controller; ok is false when
+// the job has no controller (never stepped, or already done).
+func (t *Tuner) PIDState(jobID string) (PIDState, bool) {
+	pid, ok := t.pids[jobID]
+	if !ok {
+		return PIDState{}, false
+	}
+	return pid.Snapshot(), true
+}
+
 // Step ingests one monitoring sample for all live jobs and returns the
 // actuation decision. dt is the sampling period.
 func (t *Tuner) Step(statuses []JobStatus, dt time.Duration) (Decision, error) {

@@ -34,6 +34,24 @@ type PID struct {
 	integral float64
 	prevErr  float64
 	primed   bool
+	last     PIDState
+}
+
+// PIDState is an introspection snapshot of a controller, consumed by the
+// control-loop recorder (internal/obs) to log every tick of Eq. 9.
+type PIDState struct {
+	// Integral and PrevErr are the accumulated controller state;
+	// Integral reflects any windup clamping already applied.
+	Integral float64
+	PrevErr  float64
+	// Primed is true once the controller has seen a sample (the first
+	// derivative term is suppressed until then).
+	Primed bool
+	// Updates counts Update calls since creation or Reset.
+	Updates int
+	// Err is the input of the most recent Update; P, I and D are its
+	// gain-weighted term contributions and Signal their sum.
+	Err, P, I, D, Signal float64
 }
 
 // NewPID builds a controller.
@@ -58,7 +76,32 @@ func (p *PID) Update(err float64, dt time.Duration) (float64, error) {
 	}
 	p.prevErr = err
 	p.primed = true
-	return p.cfg.Kp*err + p.cfg.Ki*p.integral + p.cfg.Kd*derivative, nil
+	pTerm := p.cfg.Kp * err
+	iTerm := p.cfg.Ki * p.integral
+	dTerm := p.cfg.Kd * derivative
+	sig := pTerm + iTerm + dTerm
+	p.last = PIDState{
+		Integral: p.integral,
+		PrevErr:  p.prevErr,
+		Primed:   true,
+		Updates:  p.last.Updates + 1,
+		Err:      err,
+		P:        pTerm,
+		I:        iTerm,
+		D:        dTerm,
+		Signal:   sig,
+	}
+	return sig, nil
+}
+
+// Snapshot returns the controller's current state without disturbing it.
+func (p *PID) Snapshot() PIDState {
+	s := p.last
+	// Reflect live accumulator state even before the first Update.
+	s.Integral = p.integral
+	s.PrevErr = p.prevErr
+	s.Primed = p.primed
+	return s
 }
 
 // Reset clears accumulated state.
@@ -66,6 +109,7 @@ func (p *PID) Reset() {
 	p.integral = 0
 	p.prevErr = 0
 	p.primed = false
+	p.last = PIDState{}
 }
 
 // WCETModel is the worst-case execution time model of Eq. 10-12.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	// exact per-decode EM of the paper; 0.2 is a good streaming setting
 	// (retrain after 20% more evidence).
 	RetrainGrowth float64
+	// Metrics enables engine telemetry (ingest counters, ACS build /
+	// train / Viterbi latency histograms). Nil disables it at the cost
+	// of one nil check per event.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's default SSTD setup anchored at origin.
@@ -53,6 +58,15 @@ func DefaultConfig(origin time.Time) Config {
 type Engine struct {
 	cfg     Config
 	decoder *Decoder
+
+	// Telemetry handles; all nil when cfg.Metrics is nil.
+	cIngested *obs.Counter
+	cDecodes  *obs.Counter
+	cTrains   *obs.Counter
+	gClaims   *obs.Gauge
+	hACS      *obs.Histogram
+	hTrain    *obs.Histogram
+	hViterbi  *obs.Histogram
 
 	mu     sync.RWMutex
 	claims map[socialsensing.ClaimID]*claimState
@@ -79,11 +93,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		decoder: dec,
 		claims:  make(map[socialsensing.ClaimID]*claimState),
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		e.cIngested = reg.Counter("core_reports_ingested_total")
+		e.cDecodes = reg.Counter("core_decodes_total")
+		e.cTrains = reg.Counter("core_trains_total")
+		e.gClaims = reg.Gauge("core_claims")
+		e.hACS = reg.Histogram("core_acs_build_ms", nil)
+		e.hTrain = reg.Histogram("core_train_ms", nil)
+		e.hViterbi = reg.Histogram("core_viterbi_ms", nil)
+	}
+	return e, nil
 }
 
 // Ingest adds one report to its claim's ACS accumulator, creating the
@@ -100,8 +124,10 @@ func (e *Engine) Ingest(r socialsensing.Report) error {
 		}
 		st = &claimState{acc: acc}
 		e.claims[r.Claim] = st
+		e.gClaims.SetInt(len(e.claims))
 	}
 	st.acc.Add(r)
+	e.cIngested.Inc()
 	return nil
 }
 
@@ -168,7 +194,10 @@ func (e *Engine) DecodeClaim(id socialsensing.ClaimID) ([]Estimate, error) {
 	if len(series) == 0 {
 		return nil, nil
 	}
+	viterbiStart := time.Now()
 	truth, err := e.decoder.DecodeWith(model, series)
+	e.hViterbi.ObserveDuration(time.Since(viterbiStart))
+	e.cDecodes.Inc()
 	if err != nil {
 		return nil, fmt.Errorf("claim %q: %w", id, err)
 	}
@@ -194,15 +223,20 @@ func (e *Engine) claimModel(st *claimState) (*TrainedModel, []float64, error) {
 	stale := cached == nil ||
 		e.cfg.RetrainGrowth <= 0 ||
 		float64(count) >= float64(st.trainedCount)*(1+e.cfg.RetrainGrowth)
+	acsStart := time.Now()
 	series := st.acc.Series()
 	e.mu.Unlock()
+	e.hACS.ObserveDuration(time.Since(acsStart))
 	if len(series) == 0 {
 		return nil, nil, nil
 	}
 	if !stale {
 		return cached, series, nil
 	}
+	trainStart := time.Now()
 	model, err := e.decoder.Train(series)
+	e.hTrain.ObserveDuration(time.Since(trainStart))
+	e.cTrains.Inc()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/social-sensing/sstd/internal/control"
 	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -50,6 +51,15 @@ type Config struct {
 
 	// Seed drives scheduler randomness.
 	Seed int64
+
+	// Metrics, Tracer and ControlLog enable telemetry (each may be nil;
+	// the instrumentation then costs one nil check per event). Metrics
+	// and Tracer are shared with the underlying work-queue master, so
+	// one registry sees the whole dtm_*/wq_* catalogue; ControlLog
+	// captures every PID tick as a time series.
+	Metrics    *obs.Registry
+	Tracer     *obs.Tracer
+	ControlLog *obs.ControlRecorder
 }
 
 // DefaultConfig returns a working configuration.
@@ -110,6 +120,7 @@ type jobState struct {
 	perTask   map[string]int
 	sums      map[int]float64
 	firstErr  error
+	span      *obs.Span // root trace span; nil without a tracer
 }
 
 // Manager is the Dynamic Task Manager.
@@ -123,6 +134,21 @@ type Manager struct {
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
+
+	// Telemetry handles; all nil when telemetry is off.
+	tracer        *obs.Tracer
+	recorder      *obs.ControlRecorder
+	cJobs         *obs.Counter
+	cJobsDone     *obs.Counter
+	cJobsFailed   *obs.Counter
+	cDeadlineHit  *obs.Counter
+	cDeadlineMiss *obs.Counter
+	cTicks        *obs.Counter
+	cResizes      *obs.Counter
+	gGCK          *obs.Gauge
+	gInflight     *obs.Gauge
+	hJobLatency   *obs.Histogram
+	hDecode       *obs.Histogram
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -152,8 +178,29 @@ func New(cfg Config) (*Manager, error) {
 		results: make(chan JobResult, 64),
 		jobs:    make(map[string]*jobState),
 	}
-	m.master = workqueue.NewMaster(workqueue.MasterConfig{Seed: cfg.Seed, ResultBuffer: 256})
+	m.master = workqueue.NewMaster(workqueue.MasterConfig{
+		Seed:         cfg.Seed,
+		ResultBuffer: 256,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
+	})
 	m.pool = workqueue.NewPool(m.master, m.execute)
+	m.tracer = cfg.Tracer
+	m.recorder = cfg.ControlLog
+	if reg := cfg.Metrics; reg != nil {
+		m.cJobs = reg.Counter("dtm_jobs_submitted_total")
+		m.cJobsDone = reg.Counter("dtm_jobs_completed_total")
+		m.cJobsFailed = reg.Counter("dtm_jobs_failed_total")
+		m.cDeadlineHit = reg.Counter("dtm_deadline_hit_total")
+		m.cDeadlineMiss = reg.Counter("dtm_deadline_miss_total")
+		m.cTicks = reg.Counter("dtm_control_ticks_total")
+		m.cResizes = reg.Counter("dtm_pool_resizes_total")
+		m.gGCK = reg.Gauge("dtm_gck_workers")
+		m.gGCK.SetInt(cfg.Workers)
+		m.gInflight = reg.Gauge("dtm_jobs_inflight")
+		m.hJobLatency = reg.Histogram("dtm_job_latency_ms", nil)
+		m.hDecode = reg.Histogram("dtm_decode_ms", nil)
+	}
 	if cfg.EnableControl {
 		tn, err := control.NewTuner(cfg.Tuner, cfg.Workers)
 		if err != nil {
@@ -201,13 +248,20 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		perTask:   make(map[string]int, len(chunks)),
 		sums:      make(map[int]float64),
 	}
+	// Open the job's root span before publishing js: the collector may
+	// touch a finished job's span as soon as it is visible.
+	js.span = m.tracer.NewSpan("job "+jobID, 0)
+	js.span.SetAttr("reports", fmt.Sprintf("%d", len(reports)))
 	m.mu.Lock()
 	if _, dup := m.jobs[jobID]; dup {
 		m.mu.Unlock()
 		return fmt.Errorf("dtm: job %q already submitted", jobID)
 	}
 	m.jobs[jobID] = js
+	inflight := len(m.jobs)
 	m.mu.Unlock()
+	m.cJobs.Inc()
+	m.gInflight.SetInt(inflight)
 
 	for i, chunk := range chunks {
 		payload, err := json.Marshal(taskPayload{
@@ -223,7 +277,7 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		m.mu.Lock()
 		js.perTask[taskID] = len(chunk)
 		m.mu.Unlock()
-		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload}); err != nil {
+		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload, Span: js.span.SpanID()}); err != nil {
 			return err
 		}
 	}
@@ -363,8 +417,10 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 	if finished {
 		delete(m.jobs, r.JobID)
 	}
+	inflight := len(m.jobs)
 	m.mu.Unlock()
 	if finished {
+		m.gInflight.SetInt(inflight)
 		m.finalize(ctx, js)
 	}
 }
@@ -378,13 +434,23 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 		Deadline: js.deadline,
 	}
 	res.MetDeadline = js.deadline == 0 || res.Elapsed <= js.deadline
+	defer func() {
+		m.observeJob(js, res)
+		js.span.Finish()
+	}()
 	if js.firstErr != nil {
 		res.Err = js.firstErr
 		m.emit(ctx, res)
 		return
 	}
+	merge := m.tracer.NewSpan("merge "+string(js.claim), js.span.SpanID())
 	series := windowedSeries(js.sums, m.cfg.ACS.WindowIntervals)
+	merge.Finish()
+	decodeSpan := m.tracer.NewSpan("decode "+string(js.claim), js.span.SpanID())
+	decodeStart := time.Now()
 	truth, err := m.decoder.Decode(series)
+	m.hDecode.ObserveDuration(time.Since(decodeStart))
+	decodeSpan.Finish()
 	if err != nil {
 		res.Err = err
 		m.emit(ctx, res)
@@ -400,6 +466,25 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 		}
 	}
 	m.emit(ctx, res)
+}
+
+// observeJob records one finished job's metrics and span attributes.
+func (m *Manager) observeJob(js *jobState, res JobResult) {
+	if res.Err != nil {
+		m.cJobsFailed.Inc()
+		js.span.SetAttr("error", res.Err.Error())
+	} else {
+		m.cJobsDone.Inc()
+	}
+	if js.deadline > 0 {
+		if res.MetDeadline {
+			m.cDeadlineHit.Inc()
+		} else {
+			m.cDeadlineMiss.Inc()
+		}
+		js.span.SetAttr("deadline_met", fmt.Sprintf("%t", res.MetDeadline))
+	}
+	m.hJobLatency.ObserveDuration(res.Elapsed)
 }
 
 func (m *Manager) emit(ctx context.Context, res JobResult) {
@@ -459,8 +544,38 @@ func (m *Manager) controlStep(ctx context.Context) {
 	for jobID, p := range dec.Priorities {
 		m.master.SetJobPriority(jobID, p)
 	}
-	if dec.Workers != m.pool.Size() {
+	resized := dec.Workers != m.pool.Size()
+	if resized {
 		m.pool.Resize(ctx, dec.Workers)
+	}
+
+	m.cTicks.Inc()
+	if resized {
+		m.cResizes.Inc()
+	}
+	m.gGCK.SetInt(dec.Workers)
+	if m.recorder != nil {
+		now := time.Now()
+		m.recorder.BeginTick()
+		for _, st := range statuses {
+			state, ok := m.tuner.PIDState(st.JobID)
+			if !ok {
+				continue
+			}
+			m.recorder.Record(obs.ControlSample{
+				Time:             now,
+				Job:              st.JobID,
+				Error:            state.Err,
+				P:                state.P,
+				I:                state.I,
+				D:                state.D,
+				Signal:           dec.Signals[st.JobID],
+				LCK:              dec.Priorities[st.JobID],
+				GCK:              dec.Workers,
+				ExpectedFinishMs: float64(st.ExpectedFinish) / float64(time.Millisecond),
+				DeadlineMs:       float64(st.Deadline) / float64(time.Millisecond),
+			})
+		}
 	}
 }
 

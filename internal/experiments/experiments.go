@@ -12,6 +12,7 @@ import (
 
 	"github.com/social-sensing/sstd/internal/baselines"
 	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	// baselines serially — so the shapes do not collapse into constant
 	// overheads at reduced trace scales. Default 50µs.
 	PerReportCost time.Duration
+	// ControlLog, when non-nil, captures every PID tick of the
+	// control-enabled timing experiments (Fig. 6 and the PID ablation)
+	// as a time series — the reproducible artifact behind the paper's
+	// deadline-hit-rate claims.
+	ControlLog *obs.ControlRecorder
 }
 
 // withDefaults fills unset options.

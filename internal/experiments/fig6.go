@@ -8,6 +8,7 @@ import (
 	"github.com/social-sensing/sstd/internal/condor"
 	"github.com/social-sensing/sstd/internal/control"
 	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/rto"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/stream"
@@ -273,6 +274,23 @@ func sstdIntervalTimes(tr *socialsensing.Trace, batches []stream.Batch, o Option
 			return nil, err
 		}
 		workers = dec.Workers
+		if o.ControlLog != nil {
+			state, _ := tuner.PIDState("interval")
+			o.ControlLog.BeginTick()
+			o.ControlLog.Record(obs.ControlSample{
+				Time:             time.Now(),
+				Job:              "interval",
+				Error:            state.Err,
+				P:                state.P,
+				I:                state.I,
+				D:                state.D,
+				Signal:           dec.Signals["interval"],
+				LCK:              dec.Priorities["interval"],
+				GCK:              dec.Workers,
+				ExpectedFinishMs: float64(elapsed) / float64(time.Millisecond),
+				DeadlineMs:       float64(setpoint) / float64(time.Millisecond),
+			})
+		}
 	}
 	return out, nil
 }

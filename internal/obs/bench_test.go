@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCounterInc is the acceptance benchmark: a hot-path increment
+// must cost under ~50ns (it is one uncontended atomic add).
+func BenchmarkCounterInc(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncNil measures the telemetry-off cost: one nil check.
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_ms", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkStartFinishSpan(b *testing.B) {
+	tr := NewTracer(4096)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartSpan(ctx, "bench")
+		s.Finish()
+	}
+}

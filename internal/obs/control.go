@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// ControlSample is one job's slice of one PID sampling tick: the Eq. 9
+// error and term decomposition, the actuated Local Control Knob (the
+// job's priority share) and Global Control Knob (the pool size), and the
+// WCET-model prediction the error was derived from (Eq. 10-12).
+type ControlSample struct {
+	// Seq numbers samples in record order; Tick groups the samples of
+	// one controller step (all jobs sampled together share a tick).
+	Seq  int       `json:"seq"`
+	Tick int       `json:"tick"`
+	Time time.Time `json:"time"`
+	Job  string    `json:"job"`
+	// Error is the PID input e(k); P, I and D are the gain-weighted term
+	// contributions whose sum is Signal.
+	Error  float64 `json:"error"`
+	P      float64 `json:"p"`
+	I      float64 `json:"i"`
+	D      float64 `json:"d"`
+	Signal float64 `json:"signal"`
+	// LCK is the job's normalized priority after actuation; GCK is the
+	// worker pool size after actuation.
+	LCK float64 `json:"lck"`
+	GCK int     `json:"gck"`
+	// ExpectedFinishMs and DeadlineMs are the setpoint comparison of
+	// Eq. 9 in milliseconds (DeadlineMs 0 = no deadline).
+	ExpectedFinishMs float64 `json:"expectedFinishMs"`
+	DeadlineMs       float64 `json:"deadlineMs"`
+}
+
+// ControlRecorder accumulates the control-loop time series. A nil
+// *ControlRecorder is valid and records nothing.
+type ControlRecorder struct {
+	mu      sync.Mutex
+	samples []ControlSample
+	max     int
+	seq     int
+	tick    int
+}
+
+// NewControlRecorder creates a recorder keeping at most max samples
+// (default 1<<20 when max <= 0); once full, the oldest samples are
+// dropped in blocks so long experiments keep their tail.
+func NewControlRecorder(max int) *ControlRecorder {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	return &ControlRecorder{max: max}
+}
+
+// BeginTick starts a new controller step: samples recorded until the next
+// BeginTick share a tick number. Nil-safe.
+func (r *ControlRecorder) BeginTick() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tick++
+	r.mu.Unlock()
+}
+
+// Record appends one sample, stamping Seq and the current Tick. Nil-safe.
+func (r *ControlRecorder) Record(s ControlSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Seq = r.seq
+	s.Tick = r.tick
+	r.seq++
+	if len(r.samples) >= r.max {
+		// Drop the oldest quarter in one move rather than one-by-one.
+		keep := r.max - r.max/4
+		copy(r.samples, r.samples[len(r.samples)-keep:])
+		r.samples = r.samples[:keep]
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Len reports recorded samples (0 on nil).
+func (r *ControlRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Samples copies the recorded series. Safe on nil.
+func (r *ControlRecorder) Samples() []ControlSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ControlSample(nil), r.samples...)
+}
+
+// WriteJSON writes the series as a JSON array.
+func (r *ControlRecorder) WriteJSON(w io.Writer) error {
+	samples := r.Samples()
+	if samples == nil {
+		samples = []ControlSample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(samples)
+}
+
+// WriteFile writes the series to path, making experiment runs
+// reproducible artifacts. Nil recorders write an empty series.
+func (r *ControlRecorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Artifact is the payload of a -telemetry run file: the final metrics
+// snapshot plus the full control-loop time series, so one JSON file
+// captures both what happened and how the Eq. 9 loop steered it.
+type Artifact struct {
+	Metrics RegistrySnapshot `json:"metrics"`
+	Control []ControlSample  `json:"control"`
+}
+
+// WriteArtifactFile writes an Artifact for reg and rec (either may be
+// nil) to path.
+func WriteArtifactFile(path string, reg *Registry, rec *ControlRecorder) error {
+	art := Artifact{Metrics: reg.Snapshot(), Control: rec.Samples()}
+	if art.Control == nil {
+		art.Control = []ControlSample{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

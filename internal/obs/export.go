@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the expvar-style JSON form of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and histograms with
+// cumulative le-labelled buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, trimFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n", n, cum, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a metric name onto the Prometheus charset.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// trimFloat renders a bucket bound the way Prometheus expects (no
+// trailing zeros, no scientific notation for the usual ranges).
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// Handler serves the telemetry surface:
+//
+//	/metrics        Prometheus text format (?format=json for JSON)
+//	/trace          span dump as Chrome trace_event JSON (?format=json
+//	                for the raw span list)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// reg and tr may each be nil; their endpoints then serve empty documents.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("format") == "json" {
+			_ = tr.WriteJSON(w)
+			return
+		}
+		_ = tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(3)
+	reg.Gauge("queue_depth").SetInt(7)
+	h := reg.Histogram("latency_ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE queue_depth gauge\nqueue_depth 7\n",
+		"# TYPE latency_ms histogram\n",
+		`latency_ms_bucket{le="1"} 1`,
+		`latency_ms_bucket{le="10"} 2`, // cumulative
+		`latency_ms_bucket{le="+Inf"} 3`,
+		"latency_ms_sum 55.5",
+		"latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("n").Inc()
+	reg.Gauge("g").Set(2.5)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if snap.Counters["n"] != 1 || snap.Gauges["g"] != 2.5 || snap.Histograms["h"].Count != 1 {
+		t.Errorf("round trip lost values: %+v", snap)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	if got := promName("core.acs-build ms"); got != "core_acs_build_ms" {
+		t.Errorf("promName = %q", got)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Inc()
+	tr := NewTracer(8)
+	_, s := tr.StartSpan(context.Background(), "op")
+	s.Finish()
+	h := Handler(reg, tr)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("/metrics: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	rec := get("/metrics?format=json")
+	var snap RegistrySnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil || snap.Counters["hits_total"] != 1 {
+		t.Errorf("/metrics?format=json: err=%v body=%q", err, rec.Body.String())
+	}
+	rec = get("/trace")
+	var chrome struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil || len(chrome.TraceEvents) != 1 {
+		t.Errorf("/trace: err=%v events=%d", err, len(chrome.TraceEvents))
+	}
+	rec = get("/trace?format=json")
+	var spans []Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil || len(spans) != 1 || spans[0].Name != "op" {
+		t.Errorf("/trace?format=json: err=%v spans=%+v", err, spans)
+	}
+	if rec := get("/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code=%d", rec.Code)
+	}
+	post := httptest.NewRecorder()
+	h.ServeHTTP(post, httptest.NewRequest("POST", "/metrics", nil))
+	if post.Code != 405 {
+		t.Errorf("POST /metrics: code=%d, want 405", post.Code)
+	}
+}
+
+func TestHandlerNilSinks(t *testing.T) {
+	h := Handler(nil, nil)
+	for _, path := range []string{"/metrics", "/metrics?format=json", "/trace", "/trace?format=json"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("GET %s with nil sinks: code=%d", path, rec.Code)
+		}
+	}
+}

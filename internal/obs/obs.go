@@ -1,0 +1,343 @@
+// Package obs is the zero-dependency telemetry layer of the SSTD
+// reproduction: a metrics Registry (counters, gauges, fixed-bucket
+// histograms), a lightweight span Tracer with parent/child linkage and
+// Chrome trace_event export, and a control-loop Recorder that captures
+// every PID tick of the paper's §IV-C feedback system.
+//
+// Everything is concurrency-safe and nil-safe: a nil *Registry hands out
+// nil metric handles whose methods no-op, so library code can instrument
+// unconditionally and users who leave telemetry off pay only a nil check
+// per event. Hot-path increments are single uncontended atomic adds on
+// cache-line-padded words.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. A nil *Registry is valid everywhere and disables telemetry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) when r is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// when r is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (an implicit +Inf bucket is appended).
+// Bounds must be sorted ascending; nil bounds use DefaultDurationBuckets.
+// Returns nil when r is nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultDurationBuckets()
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Counter is a monotonically increasing count. The padding keeps two
+// independently allocated hot counters off the same cache line so
+// parallel increments of different counters never false-share.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value (stored as IEEE-754 bits in one
+// atomic word).
+type Gauge struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Observations and
+// reads may race freely; every count lands in exactly one bucket.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; bucket i counts v <= bounds[i]
+	counts  []atomic.Int64
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1), // last bucket is +Inf
+	}
+}
+
+// DefaultDurationBuckets are exponential millisecond latency buckets
+// spanning 50µs to 10s.
+func DefaultDurationBuckets() []float64 {
+	return []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in milliseconds (the unit of every
+// SSTD latency histogram).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket holding the target rank. Samples in the overflow
+// bucket are attributed to the highest finite bound. Returns 0 with no
+// observations or a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a consistent-enough read of a histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is in the histogram's native unit (ms for latency histograms).
+	Sum float64 `json:"sum"`
+	// Bounds are the finite bucket upper bounds; Counts has one extra
+	// trailing element for the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		P50:    h.Quantile(0.5),
+		P90:    h.Quantile(0.9),
+		P99:    h.Quantile(0.99),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// RegistrySnapshot is a point-in-time copy of every metric, the payload
+// of the JSON /metrics format.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry. Safe on nil (returns empty maps).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed operation. Spans form trees through Parent; the DTM
+// gives each TD job a root span whose children are the job's task queue /
+// execute legs and the final merge + decode.
+type Span struct {
+	ID     int64             `json:"id"`
+	Parent int64             `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+
+	tr *Tracer
+	// ended guards double-Finish; a plain int32 driven by the atomic
+	// package so Span stays copyable (the tracer rings finished spans
+	// by value).
+	ended int32
+}
+
+// SpanID returns the span's ID, or 0 for a nil span — the value callers
+// pass as a child's parent without nil checks.
+func (s *Span) SpanID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// SetAttr attaches a key/value to the span. No-op on nil.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 2)
+	}
+	s.Attrs[k] = v
+}
+
+// Finish stamps the end time and records the span into its tracer's ring
+// buffer. Safe on nil and idempotent.
+func (s *Span) Finish() {
+	if s == nil || s.tr == nil || !atomic.CompareAndSwapInt32(&s.ended, 0, 1) {
+		return
+	}
+	s.End = s.tr.now()
+	s.tr.record(*s)
+}
+
+// Tracer records finished spans into a fixed-capacity ring buffer; the
+// newest spans win. A nil *Tracer is valid and disables tracing.
+type Tracer struct {
+	capacity int
+	nextID   atomic.Int64
+	// now is a test hook for deterministic timestamps.
+	now func() time.Time
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total int
+}
+
+// NewTracer creates a tracer keeping the most recent capacity spans
+// (default 4096 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{capacity: capacity, now: time.Now, ring: make([]Span, 0, capacity)}
+}
+
+type spanCtxKey struct{}
+
+// StartSpan opens a span named name, linked under the span already in ctx
+// (if any), and returns a context carrying the new span for further
+// nesting. With a nil tracer it returns (ctx, nil) — and a nil span's
+// methods all no-op.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := int64(0)
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		parent = p.ID
+	}
+	s := t.NewSpan(name, parent)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// NewSpan opens a span with an explicit parent ID (0 = root) for call
+// sites without a context, e.g. the workqueue master linking task spans
+// under a job span received over the wire. Nil-safe.
+func (t *Tracer) NewSpan(name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		ID:     t.nextID.Add(1),
+		Parent: parent,
+		Name:   name,
+		Start:  t.now(),
+		tr:     t,
+	}
+}
+
+// record appends a finished span to the ring.
+func (t *Tracer) record(s Span) {
+	s.tr = nil
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % t.capacity
+	}
+	t.total++
+}
+
+// Len reports how many spans are currently buffered (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total reports how many spans were ever recorded, including those the
+// ring has evicted.
+func (t *Tracer) Total() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the buffered spans ordered by start time. Safe on nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.ring))
+	// Unroll the ring: oldest first.
+	n := copy(out, t.ring[t.next:])
+	copy(out[n:], t.ring[:t.next])
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// WriteJSON dumps the buffered spans as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	spans := t.Spans()
+	if spans == nil {
+		spans = []Span{}
+	}
+	return enc.Encode(spans)
+}
+
+// chromeEvent is one Chrome trace_event "complete" (ph=X) record, the
+// format chrome://tracing and Perfetto load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`  // µs relative to first span
+	Dur  int64             `json:"dur"` // µs
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the buffered spans in Chrome trace_event
+// format. Timestamps are microseconds relative to the earliest span so
+// traces load near the origin. Each root span gets its own lane (tid);
+// child spans share their parent's lane, which renders a TD job's
+// submit → queue → execute → merge → decode legs as one row.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var origin time.Time
+	for _, s := range spans {
+		if origin.IsZero() || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+	// Resolve each span's lane: the root of its parent chain (parents
+	// may have been evicted from the ring; fall back to the span ID).
+	parentOf := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		parentOf[s.ID] = s.Parent
+	}
+	lane := func(id int64) int64 {
+		for hops := 0; hops < 64; hops++ {
+			p, ok := parentOf[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "sstd",
+			Ph:   "X",
+			Ts:   s.Start.Sub(origin).Microseconds(),
+			Dur:  s.End.Sub(s.Start).Microseconds(),
+			Pid:  1,
+			Tid:  lane(s.ID),
+			Args: s.Attrs,
+		})
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/social-sensing/sstd/internal/clustering"
 	"github.com/social-sensing/sstd/internal/contrib"
 	"github.com/social-sensing/sstd/internal/core"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 )
 
@@ -34,6 +35,10 @@ type Config struct {
 	// ScorerOptions customize semantic scoring (e.g. a sports attitude
 	// lexicon or a trained stance classifier).
 	ScorerOptions []contrib.Option
+	// Metrics enables pipeline ingest telemetry, and — unless the
+	// engine config carries its own registry — engine telemetry too.
+	// Nil disables it.
+	Metrics *obs.Registry
 }
 
 // Pipeline is the composed ingestion path. It is not safe for concurrent
@@ -43,6 +48,12 @@ type Pipeline struct {
 	clusterer *clustering.Clusterer
 	scorer    *contrib.Scorer
 	engine    *core.Engine
+
+	// Telemetry handles; nil when Config.Metrics is nil.
+	cPosts    *obs.Counter
+	cKept     *obs.Counter
+	cFiltered *obs.Counter
+	gClusters *obs.Gauge
 
 	posts    int
 	kept     int
@@ -54,15 +65,25 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Engine.Origin.IsZero() {
 		return nil, errors.New("pipeline: engine config needs an origin time")
 	}
+	if cfg.Metrics != nil && cfg.Engine.Metrics == nil {
+		cfg.Engine.Metrics = cfg.Metrics
+	}
 	eng, err := core.NewEngine(cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		clusterer: clustering.New(cfg.Cluster),
 		scorer:    contrib.NewScorer(cfg.ScorerOptions...),
 		engine:    eng,
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		p.cPosts = reg.Counter("pipeline_posts_total")
+		p.cKept = reg.Counter("pipeline_kept_total")
+		p.cFiltered = reg.Counter("pipeline_filtered_total")
+		p.gClusters = reg.Gauge("pipeline_claims")
+	}
+	return p, nil
 }
 
 // Process routes one raw post through the pipeline. It returns the claim
@@ -70,9 +91,11 @@ func New(cfg Config) (*Pipeline, error) {
 // it.
 func (p *Pipeline) Process(post RawPost) (claim socialsensing.ClaimID, kept bool, err error) {
 	p.posts++
+	p.cPosts.Inc()
 	clusterID, ok := p.clusterer.Assign(post.Text, post.Time)
 	if !ok {
 		p.filtered++
+		p.cFiltered.Inc()
 		return "", false, nil
 	}
 	report := p.scorer.ScorePost(contrib.Post{
@@ -85,6 +108,8 @@ func (p *Pipeline) Process(post RawPost) (claim socialsensing.ClaimID, kept bool
 		return "", false, fmt.Errorf("pipeline: ingest: %w", err)
 	}
 	p.kept++
+	p.cKept.Inc()
+	p.gClusters.SetInt(p.clusterer.Len())
 	return socialsensing.ClaimID(clusterID), true, nil
 }
 

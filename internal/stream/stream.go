@@ -8,6 +8,7 @@ import (
 	"errors"
 	"time"
 
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 )
 
@@ -118,6 +119,20 @@ type Replayer struct {
 	started time.Time
 	now     func() time.Time
 	sleep   func(time.Duration)
+
+	// Telemetry handles; nil until Instrument is called.
+	cReplayed *obs.Counter
+	gLag      *obs.Gauge
+	gLeft     *obs.Gauge
+}
+
+// Instrument reports replay progress into reg: a replayed-report counter
+// (its rate is the ingest rate), the replayer's lag behind the
+// accelerated schedule, and the reports remaining. Nil reg is a no-op.
+func (r *Replayer) Instrument(reg *obs.Registry) {
+	r.cReplayed = reg.Counter("stream_reports_replayed_total")
+	r.gLag = reg.Gauge("stream_replay_lag_ms")
+	r.gLeft = reg.Gauge("stream_reports_remaining")
 }
 
 // NewReplayer builds a replayer running the trace speedup× faster than
@@ -150,8 +165,14 @@ func (r *Replayer) Next() (socialsensing.Report, bool) {
 		due := r.started.Add(time.Duration(float64(rep.Timestamp.Sub(r.origin)) / r.speedup))
 		if wait := due.Sub(r.now()); wait > 0 {
 			r.sleep(wait)
+			r.gLag.Set(0)
+		} else {
+			// The consumer is behind the accelerated schedule.
+			r.gLag.Set(float64(-wait) / float64(time.Millisecond))
 		}
 	}
+	r.cReplayed.Inc()
+	r.gLeft.SetInt(len(r.reports) - r.idx)
 	return rep, true
 }
 

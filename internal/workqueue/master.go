@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
 )
 
 // JobStats tracks per-job progress for the feedback control loop.
@@ -35,6 +37,10 @@ type MasterConfig struct {
 	// indefinitely (suits scavenged pools where eviction is routine; cap
 	// it when a poisonous task could crash workers repeatedly).
 	MaxRetries int
+	// Metrics and Tracer enable telemetry (both may be nil: the master
+	// then keeps no per-task timing state and every hook no-ops).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Master owns the task pool and serves workers. It mirrors the Work Queue
@@ -45,13 +51,29 @@ type Master struct {
 	results    chan Result
 	maxRetries int
 
+	// Telemetry handles; all nil when telemetry is off.
+	tracer     *obs.Tracer
+	cSubmitted *obs.Counter
+	cCompleted *obs.Counter
+	cFailed    *obs.Counter
+	cRetries   *obs.Counter
+	gQueue     *obs.Gauge
+	gWorkers   *obs.Gauge
+	hExec      *obs.Histogram
+	hWait      *obs.Histogram
+
 	mu       sync.Mutex
 	stats    map[string]*JobStats
 	workers  map[string]context.CancelFunc // workerID -> wake-up for release
 	released map[string]bool
 	inflight map[string]Task // taskID -> task, for requeue on worker loss
 	attempts map[string]int  // taskID -> requeues so far
-	closed   bool
+	// queuedAt / taskSpans back the queue-wait histogram and per-task
+	// spans; they stay nil (and untouched) without telemetry. taskSpans
+	// holds each in-flight task's currently open span (queue or exec).
+	queuedAt  map[string]time.Time
+	taskSpans map[string]*obs.Span
+	closed    bool
 
 	wg sync.WaitGroup
 }
@@ -62,7 +84,7 @@ func NewMaster(cfg MasterConfig) *Master {
 	if buf <= 0 {
 		buf = 1
 	}
-	return &Master{
+	m := &Master{
 		sched:      newScheduler(cfg.Seed),
 		results:    make(chan Result, buf),
 		maxRetries: cfg.MaxRetries,
@@ -72,6 +94,24 @@ func NewMaster(cfg MasterConfig) *Master {
 		inflight:   make(map[string]Task),
 		attempts:   make(map[string]int),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		m.cSubmitted = reg.Counter("wq_tasks_submitted_total")
+		m.cCompleted = reg.Counter("wq_tasks_completed_total")
+		m.cFailed = reg.Counter("wq_tasks_failed_total")
+		m.cRetries = reg.Counter("wq_task_retries_total")
+		m.gQueue = reg.Gauge("wq_queue_depth")
+		m.gWorkers = reg.Gauge("wq_workers")
+		m.hExec = reg.Histogram("wq_task_exec_ms", nil)
+		m.hWait = reg.Histogram("wq_task_queue_wait_ms", nil)
+	}
+	m.tracer = cfg.Tracer
+	if cfg.Metrics != nil || cfg.Tracer != nil {
+		m.queuedAt = make(map[string]time.Time)
+	}
+	if cfg.Tracer != nil {
+		m.taskSpans = make(map[string]*obs.Span)
+	}
+	return m
 }
 
 // Submit adds a task to the pool.
@@ -87,9 +127,24 @@ func (m *Master) Submit(t Task) error {
 		m.stats[t.JobID] = js
 	}
 	js.Submitted++
+	m.markQueuedLocked(t)
 	m.mu.Unlock()
+	m.cSubmitted.Inc()
 	m.sched.push(t)
+	m.gQueue.SetInt(m.sched.len())
 	return nil
+}
+
+// markQueuedLocked opens the task's queue-wait measurement (and span).
+func (m *Master) markQueuedLocked(t Task) {
+	if m.queuedAt != nil {
+		m.queuedAt[t.ID] = time.Now()
+	}
+	if m.taskSpans != nil {
+		s := m.tracer.NewSpan("queue "+t.ID, t.Span)
+		s.SetAttr("job", t.JobID)
+		m.taskSpans[t.ID] = s
+	}
 }
 
 // SetJobPriority tunes the Local Control Knob for one job.
@@ -192,11 +247,13 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	defer wake()
 	m.mu.Lock()
 	m.workers[workerID] = wake
+	m.gWorkers.SetInt(len(m.workers))
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
 		delete(m.workers, workerID)
 		delete(m.released, workerID)
+		m.gWorkers.SetInt(len(m.workers))
 		m.mu.Unlock()
 	}()
 
@@ -214,7 +271,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			_ = c.send(message{Type: msgShutdown})
 			return nil
 		}
-		m.trackInflight(task)
+		m.trackInflight(task, workerID)
 		if err := c.send(message{Type: msgTask, Task: &task}); err != nil {
 			m.requeue(task)
 			return err
@@ -232,10 +289,29 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	}
 }
 
-func (m *Master) trackInflight(t Task) {
+func (m *Master) trackInflight(t Task, workerID string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.inflight[t.ID] = t
+	var wait time.Duration
+	waited := false
+	if m.queuedAt != nil {
+		if at, ok := m.queuedAt[t.ID]; ok {
+			wait, waited = time.Since(at), true
+			delete(m.queuedAt, t.ID)
+		}
+	}
+	if m.taskSpans != nil {
+		m.taskSpans[t.ID].Finish()
+		s := m.tracer.NewSpan("exec "+t.ID, t.Span)
+		s.SetAttr("job", t.JobID)
+		s.SetAttr("worker", workerID)
+		m.taskSpans[t.ID] = s
+	}
+	m.mu.Unlock()
+	if waited {
+		m.hWait.ObserveDuration(wait)
+	}
+	m.gQueue.SetInt(m.sched.len())
 }
 
 // requeue puts a task back in the pool after a worker failure, preserving
@@ -244,11 +320,27 @@ func (m *Master) trackInflight(t Task) {
 func (m *Master) requeue(t Task) {
 	m.mu.Lock()
 	delete(m.inflight, t.ID)
+	if m.taskSpans != nil {
+		if s := m.taskSpans[t.ID]; s != nil {
+			s.SetAttr("outcome", "lost")
+			s.Finish()
+		}
+		delete(m.taskSpans, t.ID)
+	}
 	closed := m.closed
 	m.attempts[t.ID]++
 	exhausted := m.maxRetries > 0 && m.attempts[t.ID] > m.maxRetries
-	if exhausted {
+	if exhausted || closed {
+		// Drop the attempt count either way: an exhausted task is done,
+		// and a closed master will never retry — keeping the entry
+		// would leak it forever.
 		delete(m.attempts, t.ID)
+	}
+	if closed && m.queuedAt != nil {
+		delete(m.queuedAt, t.ID)
+	}
+	if !closed && !exhausted {
+		m.markQueuedLocked(t)
 	}
 	m.mu.Unlock()
 	if closed {
@@ -262,13 +354,27 @@ func (m *Master) requeue(t Task) {
 		})
 		return
 	}
+	m.cRetries.Inc()
 	m.sched.push(t)
+	m.gQueue.SetInt(m.sched.len())
 }
 
 func (m *Master) complete(r Result) {
 	m.mu.Lock()
 	delete(m.inflight, r.TaskID)
 	delete(m.attempts, r.TaskID)
+	if m.queuedAt != nil {
+		delete(m.queuedAt, r.TaskID)
+	}
+	if m.taskSpans != nil {
+		if s := m.taskSpans[r.TaskID]; s != nil {
+			if r.Err != "" {
+				s.SetAttr("error", r.Err)
+			}
+			s.Finish()
+		}
+		delete(m.taskSpans, r.TaskID)
+	}
 	js, ok := m.stats[r.JobID]
 	if !ok {
 		js = &JobStats{JobID: r.JobID}
@@ -281,11 +387,31 @@ func (m *Master) complete(r Result) {
 	}
 	js.ExecTime += r.Elapsed
 	js.LastCompletion = time.Now()
+	jobDone := js.Done()
 	closed := m.closed
 	m.mu.Unlock()
+	if jobDone {
+		// Drop the drained job's scheduler priority entry so a
+		// long-running master does not accumulate state per job.
+		m.sched.forgetJob(r.JobID)
+	}
+	if r.Err != "" {
+		m.cFailed.Inc()
+	} else {
+		m.cCompleted.Inc()
+	}
+	m.hExec.ObserveDuration(r.Elapsed)
 	if !closed {
 		m.results <- r
 	}
+}
+
+// taskStateSizes reports the internal per-task map sizes; tests assert
+// they drain to zero after a run so long-lived masters cannot leak.
+func (m *Master) taskStateSizes() (inflight, attempts int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight), len(m.attempts)
 }
 
 // Shutdown closes the task pool, waits for worker handlers spawned by

@@ -21,6 +21,10 @@ type Task struct {
 	ID      string `json:"id"`
 	JobID   string `json:"job_id"`
 	Payload []byte `json:"payload,omitempty"`
+	// Span optionally links the task under a submitter-side trace span
+	// (the TD job's root span), so the master's queue/execute spans nest
+	// correctly in the job timeline.
+	Span int64 `json:"span,omitempty"`
 }
 
 // Result is the outcome of one task execution.

@@ -120,6 +120,25 @@ func (s *scheduler) removeOrderLocked(jobID string) {
 	}
 }
 
+// forgetJob drops a drained job's priority entry so long-running masters
+// do not accumulate state for every job ever seen. A job that still has
+// queued tasks keeps its entry; a task pushed later (e.g. a requeue)
+// recreates it at the default priority.
+func (s *scheduler) forgetJob(jobID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, queued := s.queues[jobID]; !queued {
+		delete(s.priority, jobID)
+	}
+}
+
+// jobStateSizes reports internal map sizes (tests assert they drain).
+func (s *scheduler) jobStateSizes() (queues, priorities int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues), len(s.priority)
+}
+
 // len reports the number of queued tasks.
 func (s *scheduler) len() int {
 	s.mu.Lock()

@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI tiers for the SSTD reproduction.
+#
+#   scripts/check.sh          tier-1: build + tests (the ROADMAP gate)
+#   scripts/check.sh race     tier-2: vet + full test suite under -race
+#   scripts/check.sh all      both tiers
+set -eu
+cd "$(dirname "$0")/.."
+
+tier1() {
+	echo "== tier-1: go build ./... && go test ./... =="
+	go build ./...
+	go test ./...
+}
+
+race() {
+	echo "== tier-2: go vet ./... && go test -race ./... =="
+	go vet ./...
+	go test -race ./...
+}
+
+case "${1:-tier1}" in
+tier1) tier1 ;;
+race) race ;;
+all)
+	tier1
+	race
+	;;
+*)
+	echo "usage: $0 [tier1|race|all]" >&2
+	exit 2
+	;;
+esac

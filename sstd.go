@@ -33,6 +33,7 @@
 package sstd
 
 import (
+	"net/http"
 	"time"
 
 	"github.com/social-sensing/sstd/internal/claimdep"
@@ -40,6 +41,7 @@ import (
 	"github.com/social-sensing/sstd/internal/contrib"
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/dtm"
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/pipeline"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/sourcerel"
@@ -155,6 +157,46 @@ type (
 	// TraceGenerator synthesizes traces for a profile.
 	TraceGenerator = tracegen.Generator
 )
+
+// Telemetry types. A nil registry / tracer / recorder disables the
+// corresponding instrumentation at ~zero cost, so telemetry is pay-for-use.
+type (
+	// MetricsRegistry holds counters, gauges and latency histograms for
+	// every instrumented layer (engine, work queue, DTM, pipeline).
+	MetricsRegistry = obs.Registry
+	// SpanTracer records per-job / per-task timeline spans into a ring
+	// buffer, exportable as JSON or Chrome trace_event format.
+	SpanTracer = obs.Tracer
+	// ControlRecorder captures the PID control loop tick by tick.
+	ControlRecorder = obs.ControlRecorder
+	// ControlSample is one job's slice of one PID tick.
+	ControlSample = obs.ControlSample
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanTracer creates a span tracer keeping the most recent capacity
+// spans (<= 0 uses the default of 4096).
+func NewSpanTracer(capacity int) *SpanTracer { return obs.NewTracer(capacity) }
+
+// NewControlRecorder creates a control-loop recorder keeping at most max
+// samples (<= 0 uses a generous default).
+func NewControlRecorder(max int) *ControlRecorder { return obs.NewControlRecorder(max) }
+
+// TelemetryHandler serves /metrics (Prometheus text, ?format=json for
+// JSON), /trace (Chrome trace_event) and /debug/pprof/* for the given
+// telemetry sinks; either may be nil.
+func TelemetryHandler(reg *MetricsRegistry, tr *SpanTracer) http.Handler {
+	return obs.Handler(reg, tr)
+}
+
+// WriteTelemetryArtifact writes a JSON file with the final metrics
+// snapshot and control-loop time series — the reproducible artifact of a
+// -telemetry run.
+func WriteTelemetryArtifact(path string, reg *MetricsRegistry, rec *ControlRecorder) error {
+	return obs.WriteArtifactFile(path, reg, rec)
+}
 
 // NewEngine builds a streaming truth discovery engine.
 func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
