@@ -63,7 +63,11 @@ func run() error {
 		tasksPer   = flag.Int("tasks-per-job", 4, "tasks per TD job")
 		minWorkers = flag.Int("min-workers", 1, "wait for this many workers before submitting")
 		status     = flag.String("status", "", "optional address for the JSON status endpoint (e.g. :9124)")
-		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace and /debug/pprof (e.g. :9125)")
+		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace, /cluster, /status and /debug/pprof (e.g. :9125)")
+
+		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "mark a worker suspect after this long without a message (0 disables liveness)")
+		deadAfter    = flag.Duration("dead-after", 10*time.Second, "evict a silent worker and requeue its task after this long (0 disables liveness)")
+		straggler    = flag.Float64("straggler-factor", 2, "flag workers slower than this multiple of the cluster median exec time")
 	)
 	flag.Parse()
 
@@ -85,6 +89,9 @@ func run() error {
 	master := workqueue.NewMaster(workqueue.MasterConfig{
 		Seed: *seed, ResultBuffer: 256,
 		Metrics: metrics, Tracer: tracer,
+		SuspectAfter:    *suspectAfter,
+		DeadAfter:       *deadAfter,
+		StragglerFactor: *straggler,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -98,24 +105,31 @@ func run() error {
 		}
 	}()
 	if *status != "" {
-		statusSrv := &http.Server{Addr: *status, Handler: master.StatusHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", master.StatusHandler())
+		mux.Handle("/cluster", master.ClusterHandler())
+		statusSrv := &http.Server{Addr: *status, Handler: mux}
 		go func() {
 			if err := statusSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "sstd-master: status endpoint:", err)
 			}
 		}()
 		defer func() { _ = statusSrv.Close() }()
-		fmt.Printf("status endpoint on %s\n", *status)
+		fmt.Printf("status endpoint on %s (/, /cluster)\n", *status)
 	}
 	if *telemetry != "" {
-		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, tracer)}
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(metrics, tracer))
+		mux.Handle("/cluster", master.ClusterHandler())
+		mux.Handle("/status", master.StatusHandler())
+		telemetrySrv := &http.Server{Addr: *telemetry, Handler: mux}
 		go func() {
 			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "sstd-master: telemetry endpoint:", err)
 			}
 		}()
 		defer func() { _ = telemetrySrv.Close() }()
-		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /debug/pprof)\n", *telemetry)
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /cluster, /status, /debug/pprof)\n", *telemetry)
 	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)...\n", l.Addr(), *minWorkers)
 	for master.WorkerCount() < *minWorkers {
@@ -164,7 +178,7 @@ func run() error {
 			return fmt.Errorf("results closed with %d/%d jobs finished", finished, len(byClaim))
 		}
 		if res.Err != "" {
-			return fmt.Errorf("task %s failed on %s: %s", res.TaskID, res.WorkerID, res.Err)
+			return fmt.Errorf("task failed at stage %q: %s", res.ErrStage, res.Err)
 		}
 		var out taskOutput
 		if err := json.Unmarshal(res.Output, &out); err != nil {
@@ -195,6 +209,14 @@ func run() error {
 	}
 	fmt.Printf("all %d jobs finished in %s across %d workers\n",
 		len(byClaim), time.Since(start).Round(time.Millisecond), master.WorkerCount())
+	for _, h := range master.ClusterHealth() {
+		flag := ""
+		if h.Straggler {
+			flag = "  STRAGGLER"
+		}
+		fmt.Printf("  worker %-20s %-8s tasks=%-4d exec=%6.1fms rate=%5.2f/s%s\n",
+			h.ID, h.State, h.TasksCompleted, h.EWMAExecMs, h.TasksPerSec, flag)
+	}
 	cancel()
 	master.Shutdown()
 	return nil

@@ -4,9 +4,15 @@
 // Start as many as the machine allows; the master balances work across all
 // connected workers.
 //
+// While running it heartbeats to the master (so a hung worker is evicted
+// rather than stalling the cluster) and periodically ships a telemetry
+// snapshot: task counts, exec-time histogram, connection byte counters,
+// goroutines and heap. The same numbers can be served locally with
+// -telemetry, alongside /debug/pprof for on-the-spot profiling.
+//
 // Usage:
 //
-//	sstd-worker -master localhost:9123 -id worker-a
+//	sstd-worker -master localhost:9123 -id worker-a -telemetry :9200
 package main
 
 import (
@@ -15,11 +21,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -45,8 +53,11 @@ func main() {
 
 func run() error {
 	var (
-		master = flag.String("master", "localhost:9123", "master address")
-		id     = flag.String("id", "", "worker id (defaults to host-pid)")
+		master     = flag.String("master", "localhost:9123", "master address")
+		id         = flag.String("id", "", "worker id (defaults to host-pid)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "liveness ping interval to the master (0 disables)")
+		statsEvery = flag.Int("stats-every", 5, "ship a telemetry snapshot every N heartbeats")
+		telemetry  = flag.String("telemetry", "", "optional address serving /metrics and /debug/pprof (e.g. :9200)")
 	)
 	flag.Parse()
 
@@ -62,7 +73,26 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	w := &workqueue.Worker{ID: workerID, Exec: execute}
+	var metrics *obs.Registry
+	if *telemetry != "" {
+		metrics = obs.NewRegistry()
+		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, nil)}
+		go func() {
+			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sstd-worker: telemetry endpoint:", err)
+			}
+		}()
+		defer func() { _ = telemetrySrv.Close() }()
+		fmt.Printf("telemetry endpoint on %s (/metrics, /debug/pprof)\n", *telemetry)
+	}
+
+	w := &workqueue.Worker{
+		ID:             workerID,
+		Exec:           execute,
+		HeartbeatEvery: *heartbeat,
+		StatsEvery:     *statsEvery,
+		Metrics:        metrics,
+	}
 	fmt.Printf("worker %s connecting to %s\n", workerID, *master)
 	err := w.Dial(ctx, *master)
 	if err != nil && !errors.Is(err, context.Canceled) {
@@ -73,14 +103,15 @@ func run() error {
 }
 
 // execute computes the partial per-interval contribution score sums for a
-// chunk of reports (the SSTD preprocessing step).
+// chunk of reports (the SSTD preprocessing step). Failures are tagged with
+// the pipeline stage so the master's result carries provenance.
 func execute(_ context.Context, payload []byte) ([]byte, error) {
 	var p taskPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
-		return nil, fmt.Errorf("bad payload: %w", err)
+		return nil, workqueue.StageError(workqueue.StageDecode, fmt.Errorf("bad payload: %w", err))
 	}
 	if p.Interval <= 0 {
-		return nil, errors.New("payload has no interval")
+		return nil, workqueue.StageError(workqueue.StageDecode, errors.New("payload has no interval"))
 	}
 	out := taskOutput{Sums: make(map[int]float64)}
 	for _, r := range p.Reports {
@@ -90,5 +121,9 @@ func execute(_ context.Context, payload []byte) ([]byte, error) {
 		}
 		out.Sums[idx] += r.ContributionScore()
 	}
-	return json.Marshal(out)
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, workqueue.StageError(workqueue.StageEncode, err)
+	}
+	return b, nil
 }

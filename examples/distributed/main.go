@@ -76,6 +76,19 @@ func main() {
 	fmt.Printf("\n%d/%d deadlines met; pool ended at %d workers (started at %d)\n",
 		met, submitted, manager.Workers(), cfg.Workers)
 
+	// Per-worker health summary from the master's cluster registry: every
+	// worker the run touched (including ones released by pool shrinks),
+	// with its liveness state, task count and smoothed exec time.
+	fmt.Println("\nworker            state    tasks  exec(ewma)  rate")
+	for _, h := range manager.ClusterHealth() {
+		flag := ""
+		if h.Straggler {
+			flag = "  STRAGGLER"
+		}
+		fmt.Printf("%-17s %-8s %5d  %8.2fms  %4.1f/s%s\n",
+			h.ID, h.State, h.TasksCompleted, h.EWMAExecMs, h.TasksPerSec, flag)
+	}
+
 	// One-line telemetry summary: deadline hit rate from the counters and
 	// job latency quantiles from the dtm_job_latency_ms histogram.
 	snap := metrics.Snapshot()

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -49,6 +50,18 @@ type Config struct {
 	// executor, used by experiments to emulate computation-heavy loads.
 	WorkDelay time.Duration
 
+	// Heartbeat is the worker liveness ping interval; SuspectAfter and
+	// DeadAfter are the master-side thresholds for demoting a silent
+	// worker to suspect and evicting it (requeueing its in-flight task).
+	// StragglerFactor flags workers whose smoothed exec time exceeds the
+	// cluster median by this factor. Zero values disable each mechanism.
+	// The defaults are deliberately generous: a false eviction costs a
+	// task re-execution, a missed one only delays it.
+	Heartbeat       time.Duration
+	SuspectAfter    time.Duration
+	DeadAfter       time.Duration
+	StragglerFactor float64
+
 	// Seed drives scheduler randomness.
 	Seed int64
 
@@ -76,7 +89,11 @@ func DefaultConfig(origin time.Time) Config {
 			Theta1:   10 * time.Microsecond,
 			Theta2:   40 * time.Microsecond,
 		},
-		SampleEvery: time.Second,
+		SampleEvery:     time.Second,
+		Heartbeat:       250 * time.Millisecond,
+		SuspectAfter:    2 * time.Second,
+		DeadAfter:       10 * time.Second,
+		StragglerFactor: 2,
 	}
 }
 
@@ -179,12 +196,16 @@ func New(cfg Config) (*Manager, error) {
 		jobs:    make(map[string]*jobState),
 	}
 	m.master = workqueue.NewMaster(workqueue.MasterConfig{
-		Seed:         cfg.Seed,
-		ResultBuffer: 256,
-		Metrics:      cfg.Metrics,
-		Tracer:       cfg.Tracer,
+		Seed:            cfg.Seed,
+		ResultBuffer:    256,
+		Metrics:         cfg.Metrics,
+		Tracer:          cfg.Tracer,
+		SuspectAfter:    cfg.SuspectAfter,
+		DeadAfter:       cfg.DeadAfter,
+		StragglerFactor: cfg.StragglerFactor,
 	})
 	m.pool = workqueue.NewPool(m.master, m.execute)
+	m.pool.Heartbeat = cfg.Heartbeat
 	m.tracer = cfg.Tracer
 	m.recorder = cfg.ControlLog
 	if reg := cfg.Metrics; reg != nil {
@@ -290,6 +311,13 @@ func (m *Manager) Results() <-chan JobResult { return m.results }
 // Workers reports the current pool size.
 func (m *Manager) Workers() int { return m.pool.Size() }
 
+// ClusterHealth exposes the master's per-worker health registry:
+// liveness state, last-seen, throughput estimates and straggler flags.
+func (m *Manager) ClusterHealth() []workqueue.WorkerHealth { return m.master.ClusterHealth() }
+
+// ClusterHandler serves ClusterHealth as JSON (GET only).
+func (m *Manager) ClusterHandler() http.Handler { return m.master.ClusterHandler() }
+
 // JobProgress is a live snapshot of one in-flight TD job.
 type JobProgress struct {
 	Claim socialsensing.ClaimID
@@ -341,7 +369,7 @@ func (m *Manager) Close() {
 func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
 	var p taskPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
-		return nil, fmt.Errorf("dtm: bad task payload: %w", err)
+		return nil, workqueue.StageError(workqueue.StageDecode, fmt.Errorf("dtm: bad task payload: %w", err))
 	}
 	if p.Interval <= 0 {
 		return nil, errors.New("dtm: task payload has no interval")
@@ -365,7 +393,11 @@ func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
 		}
 		out.Sums[idx] += r.ContributionScore()
 	}
-	return json.Marshal(out)
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, workqueue.StageError(workqueue.StageEncode, err)
+	}
+	return b, nil
 }
 
 // collect merges task results into jobs and finalizes completed jobs.
@@ -517,7 +549,10 @@ func (m *Manager) controlStep(ctx context.Context) {
 	}
 	m.mu.Lock()
 	statuses := make([]control.JobStatus, 0, len(m.jobs))
+	var totData, totTasks float64
 	for id, js := range m.jobs {
+		totData += js.dataSize
+		totTasks += float64(js.tasks)
 		elapsed := time.Since(js.submitted)
 		// Expected finish from the WCET model on the remaining data at
 		// the current pool size, assuming equal priority share.
@@ -574,6 +609,28 @@ func (m *Manager) controlStep(ctx context.Context) {
 				GCK:              dec.Workers,
 				ExpectedFinishMs: float64(st.ExpectedFinish) / float64(time.Millisecond),
 				DeadlineMs:       float64(st.Deadline) / float64(time.Millisecond),
+			})
+		}
+		// Per-worker rows: observed throughput from the heartbeat-fed
+		// health registry next to the WCET model's per-task prediction
+		// (Eq. 10 on the current average task size), so the artifact shows
+		// where the model and the cluster disagree.
+		var predictedMs float64
+		if totTasks > 0 {
+			predictedMs = float64(m.cfg.WCET.TaskTime(totData/totTasks)) / float64(time.Millisecond)
+		}
+		for _, h := range m.master.ClusterHealth() {
+			if h.State == workqueue.WorkerDead {
+				continue
+			}
+			m.recorder.RecordWorker(obs.WorkerSample{
+				Time:            now,
+				Worker:          h.ID,
+				State:           string(h.State),
+				TasksPerSec:     h.TasksPerSec,
+				ObservedExecMs:  h.EWMAExecMs,
+				PredictedExecMs: predictedMs,
+				Straggler:       h.Straggler,
 			})
 		}
 	}

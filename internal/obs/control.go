@@ -36,14 +36,39 @@ type ControlSample struct {
 	DeadlineMs       float64 `json:"deadlineMs"`
 }
 
+// WorkerSample is one worker's slice of one controller tick: the
+// heartbeat-derived observation (EWMA exec time, task rate, liveness
+// state, straggler flag) recorded next to the WCET-model per-task
+// prediction (Eq. 10), so the observed and modeled per-worker throughput
+// can be compared tick by tick.
+type WorkerSample struct {
+	Seq    int       `json:"seq"`
+	Tick   int       `json:"tick"`
+	Time   time.Time `json:"time"`
+	Worker string    `json:"worker"`
+	// State is the liveness state reported by the master's health
+	// registry: alive, suspect or dead.
+	State string `json:"state"`
+	// TasksPerSec is the observed EWMA task completion rate.
+	TasksPerSec float64 `json:"tasksPerSec"`
+	// ObservedExecMs is the EWMA per-task execution time observed from
+	// results; PredictedExecMs is the WCET model's ET_u = TI + D*theta1
+	// for the current mean task size.
+	ObservedExecMs  float64 `json:"observedExecMs"`
+	PredictedExecMs float64 `json:"predictedExecMs"`
+	Straggler       bool    `json:"straggler"`
+}
+
 // ControlRecorder accumulates the control-loop time series. A nil
 // *ControlRecorder is valid and records nothing.
 type ControlRecorder struct {
-	mu      sync.Mutex
-	samples []ControlSample
-	max     int
-	seq     int
-	tick    int
+	mu       sync.Mutex
+	samples  []ControlSample
+	wsamples []WorkerSample
+	max      int
+	seq      int
+	wseq     int
+	tick     int
 }
 
 // NewControlRecorder creates a recorder keeping at most max samples
@@ -84,6 +109,36 @@ func (r *ControlRecorder) Record(s ControlSample) {
 		r.samples = r.samples[:keep]
 	}
 	r.samples = append(r.samples, s)
+}
+
+// RecordWorker appends one per-worker observation, stamping Seq and the
+// current Tick. Nil-safe. Worker samples share the tick numbering of
+// Record so a tick's job and worker rows line up.
+func (r *ControlRecorder) RecordWorker(s WorkerSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Seq = r.wseq
+	s.Tick = r.tick
+	r.wseq++
+	if len(r.wsamples) >= r.max {
+		keep := r.max - r.max/4
+		copy(r.wsamples, r.wsamples[len(r.wsamples)-keep:])
+		r.wsamples = r.wsamples[:keep]
+	}
+	r.wsamples = append(r.wsamples, s)
+}
+
+// WorkerSamples copies the recorded per-worker series. Safe on nil.
+func (r *ControlRecorder) WorkerSamples() []WorkerSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]WorkerSample(nil), r.wsamples...)
 }
 
 // Len reports recorded samples (0 on nil).
@@ -132,19 +187,24 @@ func (r *ControlRecorder) WriteFile(path string) error {
 }
 
 // Artifact is the payload of a -telemetry run file: the final metrics
-// snapshot plus the full control-loop time series, so one JSON file
-// captures both what happened and how the Eq. 9 loop steered it.
+// snapshot plus the full control-loop time series (job rows and the
+// per-worker observed-vs-predicted rows), so one JSON file captures both
+// what happened and how the Eq. 9 loop steered it.
 type Artifact struct {
 	Metrics RegistrySnapshot `json:"metrics"`
 	Control []ControlSample  `json:"control"`
+	Workers []WorkerSample   `json:"workers"`
 }
 
 // WriteArtifactFile writes an Artifact for reg and rec (either may be
 // nil) to path.
 func WriteArtifactFile(path string, reg *Registry, rec *ControlRecorder) error {
-	art := Artifact{Metrics: reg.Snapshot(), Control: rec.Samples()}
+	art := Artifact{Metrics: reg.Snapshot(), Control: rec.Samples(), Workers: rec.WorkerSamples()}
 	if art.Control == nil {
 		art.Control = []ControlSample{}
+	}
+	if art.Workers == nil {
+		art.Workers = []WorkerSample{}
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -19,18 +19,35 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4): counters, gauges, and histograms with
-// cumulative le-labelled buckets.
+// cumulative le-labelled buckets. Metric names may carry a label block —
+// `wq_worker_exec_ms{worker="w-1"}` — which is preserved on every sample
+// line; the # TYPE header is emitted once per base name (label variants
+// of one metric sort adjacently).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	lastType := ""
 	for _, name := range sortedKeys(s.Counters) {
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+		base, labels := promName(name)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(base, labels), s.Counters[name]); err != nil {
 			return err
 		}
 	}
+	lastType = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", n, n, s.Gauges[name]); err != nil {
+		base, labels := promName(name)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+			lastType = base
+		}
+		if _, err := fmt.Fprintf(w, "%s %v\n", promSeries(base, labels), s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -39,37 +56,78 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		hnames = append(hnames, name)
 	}
 	sort.Strings(hnames)
+	lastType = ""
 	for _, name := range hnames {
 		h := s.Histograms[name]
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
-			return err
+		base, labels := promName(name)
+		if base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
+			lastType = base
 		}
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, trimFloat(bound), cum); err != nil {
+			le := fmt.Sprintf("le=%q", trimFloat(bound))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, promLabels(labels, le), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.Counts[len(h.Counts)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n", n, cum, n, h.Sum, n, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %v\n%s_count%s %d\n",
+			base, promLabels(labels, `le="+Inf"`), cum,
+			base, promLabels(labels), h.Sum,
+			base, promLabels(labels), h.Count); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// promName maps a metric name onto the Prometheus charset.
-func promName(name string) string {
-	return strings.Map(func(r rune) rune {
+// promName splits a metric name into its Prometheus base name (mapped
+// onto the legal charset) and an optional label block (the inside of a
+// trailing {...}, kept verbatim).
+func promName(name string) (base, labels string) {
+	base, rest, hasLabels := strings.Cut(name, "{")
+	base = strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
 			return r
 		default:
 			return '_'
 		}
-	}, name)
+	}, base)
+	if hasLabels {
+		labels = strings.TrimSuffix(rest, "}")
+	}
+	return base, labels
+}
+
+// promSeries renders one sample's series identifier.
+func promSeries(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// promLabels joins label fragments into a {...} block ("" when empty).
+func promLabels(parts ...string) string {
+	joined := ""
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if joined != "" {
+			joined += ","
+		}
+		joined += p
+	}
+	if joined == "" {
+		return ""
+	}
+	return "{" + joined + "}"
 }
 
 // trimFloat renders a bucket bound the way Prometheus expects (no

@@ -59,8 +59,53 @@ func TestWriteJSONRoundTrips(t *testing.T) {
 }
 
 func TestPromNameSanitizes(t *testing.T) {
-	if got := promName("core.acs-build ms"); got != "core_acs_build_ms" {
-		t.Errorf("promName = %q", got)
+	base, labels := promName("core.acs-build ms")
+	if base != "core_acs_build_ms" || labels != "" {
+		t.Errorf("promName = %q, %q", base, labels)
+	}
+}
+
+func TestPromNameSplitsLabels(t *testing.T) {
+	base, labels := promName(`wq_worker_exec_ms{worker="w-1"}`)
+	if base != "wq_worker_exec_ms" || labels != `worker="w-1"` {
+		t.Errorf("promName = %q, %q", base, labels)
+	}
+}
+
+func TestWritePrometheusLabeledMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`wq_worker_tasks_total{worker="a"}`).Add(2)
+	reg.Counter(`wq_worker_tasks_total{worker="b"}`).Add(5)
+	reg.Gauge(`wq_worker_up{worker="a"}`).Set(1)
+	h := reg.Histogram(`wq_worker_exec_ms{worker="a"}`, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`wq_worker_tasks_total{worker="a"} 2`,
+		`wq_worker_tasks_total{worker="b"} 5`,
+		`wq_worker_up{worker="a"} 1`,
+		`wq_worker_exec_ms_bucket{worker="a",le="1"} 1`,
+		`wq_worker_exec_ms_bucket{worker="a",le="+Inf"} 2`,
+		`wq_worker_exec_ms_sum{worker="a"} 5.5`,
+		`wq_worker_exec_ms_count{worker="a"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per base name, even with two labeled series.
+	if got := strings.Count(out, "# TYPE wq_worker_tasks_total counter"); got != 1 {
+		t.Errorf("TYPE header count = %d, want 1:\n%s", got, out)
+	}
+	// Label blocks must not leak into base names.
+	if strings.Contains(out, `_ms{worker="a"}_bucket`) {
+		t.Errorf("labels leaked into histogram series names:\n%s", out)
 	}
 }
 

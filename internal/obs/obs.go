@@ -224,6 +224,52 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// AddSnapshotDelta merges the growth between two cumulative snapshots of
+// a remote histogram into h: per-bucket count deltas, the total count
+// delta and the sum delta. This is how the master folds a worker's
+// self-reported exec-time histogram into its own registry — remote
+// snapshots are cumulative, so only the increment since the previous
+// snapshot is added. prev may be the zero snapshot (first report).
+// Returns false (merging nothing) when cur's bucket layout does not match
+// h's, so a worker running different bounds cannot corrupt the aggregate.
+func (h *Histogram) AddSnapshotDelta(prev, cur HistogramSnapshot) bool {
+	if h == nil {
+		return false
+	}
+	if len(cur.Counts) != len(h.counts) || len(cur.Bounds) != len(h.bounds) {
+		return false
+	}
+	for i, b := range cur.Bounds {
+		if h.bounds[i] != b {
+			return false
+		}
+	}
+	var dTotal int64
+	for i := range cur.Counts {
+		var p int64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if d := cur.Counts[i] - p; d > 0 {
+			h.counts[i].Add(d)
+			dTotal += d
+		}
+	}
+	if dTotal > 0 {
+		h.total.Add(dTotal)
+	}
+	if ds := cur.Sum - prev.Sum; ds > 0 {
+		for {
+			old := h.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + ds)
+			if h.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+	return true
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

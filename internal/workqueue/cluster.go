@@ -1,0 +1,439 @@
+package workqueue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// WorkerState is the liveness state of one worker as judged by the
+// master from heartbeats and results: alive → suspect (one liveness
+// window missed) → dead (evicted, in-flight task requeued).
+type WorkerState string
+
+const (
+	WorkerAlive   WorkerState = "alive"
+	WorkerSuspect WorkerState = "suspect"
+	WorkerDead    WorkerState = "dead"
+)
+
+// WorkerHealth is one worker's row in the master's health registry — the
+// payload of the /cluster endpoint and Status.WorkersDetail.
+type WorkerHealth struct {
+	ID    string      `json:"id"`
+	State WorkerState `json:"state"`
+	// Reason explains a dead state ("heartbeat timeout", "disconnected",
+	// "released").
+	Reason      string    `json:"reason,omitempty"`
+	ConnectedAt time.Time `json:"connectedAt"`
+	LastSeen    time.Time `json:"lastSeen"`
+	// TasksCompleted / TasksFailed count results observed by the master
+	// from this worker (failed = results carrying an error).
+	TasksCompleted int64 `json:"tasksCompleted"`
+	TasksFailed    int64 `json:"tasksFailed"`
+	// EWMAExecMs is the exponentially weighted moving average of the
+	// worker's task execution time; TasksPerSec the EWMA completion rate.
+	EWMAExecMs  float64 `json:"ewmaExecMs"`
+	TasksPerSec float64 `json:"tasksPerSec"`
+	// Straggler flags a worker whose EWMA exec time exceeds the
+	// configured factor times the cluster median.
+	Straggler    bool   `json:"straggler"`
+	InflightTask string `json:"inflightTask,omitempty"`
+	Heartbeats   int64  `json:"heartbeats"`
+	// Remote is the worker's last self-reported stats snapshot (nil
+	// until the first stats message arrives).
+	Remote *WorkerStats `json:"remote,omitempty"`
+}
+
+// EWMA smoothing factors: exec time favors history (straggler detection
+// should not flip on one outlier), the rate tracks load changes faster.
+const (
+	ewmaExecAlpha = 0.2
+	ewmaRateAlpha = 0.3
+)
+
+// defaultStragglerFactor flags workers slower than 2x the cluster median.
+const defaultStragglerFactor = 2.0
+
+// deadRetention bounds how many departed workers the registry remembers
+// for observability before the oldest entries are dropped.
+const deadRetention = 64
+
+// workerEntry is the registry's mutable record for one worker.
+type workerEntry struct {
+	id          string
+	state       WorkerState
+	reason      string
+	connectedAt time.Time
+	lastSeen    time.Time
+	wake        context.CancelFunc
+	conn        net.Conn
+	released    bool
+	inflight    string
+	heartbeats  int64
+	tasksDone   int64
+	tasksFailed int64
+	ewmaExecMs  float64
+	ewmaRate    float64
+	lastDone    time.Time
+	remote      *WorkerStats
+	prev        WorkerStats // previous snapshot, for delta aggregation
+}
+
+// cluster is the master's per-worker health registry: it tracks every
+// attached worker's liveness, throughput and self-reported telemetry,
+// aggregates remote snapshots into the master's metrics registry under
+// per-worker labels, and keeps recently departed workers visible.
+type cluster struct {
+	mu     sync.Mutex
+	active map[string]*workerEntry
+	gone   []*workerEntry // most recent last, capped at deadRetention
+
+	reg    *obs.Registry // master metrics registry; may be nil
+	factor float64       // straggler threshold multiplier
+
+	cHeartbeats *obs.Counter
+	cEvictions  *obs.Counter
+	gSuspect    *obs.Gauge
+}
+
+func newCluster(reg *obs.Registry, stragglerFactor float64) *cluster {
+	if stragglerFactor <= 0 {
+		stragglerFactor = defaultStragglerFactor
+	}
+	return &cluster{
+		active:      make(map[string]*workerEntry),
+		reg:         reg,
+		factor:      stragglerFactor,
+		cHeartbeats: reg.Counter("wq_heartbeats_total"),
+		cEvictions:  reg.Counter("wq_worker_evictions_total"),
+		gSuspect:    reg.Gauge("wq_workers_suspect"),
+	}
+}
+
+// workerLabel builds a per-worker labeled metric name that the obs
+// Prometheus exporter renders as name{worker="id"}.
+func workerLabel(name, id string) string {
+	return fmt.Sprintf("%s{worker=%q}", name, id)
+}
+
+// attach registers a connecting worker. Duplicate live IDs are rejected:
+// two connections claiming one identity would corrupt the health record.
+func (cl *cluster) attach(id string, wake context.CancelFunc, conn net.Conn) (*workerEntry, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, dup := cl.active[id]; dup {
+		return nil, fmt.Errorf("workqueue: worker id %q already attached", id)
+	}
+	now := time.Now()
+	e := &workerEntry{
+		id:          id,
+		state:       WorkerAlive,
+		connectedAt: now,
+		lastSeen:    now,
+		wake:        wake,
+		conn:        conn,
+	}
+	cl.active[id] = e
+	cl.reg.Gauge(workerLabel("wq_worker_up", id)).Set(1)
+	return e, nil
+}
+
+// detach removes a worker from the active set when its handler exits,
+// remembering it as dead with the given reason (unless liveness already
+// marked it dead with a more specific one).
+func (cl *cluster) detach(id, reason string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return
+	}
+	delete(cl.active, id)
+	if e.state != WorkerDead {
+		e.state = WorkerDead
+		e.reason = reason
+	}
+	e.inflight = ""
+	cl.gone = append(cl.gone, e)
+	if len(cl.gone) > deadRetention {
+		cl.gone = cl.gone[len(cl.gone)-deadRetention:]
+	}
+	cl.reg.Gauge(workerLabel("wq_worker_up", id)).Set(0)
+	cl.updateSuspectGaugeLocked()
+}
+
+// seenLocked refreshes liveness on any message from the worker.
+func (cl *cluster) seenLocked(e *workerEntry) {
+	e.lastSeen = time.Now()
+	if e.state == WorkerSuspect {
+		e.state = WorkerAlive
+		cl.reg.Gauge(workerLabel("wq_worker_up", e.id)).Set(1)
+		cl.updateSuspectGaugeLocked()
+	}
+}
+
+// heartbeat records a liveness ping.
+func (cl *cluster) heartbeat(id string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return
+	}
+	e.heartbeats++
+	cl.seenLocked(e)
+	cl.cHeartbeats.Inc()
+}
+
+// recordStats ingests a worker's self-reported snapshot: it refreshes
+// liveness, stores the snapshot for /cluster, and folds the delta since
+// the previous snapshot into the master registry under per-worker labels.
+func (cl *cluster) recordStats(id string, s *WorkerStats) {
+	cl.mu.Lock()
+	e, ok := cl.active[id]
+	if !ok {
+		cl.mu.Unlock()
+		return
+	}
+	e.heartbeats++
+	cl.seenLocked(e)
+	cl.cHeartbeats.Inc()
+	prev := e.prev
+	e.prev = *s
+	snap := *s
+	e.remote = &snap
+	reg := cl.reg
+	cl.mu.Unlock()
+
+	if reg == nil {
+		return
+	}
+	delta := func(cur, old int64) int64 {
+		if cur > old {
+			return cur - old
+		}
+		return 0
+	}
+	reg.Counter(workerLabel("wq_worker_tasks_total", id)).Add(delta(s.TasksExecuted, prev.TasksExecuted))
+	reg.Counter(workerLabel("wq_worker_tasks_failed_total", id)).Add(delta(s.TasksFailed, prev.TasksFailed))
+	reg.Counter(workerLabel("wq_worker_bytes_in_total", id)).Add(delta(s.BytesIn, prev.BytesIn))
+	reg.Counter(workerLabel("wq_worker_bytes_out_total", id)).Add(delta(s.BytesOut, prev.BytesOut))
+	reg.Gauge(workerLabel("wq_worker_goroutines", id)).SetInt(s.Goroutines)
+	reg.Gauge(workerLabel("wq_worker_heap_bytes", id)).Set(float64(s.HeapBytes))
+	if len(s.Exec.Bounds) > 0 {
+		reg.Histogram(workerLabel("wq_worker_exec_ms", id), s.Exec.Bounds).AddSnapshotDelta(prev.Exec, s.Exec)
+	}
+}
+
+// taskAssigned marks the worker busy with taskID.
+func (cl *cluster) taskAssigned(id, taskID string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if e, ok := cl.active[id]; ok {
+		e.inflight = taskID
+	}
+}
+
+// taskAborted clears the in-flight marker after a send failure or worker
+// loss (the task itself is requeued by the master).
+func (cl *cluster) taskAborted(id string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if e, ok := cl.active[id]; ok {
+		e.inflight = ""
+	}
+}
+
+// taskFinished folds one observed result into the worker's throughput
+// estimates. A result is also proof of life.
+func (cl *cluster) taskFinished(id string, r Result) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return
+	}
+	e.inflight = ""
+	cl.seenLocked(e)
+	execMs := float64(r.Elapsed) / float64(time.Millisecond)
+	if e.tasksDone+e.tasksFailed == 0 {
+		e.ewmaExecMs = execMs
+	} else {
+		e.ewmaExecMs = ewmaExecAlpha*execMs + (1-ewmaExecAlpha)*e.ewmaExecMs
+	}
+	now := time.Now()
+	if !e.lastDone.IsZero() {
+		if dt := now.Sub(e.lastDone).Seconds(); dt > 0 {
+			inst := 1 / dt
+			if e.ewmaRate == 0 {
+				e.ewmaRate = inst
+			} else {
+				e.ewmaRate = ewmaRateAlpha*inst + (1-ewmaRateAlpha)*e.ewmaRate
+			}
+		}
+	}
+	e.lastDone = now
+	if r.Err != "" {
+		e.tasksFailed++
+	} else {
+		e.tasksDone++
+	}
+}
+
+// checkLiveness transitions one worker's state from the time since its
+// last message: past suspectAfter it becomes suspect, past deadAfter it
+// is marked dead and the entry's reason is set — the caller then severs
+// the connection, which requeues any in-flight task through the normal
+// worker-loss path. Returns the state after the check.
+func (cl *cluster) checkLiveness(id string, suspectAfter, deadAfter time.Duration) WorkerState {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return WorkerDead
+	}
+	silent := time.Since(e.lastSeen)
+	switch {
+	case deadAfter > 0 && silent >= deadAfter:
+		if e.state != WorkerDead {
+			e.state = WorkerDead
+			e.reason = fmt.Sprintf("heartbeat timeout (silent %s)", silent.Round(time.Millisecond))
+			cl.cEvictions.Inc()
+			cl.reg.Gauge(workerLabel("wq_worker_up", id)).Set(0)
+			cl.updateSuspectGaugeLocked()
+		}
+	case suspectAfter > 0 && silent >= suspectAfter:
+		if e.state == WorkerAlive {
+			e.state = WorkerSuspect
+			cl.reg.Gauge(workerLabel("wq_worker_up", id)).Set(0.5)
+			cl.updateSuspectGaugeLocked()
+		}
+	}
+	return e.state
+}
+
+func (cl *cluster) updateSuspectGaugeLocked() {
+	if cl.gSuspect == nil {
+		return
+	}
+	n := 0
+	for _, e := range cl.active {
+		if e.state == WorkerSuspect {
+			n++
+		}
+	}
+	cl.gSuspect.SetInt(n)
+}
+
+// release marks a worker for graceful exit and returns its wake func
+// (nil when unknown).
+func (cl *cluster) release(id string) context.CancelFunc {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return nil
+	}
+	e.released = true
+	return e.wake
+}
+
+func (cl *cluster) isReleased(id string) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	return ok && e.released
+}
+
+// count reports attached (non-departed) workers.
+func (cl *cluster) count() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return len(cl.active)
+}
+
+// health snapshots every known worker — attached first (sorted by ID),
+// then recently departed — computing straggler flags against the cluster
+// median EWMA exec time.
+func (cl *cluster) health() []WorkerHealth {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]WorkerHealth, 0, len(cl.active)+len(cl.gone))
+	// Median over active workers that have completed work; the lower
+	// median for even counts keeps a 2-worker cluster able to flag its
+	// slow half.
+	ewmas := make([]float64, 0, len(cl.active))
+	for _, e := range cl.active {
+		if e.tasksDone+e.tasksFailed > 0 {
+			ewmas = append(ewmas, e.ewmaExecMs)
+		}
+	}
+	sort.Float64s(ewmas)
+	median := 0.0
+	if len(ewmas) > 0 {
+		median = ewmas[(len(ewmas)-1)/2]
+	}
+	for _, e := range cl.active {
+		h := healthRow(e)
+		h.Straggler = len(ewmas) >= 2 && median > 0 &&
+			e.tasksDone+e.tasksFailed > 0 && e.ewmaExecMs > cl.factor*median
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i := len(cl.gone) - 1; i >= 0; i-- {
+		out = append(out, healthRow(cl.gone[i]))
+	}
+	return out
+}
+
+func healthRow(e *workerEntry) WorkerHealth {
+	h := WorkerHealth{
+		ID:             e.id,
+		State:          e.state,
+		Reason:         e.reason,
+		ConnectedAt:    e.connectedAt,
+		LastSeen:       e.lastSeen,
+		TasksCompleted: e.tasksDone,
+		TasksFailed:    e.tasksFailed,
+		EWMAExecMs:     e.ewmaExecMs,
+		TasksPerSec:    e.ewmaRate,
+		InflightTask:   e.inflight,
+		Heartbeats:     e.heartbeats,
+	}
+	if e.remote != nil {
+		snap := *e.remote
+		h.Remote = &snap
+	}
+	return h
+}
+
+// ClusterHealth snapshots the master's per-worker health registry:
+// attached workers first (sorted by ID), then recently departed ones.
+func (m *Master) ClusterHealth() []WorkerHealth {
+	return m.cluster.health()
+}
+
+// ClusterHandler serves the health registry as JSON — the /cluster
+// endpoint (GET only).
+func (m *Master) ClusterHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.ClusterHealth()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

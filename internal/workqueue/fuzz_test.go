@@ -12,6 +12,13 @@ import (
 func FuzzCodecRecv(f *testing.F) {
 	f.Add([]byte(`{"type":"hello","worker_id":"w"}` + "\n"))
 	f.Add([]byte(`{"type":"result","result":{"task_id":"t"}}` + "\n"))
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t","error":"x","error_stage":"exec"}}` + "\n"))
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"w"}` + "\n"))
+	f.Add([]byte(`{"type":"stats","worker_id":"w","stats":{"tasks_executed":3,"tasks_failed":1,"bytes_in":10,"bytes_out":20,"goroutines":7,"heap_bytes":4096,"uptime_ms":100,"exec":{"count":2,"sum":5.5,"bounds":[1,10],"counts":[1,1,0]}}}` + "\n"))
+	f.Add([]byte(`{"type":"stats","worker_id":"w"}` + "\n"))                                      // stats with nil payload
+	f.Add([]byte(`{"type":"stats","worker_id":"w","stats":{"exec":{"counts":null}}}` + "\n"))      // degenerate histogram
+	f.Add([]byte(`{"type":"stats","worker_id":"w","stats":{"exec":{"bounds":[10,1],"counts":[1]}}}` + "\n")) // layout mismatch
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"` + "\x00" + `"}` + "\n"))
 	f.Add([]byte("not json at all\n"))
 	f.Add([]byte("{\n"))
 	f.Add([]byte{0xff, 0xfe, '\n'})

@@ -41,6 +41,19 @@ type MasterConfig struct {
 	// then keeps no per-task timing state and every hook no-ops).
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// SuspectAfter and DeadAfter enable heartbeat-based liveness: a
+	// worker silent for SuspectAfter is marked suspect, silent for
+	// DeadAfter it is marked dead — its connection is severed and any
+	// in-flight task requeued. Zero disables the monitor (a hung worker
+	// is then only detected when its connection errors). Only enable
+	// liveness when workers heartbeat (Worker.HeartbeatEvery > 0) at an
+	// interval comfortably shorter than SuspectAfter, or idle workers
+	// will be evicted for silence.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// StragglerFactor flags workers whose EWMA exec time exceeds this
+	// multiple of the cluster median (<= 0 uses the default of 2).
+	StragglerFactor float64
 }
 
 // Master owns the task pool and serves workers. It mirrors the Work Queue
@@ -50,6 +63,11 @@ type Master struct {
 	sched      *scheduler
 	results    chan Result
 	maxRetries int
+	// cluster is the per-worker health registry; suspectAfter/deadAfter
+	// parameterize its liveness monitor (zero = disabled).
+	cluster      *cluster
+	suspectAfter time.Duration
+	deadAfter    time.Duration
 
 	// Telemetry handles; all nil when telemetry is off.
 	tracer     *obs.Tracer
@@ -64,8 +82,6 @@ type Master struct {
 
 	mu       sync.Mutex
 	stats    map[string]*JobStats
-	workers  map[string]context.CancelFunc // workerID -> wake-up for release
-	released map[string]bool
 	inflight map[string]Task // taskID -> task, for requeue on worker loss
 	attempts map[string]int  // taskID -> requeues so far
 	// queuedAt / taskSpans back the queue-wait histogram and per-task
@@ -85,14 +101,15 @@ func NewMaster(cfg MasterConfig) *Master {
 		buf = 1
 	}
 	m := &Master{
-		sched:      newScheduler(cfg.Seed),
-		results:    make(chan Result, buf),
-		maxRetries: cfg.MaxRetries,
-		stats:      make(map[string]*JobStats),
-		workers:    make(map[string]context.CancelFunc),
-		released:   make(map[string]bool),
-		inflight:   make(map[string]Task),
-		attempts:   make(map[string]int),
+		sched:        newScheduler(cfg.Seed),
+		results:      make(chan Result, buf),
+		maxRetries:   cfg.MaxRetries,
+		cluster:      newCluster(cfg.Metrics, cfg.StragglerFactor),
+		suspectAfter: cfg.SuspectAfter,
+		deadAfter:    cfg.DeadAfter,
+		stats:        make(map[string]*JobStats),
+		inflight:     make(map[string]Task),
+		attempts:     make(map[string]int),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		m.cSubmitted = reg.Counter("wq_tasks_submitted_total")
@@ -185,28 +202,14 @@ func (m *Master) QueueLen() int { return m.sched.len() }
 // elastic pool to shrink without preempting in-flight tasks. Unknown
 // worker IDs are ignored.
 func (m *Master) Release(workerID string) {
-	m.mu.Lock()
-	wake, ok := m.workers[workerID]
-	if ok {
-		m.released[workerID] = true
-	}
-	m.mu.Unlock()
-	if ok {
+	if wake := m.cluster.release(workerID); wake != nil {
 		wake()
 	}
 }
 
-func (m *Master) isReleased(workerID string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.released[workerID]
-}
-
 // WorkerCount reports currently attached workers.
 func (m *Master) WorkerCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.workers)
+	return m.cluster.count()
 }
 
 // Serve accepts worker connections from l until ctx is cancelled or the
@@ -227,8 +230,15 @@ func (m *Master) Serve(ctx context.Context, l net.Listener) error {
 }
 
 // HandleWorker runs the master side of the protocol for one worker
-// connection until the worker disconnects or ctx is cancelled. In-process
-// workers attach through net.Pipe with the identical protocol.
+// connection until the worker disconnects, is evicted by the liveness
+// monitor, or ctx is cancelled. In-process workers attach through
+// net.Pipe with the identical protocol.
+//
+// Three goroutines cooperate per connection: a reader that drains every
+// incoming message (so heartbeats and stats are seen even while the
+// worker executes or idles), an optional liveness monitor that severs
+// the connection when the worker goes silent past DeadAfter, and this
+// handler loop, which assigns tasks and waits for their results.
 func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	m.wg.Add(1)
 	defer m.wg.Done()
@@ -245,20 +255,90 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	workerID := hello.WorkerID
 	wctx, wake := context.WithCancel(ctx)
 	defer wake()
-	m.mu.Lock()
-	m.workers[workerID] = wake
-	m.gWorkers.SetInt(len(m.workers))
-	m.mu.Unlock()
+	if _, err := m.cluster.attach(workerID, wake, conn); err != nil {
+		return err
+	}
+	m.gWorkers.SetInt(m.cluster.count())
 	defer func() {
-		m.mu.Lock()
-		delete(m.workers, workerID)
-		delete(m.released, workerID)
-		m.gWorkers.SetInt(len(m.workers))
-		m.mu.Unlock()
+		m.cluster.detach(workerID, "disconnected")
+		m.gWorkers.SetInt(m.cluster.count())
 	}()
 
+	// Reader: demultiplex the worker's messages. Results flow to the
+	// handler loop; heartbeats and stats feed the health registry
+	// directly. Any receive error (including the liveness monitor or
+	// handler closing the connection) lands in readErr and wakes the
+	// handler if it is blocked waiting for a task. handlerDone is the
+	// reader's escape hatch for a stray result nobody will consume —
+	// it must not race with normal delivery, so it closes only when this
+	// handler returns, not on mere context cancellation.
+	results := make(chan Result, 1)
+	readErr := make(chan error, 1)
+	handlerDone := make(chan struct{})
+	defer close(handlerDone)
+	go func() {
+		for {
+			msg, err := c.recv()
+			if err != nil {
+				readErr <- err
+				wake()
+				return
+			}
+			switch msg.Type {
+			case msgHeartbeat:
+				m.cluster.heartbeat(workerID)
+			case msgStats:
+				if msg.Stats != nil {
+					m.cluster.recordStats(workerID, msg.Stats)
+				} else {
+					m.cluster.heartbeat(workerID)
+				}
+			case msgResult:
+				if msg.Result == nil {
+					readErr <- fmt.Errorf("workqueue: result message without result")
+					wake()
+					return
+				}
+				select {
+				case results <- *msg.Result:
+				case <-handlerDone:
+					return
+				}
+			default:
+				// An old or foreign worker speaking another dialect is
+				// rejected, not fatal: drop the connection, keep serving.
+				readErr <- fmt.Errorf("workqueue: unexpected message %q", msg.Type)
+				wake()
+				return
+			}
+		}
+	}()
+
+	// Liveness monitor: evict the worker when it goes silent. Closing
+	// the connection errors the reader, which requeues any in-flight
+	// task through the normal worker-loss path below.
+	if m.deadAfter > 0 || m.suspectAfter > 0 {
+		monitorStop := make(chan struct{})
+		defer close(monitorStop)
+		go func() {
+			t := time.NewTicker(livenessTick(m.suspectAfter, m.deadAfter))
+			defer t.Stop()
+			for {
+				select {
+				case <-monitorStop:
+					return
+				case <-t.C:
+					if m.cluster.checkLiveness(workerID, m.suspectAfter, m.deadAfter) == WorkerDead {
+						_ = conn.Close()
+						return
+					}
+				}
+			}
+		}()
+	}
+
 	for {
-		if m.isReleased(workerID) {
+		if m.cluster.isReleased(workerID) {
 			// Graceful drain: the pool asked this worker to leave after
 			// its current task; no task is lost.
 			_ = c.send(message{Type: msgShutdown})
@@ -266,27 +346,56 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		}
 		task, ok := m.sched.next(wctx)
 		if !ok {
-			// Pool closed, ctx done or the worker was released while
-			// idle: tell the worker to exit.
+			// Pool closed, ctx done, the worker was released while idle,
+			// or the reader woke us because the connection died.
+			select {
+			case err := <-readErr:
+				return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
+			default:
+			}
 			_ = c.send(message{Type: msgShutdown})
 			return nil
 		}
 		m.trackInflight(task, workerID)
+		m.cluster.taskAssigned(workerID, task.ID)
 		if err := c.send(message{Type: msgTask, Task: &task}); err != nil {
+			m.cluster.taskAborted(workerID)
 			m.requeue(task)
 			return err
 		}
-		reply, err := c.recv()
-		if err != nil {
+		select {
+		case r := <-results:
+			if r.TaskID != task.ID {
+				m.cluster.taskAborted(workerID)
+				m.requeue(task)
+				return fmt.Errorf("workqueue: worker %s answered task %s with result for %q", workerID, task.ID, r.TaskID)
+			}
+			m.cluster.taskFinished(workerID, r)
+			m.complete(r)
+		case err := <-readErr:
+			m.cluster.taskAborted(workerID)
 			m.requeue(task)
 			return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
 		}
-		if reply.Type != msgResult || reply.Result == nil {
-			m.requeue(task)
-			return fmt.Errorf("workqueue: worker %s sent %q, want result", workerID, reply.Type)
-		}
-		m.complete(*reply.Result)
 	}
+}
+
+// livenessTick picks the monitor's check interval from the configured
+// thresholds: fine enough to observe the suspect window, floored so a
+// tight config cannot spin.
+func livenessTick(suspectAfter, deadAfter time.Duration) time.Duration {
+	d := suspectAfter
+	if d <= 0 || (deadAfter > 0 && deadAfter < d) {
+		d = deadAfter
+	}
+	d /= 2
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 func (m *Master) trackInflight(t Task, workerID string) {

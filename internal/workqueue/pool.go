@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Pool is an elastic in-process worker pool attached to a master via
@@ -12,6 +13,12 @@ import (
 type Pool struct {
 	master *Master
 	exec   Executor
+	// Heartbeat is the HeartbeatEvery interval given to workers spawned
+	// by Resize (zero = no heartbeats). Set it before growing the pool;
+	// in-process workers are as capable of stalling (scheduler
+	// starvation, blocked executors) as remote ones, so the same
+	// liveness machinery applies.
+	Heartbeat time.Duration
 
 	mu      sync.Mutex
 	next    int
@@ -79,7 +86,7 @@ func (p *Pool) spawnLocked(ctx context.Context) {
 	}()
 	go func() {
 		defer p.wg.Done()
-		w := &Worker{ID: id, Exec: p.exec}
+		w := &Worker{ID: id, Exec: p.exec, HeartbeatEvery: p.Heartbeat}
 		_ = w.Run(wctx, wconn)
 	}()
 }

@@ -5,6 +5,11 @@
 // execute them and return results. The pool is elastic: workers may join
 // and leave at any time, and job priorities may be retuned while tasks are
 // in flight (the paper's Local Control Knob).
+//
+// Beyond the task/result exchange, workers ship heartbeat and stats
+// messages: periodic liveness pings plus compact telemetry snapshots
+// (task counts, exec-time histogram, connection bytes, runtime stats)
+// that feed the master's per-worker health registry (cluster.go).
 package workqueue
 
 import (
@@ -12,7 +17,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
 )
 
 // Task is one unit of work. Tasks belong to jobs (the paper's TD jobs); a
@@ -29,12 +38,34 @@ type Task struct {
 
 // Result is the outcome of one task execution.
 type Result struct {
-	TaskID   string        `json:"task_id"`
-	JobID    string        `json:"job_id"`
-	WorkerID string        `json:"worker_id"`
-	Output   []byte        `json:"output,omitempty"`
-	Err      string        `json:"error,omitempty"`
+	TaskID   string `json:"task_id"`
+	JobID    string `json:"job_id"`
+	WorkerID string `json:"worker_id"`
+	Output   []byte `json:"output,omitempty"`
+	Err      string `json:"error,omitempty"`
+	// ErrStage names the execution stage that produced Err (see
+	// StageDecode / StageExec / StageEncode); empty on success.
+	ErrStage string        `json:"error_stage,omitempty"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// WorkerStats is a worker's compact self-reported telemetry snapshot,
+// shipped with stats messages. All counts are cumulative since the
+// worker connected; the master aggregates deltas between consecutive
+// snapshots into its own registry under per-worker labels.
+type WorkerStats struct {
+	TasksExecuted int64 `json:"tasks_executed"`
+	TasksFailed   int64 `json:"tasks_failed"`
+	// BytesIn / BytesOut count wire bytes over the master connection as
+	// seen by the worker.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// Goroutines and HeapBytes sample the worker process runtime.
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+	UptimeMs   int64  `json:"uptime_ms"`
+	// Exec is the worker-side task execution time histogram (ms).
+	Exec obs.HistogramSnapshot `json:"exec"`
 }
 
 // Message types exchanged between master and worker.
@@ -43,33 +74,46 @@ const (
 	msgTask     = "task"
 	msgResult   = "result"
 	msgShutdown = "shutdown"
+	// msgHeartbeat is a worker liveness ping; msgStats is a heartbeat
+	// carrying a WorkerStats snapshot. Both may arrive at any time,
+	// including while a task is executing.
+	msgHeartbeat = "heartbeat"
+	msgStats     = "stats"
 )
 
 // message is the wire envelope: one JSON object per line.
 type message struct {
-	Type     string  `json:"type"`
-	WorkerID string  `json:"worker_id,omitempty"`
-	Task     *Task   `json:"task,omitempty"`
-	Result   *Result `json:"result,omitempty"`
+	Type     string       `json:"type"`
+	WorkerID string       `json:"worker_id,omitempty"`
+	Task     *Task        `json:"task,omitempty"`
+	Result   *Result      `json:"result,omitempty"`
+	Stats    *WorkerStats `json:"stats,omitempty"`
 }
 
 // codec frames messages as newline-delimited JSON over a connection.
+// Sends are serialized by a mutex so a worker's heartbeat goroutine and
+// its task loop can share the connection; recv is single-reader. Wire
+// bytes are counted in both directions for the stats snapshots.
 type codec struct {
-	conn net.Conn
-	r    *bufio.Reader
-	enc  *json.Encoder
+	conn     net.Conn
+	r        *bufio.Reader
+	enc      *json.Encoder
+	sendMu   sync.Mutex
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 }
 
 func newCodec(conn net.Conn) *codec {
-	return &codec{
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		enc:  json.NewEncoder(conn),
-	}
+	c := &codec{conn: conn}
+	c.r = bufio.NewReader(countingReader{conn, &c.bytesIn})
+	c.enc = json.NewEncoder(countingWriter{conn, &c.bytesOut})
+	return c
 }
 
 // send writes one message.
 func (c *codec) send(m message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(m); err != nil {
 		return fmt.Errorf("workqueue: send %s: %w", m.Type, err)
 	}
@@ -90,3 +134,26 @@ func (c *codec) recv() (message, error) {
 }
 
 func (c *codec) close() error { return c.conn.Close() }
+
+// countingReader / countingWriter tap the connection byte counters.
+type countingReader struct {
+	r net.Conn
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w net.Conn
+	n *atomic.Int64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

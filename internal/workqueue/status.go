@@ -14,6 +14,9 @@ type Status struct {
 	Workers     int         `json:"workers"`
 	QueuedTasks int         `json:"queuedTasks"`
 	Jobs        []JobStatus `json:"jobs"`
+	// WorkersDetail is the per-worker health registry: liveness state,
+	// last-seen time, throughput estimates and straggler flags.
+	WorkersDetail []WorkerHealth `json:"workersDetail"`
 }
 
 // JobStatus is the wire form of one job's progress.
@@ -32,9 +35,10 @@ func (m *Master) Status() Status {
 	stats := m.AllStats()
 	sort.Slice(stats, func(i, j int) bool { return stats[i].JobID < stats[j].JobID })
 	st := Status{
-		Workers:     m.WorkerCount(),
-		QueuedTasks: m.QueueLen(),
-		Jobs:        make([]JobStatus, 0, len(stats)),
+		Workers:       m.WorkerCount(),
+		QueuedTasks:   m.QueueLen(),
+		Jobs:          make([]JobStatus, 0, len(stats)),
+		WorkersDetail: m.ClusterHealth(),
 	}
 	for _, js := range stats {
 		st.Jobs = append(st.Jobs, JobStatus{

@@ -4,10 +4,15 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
 )
 
-// Executor is the function a worker runs for each task payload.
+// Executor is the function a worker runs for each task payload. Use
+// StageError to tag decode/encode failures so the master sees which
+// stage of the task pipeline broke.
 type Executor func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Worker executes tasks pulled from a master.
@@ -16,6 +21,80 @@ type Worker struct {
 	ID string
 	// Exec performs the task. Required.
 	Exec Executor
+	// HeartbeatEvery ships a liveness ping to the master on this
+	// interval, even while a task is executing, so the master's health
+	// registry can tell a busy worker from a hung one. Every StatsEvery-th
+	// ping carries a WorkerStats telemetry snapshot. Zero disables
+	// heartbeats (the pre-heartbeat protocol remains valid).
+	HeartbeatEvery time.Duration
+	// StatsEvery is how many heartbeats elapse between stats snapshots;
+	// <= 0 means the default of 5. The first heartbeat always carries
+	// stats so the master learns the worker's bucket layout immediately.
+	StatsEvery int
+	// Metrics optionally supplies the worker-side telemetry registry
+	// (worker_* metrics), letting the process expose the same numbers on
+	// its own /metrics endpoint. When nil and heartbeats are enabled, a
+	// private registry backs the snapshots.
+	Metrics *obs.Registry
+}
+
+// workerInstruments holds the worker-side metric handles. All methods
+// tolerate nil handles, so a worker without telemetry pays only nil
+// checks.
+type workerInstruments struct {
+	start      time.Time
+	cExecuted  *obs.Counter
+	cFailed    *obs.Counter
+	hExec      *obs.Histogram
+	gGoroutine *obs.Gauge
+	gHeap      *obs.Gauge
+	gBytesIn   *obs.Gauge
+	gBytesOut  *obs.Gauge
+}
+
+func newWorkerInstruments(reg *obs.Registry) *workerInstruments {
+	return &workerInstruments{
+		start:      time.Now(),
+		cExecuted:  reg.Counter("worker_tasks_executed_total"),
+		cFailed:    reg.Counter("worker_tasks_failed_total"),
+		hExec:      reg.Histogram("worker_exec_ms", nil),
+		gGoroutine: reg.Gauge("worker_goroutines"),
+		gHeap:      reg.Gauge("worker_heap_bytes"),
+		gBytesIn:   reg.Gauge("worker_conn_bytes_in"),
+		gBytesOut:  reg.Gauge("worker_conn_bytes_out"),
+	}
+}
+
+// observe records one task execution.
+func (i *workerInstruments) observe(elapsed time.Duration, failed bool) {
+	i.cExecuted.Inc()
+	if failed {
+		i.cFailed.Inc()
+	}
+	i.hExec.ObserveDuration(elapsed)
+}
+
+// snapshot builds the WorkerStats payload of a stats message, updating
+// the runtime gauges as a side effect.
+func (i *workerInstruments) snapshot(c *codec) WorkerStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+	in, out := c.bytesIn.Load(), c.bytesOut.Load()
+	i.gGoroutine.SetInt(goroutines)
+	i.gHeap.Set(float64(ms.HeapAlloc))
+	i.gBytesIn.Set(float64(in))
+	i.gBytesOut.Set(float64(out))
+	return WorkerStats{
+		TasksExecuted: i.cExecuted.Value(),
+		TasksFailed:   i.cFailed.Value(),
+		BytesIn:       in,
+		BytesOut:      out,
+		Goroutines:    goroutines,
+		HeapBytes:     ms.HeapAlloc,
+		UptimeMs:      time.Since(i.start).Milliseconds(),
+		Exec:          i.hExec.Snapshot(),
+	}
 }
 
 // Run speaks the worker side of the protocol on conn until the master
@@ -32,6 +111,16 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 
 	if err := c.send(message{Type: msgHello, WorkerID: w.ID}); err != nil {
 		return err
+	}
+	reg := w.Metrics
+	if reg == nil && w.HeartbeatEvery > 0 {
+		reg = obs.NewRegistry()
+	}
+	inst := newWorkerInstruments(reg)
+	if w.HeartbeatEvery > 0 {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go w.heartbeatLoop(ctx, c, inst, hbStop)
 	}
 	for {
 		m, err := c.recv()
@@ -50,6 +139,8 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 			}
 			start := time.Now()
 			out, execErr := w.Exec(ctx, m.Task.Payload)
+			elapsed := time.Since(start)
+			inst.observe(elapsed, execErr != nil)
 			if execErr != nil && ctx.Err() != nil {
 				// The worker is being preempted (pool shrink or
 				// shutdown): exit without reporting so the master
@@ -61,16 +152,48 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 				JobID:    m.Task.JobID,
 				WorkerID: w.ID,
 				Output:   out,
-				Elapsed:  time.Since(start),
+				Elapsed:  elapsed,
 			}
 			if execErr != nil {
-				res.Err = execErr.Error()
+				te := newTaskError(w.ID, m.Task.ID, execErr)
+				res.Err = te.Error()
+				res.ErrStage = te.Stage
 			}
 			if err := c.send(message{Type: msgResult, Result: &res}); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("workqueue: worker %s got unexpected message %q", w.ID, m.Type)
+		}
+	}
+}
+
+// heartbeatLoop ships liveness pings (and periodic stats snapshots) until
+// the worker exits or the connection fails. It runs concurrently with
+// task execution: the codec serializes the writes.
+func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstruments, stop <-chan struct{}) {
+	statsEvery := w.StatsEvery
+	if statsEvery <= 0 {
+		statsEvery = 5
+	}
+	t := time.NewTicker(w.HeartbeatEvery)
+	defer t.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m := message{Type: msgHeartbeat, WorkerID: w.ID}
+			if n%statsEvery == 0 {
+				s := inst.snapshot(c)
+				m.Type = msgStats
+				m.Stats = &s
+			}
+			if err := c.send(m); err != nil {
+				return
+			}
 		}
 	}
 }

@@ -101,7 +101,11 @@ func TestExecutorErrorsReported(t *testing.T) {
 		case "ok":
 			okSeen = r.Err == ""
 		case "bad":
-			errSeen = r.Err == "kaput"
+			// Failures carry provenance: worker, task and stage.
+			errSeen = strings.Contains(r.Err, "kaput") &&
+				strings.Contains(r.Err, "worker pool-worker-0") &&
+				strings.Contains(r.Err, "task bad") &&
+				r.ErrStage == StageExec
 		}
 	}
 	if !okSeen || !errSeen {

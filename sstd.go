@@ -46,6 +46,7 @@ import (
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/sourcerel"
 	"github.com/social-sensing/sstd/internal/tracegen"
+	"github.com/social-sensing/sstd/internal/workqueue"
 )
 
 // Data model re-exports. These aliases make the shared social sensing
@@ -123,6 +124,20 @@ type (
 	ManagerConfig = dtm.Config
 	// JobResult is the outcome of one distributed TD job.
 	JobResult = dtm.JobResult
+	// WorkerHealth is one worker's row in the master's health registry:
+	// liveness state, last-seen time, throughput estimates and straggler
+	// flag. Manager.ClusterHealth returns one per known worker.
+	WorkerHealth = workqueue.WorkerHealth
+	// WorkerState is a worker's liveness classification (alive, suspect
+	// or dead).
+	WorkerState = workqueue.WorkerState
+)
+
+// Worker liveness states.
+const (
+	WorkerAlive   = workqueue.WorkerAlive
+	WorkerSuspect = workqueue.WorkerSuspect
+	WorkerDead    = workqueue.WorkerDead
 )
 
 // Composed ingestion pipeline.
@@ -171,6 +186,9 @@ type (
 	ControlRecorder = obs.ControlRecorder
 	// ControlSample is one job's slice of one PID tick.
 	ControlSample = obs.ControlSample
+	// WorkerSample is one worker's observed-vs-predicted throughput row
+	// recorded by the control loop each tick.
+	WorkerSample = obs.WorkerSample
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
