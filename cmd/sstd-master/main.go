@@ -63,7 +63,9 @@ func run() error {
 		tasksPer   = flag.Int("tasks-per-job", 4, "tasks per TD job")
 		minWorkers = flag.Int("min-workers", 1, "wait for this many workers before submitting")
 		status     = flag.String("status", "", "optional address for the JSON status endpoint (e.g. :9124)")
-		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace, /cluster, /status and /debug/pprof (e.g. :9125)")
+		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace, /logs, /cluster, /status and /debug/pprof (e.g. :9125)")
+		traceOut   = flag.String("trace-out", "", "write the merged Chrome trace_event file here at exit (implies tracing)")
+		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 
 		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "mark a worker suspect after this long without a message (0 disables liveness)")
 		deadAfter    = flag.Duration("dead-after", 10*time.Second, "evict a silent worker and requeue its task after this long (0 disables liveness)")
@@ -78,17 +80,20 @@ func run() error {
 	st := tr.Summarize()
 	fmt.Printf("trace %s: %d reports, %d claims\n", st.Name, st.Reports, st.Claims)
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*logLevel), 0)
 	var (
 		metrics *obs.Registry
 		tracer  *obs.Tracer
 	)
 	if *telemetry != "" {
 		metrics = obs.NewRegistry()
+	}
+	if *telemetry != "" || *traceOut != "" {
 		tracer = obs.NewTracer(0)
 	}
 	master := workqueue.NewMaster(workqueue.MasterConfig{
 		Seed: *seed, ResultBuffer: 256,
-		Metrics: metrics, Tracer: tracer,
+		Metrics: metrics, Tracer: tracer, Logger: logger,
 		SuspectAfter:    *suspectAfter,
 		DeadAfter:       *deadAfter,
 		StragglerFactor: *straggler,
@@ -119,7 +124,7 @@ func run() error {
 	}
 	if *telemetry != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/", obs.Handler(metrics, tracer))
+		mux.Handle("/", obs.Handler(metrics, tracer, logger))
 		mux.Handle("/cluster", master.ClusterHandler())
 		mux.Handle("/status", master.StatusHandler())
 		telemetrySrv := &http.Server{Addr: *telemetry, Handler: mux}
@@ -129,7 +134,7 @@ func run() error {
 			}
 		}()
 		defer func() { _ = telemetrySrv.Close() }()
-		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /cluster, /status, /debug/pprof)\n", *telemetry)
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /cluster, /status, /debug/pprof)\n", *telemetry)
 	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)...\n", l.Addr(), *minWorkers)
 	for master.WorkerCount() < *minWorkers {
@@ -139,10 +144,20 @@ func run() error {
 	width := tr.Duration() / time.Duration(*intervals)
 	byClaim := tr.ReportsByClaim()
 	tasksPerJob := make(map[string]int, len(byClaim))
+	jobSpans := make(map[string]*obs.Span, len(byClaim))
 	taskTotal := 0
 	for claim, reports := range byClaim {
 		chunks := split(reports, *tasksPer)
 		tasksPerJob[string(claim)] = len(chunks)
+		// One distributed trace per TD job: the root span's context rides
+		// on every task, so the workers' stage spans land in the same
+		// timeline (nil tracer = nil span = no tracing, same protocol).
+		jobSpan := tracer.NewTrace("job " + string(claim))
+		jobSpans[string(claim)] = jobSpan
+		var tc *workqueue.TraceContext
+		if id := jobSpan.TraceID(); id != "" {
+			tc = &workqueue.TraceContext{TraceID: id, ParentSpanID: jobSpan.SpanID()}
+		}
 		for i, chunk := range chunks {
 			payload, err := json.Marshal(taskPayload{
 				Claim: claim, Origin: tr.Start, Interval: width, Reports: chunk,
@@ -154,6 +169,8 @@ func run() error {
 				ID:      fmt.Sprintf("%s/%d", claim, i),
 				JobID:   string(claim),
 				Payload: payload,
+				Span:    jobSpan.SpanID(),
+				Trace:   tc,
 			}
 			if err := master.Submit(task); err != nil {
 				return err
@@ -193,6 +210,7 @@ func run() error {
 		done[res.JobID]++
 		if done[res.JobID] == tasksPerJob[res.JobID] {
 			finished++
+			jobSpans[res.JobID].Finish()
 			series := windowed(sums[res.JobID], *window)
 			truth, err := dec.Decode(series)
 			if err != nil {
@@ -219,6 +237,15 @@ func run() error {
 	}
 	cancel()
 	master.Shutdown()
+	if *traceOut != "" {
+		// Shutdown first: the workers' final span flush (their last send
+		// spans) arrives before the connections close, so the export is
+		// complete.
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			return fmt.Errorf("write trace %s: %w", *traceOut, err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.Len())
+	}
 	return nil
 }
 

@@ -57,7 +57,8 @@ func run() error {
 		id         = flag.String("id", "", "worker id (defaults to host-pid)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "liveness ping interval to the master (0 disables)")
 		statsEvery = flag.Int("stats-every", 5, "ship a telemetry snapshot every N heartbeats")
-		telemetry  = flag.String("telemetry", "", "optional address serving /metrics and /debug/pprof (e.g. :9200)")
+		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace, /logs and /debug/pprof (e.g. :9200)")
+		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	)
 	flag.Parse()
 
@@ -73,17 +74,22 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var metrics *obs.Registry
+	logger := obs.NewLogger(os.Stderr, obs.ParseLogLevel(*logLevel), 0)
+	var (
+		metrics *obs.Registry
+		tracer  *obs.Tracer
+	)
 	if *telemetry != "" {
 		metrics = obs.NewRegistry()
-		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, nil)}
+		tracer = obs.NewTracer(0)
+		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, tracer, logger)}
 		go func() {
 			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "sstd-worker: telemetry endpoint:", err)
 			}
 		}()
 		defer func() { _ = telemetrySrv.Close() }()
-		fmt.Printf("telemetry endpoint on %s (/metrics, /debug/pprof)\n", *telemetry)
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /debug/pprof)\n", *telemetry)
 	}
 
 	w := &workqueue.Worker{
@@ -92,6 +98,8 @@ func run() error {
 		HeartbeatEvery: *heartbeat,
 		StatsEvery:     *statsEvery,
 		Metrics:        metrics,
+		Tracer:         tracer,
+		Logger:         logger,
 	}
 	fmt.Printf("worker %s connecting to %s\n", workerID, *master)
 	err := w.Dial(ctx, *master)
@@ -104,8 +112,10 @@ func run() error {
 
 // execute computes the partial per-interval contribution score sums for a
 // chunk of reports (the SSTD preprocessing step). Failures are tagged with
-// the pipeline stage so the master's result carries provenance.
-func execute(_ context.Context, payload []byte) ([]byte, error) {
+// the pipeline stage so the master's result carries provenance, and the
+// same stages are timed as spans on the task's distributed trace.
+func execute(ctx context.Context, payload []byte) ([]byte, error) {
+	decode := workqueue.StartStageSpan(ctx, workqueue.StageDecode)
 	var p taskPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return nil, workqueue.StageError(workqueue.StageDecode, fmt.Errorf("bad payload: %w", err))
@@ -113,6 +123,7 @@ func execute(_ context.Context, payload []byte) ([]byte, error) {
 	if p.Interval <= 0 {
 		return nil, workqueue.StageError(workqueue.StageDecode, errors.New("payload has no interval"))
 	}
+	decode.Finish()
 	out := taskOutput{Sums: make(map[int]float64)}
 	for _, r := range p.Reports {
 		idx := 0
@@ -121,9 +132,11 @@ func execute(_ context.Context, payload []byte) ([]byte, error) {
 		}
 		out.Sums[idx] += r.ContributionScore()
 	}
+	encode := workqueue.StartStageSpan(ctx, workqueue.StageEncode)
 	b, err := json.Marshal(out)
 	if err != nil {
 		return nil, workqueue.StageError(workqueue.StageEncode, err)
 	}
+	encode.Finish()
 	return b, nil
 }

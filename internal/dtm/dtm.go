@@ -69,10 +69,13 @@ type Config struct {
 	// the instrumentation then costs one nil check per event). Metrics
 	// and Tracer are shared with the underlying work-queue master, so
 	// one registry sees the whole dtm_*/wq_* catalogue; ControlLog
-	// captures every PID tick as a time series.
+	// captures every PID tick as a time series. Logger receives
+	// structured events (job lifecycle, worker loss, evictions) with
+	// trace/job/worker correlation fields.
 	Metrics    *obs.Registry
 	Tracer     *obs.Tracer
 	ControlLog *obs.ControlRecorder
+	Logger     *obs.Logger
 }
 
 // DefaultConfig returns a working configuration.
@@ -154,6 +157,7 @@ type Manager struct {
 
 	// Telemetry handles; all nil when telemetry is off.
 	tracer        *obs.Tracer
+	logger        *obs.Logger
 	recorder      *obs.ControlRecorder
 	cJobs         *obs.Counter
 	cJobsDone     *obs.Counter
@@ -200,13 +204,16 @@ func New(cfg Config) (*Manager, error) {
 		ResultBuffer:    256,
 		Metrics:         cfg.Metrics,
 		Tracer:          cfg.Tracer,
+		Logger:          cfg.Logger,
 		SuspectAfter:    cfg.SuspectAfter,
 		DeadAfter:       cfg.DeadAfter,
 		StragglerFactor: cfg.StragglerFactor,
 	})
 	m.pool = workqueue.NewPool(m.master, m.execute)
 	m.pool.Heartbeat = cfg.Heartbeat
+	m.pool.Logger = cfg.Logger
 	m.tracer = cfg.Tracer
+	m.logger = cfg.Logger
 	m.recorder = cfg.ControlLog
 	if reg := cfg.Metrics; reg != nil {
 		m.cJobs = reg.Counter("dtm_jobs_submitted_total")
@@ -270,8 +277,10 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		sums:      make(map[int]float64),
 	}
 	// Open the job's root span before publishing js: the collector may
-	// touch a finished job's span as soon as it is visible.
-	js.span = m.tracer.NewSpan("job "+jobID, 0)
+	// touch a finished job's span as soon as it is visible. The root span
+	// starts a distributed trace whose context every task carries to its
+	// worker, so remote stage spans land in the same timeline.
+	js.span = m.tracer.NewTrace("job " + jobID)
 	js.span.SetAttr("reports", fmt.Sprintf("%d", len(reports)))
 	m.mu.Lock()
 	if _, dup := m.jobs[jobID]; dup {
@@ -283,7 +292,14 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 	m.mu.Unlock()
 	m.cJobs.Inc()
 	m.gInflight.SetInt(inflight)
+	m.logger.Info("job submitted",
+		obs.JobID(jobID), obs.TraceID(js.span.TraceID()),
+		obs.F("tasks", len(chunks)), obs.F("reports", len(reports)))
 
+	var tc *workqueue.TraceContext
+	if trace := js.span.TraceID(); trace != "" {
+		tc = &workqueue.TraceContext{TraceID: trace, ParentSpanID: js.span.SpanID()}
+	}
 	for i, chunk := range chunks {
 		payload, err := json.Marshal(taskPayload{
 			Claim:    claim,
@@ -298,7 +314,7 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		m.mu.Lock()
 		js.perTask[taskID] = len(chunk)
 		m.mu.Unlock()
-		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload, Span: js.span.SpanID()}); err != nil {
+		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload, Span: js.span.SpanID(), Trace: tc}); err != nil {
 			return err
 		}
 	}
@@ -367,10 +383,12 @@ func (m *Manager) Close() {
 // chunk of reports (the preprocessing step of §III-E, which dominates TD
 // job cost and parallelizes across the data).
 func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
+	decode := workqueue.StartStageSpan(ctx, workqueue.StageDecode)
 	var p taskPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return nil, workqueue.StageError(workqueue.StageDecode, fmt.Errorf("dtm: bad task payload: %w", err))
 	}
+	decode.Finish()
 	if p.Interval <= 0 {
 		return nil, errors.New("dtm: task payload has no interval")
 	}
@@ -393,10 +411,12 @@ func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
 		}
 		out.Sums[idx] += r.ContributionScore()
 	}
+	encode := workqueue.StartStageSpan(ctx, workqueue.StageEncode)
 	b, err := json.Marshal(out)
 	if err != nil {
 		return nil, workqueue.StageError(workqueue.StageEncode, err)
 	}
+	encode.Finish()
 	return b, nil
 }
 
@@ -500,13 +520,20 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 	m.emit(ctx, res)
 }
 
-// observeJob records one finished job's metrics and span attributes.
+// observeJob records one finished job's metrics, log line and span
+// attributes.
 func (m *Manager) observeJob(js *jobState, res JobResult) {
 	if res.Err != nil {
 		m.cJobsFailed.Inc()
 		js.span.SetAttr("error", res.Err.Error())
+		m.logger.Warn("job failed",
+			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()), obs.Err(res.Err))
 	} else {
 		m.cJobsDone.Inc()
+		m.logger.Info("job completed",
+			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()),
+			obs.F("elapsed_ms", res.Elapsed.Milliseconds()),
+			obs.F("deadline_met", res.MetDeadline))
 	}
 	if js.deadline > 0 {
 		if res.MetDeadline {
@@ -619,18 +646,24 @@ func (m *Manager) controlStep(ctx context.Context) {
 		if totTasks > 0 {
 			predictedMs = float64(m.cfg.WCET.TaskTime(totData/totTasks)) / float64(time.Millisecond)
 		}
+		// The model folds per-task transfer into its init term TI (Eq. 10);
+		// the registry's measured transfer EWMA sits next to it per worker.
+		predictedTransferMs := float64(m.cfg.WCET.InitTime) / float64(time.Millisecond)
 		for _, h := range m.master.ClusterHealth() {
 			if h.State == workqueue.WorkerDead {
 				continue
 			}
 			m.recorder.RecordWorker(obs.WorkerSample{
-				Time:            now,
-				Worker:          h.ID,
-				State:           string(h.State),
-				TasksPerSec:     h.TasksPerSec,
-				ObservedExecMs:  h.EWMAExecMs,
-				PredictedExecMs: predictedMs,
-				Straggler:       h.Straggler,
+				Time:                now,
+				Worker:              h.ID,
+				State:               string(h.State),
+				TasksPerSec:         h.TasksPerSec,
+				ObservedExecMs:      h.EWMAExecMs,
+				PredictedExecMs:     predictedMs,
+				MeasuredTransferMs:  h.EWMATransferMs,
+				PredictedTransferMs: predictedTransferMs,
+				ClockSkewMs:         h.ClockSkewMs,
+				Straggler:           h.Straggler,
 			})
 		}
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"io"
 	"testing"
 )
 
@@ -51,5 +52,45 @@ func BenchmarkStartFinishSpan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, s := tr.StartSpan(ctx, "bench")
 		s.Finish()
+	}
+}
+
+// BenchmarkLoggerInfo measures an emitted structured line: encode under
+// the lock plus the ring append. io.Discard stands in for stderr.
+func BenchmarkLoggerInfo(b *testing.B) {
+	lg := NewLogger(io.Discard, LevelInfo, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Info("task assigned", WorkerID("w-1"), TaskID("t-42"), F("attempt", 1))
+	}
+}
+
+// BenchmarkLoggerBelowLevel measures a filtered call — the logger-on,
+// level-off hot path every Debug call in the master pays.
+func BenchmarkLoggerBelowLevel(b *testing.B) {
+	lg := NewLogger(io.Discard, LevelWarn, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Debug("task assigned", WorkerID("w-1"), TaskID("t-42"))
+	}
+}
+
+// BenchmarkLoggerNil measures the telemetry-off cost: one nil check.
+func BenchmarkLoggerNil(b *testing.B) {
+	var lg *Logger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Info("task assigned", WorkerID("w-1"))
+	}
+}
+
+// BenchmarkIngestRemoteSpan measures folding a worker's shipped span into
+// the master's ring, the per-message cost of distributed tracing.
+func BenchmarkIngestRemoteSpan(b *testing.B) {
+	tr := NewTracer(4096)
+	s := Span{Trace: "abc-1", Parent: 7, Name: "exec", Proc: "w-1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Ingest(s)
 	}
 }

@@ -56,7 +56,17 @@ type WorkerSample struct {
 	// for the current mean task size.
 	ObservedExecMs  float64 `json:"observedExecMs"`
 	PredictedExecMs float64 `json:"predictedExecMs"`
-	Straggler       bool    `json:"straggler"`
+	// MeasuredTransferMs is the EWMA wire transfer time per task measured
+	// by the master (task round trip minus worker-reported execution);
+	// PredictedTransferMs is the Eq. 10 transfer budget — the TI term,
+	// which the paper's model folds input/output transfer into. Comparing
+	// the two validates the model's transfer assumption per worker.
+	MeasuredTransferMs  float64 `json:"measuredTransferMs"`
+	PredictedTransferMs float64 `json:"predictedTransferMs"`
+	// ClockSkewMs is the master's RTT-based estimate of the worker
+	// clock's offset from the master clock (used to align remote spans).
+	ClockSkewMs float64 `json:"clockSkewMs"`
+	Straggler   bool    `json:"straggler"`
 }
 
 // ControlRecorder accumulates the control-loop time series. A nil

@@ -141,10 +141,12 @@ func trimFloat(v float64) string {
 //	/metrics        Prometheus text format (?format=json for JSON)
 //	/trace          span dump as Chrome trace_event JSON (?format=json
 //	                for the raw span list)
+//	/logs           recent structured log entries as a JSON array
 //	/debug/pprof/*  the standard runtime profiles
 //
-// reg and tr may each be nil; their endpoints then serve empty documents.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// reg, tr and lg may each be nil; their endpoints then serve empty
+// documents.
+func Handler(reg *Registry, tr *Tracer, lg *Logger) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
@@ -170,6 +172,14 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			return
 		}
 		_ = tr.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/logs", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = lg.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

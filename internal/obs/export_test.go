@@ -115,7 +115,9 @@ func TestHandlerEndpoints(t *testing.T) {
 	tr := NewTracer(8)
 	_, s := tr.StartSpan(context.Background(), "op")
 	s.Finish()
-	h := Handler(reg, tr)
+	lg := NewLogger(nil, LevelInfo, 8)
+	lg.Info("hello", F("n", 1))
+	h := Handler(reg, tr, lg)
 
 	get := func(path string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
@@ -135,13 +137,19 @@ func TestHandlerEndpoints(t *testing.T) {
 	var chrome struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil || len(chrome.TraceEvents) != 1 {
+	// One process_name metadata record (pid 1 = master) plus the span.
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil || len(chrome.TraceEvents) != 2 {
 		t.Errorf("/trace: err=%v events=%d", err, len(chrome.TraceEvents))
 	}
 	rec = get("/trace?format=json")
 	var spans []Span
 	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil || len(spans) != 1 || spans[0].Name != "op" {
 		t.Errorf("/trace?format=json: err=%v spans=%+v", err, spans)
+	}
+	rec = get("/logs")
+	var entries []LogEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil || len(entries) != 1 || entries[0].Msg != "hello" {
+		t.Errorf("/logs: err=%v entries=%+v", err, entries)
 	}
 	if rec := get("/debug/pprof/cmdline"); rec.Code != 200 {
 		t.Errorf("/debug/pprof/cmdline: code=%d", rec.Code)
@@ -154,8 +162,8 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilSinks(t *testing.T) {
-	h := Handler(nil, nil)
-	for _, path := range []string{"/metrics", "/metrics?format=json", "/trace", "/trace?format=json"} {
+	h := Handler(nil, nil, nil)
+	for _, path := range []string{"/metrics", "/metrics?format=json", "/trace", "/trace?format=json", "/logs"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != 200 {

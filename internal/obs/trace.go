@@ -2,9 +2,13 @@ package obs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,8 +19,16 @@ import (
 // gives each TD job a root span whose children are the job's task queue /
 // execute legs and the final merge + decode.
 type Span struct {
-	ID     int64             `json:"id"`
-	Parent int64             `json:"parent,omitempty"`
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"`
+	// Trace is the distributed trace ID this span belongs to. It is set on
+	// root spans by NewTrace and propagated across process boundaries by
+	// the workqueue wire protocol; empty for purely local spans.
+	Trace string `json:"trace,omitempty"`
+	// Proc names the process the span was measured in. Empty means this
+	// process (the master); remote spans ingested from workers carry the
+	// worker ID, which the Chrome export maps onto its own process lane.
+	Proc   string            `json:"proc,omitempty"`
 	Name   string            `json:"name"`
 	Attrs  map[string]string `json:"attrs,omitempty"`
 	Start  time.Time         `json:"start"`
@@ -36,6 +48,22 @@ func (s *Span) SpanID() int64 {
 		return 0
 	}
 	return s.ID
+}
+
+// TraceID returns the span's distributed trace ID ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.Trace
+}
+
+// SetTrace links the span into a distributed trace. No-op on nil.
+func (s *Span) SetTrace(id string) {
+	if s == nil {
+		return
+	}
+	s.Trace = id
 }
 
 // SetAttr attaches a key/value to the span. No-op on nil.
@@ -116,6 +144,54 @@ func (t *Tracer) NewSpan(name string, parent int64) *Span {
 	}
 }
 
+// traceNonce makes trace IDs unique across processes: two masters (or a
+// master and a worker) minting IDs concurrently must not collide when
+// their spans are merged into one timeline.
+var traceNonce = func() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// NewTrace opens a root span that starts a new distributed trace: the
+// span carries a process-unique trace ID which child spans — local or
+// remote, via the workqueue TraceContext — inherit. Nil-safe.
+func (t *Tracer) NewTrace(name string) *Span {
+	s := t.NewSpan(name, 0)
+	if s != nil {
+		s.Trace = fmt.Sprintf("%s-%d", traceNonce, s.ID)
+	}
+	return s
+}
+
+// NewSpanIn opens a span inside an existing distributed trace with an
+// explicit parent ID. Nil-safe.
+func (t *Tracer) NewSpanIn(trace, name string, parent int64) *Span {
+	s := t.NewSpan(name, parent)
+	s.SetTrace(trace)
+	return s
+}
+
+// Ingest records an externally finished span — typically a worker-side
+// stage span shipped over the wire, already offset-adjusted onto this
+// process's clock. A zero ID is assigned a fresh one so ingested spans
+// never collide with local spans; a non-positive duration is clamped.
+// Nil-safe.
+func (t *Tracer) Ingest(s Span) {
+	if t == nil {
+		return
+	}
+	if s.ID == 0 {
+		s.ID = t.nextID.Add(1)
+	}
+	if s.End.Before(s.Start) {
+		s.End = s.Start
+	}
+	t.record(s)
+}
+
 // record appends a finished span to the ring.
 func (t *Tracer) record(s Span) {
 	s.tr = nil
@@ -190,11 +266,25 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
+// chromeMeta is a Chrome trace_event metadata record (ph=M), used to
+// name the per-process lanes.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
 // WriteChromeTrace exports the buffered spans in Chrome trace_event
 // format. Timestamps are microseconds relative to the earliest span so
-// traces load near the origin. Each root span gets its own lane (tid);
-// child spans share their parent's lane, which renders a TD job's
-// submit → queue → execute → merge → decode legs as one row.
+// traces load near the origin. Spans measured in this process render
+// under pid 1 ("master"); remote spans ingested from workers render
+// under one pid per worker, named by a process_name metadata record —
+// so a distributed run shows queue wait, wire transit and the worker
+// stage breakdown of one task on adjacent per-process lanes. Within a
+// process, each root span gets its own lane (tid); child spans share
+// their parent's lane, which renders a TD job's submit → queue →
+// execute → merge → decode legs as one row.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	var origin time.Time
@@ -219,35 +309,93 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		return id
 	}
+	// Assign one pid per remote process, in first-seen span order so the
+	// export stays deterministic for a deterministic span sequence.
+	pidOf := map[string]int{"": 1}
+	var metas []chromeMeta
+	for _, s := range spans {
+		if _, ok := pidOf[s.Proc]; !ok {
+			pidOf[s.Proc] = len(pidOf) + 1
+			metas = append(metas, chromeMeta{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pidOf[s.Proc],
+				Args: map[string]string{"name": "worker " + s.Proc},
+			})
+		}
+	}
+	if len(spans) > 0 {
+		metas = append([]chromeMeta{{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  1,
+			Args: map[string]string{"name": "master"},
+		}}, metas...)
+	}
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
+		attrs := s.Attrs
+		if s.Trace != "" {
+			attrs = make(map[string]string, len(s.Attrs)+1)
+			for k, v := range s.Attrs {
+				attrs[k] = v
+			}
+			attrs["trace"] = s.Trace
+		}
 		events = append(events, chromeEvent{
 			Name: s.Name,
 			Cat:  "sstd",
 			Ph:   "X",
 			Ts:   s.Start.Sub(origin).Microseconds(),
 			Dur:  s.End.Sub(s.Start).Microseconds(),
-			Pid:  1,
+			Pid:  pidOf[s.Proc],
 			Tid:  lane(s.ID),
-			Args: s.Attrs,
+			Args: attrs,
 		})
 	}
 	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
 		return err
 	}
-	for i, ev := range events {
-		b, err := json.Marshal(ev)
+	total := len(metas) + len(events)
+	written := 0
+	writeRecord := func(v any) error {
+		b, err := json.Marshal(v)
 		if err != nil {
 			return err
 		}
+		written++
 		sep := ",\n"
-		if i == len(events)-1 {
+		if written == total {
 			sep = "\n"
 		}
-		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+		_, err = fmt.Fprintf(w, "%s%s", b, sep)
+		return err
+	}
+	for _, m := range metas {
+		if err := writeRecord(m); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := writeRecord(ev); err != nil {
 			return err
 		}
 	}
 	_, err := io.WriteString(w, "]}\n")
 	return err
+}
+
+// WriteChromeTraceFile writes the Chrome trace_event export to path —
+// the one-file artifact of a distributed run, loadable in
+// chrome://tracing or Perfetto.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

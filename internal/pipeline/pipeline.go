@@ -39,6 +39,9 @@ type Config struct {
 	// engine config carries its own registry — engine telemetry too.
 	// Nil disables it.
 	Metrics *obs.Registry
+	// Logger receives structured pipeline events (ingest failures,
+	// cluster compaction). Nil disables logging.
+	Logger *obs.Logger
 }
 
 // Pipeline is the composed ingestion path. It is not safe for concurrent
@@ -48,6 +51,7 @@ type Pipeline struct {
 	clusterer *clustering.Clusterer
 	scorer    *contrib.Scorer
 	engine    *core.Engine
+	logger    *obs.Logger
 
 	// Telemetry handles; nil when Config.Metrics is nil.
 	cPosts    *obs.Counter
@@ -76,6 +80,7 @@ func New(cfg Config) (*Pipeline, error) {
 		clusterer: clustering.New(cfg.Cluster),
 		scorer:    contrib.NewScorer(cfg.ScorerOptions...),
 		engine:    eng,
+		logger:    cfg.Logger,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		p.cPosts = reg.Counter("pipeline_posts_total")
@@ -105,6 +110,8 @@ func (p *Pipeline) Process(post RawPost) (claim socialsensing.ClaimID, kept bool
 		Text:      post.Text,
 	})
 	if err := p.engine.Ingest(report); err != nil {
+		p.logger.Error("pipeline ingest failed",
+			obs.F("claim", string(clusterID)), obs.F("source", string(post.Source)), obs.Err(err))
 		return "", false, fmt.Errorf("pipeline: ingest: %w", err)
 	}
 	p.kept++
@@ -134,7 +141,14 @@ func (p *Pipeline) Claims() []clustering.Cluster { return p.clusterer.Clusters()
 // returns the number of merges. Note that reports already ingested keep
 // their original claim IDs; call this between processing batches, before
 // decoding, when fragmentation is visible in Claims().
-func (p *Pipeline) Compact() int { return p.clusterer.Compact() }
+func (p *Pipeline) Compact() int {
+	merges := p.clusterer.Compact()
+	if merges > 0 {
+		p.logger.Info("compacted claim clusters",
+			obs.F("merges", merges), obs.F("claims", p.clusterer.Len()))
+	}
+	return merges
+}
 
 // Stats summarizes pipeline throughput.
 type Stats struct {

@@ -124,6 +124,7 @@ type Replayer struct {
 	cReplayed *obs.Counter
 	gLag      *obs.Gauge
 	gLeft     *obs.Gauge
+	logger    *obs.Logger
 }
 
 // Instrument reports replay progress into reg: a replayed-report counter
@@ -134,6 +135,10 @@ func (r *Replayer) Instrument(reg *obs.Registry) {
 	r.gLag = reg.Gauge("stream_replay_lag_ms")
 	r.gLeft = reg.Gauge("stream_reports_remaining")
 }
+
+// SetLogger attaches a structured logger; the replayer reports falling
+// behind the accelerated schedule at debug level. Nil disables it.
+func (r *Replayer) SetLogger(lg *obs.Logger) { r.logger = lg }
 
 // NewReplayer builds a replayer running the trace speedup× faster than
 // real time (e.g. 3600 plays an hour per second).
@@ -168,7 +173,12 @@ func (r *Replayer) Next() (socialsensing.Report, bool) {
 			r.gLag.Set(0)
 		} else {
 			// The consumer is behind the accelerated schedule.
-			r.gLag.Set(float64(-wait) / float64(time.Millisecond))
+			lagMs := float64(-wait) / float64(time.Millisecond)
+			r.gLag.Set(lagMs)
+			if lagMs > 0 && r.logger.Enabled(obs.LevelDebug) {
+				r.logger.Debug("replay behind schedule",
+					obs.F("lag_ms", lagMs), obs.F("remaining", len(r.reports)-r.idx))
+			}
 		}
 	}
 	r.cReplayed.Inc()

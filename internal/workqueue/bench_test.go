@@ -1,0 +1,90 @@
+package workqueue
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// benchTracedTaskMsg is a representative dispatch: a task carrying its
+// distributed-trace context and the master's send stamp.
+func benchTracedTaskMsg() message {
+	return message{Type: msgTask, Task: &Task{
+		ID: "claim-17/3", JobID: "claim-17",
+		Payload:      []byte(`{"claim":"claim-17","reports":[{"s":"src-1","t":"2017-04-01T10:00:00Z"}]}`),
+		Span:         91,
+		Trace:        &TraceContext{TraceID: "f3a9b2c1-42", ParentSpanID: 91},
+		SentUnixNano: 1491040800000000000,
+	}}
+}
+
+// benchSpanResultLine is the reply: a result plus the worker's stage
+// spans and clock stamps, as it appears on the wire.
+var benchSpanResultLine = func() []byte {
+	m := message{
+		Type:         msgResult,
+		Result:       &Result{TaskID: "claim-17/3", JobID: "claim-17", WorkerID: "w-1", Output: []byte(`{"sums":{"0":1.5}}`), Elapsed: 2 * time.Millisecond},
+		SentUnixNano: 1491040800002000000,
+		TaskDelayNs:  150000,
+	}
+	for _, stage := range []string{StageRecv, StageDecode, StageExec, StageEncode, StageSend} {
+		m.Spans = append(m.Spans, RemoteSpan{
+			TraceID: "f3a9b2c1-42", Parent: 91, Name: stage, TaskID: "claim-17/3",
+			StartUnixNano: 1491040800000000000, DurNs: 400000,
+		})
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}()
+
+// BenchmarkMessageEncodeTraced measures serializing a dispatch with its
+// trace context — the master-side per-task wire cost.
+func BenchmarkMessageEncodeTraced(b *testing.B) {
+	m := benchTracedTaskMsg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageDecodeResultSpans measures parsing a result that ships
+// all five worker stage spans — the master-side per-result wire cost.
+func BenchmarkMessageDecodeResultSpans(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var m message
+		if err := json.Unmarshal(benchSpanResultLine, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStageSpanTraced measures a worker recording one stage span on
+// a traced task: context lookup, clock reads and the buffer append.
+func BenchmarkStageSpanTraced(b *testing.B) {
+	tt := newTaskTrace(&TraceContext{TraceID: "f3a9b2c1-42", ParentSpanID: 91}, "claim-17/3")
+	ctx := withTaskTrace(context.Background(), tt)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartStageSpan(ctx, StageExec).Finish()
+		if i%1024 == 0 {
+			tt.take() // keep the span slice from growing unboundedly
+		}
+	}
+}
+
+// BenchmarkStageSpanUntraced measures the same call on an untraced task —
+// the tracing-off fast path every execution pays.
+func BenchmarkStageSpanUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartStageSpan(ctx, StageExec).Finish()
+	}
+}

@@ -47,6 +47,15 @@ type WorkerHealth struct {
 	Straggler    bool   `json:"straggler"`
 	InflightTask string `json:"inflightTask,omitempty"`
 	Heartbeats   int64  `json:"heartbeats"`
+	// EWMATransferMs is the master-measured wire transfer time per task
+	// (round trip minus worker-reported execution), smoothed.
+	EWMATransferMs float64 `json:"ewmaTransferMs"`
+	// ClockSkewMs estimates the worker clock's offset from the master
+	// clock (positive = worker clock ahead); RTTMs the message round-trip
+	// time. Both are NTP-style estimates from the send/receive timestamps
+	// piggybacked on heartbeats, stats and results.
+	ClockSkewMs float64 `json:"clockSkewMs"`
+	RTTMs       float64 `json:"rttMs"`
 	// Remote is the worker's last self-reported stats snapshot (nil
 	// until the first stats message arrives).
 	Remote *WorkerStats `json:"remote,omitempty"`
@@ -54,9 +63,13 @@ type WorkerHealth struct {
 
 // EWMA smoothing factors: exec time favors history (straggler detection
 // should not flip on one outlier), the rate tracks load changes faster.
+// Clock-leg and transfer estimates also favor history: one delayed
+// message must not yank the skew that aligns remote span timestamps.
 const (
-	ewmaExecAlpha = 0.2
-	ewmaRateAlpha = 0.3
+	ewmaExecAlpha     = 0.2
+	ewmaRateAlpha     = 0.3
+	ewmaClockAlpha    = 0.2
+	ewmaTransferAlpha = 0.2
 )
 
 // defaultStragglerFactor flags workers slower than 2x the cluster median.
@@ -85,6 +98,29 @@ type workerEntry struct {
 	lastDone    time.Time
 	remote      *WorkerStats
 	prev        WorkerStats // previous snapshot, for delta aggregation
+
+	// Clock alignment: EWMAs of the two one-way message legs. d1 is the
+	// worker→master leg observed on the master clock (receive time minus
+	// the worker's SentUnixNano stamp = transit − skew); d2 the
+	// master→worker leg observed on the worker clock (the reported
+	// TaskDelayNs = transit + skew). Assuming symmetric transit,
+	// skew = (d2−d1)/2 and RTT = d1+d2 — NTP's derivation.
+	d1Ns, d2Ns   float64
+	hasD1, hasD2 bool
+	// ewmaTransferMs smooths the master-measured per-task wire transfer
+	// time (round trip minus worker-reported execution).
+	ewmaTransferMs float64
+	hasTransfer    bool
+}
+
+// skewNs returns the estimated worker-clock offset from the master clock
+// in nanoseconds (positive = worker ahead), and whether both legs have
+// been observed. Callers hold cl.mu.
+func (e *workerEntry) skewNs() (float64, bool) {
+	if !e.hasD1 || !e.hasD2 {
+		return 0, false
+	}
+	return (e.d2Ns - e.d1Ns) / 2, true
 }
 
 // cluster is the master's per-worker health registry: it tracks every
@@ -288,6 +324,70 @@ func (cl *cluster) taskFinished(id string, r Result) {
 	}
 }
 
+// observeClock folds one message's clock timestamps into the worker's
+// skew estimate. d1Ns is the worker→master leg (master receive time minus
+// the message's SentUnixNano); d2Ns the reported master→worker task
+// delivery leg (TaskDelayNs). Pass 0 for a leg the message did not carry.
+func (cl *cluster) observeClock(id string, d1Ns, d2Ns int64) {
+	if d1Ns == 0 && d2Ns == 0 {
+		return
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return
+	}
+	if d1Ns != 0 {
+		if !e.hasD1 {
+			e.d1Ns, e.hasD1 = float64(d1Ns), true
+		} else {
+			e.d1Ns = ewmaClockAlpha*float64(d1Ns) + (1-ewmaClockAlpha)*e.d1Ns
+		}
+	}
+	if d2Ns != 0 {
+		if !e.hasD2 {
+			e.d2Ns, e.hasD2 = float64(d2Ns), true
+		} else {
+			e.d2Ns = ewmaClockAlpha*float64(d2Ns) + (1-ewmaClockAlpha)*e.d2Ns
+		}
+	}
+}
+
+// clockAdjustNs returns the offset to add to a worker-clock timestamp to
+// place it on the master clock (−skew), or 0 until both legs of the
+// estimate have been observed.
+func (cl *cluster) clockAdjustNs(id string) int64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return 0
+	}
+	skew, ok := e.skewNs()
+	if !ok {
+		return 0
+	}
+	return int64(-skew)
+}
+
+// observeTransfer folds one task's measured wire transfer time (master
+// round trip minus worker-reported execution) into the worker's EWMA.
+func (cl *cluster) observeTransfer(id string, transfer time.Duration) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	e, ok := cl.active[id]
+	if !ok {
+		return
+	}
+	ms := float64(transfer) / float64(time.Millisecond)
+	if !e.hasTransfer {
+		e.ewmaTransferMs, e.hasTransfer = ms, true
+	} else {
+		e.ewmaTransferMs = ewmaTransferAlpha*ms + (1-ewmaTransferAlpha)*e.ewmaTransferMs
+	}
+}
+
 // checkLiveness transitions one worker's state from the time since its
 // last message: past suspectAfter it becomes suspect, past deadAfter it
 // is marked dead and the entry's reason is set — the caller then severs
@@ -407,6 +507,11 @@ func healthRow(e *workerEntry) WorkerHealth {
 		TasksPerSec:    e.ewmaRate,
 		InflightTask:   e.inflight,
 		Heartbeats:     e.heartbeats,
+		EWMATransferMs: e.ewmaTransferMs,
+	}
+	if skew, ok := e.skewNs(); ok {
+		h.ClockSkewMs = skew / float64(time.Millisecond)
+		h.RTTMs = (e.d1Ns + e.d2Ns) / float64(time.Millisecond)
 	}
 	if e.remote != nil {
 		snap := *e.remote

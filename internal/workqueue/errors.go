@@ -7,11 +7,15 @@ import (
 
 // Execution stages a task moves through on a worker. Executors tag
 // failures with StageError so the master learns which stage broke; an
-// untagged failure is attributed to StageExec.
+// untagged failure is attributed to StageExec. The same stage names
+// label the worker-side trace spans (see TaskTrace), with StageRecv and
+// StageSend bracketing the executor stages on the wire side.
 const (
+	StageRecv   = "recv"
 	StageDecode = "decode payload"
 	StageExec   = "exec"
 	StageEncode = "encode output"
+	StageSend   = "send"
 )
 
 // TaskError carries the provenance of a worker-side task failure: which

@@ -18,6 +18,11 @@ func FuzzCodecRecv(f *testing.F) {
 	f.Add([]byte(`{"type":"stats","worker_id":"w"}` + "\n"))                                      // stats with nil payload
 	f.Add([]byte(`{"type":"stats","worker_id":"w","stats":{"exec":{"counts":null}}}` + "\n"))      // degenerate histogram
 	f.Add([]byte(`{"type":"stats","worker_id":"w","stats":{"exec":{"bounds":[10,1],"counts":[1]}}}` + "\n")) // layout mismatch
+	f.Add([]byte(`{"type":"task","task":{"id":"t","job_id":"j","payload":"eA==","trace":{"trace_id":"abc","parent_span_id":7},"sent_ns":123}}` + "\n"))
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t","worker_id":"w"},"sent_ns":5,"task_delay_ns":9,"spans":[{"trace_id":"abc","parent":7,"name":"exec","task_id":"t","start_unix_ns":100,"dur_ns":50}]}` + "\n"))
+	f.Add([]byte(`{"type":"heartbeat","worker_id":"w","sent_ns":1,"spans":[{"name":"send","start_unix_ns":-1,"dur_ns":-5}]}` + "\n")) // negative span clock
+	f.Add([]byte(`{"type":"task","task":{"id":"t","trace":{}}}` + "\n"))                                                            // empty trace context
+	f.Add([]byte(`{"type":"result","result":{"task_id":"t"},"spans":null,"task_delay_ns":-9223372036854775808}` + "\n"))            // MinInt64 delay
 	f.Add([]byte(`{"type":"heartbeat","worker_id":"` + "\x00" + `"}` + "\n"))
 	f.Add([]byte("not json at all\n"))
 	f.Add([]byte("{\n"))

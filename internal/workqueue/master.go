@@ -38,9 +38,13 @@ type MasterConfig struct {
 	// it when a poisonous task could crash workers repeatedly).
 	MaxRetries int
 	// Metrics and Tracer enable telemetry (both may be nil: the master
-	// then keeps no per-task timing state and every hook no-ops).
+	// then keeps no per-task timing state and every hook no-ops). Logger
+	// receives structured master events (worker attach/loss, evictions,
+	// task retries) tagged with worker_id/task_id/trace_id; nil disables
+	// logging.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	Logger  *obs.Logger
 	// SuspectAfter and DeadAfter enable heartbeat-based liveness: a
 	// worker silent for SuspectAfter is marked suspect, silent for
 	// DeadAfter it is marked dead — its connection is severed and any
@@ -71,6 +75,7 @@ type Master struct {
 
 	// Telemetry handles; all nil when telemetry is off.
 	tracer     *obs.Tracer
+	logger     *obs.Logger
 	cSubmitted *obs.Counter
 	cCompleted *obs.Counter
 	cFailed    *obs.Counter
@@ -122,6 +127,7 @@ func NewMaster(cfg MasterConfig) *Master {
 		m.hWait = reg.Histogram("wq_task_queue_wait_ms", nil)
 	}
 	m.tracer = cfg.Tracer
+	m.logger = cfg.Logger
 	if cfg.Metrics != nil || cfg.Tracer != nil {
 		m.queuedAt = make(map[string]time.Time)
 	}
@@ -160,6 +166,7 @@ func (m *Master) markQueuedLocked(t Task) {
 	if m.taskSpans != nil {
 		s := m.tracer.NewSpan("queue "+t.ID, t.Span)
 		s.SetAttr("job", t.JobID)
+		s.SetTrace(t.Trace.traceID())
 		m.taskSpans[t.ID] = s
 	}
 }
@@ -253,14 +260,17 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("workqueue: bad hello %+v", hello)
 	}
 	workerID := hello.WorkerID
+	lg := m.logger.With(obs.WorkerID(workerID))
 	wctx, wake := context.WithCancel(ctx)
 	defer wake()
 	if _, err := m.cluster.attach(workerID, wake, conn); err != nil {
 		return err
 	}
+	lg.Info("worker attached")
 	m.gWorkers.SetInt(m.cluster.count())
 	defer func() {
 		m.cluster.detach(workerID, "disconnected")
+		lg.Info("worker detached")
 		m.gWorkers.SetInt(m.cluster.count())
 	}()
 
@@ -284,6 +294,15 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 				wake()
 				return
 			}
+			// Every incoming message carries the worker's clock stamps and
+			// possibly buffered stage spans; fold the former into the skew
+			// estimate first so the ingested spans use the freshest offset.
+			var d1 int64
+			if msg.SentUnixNano != 0 {
+				d1 = time.Now().UnixNano() - msg.SentUnixNano
+			}
+			m.cluster.observeClock(workerID, d1, msg.TaskDelayNs)
+			m.ingestRemoteSpans(workerID, msg.Spans)
 			switch msg.Type {
 			case msgHeartbeat:
 				m.cluster.heartbeat(workerID)
@@ -329,6 +348,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 					return
 				case <-t.C:
 					if m.cluster.checkLiveness(workerID, m.suspectAfter, m.deadAfter) == WorkerDead {
+						lg.Warn("worker evicted: heartbeat timeout")
 						_ = conn.Close()
 						return
 					}
@@ -337,11 +357,22 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		}()
 	}
 
+	// sendShutdown asks the worker to exit, then waits (bounded) for the
+	// reader to hit EOF: the worker flushes any still-buffered stage spans
+	// on a final heartbeat before closing, and returning earlier would
+	// sever the connection under that flush.
+	sendShutdown := func() {
+		_ = c.send(message{Type: msgShutdown})
+		select {
+		case <-readErr:
+		case <-time.After(time.Second):
+		}
+	}
 	for {
 		if m.cluster.isReleased(workerID) {
 			// Graceful drain: the pool asked this worker to leave after
 			// its current task; no task is lost.
-			_ = c.send(message{Type: msgShutdown})
+			sendShutdown()
 			return nil
 		}
 		task, ok := m.sched.next(wctx)
@@ -353,12 +384,23 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 				return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
 			default:
 			}
-			_ = c.send(message{Type: msgShutdown})
+			sendShutdown()
 			return nil
 		}
-		m.trackInflight(task, workerID)
+		execSpanID := m.trackInflight(task, workerID)
 		m.cluster.taskAssigned(workerID, task.ID)
-		if err := c.send(message{Type: msgTask, Task: &task}); err != nil {
+		// Ship a stamped copy: the send timestamp feeds the worker's leg of
+		// the clock-skew estimate, and the rewritten TraceContext parents
+		// the worker's stage spans directly under this task's exec span.
+		wire := task
+		if task.Trace != nil && execSpanID != 0 {
+			tc := *task.Trace
+			tc.ParentSpanID = execSpanID
+			wire.Trace = &tc
+		}
+		sentAt := time.Now()
+		wire.SentUnixNano = sentAt.UnixNano()
+		if err := c.send(message{Type: msgTask, Task: &wire}); err != nil {
 			m.cluster.taskAborted(workerID)
 			m.requeue(task)
 			return err
@@ -370,11 +412,19 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 				m.requeue(task)
 				return fmt.Errorf("workqueue: worker %s answered task %s with result for %q", workerID, task.ID, r.TaskID)
 			}
+			// Round trip minus the worker-reported execution is the wire
+			// transfer (send + result serialization + transit both ways) —
+			// the measured counterpart of the WCET model's transfer budget.
+			if transfer := time.Since(sentAt) - r.Elapsed; transfer > 0 {
+				m.cluster.observeTransfer(workerID, transfer)
+			}
 			m.cluster.taskFinished(workerID, r)
 			m.complete(r)
 		case err := <-readErr:
 			m.cluster.taskAborted(workerID)
 			m.requeue(task)
+			lg.Warn("worker lost with task in flight",
+				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()), obs.Err(err))
 			return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
 		}
 	}
@@ -398,7 +448,40 @@ func livenessTick(suspectAfter, deadAfter time.Duration) time.Duration {
 	return d
 }
 
-func (m *Master) trackInflight(t Task, workerID string) {
+// ingestRemoteSpans merges worker-side stage spans into the master's
+// tracer ring. Remote timestamps are on the worker's clock; the
+// per-worker clock-skew estimate (see cluster.observeClock) shifts them
+// onto the master clock so the merged timeline orders correctly. Each
+// span keeps its wire-assigned parent — the master-side exec span ID the
+// TraceContext carried out — and is labeled with the worker's ID as its
+// process lane for the Chrome export.
+func (m *Master) ingestRemoteSpans(workerID string, spans []RemoteSpan) {
+	if m.tracer == nil || len(spans) == 0 {
+		return
+	}
+	adj := m.cluster.clockAdjustNs(workerID)
+	for _, rs := range spans {
+		var attrs map[string]string
+		if rs.TaskID != "" {
+			attrs = map[string]string{"task": rs.TaskID}
+		}
+		m.tracer.Ingest(obs.Span{
+			Trace:  rs.TraceID,
+			Parent: rs.Parent,
+			Name:   rs.Name,
+			Proc:   workerID,
+			Attrs:  attrs,
+			Start:  time.Unix(0, rs.StartUnixNano+adj),
+			End:    time.Unix(0, rs.StartUnixNano+rs.DurNs+adj),
+		})
+	}
+}
+
+// trackInflight moves a task from queued to in-flight, closing its queue
+// span and opening its exec span. It returns the exec span's ID (0 when
+// tracing is off) — the parent under which the worker's remote stage
+// spans will nest.
+func (m *Master) trackInflight(t Task, workerID string) int64 {
 	m.mu.Lock()
 	m.inflight[t.ID] = t
 	var wait time.Duration
@@ -409,18 +492,27 @@ func (m *Master) trackInflight(t Task, workerID string) {
 			delete(m.queuedAt, t.ID)
 		}
 	}
+	var execSpanID int64
 	if m.taskSpans != nil {
-		m.taskSpans[t.ID].Finish()
+		// Guard the lookup: a task assigned without ever being marked
+		// queued (a direct scheduler push, or queuedAt/taskSpans enabled
+		// mid-run) has no open queue span to finish.
+		if s := m.taskSpans[t.ID]; s != nil {
+			s.Finish()
+		}
 		s := m.tracer.NewSpan("exec "+t.ID, t.Span)
 		s.SetAttr("job", t.JobID)
 		s.SetAttr("worker", workerID)
+		s.SetTrace(t.Trace.traceID())
 		m.taskSpans[t.ID] = s
+		execSpanID = s.SpanID()
 	}
 	m.mu.Unlock()
 	if waited {
 		m.hWait.ObserveDuration(wait)
 	}
 	m.gQueue.SetInt(m.sched.len())
+	return execSpanID
 }
 
 // requeue puts a task back in the pool after a worker failure, preserving
@@ -456,6 +548,8 @@ func (m *Master) requeue(t Task) {
 		return
 	}
 	if exhausted {
+		m.logger.Warn("task retry limit reached",
+			obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()))
 		m.complete(Result{
 			TaskID: t.ID,
 			JobID:  t.JobID,
@@ -464,6 +558,8 @@ func (m *Master) requeue(t Task) {
 		return
 	}
 	m.cRetries.Inc()
+	m.logger.Info("task requeued after worker loss",
+		obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()))
 	m.sched.push(t)
 	m.gQueue.SetInt(m.sched.len())
 }

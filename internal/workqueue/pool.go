@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
 )
 
 // Pool is an elastic in-process worker pool attached to a master via
@@ -19,6 +21,9 @@ type Pool struct {
 	// starvation, blocked executors) as remote ones, so the same
 	// liveness machinery applies.
 	Heartbeat time.Duration
+	// Logger is handed to workers spawned by Resize, so in-process
+	// workers log task failures with the same structure as remote ones.
+	Logger *obs.Logger
 
 	mu      sync.Mutex
 	next    int
@@ -86,7 +91,7 @@ func (p *Pool) spawnLocked(ctx context.Context) {
 	}()
 	go func() {
 		defer p.wg.Done()
-		w := &Worker{ID: id, Exec: p.exec, HeartbeatEvery: p.Heartbeat}
+		w := &Worker{ID: id, Exec: p.exec, HeartbeatEvery: p.Heartbeat, Logger: p.Logger}
 		_ = w.Run(wctx, wconn)
 	}()
 }

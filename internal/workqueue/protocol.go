@@ -34,6 +34,13 @@ type Task struct {
 	// (the TD job's root span), so the master's queue/execute spans nest
 	// correctly in the job timeline.
 	Span int64 `json:"span,omitempty"`
+	// Trace carries the distributed trace context across the wire; nil
+	// disables worker-side stage spans for this task (old submitters).
+	Trace *TraceContext `json:"trace,omitempty"`
+	// SentUnixNano is stamped by the master just before the task goes on
+	// the wire (master clock). The worker reports back the observed
+	// delivery delta, one leg of the NTP-style clock-skew estimate.
+	SentUnixNano int64 `json:"sent_ns,omitempty"`
 }
 
 // Result is the outcome of one task execution.
@@ -88,6 +95,19 @@ type message struct {
 	Task     *Task        `json:"task,omitempty"`
 	Result   *Result      `json:"result,omitempty"`
 	Stats    *WorkerStats `json:"stats,omitempty"`
+	// SentUnixNano stamps the worker's clock as the message goes on the
+	// wire; the master's receive time minus it is the worker→master leg
+	// of the clock-skew estimate. TaskDelayNs is the worker-observed
+	// master→worker delivery delta of the most recent task (receive time
+	// minus Task.SentUnixNano) — the opposite leg. Offsetting the two
+	// cancels transit and leaves clock skew (NTP's derivation); summing
+	// them estimates the RTT. Both ride on heartbeats, stats and results,
+	// so skew converges even for workers that never heartbeat.
+	SentUnixNano int64 `json:"sent_ns,omitempty"`
+	TaskDelayNs  int64 `json:"task_delay_ns,omitempty"`
+	// Spans are finished worker-side stage spans being shipped to the
+	// master (on results, heartbeats and stats messages alike).
+	Spans []RemoteSpan `json:"spans,omitempty"`
 }
 
 // codec frames messages as newline-delimited JSON over a connection.

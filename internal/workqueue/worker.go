@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
@@ -12,7 +13,8 @@ import (
 
 // Executor is the function a worker runs for each task payload. Use
 // StageError to tag decode/encode failures so the master sees which
-// stage of the task pipeline broke.
+// stage of the task pipeline broke, and StartStageSpan to time the same
+// stages on the task's distributed trace.
 type Executor func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Worker executes tasks pulled from a master.
@@ -36,6 +38,16 @@ type Worker struct {
 	// its own /metrics endpoint. When nil and heartbeats are enabled, a
 	// private registry backs the snapshots.
 	Metrics *obs.Registry
+	// Tracer optionally mirrors the worker's stage spans into a local
+	// ring (the worker process's own /trace endpoint). Stage spans are
+	// recorded — and shipped to the master — whenever a task carries a
+	// TraceContext, regardless of this field; a nil Tracer only disables
+	// the local mirror.
+	Tracer *obs.Tracer
+	// Logger receives structured worker events (task failures, connection
+	// errors), each tagged with worker_id/task_id and, for traced tasks,
+	// trace_id. Nil disables logging.
+	Logger *obs.Logger
 }
 
 // workerInstruments holds the worker-side metric handles. All methods
@@ -97,12 +109,27 @@ func (i *workerInstruments) snapshot(c *codec) WorkerStats {
 	}
 }
 
+// workerRun is the per-connection mutable state shared between the task
+// loop and the heartbeat goroutine: the pending-span buffer and the last
+// observed task delivery delta (for the skew estimate).
+type workerRun struct {
+	spans         spanBuffer
+	lastTaskDelay atomic.Int64
+}
+
+// stamp fills the envelope's clock fields just before a send.
+func (r *workerRun) stamp(m *message) {
+	m.SentUnixNano = time.Now().UnixNano()
+	m.TaskDelayNs = r.lastTaskDelay.Load()
+}
+
 // Run speaks the worker side of the protocol on conn until the master
 // sends a shutdown, the connection drops, or ctx is cancelled.
 func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 	if w.ID == "" || w.Exec == nil {
 		return fmt.Errorf("workqueue: worker needs ID and Exec")
 	}
+	lg := w.Logger.With(obs.WorkerID(w.ID))
 	c := newCodec(conn)
 	defer func() { _ = c.close() }()
 	// Unblock reads when ctx is cancelled.
@@ -117,29 +144,49 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		reg = obs.NewRegistry()
 	}
 	inst := newWorkerInstruments(reg)
+	run := &workerRun{}
 	if w.HeartbeatEvery > 0 {
 		hbStop := make(chan struct{})
 		defer close(hbStop)
-		go w.heartbeatLoop(ctx, c, inst, hbStop)
+		go w.heartbeatLoop(ctx, c, inst, run, hbStop)
 	}
 	for {
 		m, err := c.recv()
+		recvAt := time.Now()
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
 			}
+			lg.Error("worker connection lost", obs.Err(err))
 			return fmt.Errorf("workqueue: worker %s recv: %w", w.ID, err)
 		}
 		switch m.Type {
 		case msgShutdown:
+			// Flush any still-buffered spans (the last task's send span)
+			// on a final heartbeat so the master's timeline is complete.
+			if spans := run.spans.drain(); len(spans) > 0 {
+				fin := message{Type: msgHeartbeat, WorkerID: w.ID, Spans: spans}
+				run.stamp(&fin)
+				_ = c.send(fin)
+			}
 			return nil
 		case msgTask:
 			if m.Task == nil {
 				return fmt.Errorf("workqueue: worker %s got task message without task", w.ID)
 			}
+			if m.Task.SentUnixNano != 0 {
+				run.lastTaskDelay.Store(recvAt.UnixNano() - m.Task.SentUnixNano)
+			}
+			tt := newTaskTrace(m.Task.Trace, m.Task.ID)
 			start := time.Now()
-			out, execErr := w.Exec(ctx, m.Task.Payload)
+			// The recv stage covers task arrival to executor start; its
+			// skew-adjusted start marks when the task landed on this
+			// worker, making wire transit visible as the gap after the
+			// master's send timestamp.
+			tt.add(StageRecv, recvAt, start)
+			out, execErr := w.Exec(withTaskTrace(ctx, tt), m.Task.Payload)
 			elapsed := time.Since(start)
+			tt.add(StageExec, start, start.Add(elapsed))
 			inst.observe(elapsed, execErr != nil)
 			if execErr != nil && ctx.Err() != nil {
 				// The worker is being preempted (pool shrink or
@@ -158,9 +205,25 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 				te := newTaskError(w.ID, m.Task.ID, execErr)
 				res.Err = te.Error()
 				res.ErrStage = te.Stage
+				lg.Warn("task failed",
+					obs.TaskID(m.Task.ID), obs.JobID(m.Task.JobID),
+					obs.TraceID(m.Task.Trace.traceID()), obs.F("stage", te.Stage), obs.Err(te.Err))
 			}
-			if err := c.send(message{Type: msgResult, Result: &res}); err != nil {
+			// Ship everything finished so far: spans buffered from the
+			// previous task (its send span) plus this task's stages.
+			run.spans.add(tt.take()...)
+			env := message{Type: msgResult, Result: &res, Spans: run.spans.drain()}
+			run.stamp(&env)
+			w.mirror(env.Spans)
+			sendStart := time.Now()
+			if err := c.send(env); err != nil {
 				return err
+			}
+			if tt != nil {
+				tt.add(StageSend, sendStart, time.Now())
+				sent := tt.take()
+				run.spans.add(sent...)
+				w.mirror(sent)
 			}
 		default:
 			return fmt.Errorf("workqueue: worker %s got unexpected message %q", w.ID, m.Type)
@@ -168,10 +231,38 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 	}
 }
 
+// traceID is a nil-safe accessor used for log tagging.
+func (tc *TraceContext) traceID() string {
+	if tc == nil {
+		return ""
+	}
+	return tc.TraceID
+}
+
+// mirror copies outgoing remote spans into the worker's local tracer
+// ring (its own /trace endpoint). No-op without a tracer.
+func (w *Worker) mirror(spans []RemoteSpan) {
+	if w.Tracer == nil {
+		return
+	}
+	for _, rs := range spans {
+		w.Tracer.Ingest(obs.Span{
+			Trace:  rs.TraceID,
+			Parent: rs.Parent,
+			Name:   rs.Name,
+			Attrs:  map[string]string{"task": rs.TaskID},
+			Start:  time.Unix(0, rs.StartUnixNano),
+			End:    time.Unix(0, rs.StartUnixNano+rs.DurNs),
+		})
+	}
+}
+
 // heartbeatLoop ships liveness pings (and periodic stats snapshots) until
 // the worker exits or the connection fails. It runs concurrently with
-// task execution: the codec serializes the writes.
-func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstruments, stop <-chan struct{}) {
+// task execution: the codec serializes the writes. Each ping carries the
+// clock-skew timestamps and any buffered stage spans, so span delivery
+// does not wait for the next result.
+func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstruments, run *workerRun, stop <-chan struct{}) {
 	statsEvery := w.StatsEvery
 	if statsEvery <= 0 {
 		statsEvery = 5
@@ -185,13 +276,17 @@ func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstru
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			m := message{Type: msgHeartbeat, WorkerID: w.ID}
+			m := message{Type: msgHeartbeat, WorkerID: w.ID, Spans: run.spans.drain()}
 			if n%statsEvery == 0 {
 				s := inst.snapshot(c)
 				m.Type = msgStats
 				m.Stats = &s
 			}
+			run.stamp(&m)
+			w.mirror(m.Spans)
 			if err := c.send(m); err != nil {
+				// Return undelivered spans so a later flush can retry.
+				run.spans.add(m.Spans...)
 				return
 			}
 		}

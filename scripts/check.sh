@@ -3,7 +3,8 @@
 #
 #   scripts/check.sh          tier-1: build + tests (the ROADMAP gate)
 #   scripts/check.sh race     tier-2: vet + full test suite under -race
-#   scripts/check.sh all      both tiers
+#   scripts/check.sh bench    observability microbenchmarks -> BENCH_obs.json
+#   scripts/check.sh all      tier-1 + tier-2
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,15 +20,39 @@ race() {
 	go test -race ./...
 }
 
+bench() {
+	echo "== bench: go test -bench on internal/obs and internal/workqueue =="
+	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/workqueue)
+	echo "$out"
+	# Flatten `go test -bench` lines into BENCH_obs.json so CI can diff
+	# telemetry-path costs across commits without reparsing raw output.
+	echo "$out" | awk '
+		BEGIN { print "["; n = 0 }
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			printf "%s  {\"name\":\"%s\",\"iterations\":%s", (n++ ? ",\n" : ""), name, $2
+			for (i = 3; i < NF; i++) {
+				if ($(i + 1) == "ns/op") printf ",\"ns_per_op\":%s", $i
+				if ($(i + 1) == "B/op") printf ",\"bytes_per_op\":%s", $i
+				if ($(i + 1) == "allocs/op") printf ",\"allocs_per_op\":%s", $i
+			}
+			printf "}"
+		}
+		END { print "\n]" }
+	' >BENCH_obs.json
+	echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) benchmarks)"
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) race ;;
+bench) bench ;;
 all)
 	tier1
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|all]" >&2
+	echo "usage: $0 [tier1|race|bench|all]" >&2
 	exit 2
 	;;
 esac

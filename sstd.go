@@ -33,6 +33,7 @@
 package sstd
 
 import (
+	"io"
 	"net/http"
 	"time"
 
@@ -189,6 +190,22 @@ type (
 	// WorkerSample is one worker's observed-vs-predicted throughput row
 	// recorded by the control loop each tick.
 	WorkerSample = obs.WorkerSample
+	// Logger is a leveled, structured JSON-lines logger whose entries
+	// carry trace/span/worker/task correlation fields; a ring buffer of
+	// recent entries backs the /logs endpoint.
+	Logger = obs.Logger
+	// LogLevel is a Logger severity threshold.
+	LogLevel = obs.LogLevel
+	// LogField is one structured key/value on a log entry.
+	LogField = obs.Field
+)
+
+// Log levels.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
@@ -202,11 +219,19 @@ func NewSpanTracer(capacity int) *SpanTracer { return obs.NewTracer(capacity) }
 // samples (<= 0 uses a generous default).
 func NewControlRecorder(max int) *ControlRecorder { return obs.NewControlRecorder(max) }
 
+// NewLogger creates a structured logger writing JSON lines at or above
+// min to w (nil w = ring buffer only), keeping the most recent capacity
+// entries for /logs (<= 0 uses the default of 1024).
+func NewLogger(w io.Writer, min LogLevel, capacity int) *Logger {
+	return obs.NewLogger(w, min, capacity)
+}
+
 // TelemetryHandler serves /metrics (Prometheus text, ?format=json for
-// JSON), /trace (Chrome trace_event) and /debug/pprof/* for the given
-// telemetry sinks; either may be nil.
-func TelemetryHandler(reg *MetricsRegistry, tr *SpanTracer) http.Handler {
-	return obs.Handler(reg, tr)
+// JSON), /trace (Chrome trace_event), /logs (recent structured log
+// entries) and /debug/pprof/* for the given telemetry sinks; any may be
+// nil.
+func TelemetryHandler(reg *MetricsRegistry, tr *SpanTracer, lg *Logger) http.Handler {
+	return obs.Handler(reg, tr, lg)
 }
 
 // WriteTelemetryArtifact writes a JSON file with the final metrics
