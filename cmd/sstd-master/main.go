@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/social-sensing/sstd/internal/chaos"
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
@@ -70,6 +71,12 @@ func run() error {
 		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "mark a worker suspect after this long without a message (0 disables liveness)")
 		deadAfter    = flag.Duration("dead-after", 10*time.Second, "evict a silent worker and requeue its task after this long (0 disables liveness)")
 		straggler    = flag.Float64("straggler-factor", 2, "flag workers slower than this multiple of the cluster median exec time")
+
+		taskTimeout = flag.Duration("task-timeout", 0, "requeue a task whose result has not arrived after this long (0 = wait forever)")
+		maxRetries  = flag.Int("max-retries", 0, "quarantine a task after this many lost attempts and finish its job degraded (0 = retry forever)")
+
+		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec applied to every accepted worker connection, e.g. drop=0.3,corrupt=0.05 (see internal/chaos)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "TEST ONLY: seed for the fault-injection schedule (overrides any seed in -chaos-spec)")
 	)
 	flag.Parse()
 
@@ -97,10 +104,23 @@ func run() error {
 		SuspectAfter:    *suspectAfter,
 		DeadAfter:       *deadAfter,
 		StragglerFactor: *straggler,
+		TaskTimeout:     *taskTimeout,
+		MaxRetries:      *maxRetries,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	if *chaosSpec != "" || *chaosSeed != 0 {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos-spec: %w", err)
+		}
+		if *chaosSeed != 0 {
+			spec.Seed = *chaosSeed
+		}
+		l = chaos.New(spec, metrics, tracer).Listen(l)
+		fmt.Printf("CHAOS: fault injection armed (seed %d) — test use only\n", spec.Seed)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -187,6 +207,7 @@ func run() error {
 	}
 	sums := make(map[string]map[int]float64)
 	done := make(map[string]int)
+	failedTasks := make(map[string]int)
 	start := time.Now()
 	finished := 0
 	for finished < len(byClaim) {
@@ -195,17 +216,26 @@ func run() error {
 			return fmt.Errorf("results closed with %d/%d jobs finished", finished, len(byClaim))
 		}
 		if res.Err != "" {
-			return fmt.Errorf("task failed at stage %q: %s", res.ErrStage, res.Err)
-		}
-		var out taskOutput
-		if err := json.Unmarshal(res.Output, &out); err != nil {
-			return fmt.Errorf("task %s output: %w", res.TaskID, err)
-		}
-		if sums[res.JobID] == nil {
-			sums[res.JobID] = make(map[int]float64)
-		}
-		for idx, s := range out.Sums {
-			sums[res.JobID][idx] += s
+			// A task that exhausted its retries (quarantined) or failed
+			// terminally costs its chunk of data, not the run: the job
+			// completes degraded from the partial sums, matching the DTM's
+			// graceful-degradation policy.
+			if *maxRetries == 0 {
+				return fmt.Errorf("task failed at stage %q: %s", res.ErrStage, res.Err)
+			}
+			fmt.Fprintf(os.Stderr, "sstd-master: task %s failed (stage %q): %s\n", res.TaskID, res.ErrStage, res.Err)
+			failedTasks[res.JobID]++
+		} else {
+			var out taskOutput
+			if err := json.Unmarshal(res.Output, &out); err != nil {
+				return fmt.Errorf("task %s output: %w", res.TaskID, err)
+			}
+			if sums[res.JobID] == nil {
+				sums[res.JobID] = make(map[int]float64)
+			}
+			for idx, s := range out.Sums {
+				sums[res.JobID][idx] += s
+			}
 		}
 		done[res.JobID]++
 		if done[res.JobID] == tasksPerJob[res.JobID] {
@@ -222,7 +252,11 @@ func run() error {
 					trueCount++
 				}
 			}
-			fmt.Printf("job %-28s done: %3d intervals, true in %3d\n", res.JobID, len(truth), trueCount)
+			degraded := ""
+			if n := failedTasks[res.JobID]; n > 0 {
+				degraded = fmt.Sprintf("  DEGRADED (%d/%d tasks lost)", n, tasksPerJob[res.JobID])
+			}
+			fmt.Printf("job %-28s done: %3d intervals, true in %3d%s\n", res.JobID, len(truth), trueCount, degraded)
 		}
 	}
 	fmt.Printf("all %d jobs finished in %s across %d workers\n",

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/social-sensing/sstd/internal/chaos"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
@@ -59,6 +61,12 @@ func run() error {
 		statsEvery = flag.Int("stats-every", 5, "ship a telemetry snapshot every N heartbeats")
 		telemetry  = flag.String("telemetry", "", "optional address serving /metrics, /trace, /logs and /debug/pprof (e.g. :9200)")
 		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+
+		execTimeout = flag.Duration("exec-timeout", 0, "per-task execution budget; a task past it is cancelled and reported failed (0 = none)")
+		reconnects  = flag.Int("reconnects", 0, "reconnect with backoff after connection loss, giving up after this many consecutive failed attempts (0 = exit on first loss)")
+
+		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec, e.g. drop=0.3,corrupt=0.05,delay=0.1:1ms-5ms (see internal/chaos)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "TEST ONLY: seed for the fault-injection schedule (overrides any seed in -chaos-spec)")
 	)
 	flag.Parse()
 
@@ -97,12 +105,32 @@ func run() error {
 		Exec:           execute,
 		HeartbeatEvery: *heartbeat,
 		StatsEvery:     *statsEvery,
+		ExecTimeout:    *execTimeout,
+		MaxReconnects:  *reconnects,
 		Metrics:        metrics,
 		Tracer:         tracer,
 		Logger:         logger,
 	}
+	if *chaosSpec != "" || *chaosSeed != 0 {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos-spec: %w", err)
+		}
+		if *chaosSeed != 0 {
+			spec.Seed = *chaosSeed
+		}
+		inj := chaos.New(spec, metrics, tracer)
+		w.WrapConn = func(c net.Conn) net.Conn { return inj.WrapConn("worker/"+workerID, c) }
+		w.Exec = inj.WrapExec("exec/"+workerID, execute, nil)
+		fmt.Printf("CHAOS: fault injection armed (seed %d) — test use only\n", spec.Seed)
+	}
 	fmt.Printf("worker %s connecting to %s\n", workerID, *master)
-	err := w.Dial(ctx, *master)
+	var err error
+	if *reconnects > 0 {
+		err = w.Redial(ctx, *master)
+	} else {
+		err = w.Dial(ctx, *master)
+	}
 	if err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("drop=0.3,corrupt=0.05,seed=7,delay=0.1:1ms-5ms,skew=250ms,hang=0.02:2s,script=corrupt@20-60+reset@w3:40-41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drop != 0.3 || s.Corrupt != 0.05 || s.Seed != 7 {
+		t.Fatalf("probabilities/seed mismatch: %+v", s)
+	}
+	if s.Delay != 0.1 || s.DelayMin != time.Millisecond || s.DelayMax != 5*time.Millisecond {
+		t.Fatalf("delay mismatch: %+v", s)
+	}
+	if s.SkewNs != int64(250*time.Millisecond) {
+		t.Fatalf("skew mismatch: %d", s.SkewNs)
+	}
+	if s.Hang != 0.02 || s.HangFor != 2*time.Second {
+		t.Fatalf("hang mismatch: %+v", s)
+	}
+	if len(s.Script) != 2 {
+		t.Fatalf("script entries: %+v", s.Script)
+	}
+	if s.Script[0] != (ScriptedFault{Fault: FaultCorrupt, From: 20, To: 60}) {
+		t.Fatalf("script[0]: %+v", s.Script[0])
+	}
+	if s.Script[1] != (ScriptedFault{Fault: FaultReset, Stream: "w3", From: 40, To: 41}) {
+		t.Fatalf("script[1]: %+v", s.Script[1])
+	}
+	if _, err := ParseSpec("drop=1.5"); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := ParseSpec("nonsense=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec("drop"); err == nil {
+		t.Fatal("entry without value accepted")
+	}
+	if z, err := ParseSpec("  "); err != nil || z.Drop != 0 || z.Seed != 0 || z.Script != nil {
+		t.Fatalf("blank spec: %+v, %v", z, err)
+	}
+}
+
+// TestPlanDeterminism is the reproducibility contract: equal specs give
+// equal fault plans, regardless of when or where decisions are asked.
+func TestPlanDeterminism(t *testing.T) {
+	spec := Spec{Seed: 42, Drop: 0.2, Corrupt: 0.1, Delay: 0.05, Reset: 0.01, Crash: 0.1, Fail: 0.05}
+	a, b := New(spec, nil, nil), New(spec, nil, nil)
+	streams := []string{"w0-r0/worker", "w1-r0/worker", "pair-0/master"}
+	fired := 0
+	for _, s := range streams {
+		pa, pb := a.Plan(s, 512), b.Plan(s, 512)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("stream %s frame %d: %q vs %q", s, i, pa[i], pb[i])
+			}
+			if pa[i] != "" {
+				fired++
+			}
+		}
+		for i := uint64(0); i < 256; i++ {
+			if a.ExecFault(s, i) != b.ExecFault(s, i) {
+				t.Fatalf("exec plan diverged at %s/%d", s, i)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults in 1536 frames at ~36% combined probability")
+	}
+	// A different seed must yield a different plan.
+	c := New(Spec{Seed: 43, Drop: 0.2, Corrupt: 0.1, Delay: 0.05, Reset: 0.01}, nil, nil)
+	if same := equalPlans(a.Plan("w0-r0/worker", 512), c.Plan("w0-r0/worker", 512)); same {
+		t.Fatal("seed 42 and 43 produced identical 512-frame plans")
+	}
+}
+
+func equalPlans(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScriptedFaultOverrides(t *testing.T) {
+	in := New(Spec{Script: []ScriptedFault{{Fault: FaultCorrupt, From: 20, To: 60}}}, nil, nil)
+	for i := uint64(0); i < 100; i++ {
+		want := ""
+		if i >= 20 && i < 60 {
+			want = FaultCorrupt
+		}
+		if got := in.FrameFault("any", i); got != want {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	// Stream-scoped entries only hit matching streams.
+	in = New(Spec{Script: []ScriptedFault{{Fault: FaultDrop, Stream: "w3", From: 0, To: 10}}}, nil, nil)
+	if in.FrameFault("w3-r0/worker", 5) != FaultDrop {
+		t.Fatal("matching stream not faulted")
+	}
+	if in.FrameFault("w1-r0/worker", 5) != "" {
+		t.Fatal("non-matching stream faulted")
+	}
+}
+
+func TestCorruptFrameModes(t *testing.T) {
+	frame := []byte(`{"type":"result","worker_id":"w0","sent_ns":1722900000000000000}` + "\n")
+	seen := map[string]bool{}
+	for h := uint64(0); h < 64; h++ {
+		got, mode := CorruptFrame(h, frame)
+		again, _ := CorruptFrame(h, frame)
+		if !bytes.Equal(got, again) {
+			t.Fatalf("mode %s not deterministic", mode)
+		}
+		if bytes.Equal(got, frame) && mode != "truncate" {
+			t.Fatalf("mode %s left the frame intact (h=%d)", mode, h)
+		}
+		if mode != "truncate" && (len(got) == 0 || got[len(got)-1] != '\n') {
+			t.Fatalf("mode %s lost the frame delimiter", mode)
+		}
+		seen[mode] = true
+	}
+	for _, m := range []string{"bitflip", "truncate", "oversize", "garbage"} {
+		if !seen[m] {
+			t.Fatalf("mode %s never selected in 64 hashes", m)
+		}
+	}
+}
+
+// TestSkewRewritePrecision checks the digit-level rewrite preserves
+// int64 nanosecond precision (a JSON round trip through float64 would
+// corrupt stamps above 2^53).
+func TestSkewRewrite(t *testing.T) {
+	skew := int64(250 * time.Millisecond)
+	in := New(Spec{SkewNs: skew}, nil, nil)
+	c := &Conn{in: in, stream: "s"}
+	const stamp = int64(1722900000123456789) // > 2^53, full ns precision
+	frame := []byte(`{"type":"heartbeat","sent_ns":1722900000123456789,"spans":[{"name":"exec","start_unix_ns":1722900000123456789,"dur_ns":5}]}` + "\n")
+	got := string(c.applySkew(frame))
+	want := strings.ReplaceAll(string(frame), "1722900000123456789", "1722900000373456789")
+	if got != want {
+		t.Fatalf("skew rewrite:\n got %s\nwant %s", got, want)
+	}
+	_ = stamp
+}
+
+// TestConnFrameFaults drives a wrapped pipe through a scripted schedule
+// and checks the peer sees exactly the surviving frames.
+func TestConnFrameFaults(t *testing.T) {
+	in := New(Spec{Script: []ScriptedFault{{Fault: FaultDrop, From: 1, To: 2}}}, nil, nil)
+	a, b := net.Pipe()
+	defer b.Close()
+	w := in.WrapConn("s", a)
+	lines := make(chan string, 3)
+	go func() {
+		r := bufio.NewReader(b)
+		for {
+			l, err := r.ReadString('\n')
+			if err != nil {
+				close(lines)
+				return
+			}
+			lines <- strings.TrimSpace(l)
+		}
+	}()
+	for _, l := range []string{`{"n":0}`, `{"n":1}`, `{"n":2}`} {
+		if _, err := w.Write([]byte(l + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{`{"n":0}`, `{"n":2}`} {
+		select {
+		case got := <-lines:
+			if got != want {
+				t.Fatalf("got %q want %q", got, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for %q", want)
+		}
+	}
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Fault != FaultDrop || evs[0].Index != 1 {
+		t.Fatalf("events: %+v", evs)
+	}
+	w.Close()
+}
+
+// TestConnReset checks a scripted reset severs the link and surfaces an
+// error to the writer.
+func TestConnReset(t *testing.T) {
+	in := New(Spec{Script: []ScriptedFault{{Fault: FaultReset, From: 0, To: 1}}}, nil, nil)
+	a, b := net.Pipe()
+	defer b.Close()
+	w := in.WrapConn("s", a)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("{}\n"))
+		done <- err
+	}()
+	// The read side must observe EOF (the reset closed the pipe).
+	buf := make([]byte, 8)
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+	if err := <-done; err == nil {
+		t.Fatal("write after reset reported success")
+	}
+}
+
+// TestPartialWritesAssembleFrames checks the wrapper buffers split
+// writes until the newline arrives, counting frames (not writes).
+func TestPartialWritesAssembleFrames(t *testing.T) {
+	in := New(Spec{}, nil, nil)
+	a, b := net.Pipe()
+	defer b.Close()
+	w := in.WrapConn("s", a)
+	go func() {
+		w.Write([]byte(`{"n"`))
+		w.Write([]byte(`:7}` + "\n"))
+		w.Close()
+	}()
+	r := bufio.NewReader(b)
+	l, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(l) != `{"n":7}` {
+		t.Fatalf("got %q", l)
+	}
+}

@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn wraps a workqueue connection and applies the injector's schedule
+// to outgoing frames. The codec speaks newline-delimited JSON, so the
+// wrapper buffers partial writes until a full frame ('\n'-terminated)
+// is available, numbers it, and lets the fault plan decide its fate:
+// pass, drop, corrupt, delay, or reset the connection. Clock skew
+// rewrites the frame's timestamp fields in place.
+//
+// Only the write side is faulted: wrapping both endpoints of a link
+// (as Injector.PoolWrapper does) covers both directions, and keeping
+// reads transparent means a single frame counter per endpoint — the
+// property that makes plans interleaving-proof.
+type Conn struct {
+	net.Conn
+	in     *Injector
+	stream string
+
+	wmu  sync.Mutex
+	wbuf []byte
+	widx uint64
+}
+
+// WrapConn wraps one endpoint. The stream name keys the fault plan:
+// the same (spec, stream) always sees the same per-frame decisions.
+func (in *Injector) WrapConn(stream string, c net.Conn) net.Conn {
+	return &Conn{Conn: c, in: in, stream: stream}
+}
+
+// skewRe matches the wire protocol's absolute clock stamps: message and
+// task send times ("sent_ns") and remote span starts ("start_unix_ns").
+// Rewriting the raw digits — instead of a JSON round trip — preserves
+// int64 nanosecond precision, which float64-backed decoding would lose
+// above 2^53.
+var skewRe = regexp.MustCompile(`"(sent_ns|start_unix_ns)":(-?\d+)`)
+
+// applySkew shifts every clock stamp in the frame by SkewNs.
+func (c *Conn) applySkew(frame []byte) []byte {
+	return skewRe.ReplaceAllFunc(frame, func(m []byte) []byte {
+		sub := skewRe.FindSubmatch(m)
+		v, err := strconv.ParseInt(string(sub[2]), 10, 64)
+		if err != nil {
+			return m
+		}
+		return []byte(fmt.Sprintf("%q:%d", sub[1], v+c.in.spec.SkewNs))
+	})
+}
+
+// Write applies the fault plan frame by frame. It reports the full
+// length as written even when frames are dropped — the peer simply
+// never sees them, exactly like loss inside the network.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = append(c.wbuf, p...)
+	for {
+		nl := -1
+		for i, b := range c.wbuf {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			return len(p), nil
+		}
+		frame := c.wbuf[:nl+1]
+		idx := c.widx
+		c.widx++
+		if c.in.spec.SkewNs != 0 {
+			frame = c.applySkew(frame)
+			c.in.record(FaultSkew, c.stream, idx, time.Duration(c.in.spec.SkewNs).String(), time.Now())
+		}
+		fault, _ := c.in.decide(transportFaults, c.stream, idx)
+		switch fault {
+		case FaultReset:
+			c.in.record(FaultReset, c.stream, idx, "", time.Now())
+			c.wbuf = nil
+			_ = c.Conn.Close()
+			return 0, fmt.Errorf("chaos: connection reset (stream %s frame %d)", c.stream, idx)
+		case FaultDrop:
+			// The frame is silently discarded; the peer never sees it.
+			c.in.record(FaultDrop, c.stream, idx, "", time.Now())
+		case FaultCorrupt:
+			h := c.in.hashKey(FaultCorrupt+"/mode", c.stream, idx)
+			corrupted, mode := CorruptFrame(h, frame)
+			c.in.record(FaultCorrupt, c.stream, idx, mode, time.Now())
+			if _, err := c.Conn.Write(corrupted); err != nil {
+				c.wbuf = nil
+				return 0, err
+			}
+		case FaultDelay:
+			d := c.in.delayFor(c.stream, idx)
+			start := time.Now()
+			time.Sleep(d)
+			c.in.record(FaultDelay, c.stream, idx, d.String(), start)
+			fallthrough
+		default:
+			if _, err := c.Conn.Write(frame); err != nil {
+				c.wbuf = nil
+				return 0, err
+			}
+		}
+		c.wbuf = c.wbuf[nl+1:]
+	}
+}
+
+// CorruptFrame deterministically mangles one newline-terminated frame;
+// the hash selects among four corruption modes. The returned frame stays
+// newline-terminated (except "truncate", which may cut mid-frame and
+// splice into the next — exactly what a torn TCP segment looks like to
+// the codec). Exported so the fuzz corpus can grow the same shapes the
+// chaos layer produces.
+func CorruptFrame(h uint64, frame []byte) ([]byte, string) {
+	if len(frame) == 0 {
+		return frame, "empty"
+	}
+	body := frame[:len(frame)-1] // strip '\n'
+	switch h % 4 {
+	case 0: // bitflip: one byte, somewhere in the body
+		if len(body) == 0 {
+			return frame, "bitflip"
+		}
+		out := append([]byte(nil), body...)
+		pos := int((h >> 2) % uint64(len(out)))
+		out[pos] ^= byte(1 << ((h >> 32) % 8))
+		return append(out, '\n'), "bitflip"
+	case 1: // truncate: cut the tail off, newline included
+		cut := 0
+		if len(body) > 0 {
+			cut = int((h >> 2) % uint64(len(body)))
+		}
+		return append([]byte(nil), frame[:cut]...), "truncate"
+	case 2: // oversize: balloon the frame with a digit run (corrupt length)
+		out := make([]byte, 0, len(body)+8192)
+		mid := len(body) / 2
+		out = append(out, body[:mid]...)
+		for i := 0; i < 8192; i++ {
+			out = append(out, '9')
+		}
+		out = append(out, body[mid:]...)
+		return append(out, '\n'), "oversize"
+	default: // garbage: replace the frame with non-JSON noise
+		out := make([]byte, len(body))
+		x := h
+		for i := range out {
+			x = splitmix64(x)
+			b := byte(x)
+			if b == '\n' {
+				b = '?'
+			}
+			out[i] = b
+		}
+		return append(out, '\n'), "garbage"
+	}
+}
+
+// PoolWrapper returns a workqueue.Pool-compatible WrapConn hook: each
+// spawned worker's pipe pair is wrapped on both ends under paired stream
+// names ("pair-N/master" carries master→worker frames, "pair-N/worker"
+// the reverse), so both directions follow the plan.
+func (in *Injector) PoolWrapper() func(master, worker net.Conn) (net.Conn, net.Conn) {
+	var n atomic.Uint64
+	return func(master, worker net.Conn) (net.Conn, net.Conn) {
+		i := n.Add(1) - 1
+		return in.WrapConn(fmt.Sprintf("pair-%d/master", i), master),
+			in.WrapConn(fmt.Sprintf("pair-%d/worker", i), worker)
+	}
+}
+
+// Listen wraps a listener so every accepted connection is faulted under
+// stream names "accept-0", "accept-1", ... in accept order — the
+// master-side hook behind sstd-master's -chaos-spec flag.
+func (in *Injector) Listen(l net.Listener) net.Listener {
+	return &chaosListener{Listener: l, in: in}
+}
+
+type chaosListener struct {
+	net.Listener
+	in *Injector
+	n  atomic.Uint64
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(fmt.Sprintf("accept-%d", l.n.Add(1)-1), c), nil
+}

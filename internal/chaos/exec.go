@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// Injected exec-fault errors, distinguishable from genuine executor
+// failures in assertions.
+var (
+	ErrInjectedCrash = errors.New("chaos: injected worker crash")
+	ErrInjectedHang  = errors.New("chaos: injected hang elapsed")
+	ErrInjectedFail  = errors.New("chaos: injected task failure")
+)
+
+// WrapExec wraps an executor with the injector's per-task crash, hang
+// and fail faults for one worker stream. Task indices count invocations
+// on this wrapper, so each worker needs its own wrapped executor for a
+// stream-stable plan.
+//
+// onCrash simulates abrupt worker death — typically closing the
+// worker's connection so the master sees the same EOF a killed process
+// produces; nil degrades a crash to a reported failure. A hang blocks
+// for Spec.HangFor or until the executor's context is cancelled (the
+// worker's ExecTimeout path), whichever comes first.
+func (in *Injector) WrapExec(stream string, exec workqueue.Executor, onCrash func()) workqueue.Executor {
+	var idx atomic.Uint64
+	return func(ctx context.Context, payload []byte) ([]byte, error) {
+		i := idx.Add(1) - 1
+		fault, _ := in.decide(execFaults, stream, i)
+		switch fault {
+		case FaultCrash:
+			start := time.Now()
+			if onCrash != nil {
+				onCrash()
+			}
+			in.record(FaultCrash, stream, i, "", start)
+			return nil, ErrInjectedCrash
+		case FaultHang:
+			start := time.Now()
+			in.record(FaultHang, stream, i, in.spec.HangFor.String(), start)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(in.spec.HangFor):
+				return nil, ErrInjectedHang
+			}
+		case FaultFail:
+			in.record(FaultFail, stream, i, "", time.Now())
+			return nil, ErrInjectedFail
+		}
+		return exec(ctx, payload)
+	}
+}

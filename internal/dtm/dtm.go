@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -62,6 +63,28 @@ type Config struct {
 	DeadAfter       time.Duration
 	StragglerFactor float64
 
+	// TaskTimeout is the master-side per-task deadline (lost frames are
+	// recovered by severing the worker and requeueing); ExecTimeout is
+	// the worker-side execution cap. MaxTaskRetries bounds requeues
+	// before a poisoned task is quarantined and its job completes
+	// Degraded; RequeueBackoff paces those requeues. Zero values keep
+	// each mechanism at the master's defaults (TaskTimeout/ExecTimeout
+	// off, MaxTaskRetries unlimited).
+	TaskTimeout    time.Duration
+	ExecTimeout    time.Duration
+	MaxTaskRetries int
+	RequeueBackoff workqueue.BackoffConfig
+	// RespawnWorkers keeps the pool at its target size when a worker
+	// dies without a graceful release (the paper's scavenged pool
+	// backfilling evicted nodes).
+	RespawnWorkers bool
+
+	// WrapConn and WrapExec are the chaos layer's injection hooks: the
+	// former wraps each pool worker's pipe pair, the latter the task
+	// executor. Both nil in production.
+	WrapConn func(master, worker net.Conn) (net.Conn, net.Conn)
+	WrapExec func(workqueue.Executor) workqueue.Executor
+
 	// Seed drives scheduler randomness.
 	Seed int64
 
@@ -97,6 +120,8 @@ func DefaultConfig(origin time.Time) Config {
 		SuspectAfter:    2 * time.Second,
 		DeadAfter:       10 * time.Second,
 		StragglerFactor: 2,
+		MaxTaskRetries:  8,
+		RespawnWorkers:  true,
 	}
 }
 
@@ -111,6 +136,13 @@ type JobResult struct {
 	Deadline time.Duration
 	// MetDeadline reports Elapsed <= Deadline (true when no deadline).
 	MetDeadline bool
+	// Degraded marks a job decoded from partial data: FailedTasks of its
+	// tasks were lost (quarantined after exhausting retries, or failed
+	// outright), and the remaining tasks' sums were decoded anyway —
+	// graceful degradation instead of stalling the manager. Err stays
+	// nil; only a job with no successful task at all reports Err.
+	Degraded    bool
+	FailedTasks int
 }
 
 // taskPayload is the unit of work shipped to workers: compute partial
@@ -138,9 +170,13 @@ type jobState struct {
 	dataSize  float64 // total reports
 	remaining float64 // reports not yet completed
 	perTask   map[string]int
-	sums      map[int]float64
-	firstErr  error
-	span      *obs.Span // root trace span; nil without a tracer
+	// taskSums keeps each task's partial sums separately; finalize merges
+	// them in sorted task order so the decoded truth is bit-identical
+	// regardless of result arrival order (float addition is not
+	// associative), and a duplicate result for the same task is a no-op.
+	taskSums map[string]map[int]float64
+	firstErr error
+	span     *obs.Span // root trace span; nil without a tracer
 }
 
 // Manager is the Dynamic Task Manager.
@@ -162,6 +198,7 @@ type Manager struct {
 	cJobs         *obs.Counter
 	cJobsDone     *obs.Counter
 	cJobsFailed   *obs.Counter
+	cJobsDegraded *obs.Counter
 	cDeadlineHit  *obs.Counter
 	cDeadlineMiss *obs.Counter
 	cTicks        *obs.Counter
@@ -202,6 +239,9 @@ func New(cfg Config) (*Manager, error) {
 	m.master = workqueue.NewMaster(workqueue.MasterConfig{
 		Seed:            cfg.Seed,
 		ResultBuffer:    256,
+		MaxRetries:      cfg.MaxTaskRetries,
+		TaskTimeout:     cfg.TaskTimeout,
+		RequeueBackoff:  cfg.RequeueBackoff,
 		Metrics:         cfg.Metrics,
 		Tracer:          cfg.Tracer,
 		Logger:          cfg.Logger,
@@ -209,9 +249,16 @@ func New(cfg Config) (*Manager, error) {
 		DeadAfter:       cfg.DeadAfter,
 		StragglerFactor: cfg.StragglerFactor,
 	})
-	m.pool = workqueue.NewPool(m.master, m.execute)
+	exec := workqueue.Executor(m.execute)
+	if cfg.WrapExec != nil {
+		exec = cfg.WrapExec(exec)
+	}
+	m.pool = workqueue.NewPool(m.master, exec)
 	m.pool.Heartbeat = cfg.Heartbeat
 	m.pool.Logger = cfg.Logger
+	m.pool.ExecTimeout = cfg.ExecTimeout
+	m.pool.WrapConn = cfg.WrapConn
+	m.pool.Respawn = cfg.RespawnWorkers
 	m.tracer = cfg.Tracer
 	m.logger = cfg.Logger
 	m.recorder = cfg.ControlLog
@@ -219,6 +266,7 @@ func New(cfg Config) (*Manager, error) {
 		m.cJobs = reg.Counter("dtm_jobs_submitted_total")
 		m.cJobsDone = reg.Counter("dtm_jobs_completed_total")
 		m.cJobsFailed = reg.Counter("dtm_jobs_failed_total")
+		m.cJobsDegraded = reg.Counter("dtm_jobs_degraded_total")
 		m.cDeadlineHit = reg.Counter("dtm_deadline_hit_total")
 		m.cDeadlineMiss = reg.Counter("dtm_deadline_miss_total")
 		m.cTicks = reg.Counter("dtm_control_ticks_total")
@@ -274,7 +322,7 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		dataSize:  float64(len(reports)),
 		remaining: float64(len(reports)),
 		perTask:   make(map[string]int, len(chunks)),
-		sums:      make(map[int]float64),
+		taskSums:  make(map[string]map[int]float64, len(chunks)),
 	}
 	// Open the job's root span before publishing js: the collector may
 	// touch a finished job's span as soon as it is visible. The root span
@@ -442,6 +490,12 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 		m.mu.Unlock()
 		return
 	}
+	if _, dup := js.taskSums[r.TaskID]; dup {
+		// A duplicate delivery (result raced a requeue) must not double
+		// count: the first result for a task is the one that sticks.
+		m.mu.Unlock()
+		return
+	}
 	js.done++
 	js.remaining -= float64(js.perTask[r.TaskID])
 	if js.remaining < 0 {
@@ -449,6 +503,7 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 	}
 	if r.Err != "" {
 		js.failed++
+		js.taskSums[r.TaskID] = nil
 		if js.firstErr == nil {
 			js.firstErr = errors.New(r.Err)
 		}
@@ -456,13 +511,12 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 		var out taskOutput
 		if err := json.Unmarshal(r.Output, &out); err != nil {
 			js.failed++
+			js.taskSums[r.TaskID] = nil
 			if js.firstErr == nil {
 				js.firstErr = fmt.Errorf("dtm: bad task output: %w", err)
 			}
 		} else {
-			for idx, s := range out.Sums {
-				js.sums[idx] += s
-			}
+			js.taskSums[r.TaskID] = out.Sums
 		}
 	}
 	finished := js.done == js.tasks
@@ -477,26 +531,48 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 	}
 }
 
+// mergedSums folds the per-task partial sums in sorted task order, so
+// the accumulated floats — and therefore the decoded truth — are
+// identical no matter in which order results arrived. Failed tasks
+// (nil entries) contribute nothing.
+func (js *jobState) mergedSums() map[int]float64 {
+	ids := make([]string, 0, len(js.taskSums))
+	for id := range js.taskSums {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sums := make(map[int]float64)
+	for _, id := range ids {
+		for idx, s := range js.taskSums[id] {
+			sums[idx] += s
+		}
+	}
+	return sums
+}
+
 // finalize runs the sliding window + HMM decode over the merged interval
 // sums and emits the job result.
 func (m *Manager) finalize(ctx context.Context, js *jobState) {
 	res := JobResult{
-		Claim:    js.claim,
-		Elapsed:  time.Since(js.submitted),
-		Deadline: js.deadline,
+		Claim:       js.claim,
+		Elapsed:     time.Since(js.submitted),
+		Deadline:    js.deadline,
+		FailedTasks: js.failed,
 	}
 	res.MetDeadline = js.deadline == 0 || res.Elapsed <= js.deadline
 	defer func() {
 		m.observeJob(js, res)
 		js.span.Finish()
 	}()
-	if js.firstErr != nil {
+	if js.failed >= js.tasks && js.firstErr != nil {
+		// Every task was lost: nothing to decode.
 		res.Err = js.firstErr
 		m.emit(ctx, res)
 		return
 	}
+	res.Degraded = js.failed > 0
 	merge := m.tracer.NewSpan("merge "+string(js.claim), js.span.SpanID())
-	series := windowedSeries(js.sums, m.cfg.ACS.WindowIntervals)
+	series := windowedSeries(js.mergedSums(), m.cfg.ACS.WindowIntervals)
 	merge.Finish()
 	decodeSpan := m.tracer.NewSpan("decode "+string(js.claim), js.span.SpanID())
 	decodeStart := time.Now()
@@ -523,12 +599,21 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 // observeJob records one finished job's metrics, log line and span
 // attributes.
 func (m *Manager) observeJob(js *jobState, res JobResult) {
-	if res.Err != nil {
+	switch {
+	case res.Err != nil:
 		m.cJobsFailed.Inc()
 		js.span.SetAttr("error", res.Err.Error())
 		m.logger.Warn("job failed",
 			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()), obs.Err(res.Err))
-	} else {
+	case res.Degraded:
+		m.cJobsDone.Inc()
+		m.cJobsDegraded.Inc()
+		js.span.SetAttr("degraded", fmt.Sprintf("%d/%d tasks lost", res.FailedTasks, js.tasks))
+		m.logger.Warn("job completed degraded",
+			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()),
+			obs.F("failed_tasks", res.FailedTasks), obs.F("tasks", js.tasks),
+			obs.F("elapsed_ms", res.Elapsed.Milliseconds()))
+	default:
 		m.cJobsDone.Inc()
 		m.logger.Info("job completed",
 			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()),

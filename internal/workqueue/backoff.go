@@ -1,0 +1,78 @@
+package workqueue
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffConfig parameterizes truncated exponential backoff with jitter.
+// It is shared by the master's task-requeue path and the worker's
+// reconnect loop: both must avoid the hot retry cycle a crash-looping
+// peer otherwise induces (a worker dying on every task used to spin the
+// master's requeue at CPU speed).
+//
+// The zero value means "use the caller's defaults"; a negative Base
+// disables backoff entirely (immediate retry — the pre-backoff
+// behavior, kept reachable for tests).
+type BackoffConfig struct {
+	// Base is the delay before the first retry; each further attempt
+	// multiplies it by Factor up to Max.
+	Base time.Duration
+	Max  time.Duration
+	// Factor is the per-attempt multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of the computed delay that is randomized
+	// (0..1). With Jitter 0.2 the delay is drawn uniformly from
+	// [0.9d, 1.1d] — enough to de-synchronize a fleet of workers
+	// reconnecting after a master restart without losing determinism
+	// under a seeded RNG.
+	Jitter float64
+}
+
+// withDefaults fills zero fields from the given fallbacks.
+func (c BackoffConfig) withDefaults(base, max time.Duration) BackoffConfig {
+	if c.Base == 0 {
+		c.Base = base
+	}
+	if c.Max <= 0 {
+		c.Max = max
+	}
+	if c.Factor <= 1 {
+		c.Factor = 2
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		c.Jitter = 0
+	}
+	return c
+}
+
+// disabled reports whether backoff is turned off (negative Base).
+func (c BackoffConfig) disabled() bool { return c.Base < 0 }
+
+// Delay returns the backoff delay for the given 1-based attempt. The
+// rng supplies the jitter draw and may be nil (no jitter); passing a
+// seeded rng keeps retry schedules reproducible.
+func (c BackoffConfig) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if c.disabled() || c.Base == 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(c.Base)
+	for i := 1; i < attempt; i++ {
+		d *= c.Factor
+		if c.Max > 0 && d >= float64(c.Max) {
+			d = float64(c.Max)
+			break
+		}
+	}
+	if c.Max > 0 && d > float64(c.Max) {
+		d = float64(c.Max)
+	}
+	if c.Jitter > 0 && rng != nil {
+		// Uniform in [d*(1-J/2), d*(1+J/2)].
+		d *= 1 - c.Jitter/2 + c.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}

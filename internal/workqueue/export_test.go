@@ -1,0 +1,39 @@
+package workqueue
+
+import (
+	"bufio"
+	"net"
+)
+
+// DecodeFrame runs one frame through the production codec's recv path.
+// It exists for external test packages (FuzzDecode lives outside the
+// package because its corpus is built with internal/chaos, which imports
+// workqueue — an in-package import would cycle).
+func DecodeFrame(line []byte) error {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	go func() {
+		_, _ = a.Write(line)
+		_ = a.Close() // EOF terminates frames without a newline
+	}()
+	_, err := newCodec(b).recv()
+	return err
+}
+
+// MaxFrameBytes exposes the frame cap to external tests.
+const MaxFrameBytes = maxFrameBytes
+
+// EncodeTaskFrame produces one valid wire frame (CRC stamped by the
+// production send path) carrying a task — pristine material for external
+// tests to mangle.
+func EncodeTaskFrame(id, job string, payload []byte) []byte {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	framed := make(chan []byte, 1)
+	go func() {
+		line, _ := bufio.NewReader(b).ReadBytes('\n')
+		framed <- line
+	}()
+	_ = newCodec(a).send(message{Type: msgTask, Task: &Task{ID: id, JobID: job, Payload: payload}})
+	return <-framed
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,10 +35,27 @@ type MasterConfig struct {
 	// ResultBuffer sizes the Results channel. Default 1.
 	ResultBuffer int
 	// MaxRetries bounds how many times a task lost to worker failure is
-	// requeued before it is reported as failed. Zero means retry
-	// indefinitely (suits scavenged pools where eviction is routine; cap
-	// it when a poisonous task could crash workers repeatedly).
+	// requeued before it is quarantined and reported as failed. Zero
+	// means retry indefinitely (suits scavenged pools where eviction is
+	// routine; cap it when a poisonous task could crash workers
+	// repeatedly — the quarantine then keeps the task inspectable via
+	// Quarantined instead of letting it crash-loop the cluster).
 	MaxRetries int
+	// RequeueBackoff paces the re-scheduling of tasks lost to worker
+	// failure. The zero value applies the default schedule (5ms base,
+	// doubling to a 2s cap, 20% jitter); a negative Base restores the
+	// old immediate requeue. Without backoff a crash-looping worker
+	// spins a hot assign/lose/requeue cycle at CPU speed.
+	RequeueBackoff BackoffConfig
+	// TaskTimeout bounds how long the master waits for an assigned
+	// task's result before it severs the worker connection and requeues
+	// the task (zero = wait forever). It also rides the wire as the
+	// worker's execution budget (at 80%, so a cooperative worker
+	// self-reports a timeout result before the master gives up on it).
+	// Required for recovery from silently dropped frames: a lost task
+	// or result message otherwise stalls the handler with the worker
+	// still heartbeating happily.
+	TaskTimeout time.Duration
 	// Metrics and Tracer enable telemetry (both may be nil: the master
 	// then keeps no per-task timing state and every hook no-ops). Logger
 	// receives structured master events (worker attach/loss, evictions,
@@ -72,23 +91,33 @@ type Master struct {
 	cluster      *cluster
 	suspectAfter time.Duration
 	deadAfter    time.Duration
+	taskTimeout  time.Duration
+	backoff      BackoffConfig
 
 	// Telemetry handles; all nil when telemetry is off.
-	tracer     *obs.Tracer
-	logger     *obs.Logger
-	cSubmitted *obs.Counter
-	cCompleted *obs.Counter
-	cFailed    *obs.Counter
-	cRetries   *obs.Counter
-	gQueue     *obs.Gauge
-	gWorkers   *obs.Gauge
-	hExec      *obs.Histogram
-	hWait      *obs.Histogram
+	tracer       *obs.Tracer
+	logger       *obs.Logger
+	cSubmitted   *obs.Counter
+	cCompleted   *obs.Counter
+	cFailed      *obs.Counter
+	cRetries     *obs.Counter
+	cTimeouts    *obs.Counter
+	cQuarantined *obs.Counter
+	gQueue       *obs.Gauge
+	gWorkers     *obs.Gauge
+	hExec        *obs.Histogram
+	hWait        *obs.Histogram
 
 	mu       sync.Mutex
+	rng      *rand.Rand      // jitter source for requeue backoff; guarded by mu
 	stats    map[string]*JobStats
 	inflight map[string]Task // taskID -> task, for requeue on worker loss
 	attempts map[string]int  // taskID -> requeues so far
+	// pending holds the backoff timers of tasks waiting to re-enter the
+	// queue after a worker loss; quarantine holds tasks that exhausted
+	// their retry budget (capped at quarantineRetention).
+	pending    map[string]*time.Timer
+	quarantine map[string]*QuarantinedTask
 	// queuedAt / taskSpans back the queue-wait histogram and per-task
 	// spans; they stay nil (and untouched) without telemetry. taskSpans
 	// holds each in-flight task's currently open span (queue or exec).
@@ -112,15 +141,25 @@ func NewMaster(cfg MasterConfig) *Master {
 		cluster:      newCluster(cfg.Metrics, cfg.StragglerFactor),
 		suspectAfter: cfg.SuspectAfter,
 		deadAfter:    cfg.DeadAfter,
+		taskTimeout:  cfg.TaskTimeout,
+		backoff:      cfg.RequeueBackoff.withDefaults(5*time.Millisecond, 2*time.Second),
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		stats:        make(map[string]*JobStats),
 		inflight:     make(map[string]Task),
 		attempts:     make(map[string]int),
+		pending:      make(map[string]*time.Timer),
+		quarantine:   make(map[string]*QuarantinedTask),
+	}
+	if cfg.RequeueBackoff.Jitter == 0 {
+		m.backoff.Jitter = 0.2
 	}
 	if reg := cfg.Metrics; reg != nil {
 		m.cSubmitted = reg.Counter("wq_tasks_submitted_total")
 		m.cCompleted = reg.Counter("wq_tasks_completed_total")
 		m.cFailed = reg.Counter("wq_tasks_failed_total")
 		m.cRetries = reg.Counter("wq_task_retries_total")
+		m.cTimeouts = reg.Counter("wq_task_timeouts_total")
+		m.cQuarantined = reg.Counter("wq_tasks_quarantined_total")
 		m.gQueue = reg.Gauge("wq_queue_depth")
 		m.gWorkers = reg.Gauge("wq_workers")
 		m.hExec = reg.Histogram("wq_task_exec_ms", nil)
@@ -398,6 +437,12 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			tc.ParentSpanID = execSpanID
 			wire.Trace = &tc
 		}
+		if m.taskTimeout > 0 && wire.TimeoutNs == 0 {
+			// Give the worker 80% of the master-side deadline as its own
+			// execution budget: a cooperative worker then self-reports a
+			// timeout result before the master severs the connection.
+			wire.TimeoutNs = int64(m.taskTimeout) * 4 / 5
+		}
 		sentAt := time.Now()
 		wire.SentUnixNano = sentAt.UnixNano()
 		if err := c.send(message{Type: msgTask, Task: &wire}); err != nil {
@@ -405,8 +450,35 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			m.requeue(task)
 			return err
 		}
+		// The per-task deadline recovers from silently lost frames: if
+		// neither a result nor a connection error arrives in time, the
+		// task (or its result) is assumed dropped — sever the connection
+		// so a late result cannot double-deliver, and requeue.
+		var timer *time.Timer
+		var deadline <-chan time.Time
+		if m.taskTimeout > 0 {
+			timer = time.NewTimer(m.taskTimeout)
+			deadline = timer.C
+		}
 		select {
+		case <-deadline:
+			m.cluster.taskAborted(workerID)
+			m.cTimeouts.Inc()
+			lg.Warn("task deadline exceeded, severing worker",
+				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()))
+			_ = conn.Close()
+			m.requeue(task)
+			// Wait (bounded) for the reader to observe the severed
+			// connection so its error does not leak to a later handler.
+			select {
+			case <-readErr:
+			case <-time.After(time.Second):
+			}
+			return fmt.Errorf("workqueue: worker %s: task %s deadline (%s) exceeded", workerID, task.ID, m.taskTimeout)
 		case r := <-results:
+			if timer != nil {
+				timer.Stop()
+			}
 			if r.TaskID != task.ID {
 				m.cluster.taskAborted(workerID)
 				m.requeue(task)
@@ -421,6 +493,9 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			m.cluster.taskFinished(workerID, r)
 			m.complete(r)
 		case err := <-readErr:
+			if timer != nil {
+				timer.Stop()
+			}
 			m.cluster.taskAborted(workerID)
 			m.requeue(task)
 			lg.Warn("worker lost with task in flight",
@@ -515,9 +590,26 @@ func (m *Master) trackInflight(t Task, workerID string) int64 {
 	return execSpanID
 }
 
-// requeue puts a task back in the pool after a worker failure, preserving
-// at-least-once execution, unless the retry budget is exhausted — then the
-// task is reported as failed.
+// quarantineRetention bounds how many poisoned tasks the master retains
+// for inspection before the oldest entries are dropped.
+const quarantineRetention = 128
+
+// QuarantinedTask is one poisoned task parked by the master after its
+// retry budget ran out: every attempt ended in a worker loss or a task
+// deadline, so re-running it would keep crash-looping the pool. The
+// task stays inspectable (and re-submittable via ReleaseQuarantined)
+// while a failed Result lets its job finish degraded instead of stalling.
+type QuarantinedTask struct {
+	Task          Task      `json:"task"`
+	Attempts      int       `json:"attempts"`
+	QuarantinedAt time.Time `json:"quarantinedAt"`
+}
+
+// requeue puts a task back in the pool after a worker failure — after a
+// backoff delay that grows with the task's attempt count, so a
+// crash-looping worker cannot spin a hot requeue cycle — preserving
+// at-least-once execution. A task that exhausts its retry budget is
+// quarantined and reported as a failed Result instead.
 func (m *Master) requeue(t Task) {
 	m.mu.Lock()
 	delete(m.inflight, t.ID)
@@ -530,7 +622,8 @@ func (m *Master) requeue(t Task) {
 	}
 	closed := m.closed
 	m.attempts[t.ID]++
-	exhausted := m.maxRetries > 0 && m.attempts[t.ID] > m.maxRetries
+	attempts := m.attempts[t.ID]
+	exhausted := m.maxRetries > 0 && attempts > m.maxRetries
 	if exhausted || closed {
 		// Drop the attempt count either way: an exhausted task is done,
 		// and a closed master will never retry — keeping the entry
@@ -540,28 +633,108 @@ func (m *Master) requeue(t Task) {
 	if closed && m.queuedAt != nil {
 		delete(m.queuedAt, t.ID)
 	}
+	var delay time.Duration
 	if !closed && !exhausted {
 		m.markQueuedLocked(t)
+		delay = m.backoff.Delay(attempts, m.rng)
+	}
+	if exhausted && !closed {
+		m.quarantineLocked(t, attempts)
 	}
 	m.mu.Unlock()
 	if closed {
 		return
 	}
 	if exhausted {
-		m.logger.Warn("task retry limit reached",
-			obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()))
+		m.logger.Warn("task quarantined: retry limit reached",
+			obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()),
+			obs.F("attempts", attempts))
+		m.cQuarantined.Inc()
 		m.complete(Result{
 			TaskID: t.ID,
 			JobID:  t.JobID,
-			Err:    fmt.Sprintf("workqueue: task lost %d times, retry limit reached", m.maxRetries+1),
+			Err:    fmt.Sprintf("workqueue: task quarantined after %d lost attempts (retry limit %d)", attempts, m.maxRetries),
 		})
 		return
 	}
 	m.cRetries.Inc()
 	m.logger.Info("task requeued after worker loss",
-		obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()))
+		obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()),
+		obs.F("attempt", attempts), obs.F("backoff_ms", delay.Milliseconds()))
+	if delay <= 0 {
+		m.sched.push(t)
+		m.gQueue.SetInt(m.sched.len())
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.pending[t.ID] = time.AfterFunc(delay, func() { m.firePending(t) })
+	m.mu.Unlock()
+}
+
+// firePending moves a backed-off task into the scheduler when its delay
+// elapses. A master closed in the meantime drops the task (its job can
+// never complete anyway — the Results channel is gone).
+func (m *Master) firePending(t Task) {
+	m.mu.Lock()
+	delete(m.pending, t.ID)
+	closed := m.closed
+	if closed && m.queuedAt != nil {
+		delete(m.queuedAt, t.ID)
+	}
+	m.mu.Unlock()
+	if closed {
+		return
+	}
 	m.sched.push(t)
 	m.gQueue.SetInt(m.sched.len())
+}
+
+// quarantineLocked parks a poisoned task, evicting the oldest entry past
+// the retention cap. Callers hold m.mu.
+func (m *Master) quarantineLocked(t Task, attempts int) {
+	if len(m.quarantine) >= quarantineRetention {
+		oldestID := ""
+		var oldestAt time.Time
+		for id, q := range m.quarantine {
+			if oldestID == "" || q.QuarantinedAt.Before(oldestAt) {
+				oldestID, oldestAt = id, q.QuarantinedAt
+			}
+		}
+		delete(m.quarantine, oldestID)
+	}
+	m.quarantine[t.ID] = &QuarantinedTask{Task: t, Attempts: attempts, QuarantinedAt: time.Now()}
+}
+
+// Quarantined snapshots the poison-task quarantine, sorted by task ID.
+func (m *Master) Quarantined() []QuarantinedTask {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QuarantinedTask, 0, len(m.quarantine))
+	for _, q := range m.quarantine {
+		out = append(out, *q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
+	return out
+}
+
+// ReleaseQuarantined re-submits a quarantined task with a fresh retry
+// budget (e.g. after the fault that poisoned it was fixed). The release
+// counts as a new submission in its job's stats.
+func (m *Master) ReleaseQuarantined(taskID string) error {
+	m.mu.Lock()
+	q, ok := m.quarantine[taskID]
+	if ok {
+		delete(m.quarantine, taskID)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("workqueue: task %q is not quarantined", taskID)
+	}
+	return m.Submit(q.Task)
 }
 
 func (m *Master) complete(r Result) {
@@ -630,6 +803,12 @@ func (m *Master) Shutdown() {
 		return
 	}
 	m.closed = true
+	// Stop backed-off requeue timers: the tasks can never run (the pool
+	// is closed), and an already-fired timer sees closed and drops out.
+	for id, timer := range m.pending {
+		timer.Stop()
+		delete(m.pending, id)
+	}
 	m.mu.Unlock()
 	close(m.results)
 }

@@ -3,6 +3,7 @@ package workqueue
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -24,6 +25,21 @@ type Pool struct {
 	// Logger is handed to workers spawned by Resize, so in-process
 	// workers log task failures with the same structure as remote ones.
 	Logger *obs.Logger
+	// ExecTimeout is handed to spawned workers as their per-task
+	// execution budget (see Worker.ExecTimeout).
+	ExecTimeout time.Duration
+	// WrapConn, when set, wraps each spawned worker's pipe pair before
+	// the protocol starts — the chaos layer's hook for injecting
+	// transport faults into in-process clusters. It receives the master
+	// and worker ends and returns the (possibly wrapped) pair.
+	WrapConn func(master, worker net.Conn) (net.Conn, net.Conn)
+	// Respawn keeps the pool elastic under worker death: a worker whose
+	// connection drops without a graceful release is restarted (after
+	// RespawnDelay) under a fresh incarnation ID, mirroring how the
+	// paper's scavenged HTCondor pool backfills evicted nodes. Without
+	// it a crashed worker leaves the pool one slot short forever.
+	Respawn      bool
+	RespawnDelay time.Duration
 
 	mu      sync.Mutex
 	next    int
@@ -31,6 +47,7 @@ type Pool struct {
 	// retired holds cancel funcs of gracefully released workers; they
 	// are invoked at Close purely to free their contexts.
 	retired []context.CancelFunc
+	closed  bool
 	wg      sync.WaitGroup
 }
 
@@ -78,12 +95,26 @@ func (p *Pool) Resize(ctx context.Context, n int) {
 // spawnLocked starts one worker goroutine pair (worker + master handler)
 // bridged by an in-process pipe.
 func (p *Pool) spawnLocked(ctx context.Context) {
-	id := fmt.Sprintf("pool-worker-%d", p.next)
+	p.spawnSlotLocked(ctx, p.next, 0)
 	p.next++
+}
+
+// spawnSlotLocked starts the given incarnation of one worker slot. The
+// first incarnation keeps the bare slot name; respawns append -rK so a
+// restarted worker never races its dying predecessor for the same ID in
+// the master's registry.
+func (p *Pool) spawnSlotLocked(ctx context.Context, slot, incarnation int) {
+	id := fmt.Sprintf("pool-worker-%d", slot)
+	if incarnation > 0 {
+		id = fmt.Sprintf("pool-worker-%d-r%d", slot, incarnation)
+	}
 	wctx, cancel := context.WithCancel(ctx)
 	p.workers[id] = cancel
 
 	mconn, wconn := pipePair()
+	if p.WrapConn != nil {
+		mconn, wconn = p.WrapConn(mconn, wconn)
+	}
 	p.wg.Add(2)
 	go func() {
 		defer p.wg.Done()
@@ -91,14 +122,46 @@ func (p *Pool) spawnLocked(ctx context.Context) {
 	}()
 	go func() {
 		defer p.wg.Done()
-		w := &Worker{ID: id, Exec: p.exec, HeartbeatEvery: p.Heartbeat, Logger: p.Logger}
-		_ = w.Run(wctx, wconn)
+		w := &Worker{
+			ID: id, Exec: p.exec,
+			HeartbeatEvery: p.Heartbeat, Logger: p.Logger,
+			ExecTimeout: p.ExecTimeout,
+		}
+		err := w.Run(wctx, wconn)
+		if err != nil && p.Respawn {
+			p.respawn(ctx, id, slot, incarnation)
+		}
 	}()
+}
+
+// respawn backfills a worker slot whose incarnation died unexpectedly
+// (connection drop, chaos crash, master eviction). It runs on the dying
+// worker's goroutine, so the pool's WaitGroup is still held across the
+// wg.Add of the replacement.
+func (p *Pool) respawn(ctx context.Context, id string, slot, incarnation int) {
+	if p.RespawnDelay > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(p.RespawnDelay):
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cancel, ok := p.workers[id]
+	if !ok || p.closed || ctx.Err() != nil {
+		// Released, resized away, or the pool is closing: stay down.
+		return
+	}
+	cancel() // free the dead incarnation's context
+	delete(p.workers, id)
+	p.spawnSlotLocked(ctx, slot, incarnation+1)
 }
 
 // Close cancels all workers and waits for them to exit.
 func (p *Pool) Close() {
 	p.mu.Lock()
+	p.closed = true
 	for id, cancel := range p.workers {
 		cancel()
 		delete(p.workers, id)

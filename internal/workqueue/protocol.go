@@ -15,7 +15,10 @@ package workqueue
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,6 +44,11 @@ type Task struct {
 	// the wire (master clock). The worker reports back the observed
 	// delivery delta, one leg of the NTP-style clock-skew estimate.
 	SentUnixNano int64 `json:"sent_ns,omitempty"`
+	// TimeoutNs is the execution budget the worker enforces for this
+	// task (zero = none). The master stamps it from its TaskTimeout so
+	// a hung executor self-reports a timeout result before the master's
+	// own deadline severs the connection.
+	TimeoutNs int64 `json:"timeout_ns,omitempty"`
 }
 
 // Result is the outcome of one task execution.
@@ -108,7 +116,45 @@ type message struct {
 	// Spans are finished worker-side stage spans being shipped to the
 	// master (on results, heartbeats and stats messages alike).
 	Spans []RemoteSpan `json:"spans,omitempty"`
+	// CRC guards the corruption-sensitive fields (message type, task and
+	// result identity, payloads) against frames that are damaged in
+	// flight yet still parse as JSON — without it a single flipped bit
+	// inside a base64 payload delivers silently wrong data. Clock stamps
+	// and telemetry are deliberately excluded: a peer with a skewed
+	// clock is a timing condition, not corruption. Zero means unchecked
+	// (older peers).
+	CRC uint32 `json:"crc,omitempty"`
 }
+
+// checksum computes the integrity check over the guarded fields.
+func (m *message) checksum() uint32 {
+	h := crc32.NewIEEE()
+	write := func(s string) { _, _ = io.WriteString(h, s); _, _ = h.Write([]byte{0}) }
+	write(m.Type)
+	write(m.WorkerID)
+	if m.Task != nil {
+		write("task")
+		write(m.Task.ID)
+		write(m.Task.JobID)
+		_, _ = h.Write(m.Task.Payload)
+		_, _ = h.Write([]byte{0})
+	}
+	if m.Result != nil {
+		write("result")
+		write(m.Result.TaskID)
+		write(m.Result.JobID)
+		write(m.Result.WorkerID)
+		write(m.Result.Err)
+		write(m.Result.ErrStage)
+		_, _ = h.Write(m.Result.Output)
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum32()
+}
+
+// ErrChecksum is returned by recv for a frame whose CRC does not match
+// its guarded content.
+var ErrChecksum = errors.New("workqueue: frame checksum mismatch")
 
 // codec frames messages as newline-delimited JSON over a connection.
 // Sends are serialized by a mutex so a worker's heartbeat goroutine and
@@ -130,8 +176,9 @@ func newCodec(conn net.Conn) *codec {
 	return c
 }
 
-// send writes one message.
+// send writes one message, stamping its integrity checksum.
 func (c *codec) send(m message) error {
+	m.CRC = m.checksum()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(m); err != nil {
@@ -140,15 +187,44 @@ func (c *codec) send(m message) error {
 	return nil
 }
 
-// recv reads the next message.
+// maxFrameBytes bounds one wire frame. A corrupt or malicious peer that
+// streams bytes without a newline would otherwise grow the recv buffer
+// without limit; past this cap recv fails and the connection is dropped
+// by the caller. Generous enough for any legitimate task payload.
+const maxFrameBytes = 32 << 20
+
+// ErrFrameTooLarge is returned by recv when a frame exceeds
+// maxFrameBytes before its terminating newline arrives.
+var ErrFrameTooLarge = errors.New("workqueue: frame exceeds size limit")
+
+// recv reads the next message. Frames larger than maxFrameBytes are
+// rejected with ErrFrameTooLarge instead of being buffered whole, so a
+// corrupt length cannot blow up allocation.
 func (c *codec) recv() (message, error) {
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
+	var line []byte
+	for {
+		chunk, err := c.r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(line) > maxFrameBytes {
+				return message{}, ErrFrameTooLarge
+			}
+			continue
+		}
 		return message{}, err
+	}
+	if len(line) > maxFrameBytes {
+		return message{}, ErrFrameTooLarge
 	}
 	var m message
 	if err := json.Unmarshal(line, &m); err != nil {
 		return message{}, fmt.Errorf("workqueue: decode message: %w", err)
+	}
+	if m.CRC != 0 && m.CRC != m.checksum() {
+		return message{}, fmt.Errorf("%w (type %q)", ErrChecksum, m.Type)
 	}
 	return m, nil
 }

@@ -14,6 +14,9 @@ type Status struct {
 	Workers     int         `json:"workers"`
 	QueuedTasks int         `json:"queuedTasks"`
 	Jobs        []JobStatus `json:"jobs"`
+	// Quarantined counts poisoned tasks parked after exhausting their
+	// retry budget (inspect them via Master.Quarantined).
+	Quarantined int `json:"quarantined"`
 	// WorkersDetail is the per-worker health registry: liveness state,
 	// last-seen time, throughput estimates and straggler flags.
 	WorkersDetail []WorkerHealth `json:"workersDetail"`
@@ -38,6 +41,7 @@ func (m *Master) Status() Status {
 		Workers:       m.WorkerCount(),
 		QueuedTasks:   m.QueueLen(),
 		Jobs:          make([]JobStatus, 0, len(stats)),
+		Quarantined:   len(m.Quarantined()),
 		WorkersDetail: m.ClusterHealth(),
 	}
 	for _, js := range stats {

@@ -3,6 +3,7 @@ package workqueue
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync/atomic"
@@ -48,6 +49,26 @@ type Worker struct {
 	// errors), each tagged with worker_id/task_id and, for traced tasks,
 	// trace_id. Nil disables logging.
 	Logger *obs.Logger
+	// ExecTimeout caps each task's execution (zero = none). The effective
+	// budget is the smaller of this and the task's wire-carried TimeoutNs;
+	// past it the executor's context is cancelled and a StageExec timeout
+	// result is reported. An executor that ignores cancellation keeps
+	// running on its goroutine but can no longer block the task loop.
+	ExecTimeout time.Duration
+	// WrapConn, when set, wraps every connection the worker dials (Dial
+	// and Redial) before the protocol starts — the hook the chaos layer
+	// uses to inject transport faults. Nil means the raw connection.
+	WrapConn func(net.Conn) net.Conn
+	// ReconnectBackoff paces Redial's reconnect attempts after a dial
+	// failure or a dropped connection. The zero value applies the default
+	// schedule (50ms base, doubling to a 5s cap); a negative Base retries
+	// immediately.
+	ReconnectBackoff BackoffConfig
+	// MaxReconnects bounds consecutive failed reconnect attempts in
+	// Redial before it gives up (zero = keep retrying until ctx is
+	// cancelled). The counter resets whenever a connection is
+	// established.
+	MaxReconnects int
 }
 
 // workerInstruments holds the worker-side metric handles. All methods
@@ -184,7 +205,7 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 			// worker, making wire transit visible as the gap after the
 			// master's send timestamp.
 			tt.add(StageRecv, recvAt, start)
-			out, execErr := w.Exec(withTaskTrace(ctx, tt), m.Task.Payload)
+			out, execErr := w.runExec(withTaskTrace(ctx, tt), m.Task)
 			elapsed := time.Since(start)
 			tt.add(StageExec, start, start.Add(elapsed))
 			inst.observe(elapsed, execErr != nil)
@@ -293,6 +314,44 @@ func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstru
 	}
 }
 
+// runExec invokes the executor under the task's execution budget — the
+// smaller of the worker's ExecTimeout and the task's wire-carried
+// TimeoutNs, zero meaning none. On timeout the context handed to the
+// executor is cancelled and a StageExec timeout error returned; the late
+// return of an executor that ignores cancellation is discarded.
+func (w *Worker) runExec(ctx context.Context, t *Task) ([]byte, error) {
+	budget := w.ExecTimeout
+	if tb := time.Duration(t.TimeoutNs); tb > 0 && (budget <= 0 || tb < budget) {
+		budget = tb
+	}
+	if budget <= 0 {
+		return w.Exec(ctx, t.Payload)
+	}
+	ectx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	type execOut struct {
+		out []byte
+		err error
+	}
+	done := make(chan execOut, 1)
+	go func() {
+		out, err := w.Exec(ectx, t.Payload)
+		done <- execOut{out, err}
+	}()
+	select {
+	case r := <-done:
+		return r.out, r.err
+	case <-ectx.Done():
+		if err := ctx.Err(); err != nil {
+			// Worker-level cancellation (shutdown or preemption), not a
+			// task timeout: surface it so the caller's preemption path
+			// exits without reporting and the master requeues the task.
+			return nil, err
+		}
+		return nil, StageError(StageExec, fmt.Errorf("workqueue: execution exceeded %s budget", budget))
+	}
+}
+
 // Dial connects to a master over TCP and runs until shutdown.
 func (w *Worker) Dial(ctx context.Context, addr string) error {
 	var d net.Dialer
@@ -300,5 +359,69 @@ func (w *Worker) Dial(ctx context.Context, addr string) error {
 	if err != nil {
 		return fmt.Errorf("workqueue: dial master %s: %w", addr, err)
 	}
+	if w.WrapConn != nil {
+		conn = w.WrapConn(conn)
+	}
 	return w.Run(ctx, conn)
+}
+
+// Redial runs the worker against addr, reconnecting with exponential
+// backoff + jitter whenever the connection drops, until the master sends
+// a shutdown, ctx is cancelled, or MaxReconnects consecutive attempts
+// fail. It is the long-lived form of Dial for elastic pools where master
+// restarts and transient partitions are routine (§IV's scavenged
+// deployments).
+func (w *Worker) Redial(ctx context.Context, addr string) error {
+	backoff := w.ReconnectBackoff.withDefaults(50*time.Millisecond, 5*time.Second)
+	if w.ReconnectBackoff.Jitter == 0 {
+		backoff.Jitter = 0.2
+	}
+	// The jitter draw is seeded from the worker ID: reconnect schedules
+	// stay reproducible for a fixed pool layout, while distinct workers
+	// de-synchronize after a shared master restart.
+	rng := rand.New(rand.NewSource(int64(hashString(w.ID))))
+	lg := w.Logger.With(obs.WorkerID(w.ID))
+	var d net.Dialer
+	failures := 0
+	for attempt := 1; ; attempt++ {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			if w.WrapConn != nil {
+				conn = w.WrapConn(conn)
+			}
+			failures = 0
+			err = w.Run(ctx, conn)
+			if err == nil {
+				// Clean shutdown from the master (or ctx cancellation).
+				return nil
+			}
+			attempt = 0 // restart the backoff schedule after a live connection
+		} else {
+			failures++
+			if w.MaxReconnects > 0 && failures >= w.MaxReconnects {
+				return fmt.Errorf("workqueue: worker %s: %d consecutive dial failures: %w", w.ID, failures, err)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		delay := backoff.Delay(attempt, rng)
+		lg.Info("reconnecting to master",
+			obs.F("addr", addr), obs.F("backoff_ms", delay.Milliseconds()), obs.Err(err))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+	}
+}
+
+// hashString is FNV-1a, used to derive per-worker jitter seeds.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
