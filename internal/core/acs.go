@@ -105,6 +105,26 @@ func (a *ACSAccumulator) Series() []float64 {
 	return out
 }
 
+// SeriesInto is Series writing into dst, growing it only when capacity is
+// insufficient — the allocation-free variant the engine's steady-state
+// decode path uses.
+func (a *ACSAccumulator) SeriesInto(dst []float64) []float64 {
+	if cap(dst) < len(a.sums) {
+		dst = make([]float64, len(a.sums))
+	} else {
+		dst = dst[:len(a.sums)]
+	}
+	window := 0.0
+	for t := range a.sums {
+		window += a.sums[t]
+		if t >= a.cfg.WindowIntervals {
+			window -= a.sums[t-a.cfg.WindowIntervals]
+		}
+		dst[t] = window
+	}
+	return dst
+}
+
 // IntervalStart returns the wall-clock start of interval t.
 func (a *ACSAccumulator) IntervalStart(t int) time.Time {
 	return a.origin.Add(time.Duration(t) * a.cfg.Interval)
@@ -167,9 +187,19 @@ func (d *Discretizer) Quantize(v float64) int {
 
 // QuantizeAll maps a sequence.
 func (d *Discretizer) QuantizeAll(vs []float64) []int {
-	out := make([]int, len(vs))
-	for i, v := range vs {
-		out[i] = d.Quantize(v)
+	return d.QuantizeAllInto(vs, nil)
+}
+
+// QuantizeAllInto maps a sequence into dst, growing it only when capacity
+// is insufficient.
+func (d *Discretizer) QuantizeAllInto(vs []float64, dst []int) []int {
+	if cap(dst) < len(vs) {
+		dst = make([]int, len(vs))
+	} else {
+		dst = dst[:len(vs)]
 	}
-	return out
+	for i, v := range vs {
+		dst[i] = d.Quantize(v)
+	}
+	return dst
 }

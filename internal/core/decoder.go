@@ -110,14 +110,37 @@ func (d *Decoder) Decode(acs []float64) ([]socialsensing.TruthValue, error) {
 
 // Train fits a claim model on the ACS series without decoding.
 func (d *Decoder) Train(acs []float64) (*TrainedModel, error) {
+	m, _, err := d.TrainWarm(acs, nil)
+	return m, err
+}
+
+// TrainWarm fits a claim model on the ACS series, seeding EM from prev —
+// a model previously fitted to a prefix of the same stream — instead of
+// the uniform informative prior. When the stream has only grown a little,
+// the previous fit is already near the EM fixed point and training
+// converges in one or two iterations instead of tens. prev is cloned, not
+// mutated (cached models are shared). A nil, family-mismatched or
+// shape-mismatched prev, and a warm fit that fails to converge within the
+// iteration budget, all fall back to the usual cold start, so warm
+// starting never degrades the fitted model. The returned TrainResult
+// reports the iterations actually spent and whether the warm seed was
+// used (WarmStarted).
+func (d *Decoder) TrainWarm(acs []float64, prev *TrainedModel) (*TrainedModel, hmm.TrainResult, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return d.TrainWarmScratch(sc, acs, prev)
+}
+
+// TrainWarmScratch is TrainWarm running on the caller's scratch buffers.
+func (d *Decoder) TrainWarmScratch(sc *DecodeScratch, acs []float64, prev *TrainedModel) (*TrainedModel, hmm.TrainResult, error) {
 	if len(acs) == 0 {
-		return nil, fmt.Errorf("core: cannot train on an empty series")
+		return nil, hmm.TrainResult{}, fmt.Errorf("core: cannot train on an empty series")
 	}
 	switch d.cfg.Emissions {
 	case GaussianEmissions:
-		return d.trainGaussian(acs)
+		return d.trainGaussianWS(sc, acs, prev)
 	default:
-		return d.trainDiscrete(acs)
+		return d.trainDiscreteWS(sc, acs, prev)
 	}
 }
 
@@ -151,11 +174,80 @@ func (d *Decoder) DecodeWith(m *TrainedModel, acs []float64) ([]socialsensing.Tr
 	}
 }
 
-func (d *Decoder) trainDiscrete(acs []float64) (*TrainedModel, error) {
-	obs := d.disc.QuantizeAll(acs)
-	m := d.newDiscreteModel()
-	if _, err := m.BaumWelch([][]int{obs}, d.cfg.Train); err != nil {
-		return nil, fmt.Errorf("train claim model: %w", err)
+// DecodeWithScratch is DecodeWith running on the caller's scratch: the
+// quantized observations, the Viterbi lattice and the returned truth slice
+// all live in sc, so a warmed scratch decodes with zero heap allocations.
+// The result is valid until the next call using sc.
+func (d *Decoder) DecodeWithScratch(sc *DecodeScratch, m *TrainedModel, acs []float64) ([]socialsensing.TruthValue, error) {
+	if len(acs) == 0 {
+		return nil, nil
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: nil trained model")
+	}
+	var (
+		path []int
+		err  error
+	)
+	switch m.Emissions {
+	case GaussianEmissions:
+		if m.Gauss == nil {
+			return nil, fmt.Errorf("core: gaussian model missing parameters")
+		}
+		path, _, err = m.Gauss.ViterbiWS(sc.ws, acs, sc.path)
+	default:
+		if m.Discrete == nil {
+			return nil, fmt.Errorf("core: discrete model missing parameters")
+		}
+		sc.obs = d.disc.QuantizeAllInto(acs, sc.obs)
+		path, _, err = m.Discrete.ViterbiWS(sc.ws, sc.obs, sc.path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("decode claim truth: %w", err)
+	}
+	sc.path = path
+	sc.truth = pathToTruthInto(path, m.TrueState, sc.truth)
+	return sc.truth, nil
+}
+
+// DecodeInto is Decode (train fresh, then Viterbi) running entirely on the
+// caller's scratch buffers; the returned truth slice is valid until the
+// next call using sc.
+func (d *Decoder) DecodeInto(sc *DecodeScratch, acs []float64) ([]socialsensing.TruthValue, error) {
+	if len(acs) == 0 {
+		return nil, nil
+	}
+	m, _, err := d.TrainWarmScratch(sc, acs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeWithScratch(sc, m, acs)
+}
+
+func (d *Decoder) trainDiscreteWS(sc *DecodeScratch, acs []float64, prev *TrainedModel) (*TrainedModel, hmm.TrainResult, error) {
+	sc.obs = d.disc.QuantizeAllInto(acs, sc.obs)
+	seqs := sc.seqInt(sc.obs)
+	cfg := d.cfg.Train
+	var m *hmm.Discrete
+	warm := prev != nil && prev.Emissions == DiscreteEmissions &&
+		prev.Discrete != nil && prev.Discrete.Symbols() == d.disc.Symbols()
+	if warm {
+		m = prev.Discrete.Clone()
+	} else {
+		m = d.newDiscreteModel()
+	}
+	cfg.WarmStart = warm
+	res, err := m.BaumWelchWS(sc.ws, seqs, cfg)
+	if warm && (err != nil || !res.Converged) {
+		// The warm seed led EM astray (or straight into an error); redo
+		// the fit cold so a stale seed can never produce a worse model
+		// than the paper's per-decode EM.
+		m = d.newDiscreteModel()
+		cfg.WarmStart = false
+		res, err = m.BaumWelchWS(sc.ws, seqs, cfg)
+	}
+	if err != nil {
+		return nil, res, fmt.Errorf("train claim model: %w", err)
 	}
 	// Re-anchor state semantics after EM: the True state is the one whose
 	// emission mass sits higher in the (ordered) symbol alphabet.
@@ -163,7 +255,7 @@ func (d *Decoder) trainDiscrete(acs []float64) (*TrainedModel, error) {
 	if emissionCenter(m.B[1]) < emissionCenter(m.B[0]) {
 		trueState = 0
 	}
-	return &TrainedModel{Discrete: m, Emissions: DiscreteEmissions, TrueState: trueState}, nil
+	return &TrainedModel{Discrete: m, Emissions: DiscreteEmissions, TrueState: trueState}, res, nil
 }
 
 // newDiscreteModel builds the informative-prior 2-state model: symbol bins
@@ -188,7 +280,41 @@ func (d *Decoder) newDiscreteModel() *hmm.Discrete {
 	return m
 }
 
-func (d *Decoder) trainGaussian(acs []float64) (*TrainedModel, error) {
+func (d *Decoder) trainGaussianWS(sc *DecodeScratch, acs []float64, prev *TrainedModel) (*TrainedModel, hmm.TrainResult, error) {
+	seqs := sc.seqFloat(acs)
+	cfg := d.cfg.Train
+	var m *hmm.Gaussian
+	warm := prev != nil && prev.Emissions == GaussianEmissions && prev.Gauss != nil
+	if warm {
+		m = prev.Gauss.Clone()
+	} else {
+		var err error
+		m, err = d.newGaussianModel(acs)
+		if err != nil {
+			return nil, hmm.TrainResult{}, err
+		}
+	}
+	cfg.WarmStart = warm
+	res, err := m.BaumWelchWS(sc.ws, seqs, cfg)
+	if warm && (err != nil || !res.Converged) {
+		m, err = d.newGaussianModel(acs)
+		if err != nil {
+			return nil, res, err
+		}
+		cfg.WarmStart = false
+		res, err = m.BaumWelchWS(sc.ws, seqs, cfg)
+	}
+	if err != nil {
+		return nil, res, fmt.Errorf("train claim model: %w", err)
+	}
+	trueState := 1
+	if m.Mean[1] < m.Mean[0] {
+		trueState = 0
+	}
+	return &TrainedModel{Gauss: m, Emissions: GaussianEmissions, TrueState: trueState}, res, nil
+}
+
+func (d *Decoder) newGaussianModel(acs []float64) (*hmm.Gaussian, error) {
 	spread := maxAbs(acs)
 	if spread == 0 {
 		spread = 1
@@ -201,14 +327,7 @@ func (d *Decoder) trainGaussian(acs []float64) (*TrainedModel, error) {
 		return nil, fmt.Errorf("init gaussian model: %w", err)
 	}
 	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
-	if _, err := m.BaumWelch([][]float64{acs}, d.cfg.Train); err != nil {
-		return nil, fmt.Errorf("train claim model: %w", err)
-	}
-	trueState := 1
-	if m.Mean[1] < m.Mean[0] {
-		trueState = 0
-	}
-	return &TrainedModel{Gauss: m, Emissions: GaussianEmissions, TrueState: trueState}, nil
+	return m, nil
 }
 
 func pathToTruth(path []int, trueState int) []socialsensing.TruthValue {

@@ -60,13 +60,15 @@ type Engine struct {
 	decoder *Decoder
 
 	// Telemetry handles; all nil when cfg.Metrics is nil.
-	cIngested *obs.Counter
-	cDecodes  *obs.Counter
-	cTrains   *obs.Counter
-	gClaims   *obs.Gauge
-	hACS      *obs.Histogram
-	hTrain    *obs.Histogram
-	hViterbi  *obs.Histogram
+	cIngested   *obs.Counter
+	cDecodes    *obs.Counter
+	cTrains     *obs.Counter
+	cTrainsWarm *obs.Counter
+	cWarmSaved  *obs.Counter
+	gClaims     *obs.Gauge
+	hACS        *obs.Histogram
+	hTrain      *obs.Histogram
+	hViterbi    *obs.Histogram
 
 	mu     sync.RWMutex
 	claims map[socialsensing.ClaimID]*claimState
@@ -79,6 +81,9 @@ type claimState struct {
 	// fitted at.
 	model        *TrainedModel
 	trainedCount int
+	// coldIters is the EM iteration count of the claim's last cold fit,
+	// the baseline the warm-start savings counter measures against.
+	coldIters int
 }
 
 // NewEngine builds an engine from cfg.
@@ -102,6 +107,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.cIngested = reg.Counter("core_reports_ingested_total")
 		e.cDecodes = reg.Counter("core_decodes_total")
 		e.cTrains = reg.Counter("core_trains_total")
+		e.cTrainsWarm = reg.Counter("core_trains_warm_total")
+		e.cWarmSaved = reg.Counter("hmm_warmstart_iterations_saved_total")
 		e.gClaims = reg.Gauge("core_claims")
 		e.hACS = reg.Histogram("core_acs_build_ms", nil)
 		e.hTrain = reg.Histogram("core_train_ms", nil)
@@ -181,50 +188,69 @@ func (e *Engine) ACSSeries(id socialsensing.ClaimID) []float64 {
 // timeline. With RetrainGrowth > 0 the cached model is reused until the
 // claim's evidence has grown by that fraction.
 func (e *Engine) DecodeClaim(id socialsensing.ClaimID) ([]Estimate, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return e.DecodeClaimInto(sc, id, nil)
+}
+
+// DecodeClaimInto is DecodeClaim running on the caller's scratch buffers,
+// writing the estimates into dst (grown only when capacity is
+// insufficient; pass nil for a fresh slice). On the steady-state path —
+// cached model still fresh, buffers warmed — it performs zero heap
+// allocations, which is what bounds the per-decode tail latency of a
+// long-running TD worker.
+func (e *Engine) DecodeClaimInto(sc *DecodeScratch, id socialsensing.ClaimID, dst []Estimate) ([]Estimate, error) {
 	e.mu.RLock()
 	st, ok := e.claims[id]
 	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown claim %q", id)
 	}
-	model, series, err := e.claimModel(st)
+	model, series, err := e.claimModel(st, sc)
 	if err != nil {
 		return nil, fmt.Errorf("claim %q: %w", id, err)
 	}
 	if len(series) == 0 {
-		return nil, nil
+		return dst[:0], nil
 	}
 	viterbiStart := time.Now()
-	truth, err := e.decoder.DecodeWith(model, series)
+	truth, err := e.decoder.DecodeWithScratch(sc, model, series)
 	e.hViterbi.ObserveDuration(time.Since(viterbiStart))
 	e.cDecodes.Inc()
 	if err != nil {
 		return nil, fmt.Errorf("claim %q: %w", id, err)
 	}
-	out := make([]Estimate, len(truth))
+	if cap(dst) < len(truth) {
+		dst = make([]Estimate, len(truth))
+	} else {
+		dst = dst[:len(truth)]
+	}
 	for t, v := range truth {
-		out[t] = Estimate{
+		dst[t] = Estimate{
 			Claim:    id,
 			Interval: t,
 			Start:    st.acc.IntervalStart(t),
 			Value:    v,
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // claimModel returns the claim's trained model and the ACS series the
 // cache decision was made against, refitting when the cache is cold or
-// stale.
-func (e *Engine) claimModel(st *claimState) (*TrainedModel, []float64, error) {
+// stale. With warm starting enabled, a stale cache entry still serves as
+// the EM seed for its own replacement.
+func (e *Engine) claimModel(st *claimState, sc *DecodeScratch) (*TrainedModel, []float64, error) {
 	e.mu.Lock()
 	count := st.acc.Count()
 	cached := st.model
+	coldIters := st.coldIters
 	stale := cached == nil ||
 		e.cfg.RetrainGrowth <= 0 ||
 		float64(count) >= float64(st.trainedCount)*(1+e.cfg.RetrainGrowth)
 	acsStart := time.Now()
-	series := st.acc.Series()
+	sc.series = st.acc.SeriesInto(sc.series)
+	series := sc.series
 	e.mu.Unlock()
 	e.hACS.ObserveDuration(time.Since(acsStart))
 	if len(series) == 0 {
@@ -233,16 +259,29 @@ func (e *Engine) claimModel(st *claimState) (*TrainedModel, []float64, error) {
 	if !stale {
 		return cached, series, nil
 	}
+	var prev *TrainedModel
+	if e.cfg.Decoder.Train.WarmStart {
+		prev = cached
+	}
 	trainStart := time.Now()
-	model, err := e.decoder.Train(series)
+	model, res, err := e.decoder.TrainWarmScratch(sc, series, prev)
 	e.hTrain.ObserveDuration(time.Since(trainStart))
 	e.cTrains.Inc()
 	if err != nil {
 		return nil, nil, err
 	}
+	if res.WarmStarted {
+		e.cTrainsWarm.Inc()
+		if saved := coldIters - res.Iterations; saved > 0 {
+			e.cWarmSaved.Add(int64(saved))
+		}
+	}
 	e.mu.Lock()
 	st.model = model
 	st.trainedCount = count
+	if !res.WarmStarted {
+		st.coldIters = res.Iterations
+	}
 	e.mu.Unlock()
 	return model, series, nil
 }
@@ -257,7 +296,9 @@ func (e *Engine) TrainedModelFor(id socialsensing.ClaimID) (*TrainedModel, error
 	if !ok {
 		return nil, fmt.Errorf("core: unknown claim %q", id)
 	}
-	model, series, err := e.claimModel(st)
+	sc := getScratch()
+	defer putScratch(sc)
+	model, series, err := e.claimModel(st, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"github.com/social-sensing/sstd/internal/hmm"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 )
 
@@ -26,55 +25,50 @@ func (d *Decoder) Posterior(acs []float64) ([]float64, error) {
 }
 
 func (d *Decoder) posteriorDiscrete(acs []float64) ([]float64, error) {
-	obs := d.disc.QuantizeAll(acs)
-	m := d.newDiscreteModel()
-	if _, err := m.BaumWelch([][]int{obs}, d.cfg.Train); err != nil {
-		return nil, fmt.Errorf("train claim model: %w", err)
+	sc := getScratch()
+	defer putScratch(sc)
+	tm, _, err := d.trainDiscreteWS(sc, acs, nil)
+	if err != nil {
+		return nil, err
 	}
-	trueState := 1
-	if emissionCenter(m.B[1]) < emissionCenter(m.B[0]) {
-		trueState = 0
-	}
-	gamma, err := m.Posterior(obs)
+	m := tm.Discrete
+	gamma, err := m.PosteriorWS(sc.ws, sc.obs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("posterior: %w", err)
 	}
-	out := make([]float64, len(gamma))
-	for t, row := range gamma {
-		out[t] = row[trueState]
+	n := m.States()
+	out := make([]float64, len(acs))
+	for t := range out {
+		out[t] = gamma[t*n+tm.TrueState]
 	}
 	return out, nil
 }
 
 func (d *Decoder) posteriorGaussian(acs []float64) ([]float64, error) {
-	spread := maxAbs(acs)
-	if spread == 0 {
-		spread = 1
-	}
-	m, err := hmm.NewGaussian([]float64{-spread / 2, spread / 2}, []float64{spread, spread})
+	sc := getScratch()
+	defer putScratch(sc)
+	tm, _, err := d.trainGaussianWS(sc, acs, nil)
 	if err != nil {
-		return nil, fmt.Errorf("init gaussian model: %w", err)
+		return nil, err
 	}
-	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
-	if _, err := m.BaumWelch([][]float64{acs}, d.cfg.Train); err != nil {
-		return nil, fmt.Errorf("train claim model: %w", err)
-	}
-	trueState := 1
-	if m.Mean[1] < m.Mean[0] {
-		trueState = 0
-	}
-	alpha, scale, _, err := m.Forward(acs)
+	m := tm.Gauss
+	ts := tm.TrueState
+	alpha, scale, _, err := m.ForwardWS(sc.ws, acs)
 	if err != nil {
 		return nil, fmt.Errorf("posterior forward: %w", err)
 	}
-	beta, err := m.Backward(acs, scale)
+	beta, err := m.BackwardWS(sc.ws, acs, scale)
 	if err != nil {
 		return nil, fmt.Errorf("posterior backward: %w", err)
 	}
+	n := m.States()
 	out := make([]float64, len(acs))
 	for t := range acs {
-		num := alpha[t][trueState] * beta[t][trueState]
-		den := alpha[t][0]*beta[t][0] + alpha[t][1]*beta[t][1]
+		num := alpha[t*n+ts] * beta[t*n+ts]
+		den := alpha[t*n] * beta[t*n]
+		for i := 1; i < n; i++ {
+			den += alpha[t*n+i] * beta[t*n+i]
+		}
 		if den > 0 {
 			out[t] = num / den
 		}

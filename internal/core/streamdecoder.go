@@ -23,6 +23,12 @@ type StreamingDecoder struct {
 	// pinned[i] holds the frozen decision for interval i < frontier.
 	pinned   []socialsensing.TruthValue
 	frontier int
+
+	// scratch backs every per-append decode; model is the previous
+	// window's fit, the warm-start seed when cfg.Train.WarmStart is on.
+	scratch    *DecodeScratch
+	model      *TrainedModel
+	trainIters int
 }
 
 // NewStreamingDecoder wraps a Decoder with fixed-lag smoothing. lag must
@@ -36,14 +42,42 @@ func NewStreamingDecoder(cfg DecoderConfig, lag int) (*StreamingDecoder, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &StreamingDecoder{decoder: dec, lag: lag}, nil
+	return &StreamingDecoder{decoder: dec, lag: lag, scratch: NewDecodeScratch()}, nil
 }
+
+// decodeWindow trains on and decodes the current window, reusing the
+// decoder scratch. With cfg.Train.WarmStart on, EM is seeded from the
+// previous append's fit — consecutive windows share all but one
+// observation, so the seed is already near the fixed point and the
+// per-append training cost collapses to one or two EM iterations. The
+// returned truth is scratch-backed, valid until the next call.
+func (s *StreamingDecoder) decodeWindow() ([]socialsensing.TruthValue, error) {
+	win := s.windowSeries()
+	if len(win) == 0 {
+		return nil, nil
+	}
+	var prev *TrainedModel
+	if s.decoder.cfg.Train.WarmStart {
+		prev = s.model
+	}
+	model, res, err := s.decoder.TrainWarmScratch(s.scratch, win, prev)
+	if err != nil {
+		return nil, err
+	}
+	s.model = model
+	s.trainIters += res.Iterations
+	return s.decoder.DecodeWithScratch(s.scratch, model, win)
+}
+
+// TrainIterations returns the total EM iterations spent across every
+// decode so far — the cost a warm-started stream saves on.
+func (s *StreamingDecoder) TrainIterations() int { return s.trainIters }
 
 // Append ingests the next ACS observation and returns the current estimate
 // for the newest interval.
 func (s *StreamingDecoder) Append(acs float64) (socialsensing.TruthValue, error) {
 	s.series = append(s.series, acs)
-	truth, err := s.decoder.Decode(s.windowSeries())
+	truth, err := s.decodeWindow()
 	if err != nil {
 		return socialsensing.False, err
 	}
@@ -84,7 +118,7 @@ func (s *StreamingDecoder) Timeline() ([]socialsensing.TruthValue, error) {
 	if len(s.series) == 0 {
 		return nil, nil
 	}
-	truth, err := s.decoder.Decode(s.windowSeries())
+	truth, err := s.decodeWindow()
 	if err != nil {
 		return nil, err
 	}

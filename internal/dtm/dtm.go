@@ -185,6 +185,9 @@ type Manager struct {
 	master  *workqueue.Master
 	pool    *workqueue.Pool
 	decoder *core.Decoder
+	// scratch backs every finalize decode; safe unshared because finalize
+	// only ever runs on the single collector goroutine.
+	scratch *core.DecodeScratch
 	results chan JobResult
 	tuner   *control.Tuner
 
@@ -233,6 +236,7 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:     cfg,
 		decoder: dec,
+		scratch: core.NewDecodeScratch(),
 		results: make(chan JobResult, 64),
 		jobs:    make(map[string]*jobState),
 	}
@@ -576,7 +580,7 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 	merge.Finish()
 	decodeSpan := m.tracer.NewSpan("decode "+string(js.claim), js.span.SpanID())
 	decodeStart := time.Now()
-	truth, err := m.decoder.Decode(series)
+	truth, err := m.decoder.DecodeInto(m.scratch, series)
 	m.hDecode.ObserveDuration(time.Since(decodeStart))
 	decodeSpan.Finish()
 	if err != nil {

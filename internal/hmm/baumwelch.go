@@ -5,6 +5,12 @@ import (
 	"math"
 )
 
+// WarmStartParamTol is the parameter-space convergence threshold used by
+// warm-started training: when an EM update moves no probability (or
+// Gaussian moment) by more than this, the seeded parameters are already at
+// the EM fixed point and training stops after that single iteration.
+const WarmStartParamTol = 1e-9
+
 // TrainConfig controls Baum-Welch training.
 type TrainConfig struct {
 	// MaxIterations bounds EM iterations. Default 100.
@@ -23,6 +29,16 @@ type TrainConfig struct {
 	// full EM can drift the state semantics; freezing B keeps the states
 	// anchored while still learning the truth dynamics.
 	FreezeEmissions bool
+	// WarmStart declares that the model's current parameters are a
+	// previous fit of (a prefix of) the same data rather than a cold
+	// init. Training then additionally converges in parameter space:
+	// when an iteration's M-step moves no parameter by more than
+	// WarmStartParamTol the seeded model is already at the EM fixed point
+	// and training stops after that iteration, instead of paying the
+	// two-iteration minimum the log-likelihood criterion needs. The
+	// numeric updates are unchanged — a warm run on fresh data follows
+	// exactly the same EM trajectory it would cold from those parameters.
+	WarmStart bool
 }
 
 // DefaultTrainConfig returns the default training settings.
@@ -50,6 +66,9 @@ type TrainResult struct {
 	Iterations    int
 	LogLikelihood float64
 	Converged     bool
+	// WarmStarted records that this fit ran with TrainConfig.WarmStart
+	// from pre-seeded parameters.
+	WarmStarted bool
 }
 
 // BaumWelch fits the model in place to one or more observation sequences by
@@ -57,6 +76,16 @@ type TrainResult struct {
 // Baum 1970 procedure), returning the final log-likelihood. Multiple
 // sequences are combined by accumulating expected counts across sequences.
 func (m *Discrete) BaumWelch(sequences [][]int, cfg TrainConfig) (TrainResult, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.BaumWelchWS(ws, sequences, cfg)
+}
+
+// BaumWelchWS is BaumWelch running entirely on ws's flat buffers: the
+// E-step lattices, the expected-count accumulators and the flattened
+// parameter copies are all reused, so steady state performs zero heap
+// allocations. ws must not be shared with concurrent kernel calls.
+func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig) (TrainResult, error) {
 	cfg.fillDefaults()
 	if len(sequences) == 0 {
 		return TrainResult{}, ErrEmptySequence
@@ -67,84 +96,164 @@ func (m *Discrete) BaumWelch(sequences [][]int, cfg TrainConfig) (TrainResult, e
 		}
 	}
 	n, sym := m.States(), m.Symbols()
+	ws.piAcc = growF(ws.piAcc, n)
+	ws.aNum = growF(ws.aNum, n*n)
+	ws.bNum = growF(ws.bNum, n*sym)
+	ws.gamma = growF(ws.gamma, n)
+	ws.row = growF(ws.row, max(n, sym))
 	prevLL := math.Inf(-1)
-	var res TrainResult
+	res := TrainResult{WarmStarted: cfg.WarmStart}
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		// Accumulators for expected counts.
-		piAcc := make([]float64, n)
-		aNum := makeMatrix(n, n)
-		bNum := makeMatrix(n, sym)
+		piAcc, aNum, bNum, gamma := ws.piAcc, ws.aNum, ws.bNum, ws.gamma
+		zeroF(piAcc)
+		zeroF(aNum)
+		zeroF(bNum)
+		ws.loadDiscrete(m)
 		totalLL := 0.0
 
 		for _, obs := range sequences {
 			T := len(obs)
-			alpha, scale, ll, err := m.Forward(obs)
+			ll, err := m.forwardWS(ws, obs)
 			if err != nil {
 				return res, fmt.Errorf("baum-welch E-step: %w", err)
 			}
 			totalLL += ll
-			beta, err := m.Backward(obs, scale)
-			if err != nil {
-				return res, fmt.Errorf("baum-welch E-step: %w", err)
+			m.backwardWS(ws, obs, ws.scale)
+			a, b, alpha, beta := ws.a, ws.b, ws.alpha, ws.beta
+			if n == 2 {
+				// Unrolled 2-state E-step: per-step posteriors go straight
+				// to the accumulators and the four xi sums live in
+				// registers until the sequence is done.
+				a00, a01, a10, a11 := a[0], a[1], a[2], a[3]
+				var x00, x01, x10, x11 float64
+				for t := 0; t < T; t++ {
+					al0, al1 := alpha[t*2], alpha[t*2+1]
+					g0 := al0 * beta[t*2]
+					g1 := al1 * beta[t*2+1]
+					if gsum := g0 + g1; gsum > 0 {
+						ginv := 1 / gsum
+						g0 *= ginv
+						g1 *= ginv
+						ot := obs[t]
+						if t == 0 {
+							piAcc[0] += g0
+							piAcc[1] += g1
+						}
+						bNum[ot] += g0
+						bNum[sym+ot] += g1
+					}
+					if t < T-1 {
+						on := obs[t+1]
+						e0 := b[on] * beta[(t+1)*2]
+						e1 := b[sym+on] * beta[(t+1)*2+1]
+						x00 += al0 * a00 * e0
+						x01 += al0 * a01 * e1
+						x10 += al1 * a10 * e0
+						x11 += al1 * a11 * e1
+					}
+				}
+				aNum[0] += x00
+				aNum[1] += x01
+				aNum[2] += x10
+				aNum[3] += x11
+				continue
 			}
 			// gamma[t][i] and xi accumulation.
 			for t := 0; t < T; t++ {
 				gsum := 0.0
-				gamma := make([]float64, n)
 				for i := 0; i < n; i++ {
-					gamma[i] = alpha[t][i] * beta[t][i]
-					gsum += gamma[i]
+					g := alpha[t*n+i] * beta[t*n+i]
+					gamma[i] = g
+					gsum += g
 				}
 				if gsum <= 0 {
 					continue
 				}
+				ginv := 1 / gsum
+				ot := obs[t]
 				for i := 0; i < n; i++ {
-					g := gamma[i] / gsum
+					g := gamma[i] * ginv
 					if t == 0 {
 						piAcc[i] += g
 					}
-					bNum[i][obs[t]] += g
+					bNum[i*sym+ot] += g
 				}
 			}
 			// xi[t][i][j] without materializing the 3-D tensor. With the
 			// scaled alpha/beta used here, xi = alpha[t][i]*A[i][j]*
-			// B[j][obs[t+1]]*beta[t+1][j] already normalized per t.
+			// B[j][obs[t+1]]*beta[t+1][j] already normalized per t. The
+			// emission-weighted betas are shared across source states;
+			// stage them in ws.row once per step.
+			en := ws.row[:n]
 			for t := 0; t < T-1; t++ {
+				on := obs[t+1]
+				next := beta[(t+1)*n : (t+2)*n]
+				for j := 0; j < n; j++ {
+					en[j] = b[j*sym+on] * next[j]
+				}
 				for i := 0; i < n; i++ {
-					ai := alpha[t][i]
+					ai := alpha[t*n+i]
 					if ai == 0 {
 						continue
 					}
 					for j := 0; j < n; j++ {
-						xi := ai * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
-						aNum[i][j] += xi
+						aNum[i*n+j] += ai * a[i*n+j] * en[j]
 					}
 				}
 			}
 		}
 
-		// M-step with smoothing pseudo-counts.
+		// M-step with smoothing pseudo-counts. Under WarmStart, track the
+		// largest parameter movement for the fixed-point early stop.
+		maxDelta := 0.0
 		for i := 0; i < n; i++ {
 			piAcc[i] += cfg.SmoothPi
 		}
 		normalizeRow(piAcc)
+		if cfg.WarmStart {
+			for i := 0; i < n; i++ {
+				maxDelta = math.Max(maxDelta, math.Abs(piAcc[i]-m.Pi[i]))
+			}
+		}
 		copy(m.Pi, piAcc)
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				m.A[i][j] = aNum[i][j] + cfg.SmoothA
+			rowA := m.A[i]
+			if cfg.WarmStart {
+				copy(ws.row[:n], rowA)
 			}
-			normalizeRow(m.A[i])
-			if !cfg.FreezeEmissions {
-				for k := 0; k < sym; k++ {
-					m.B[i][k] = bNum[i][k] + cfg.SmoothB
+			for j := 0; j < n; j++ {
+				rowA[j] = aNum[i*n+j] + cfg.SmoothA
+			}
+			normalizeRow(rowA)
+			if cfg.WarmStart {
+				for j := 0; j < n; j++ {
+					maxDelta = math.Max(maxDelta, math.Abs(rowA[j]-ws.row[j]))
 				}
-				normalizeRow(m.B[i])
+			}
+			if !cfg.FreezeEmissions {
+				rowB := m.B[i]
+				if cfg.WarmStart {
+					copy(ws.row[:sym], rowB)
+				}
+				for k := 0; k < sym; k++ {
+					rowB[k] = bNum[i*sym+k] + cfg.SmoothB
+				}
+				normalizeRow(rowB)
+				if cfg.WarmStart {
+					for k := 0; k < sym; k++ {
+						maxDelta = math.Max(maxDelta, math.Abs(rowB[k]-ws.row[k]))
+					}
+				}
 			}
 		}
 
 		res.Iterations = iter + 1
 		res.LogLikelihood = totalLL
 		if totalLL-prevLL < cfg.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+		if cfg.WarmStart && maxDelta < WarmStartParamTol {
 			res.Converged = true
 			break
 		}

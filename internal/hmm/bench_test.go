@@ -1,0 +1,136 @@
+package hmm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/social-sensing/sstd/internal/hmm"
+	"github.com/social-sensing/sstd/internal/hmm/hmmtest"
+)
+
+// The *Seed benchmarks run the frozen pre-rewrite kernels from hmmtest on
+// identical inputs, so `go test -bench . -benchmem` puts the before/after
+// numbers side by side on the same machine. scripts/check.sh bench
+// flattens both into BENCH_hmm.json, the tracked baseline.
+
+const (
+	benchT   = 128
+	benchSym = 5
+	// benchIters fixes the EM work per op: the tolerance is unreachable,
+	// so every op runs exactly this many full iterations.
+	benchIters = 10
+)
+
+func benchCfg() hmm.TrainConfig {
+	return hmm.TrainConfig{
+		MaxIterations: benchIters,
+		Tolerance:     1e-300,
+		SmoothA:       1e-3,
+		SmoothB:       1e-3,
+		SmoothPi:      1e-3,
+	}
+}
+
+func benchModelAndObs() (*hmm.Discrete, []int) {
+	rng := rand.New(rand.NewSource(42))
+	return randDiscrete(rng, 2, benchSym), randObs(rng, benchT, benchSym)
+}
+
+func BenchmarkBaumWelch(b *testing.B) {
+	m, obs := benchModelAndObs()
+	pristine := m.Clone()
+	seqs := [][]int{obs}
+	cfg := benchCfg()
+	ws := hmm.NewWorkspace()
+	if _, err := m.BaumWelchWS(ws, seqs, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restoreDiscrete(m, pristine)
+		if _, err := m.BaumWelchWS(ws, seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaumWelchSeed(b *testing.B) {
+	m, obs := benchModelAndObs()
+	pristine := m.Clone()
+	seqs := [][]int{obs}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restoreDiscrete(m, pristine)
+		if _, err := hmmtest.BaumWelch(m, seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	m, obs := benchModelAndObs()
+	ws := hmm.NewWorkspace()
+	path := make([]int, len(obs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		path, _, err = m.ViterbiWS(ws, obs, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViterbiSeed(b *testing.B) {
+	m, obs := benchModelAndObs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path, _ := hmmtest.Viterbi(m, obs)
+		if len(path) != len(obs) {
+			b.Fatal("bad path")
+		}
+	}
+}
+
+func BenchmarkGaussianBaumWelch(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := randGaussian(rng, 2)
+	obs := randGaussObs(rng, benchT)
+	pristine := m.Clone()
+	seqs := [][]float64{obs}
+	cfg := benchCfg()
+	ws := hmm.NewWorkspace()
+	if _, err := m.BaumWelchWS(ws, seqs, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restoreGaussian(m, pristine)
+		if _, err := m.BaumWelchWS(ws, seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussianBaumWelchSeed(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	m := randGaussian(rng, 2)
+	obs := randGaussObs(rng, benchT)
+	pristine := m.Clone()
+	seqs := [][]float64{obs}
+	cfg := benchCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restoreGaussian(m, pristine)
+		if _, err := hmmtest.GaussBaumWelch(m, seqs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

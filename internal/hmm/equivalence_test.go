@@ -1,0 +1,350 @@
+package hmm_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-sensing/sstd/internal/hmm"
+	"github.com/social-sensing/sstd/internal/hmm/hmmtest"
+)
+
+// equivTol is the drift budget against the frozen seed kernels: the
+// rewritten kernels use reciprocal-multiply scaling, precomputed Gaussian
+// density constants and log-space Viterbi, each of which may drift from
+// the seed arithmetic by a few ulps but never near 1e-12.
+const equivTol = 1e-12
+
+func close2(got, want float64) bool {
+	diff := math.Abs(got - want)
+	return diff <= equivTol*math.Max(1, math.Abs(want))
+}
+
+func randRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	sum := 0.0
+	for i := range row {
+		row[i] = 0.05 + rng.Float64()
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+	return row
+}
+
+func randDiscrete(rng *rand.Rand, n, sym int) *hmm.Discrete {
+	m := &hmm.Discrete{
+		A:  make([][]float64, n),
+		B:  make([][]float64, n),
+		Pi: randRow(rng, n),
+	}
+	for i := 0; i < n; i++ {
+		m.A[i] = randRow(rng, n)
+		m.B[i] = randRow(rng, sym)
+	}
+	return m
+}
+
+func randObs(rng *rand.Rand, T, sym int) []int {
+	obs := make([]int, T)
+	for t := range obs {
+		obs[t] = rng.Intn(sym)
+	}
+	return obs
+}
+
+func randGaussian(rng *rand.Rand, n int) *hmm.Gaussian {
+	means := make([]float64, n)
+	vars := make([]float64, n)
+	for i := 0; i < n; i++ {
+		means[i] = -3 + 6*rng.Float64()
+		vars[i] = 0.3 + 2*rng.Float64()
+	}
+	m, err := hmm.NewGaussian(means, vars)
+	if err != nil {
+		panic(err)
+	}
+	m.Pi = randRow(rng, n)
+	for i := 0; i < n; i++ {
+		m.A[i] = randRow(rng, n)
+	}
+	return m
+}
+
+func randGaussObs(rng *rand.Rand, T int) []float64 {
+	obs := make([]float64, T)
+	for t := range obs {
+		obs[t] = -4 + 8*rng.Float64()
+	}
+	return obs
+}
+
+func TestDiscreteKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	ws := hmm.NewWorkspace()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		sym := 2 + rng.Intn(4)
+		m := randDiscrete(rng, n, sym)
+		obs := randObs(rng, 3+rng.Intn(70), sym)
+
+		wantAlpha, wantScale, wantLL, err := hmmtest.Forward(m, obs)
+		if err != nil {
+			t.Fatalf("trial %d: reference forward: %v", trial, err)
+		}
+		gotAlpha, gotScale, gotLL, err := m.ForwardWS(ws, obs)
+		if err != nil {
+			t.Fatalf("trial %d: ForwardWS: %v", trial, err)
+		}
+		if !close2(gotLL, wantLL) {
+			t.Fatalf("trial %d: logProb %v, reference %v", trial, gotLL, wantLL)
+		}
+		for tt := range obs {
+			if !close2(gotScale[tt], wantScale[tt]) {
+				t.Fatalf("trial %d: scale[%d] %v vs %v", trial, tt, gotScale[tt], wantScale[tt])
+			}
+			for i := 0; i < n; i++ {
+				if !close2(gotAlpha[tt*n+i], wantAlpha[tt][i]) {
+					t.Fatalf("trial %d: alpha[%d][%d] %v vs %v", trial, tt, i, gotAlpha[tt*n+i], wantAlpha[tt][i])
+				}
+			}
+		}
+
+		wantBeta := hmmtest.Backward(m, obs, wantScale)
+		gotBeta, err := m.BackwardWS(ws, obs, gotScale)
+		if err != nil {
+			t.Fatalf("trial %d: BackwardWS: %v", trial, err)
+		}
+		for tt := range obs {
+			for i := 0; i < n; i++ {
+				if !close2(gotBeta[tt*n+i], wantBeta[tt][i]) {
+					t.Fatalf("trial %d: beta[%d][%d] %v vs %v", trial, tt, i, gotBeta[tt*n+i], wantBeta[tt][i])
+				}
+			}
+		}
+
+		wantGamma, err := hmmtest.Posterior(m, obs)
+		if err != nil {
+			t.Fatalf("trial %d: reference posterior: %v", trial, err)
+		}
+		gotGamma, err := m.PosteriorWS(ws, obs, nil)
+		if err != nil {
+			t.Fatalf("trial %d: PosteriorWS: %v", trial, err)
+		}
+		for tt := range obs {
+			for i := 0; i < n; i++ {
+				if !close2(gotGamma[tt*n+i], wantGamma[tt][i]) {
+					t.Fatalf("trial %d: gamma[%d][%d] %v vs %v", trial, tt, i, gotGamma[tt*n+i], wantGamma[tt][i])
+				}
+			}
+		}
+
+		wantPath, wantScore := hmmtest.Viterbi(m, obs)
+		gotPath, gotScore, err := m.ViterbiWS(ws, obs, nil)
+		if err != nil {
+			t.Fatalf("trial %d: ViterbiWS: %v", trial, err)
+		}
+		if !close2(gotScore, wantScore) {
+			t.Fatalf("trial %d: viterbi score %v vs %v", trial, gotScore, wantScore)
+		}
+		for tt := range wantPath {
+			if gotPath[tt] != wantPath[tt] {
+				t.Fatalf("trial %d: path[%d] = %d, reference %d", trial, tt, gotPath[tt], wantPath[tt])
+			}
+		}
+	}
+}
+
+func TestDiscreteBaumWelchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(2)
+		sym := 3 + rng.Intn(3)
+		m1 := randDiscrete(rng, n, sym)
+		m2 := m1.Clone()
+		nseq := 1 + rng.Intn(3)
+		seqs := make([][]int, nseq)
+		for s := range seqs {
+			seqs[s] = randObs(rng, 10+rng.Intn(40), sym)
+		}
+		cfg := hmm.TrainConfig{
+			MaxIterations: 8,
+			Tolerance:     1e-12,
+			SmoothA:       1e-3,
+			SmoothB:       1e-3,
+			SmoothPi:      1e-3,
+		}
+		if trial%3 == 0 {
+			cfg.FreezeEmissions = true
+		}
+		r1, err := m1.BaumWelch(seqs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: BaumWelch: %v", trial, err)
+		}
+		r2, err := hmmtest.BaumWelch(m2, seqs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: reference BaumWelch: %v", trial, err)
+		}
+		if r1.Iterations != r2.Iterations || !close2(r1.LogLikelihood, r2.LogLikelihood) {
+			t.Fatalf("trial %d: result %+v vs reference %+v", trial, r1, r2)
+		}
+		for i := 0; i < n; i++ {
+			if !close2(m1.Pi[i], m2.Pi[i]) {
+				t.Fatalf("trial %d: Pi[%d] %v vs %v", trial, i, m1.Pi[i], m2.Pi[i])
+			}
+			for j := 0; j < n; j++ {
+				if !close2(m1.A[i][j], m2.A[i][j]) {
+					t.Fatalf("trial %d: A[%d][%d] %v vs %v", trial, i, j, m1.A[i][j], m2.A[i][j])
+				}
+			}
+			for k := 0; k < sym; k++ {
+				if !close2(m1.B[i][k], m2.B[i][k]) {
+					t.Fatalf("trial %d: B[%d][%d] %v vs %v", trial, i, k, m1.B[i][k], m2.B[i][k])
+				}
+			}
+		}
+	}
+}
+
+func TestGaussianKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	ws := hmm.NewWorkspace()
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		m := randGaussian(rng, n)
+		obs := randGaussObs(rng, 3+rng.Intn(70))
+
+		wantAlpha, wantScale, wantLL, err := hmmtest.GaussForward(m, obs)
+		if err != nil {
+			t.Fatalf("trial %d: reference forward: %v", trial, err)
+		}
+		gotAlpha, gotScale, gotLL, err := m.ForwardWS(ws, obs)
+		if err != nil {
+			t.Fatalf("trial %d: ForwardWS: %v", trial, err)
+		}
+		if !close2(gotLL, wantLL) {
+			t.Fatalf("trial %d: logProb %v vs %v", trial, gotLL, wantLL)
+		}
+		for tt := range obs {
+			for i := 0; i < n; i++ {
+				if !close2(gotAlpha[tt*n+i], wantAlpha[tt][i]) {
+					t.Fatalf("trial %d: alpha[%d][%d] %v vs %v", trial, tt, i, gotAlpha[tt*n+i], wantAlpha[tt][i])
+				}
+			}
+		}
+
+		wantBeta := hmmtest.GaussBackward(m, obs, wantScale)
+		gotBeta, err := m.BackwardWS(ws, obs, gotScale)
+		if err != nil {
+			t.Fatalf("trial %d: BackwardWS: %v", trial, err)
+		}
+		for tt := range obs {
+			for i := 0; i < n; i++ {
+				if !close2(gotBeta[tt*n+i], wantBeta[tt][i]) {
+					t.Fatalf("trial %d: beta[%d][%d] %v vs %v", trial, tt, i, gotBeta[tt*n+i], wantBeta[tt][i])
+				}
+			}
+		}
+
+		wantPath, wantScore := hmmtest.GaussViterbi(m, obs)
+		gotPath, gotScore, err := m.ViterbiWS(ws, obs, nil)
+		if err != nil {
+			t.Fatalf("trial %d: ViterbiWS: %v", trial, err)
+		}
+		if !close2(gotScore, wantScore) {
+			t.Fatalf("trial %d: viterbi score %v vs %v", trial, gotScore, wantScore)
+		}
+		for tt := range wantPath {
+			if gotPath[tt] != wantPath[tt] {
+				t.Fatalf("trial %d: path[%d] = %d, reference %d", trial, tt, gotPath[tt], wantPath[tt])
+			}
+		}
+	}
+}
+
+func TestGaussianBaumWelchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 25; trial++ {
+		n := 2
+		m1 := randGaussian(rng, n)
+		m2 := m1.Clone()
+		seqs := [][]float64{randGaussObs(rng, 20+rng.Intn(40))}
+		cfg := hmm.TrainConfig{
+			MaxIterations: 8,
+			Tolerance:     1e-12,
+			SmoothA:       1e-3,
+			SmoothPi:      1e-3,
+		}
+		r1, err := m1.BaumWelch(seqs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: BaumWelch: %v", trial, err)
+		}
+		r2, err := hmmtest.GaussBaumWelch(m2, seqs, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: reference BaumWelch: %v", trial, err)
+		}
+		if r1.Iterations != r2.Iterations || !close2(r1.LogLikelihood, r2.LogLikelihood) {
+			t.Fatalf("trial %d: result %+v vs reference %+v", trial, r1, r2)
+		}
+		for i := 0; i < n; i++ {
+			if !close2(m1.Pi[i], m2.Pi[i]) || !close2(m1.Mean[i], m2.Mean[i]) || !close2(m1.Var[i], m2.Var[i]) {
+				t.Fatalf("trial %d: state %d params (%v,%v,%v) vs (%v,%v,%v)",
+					trial, i, m1.Pi[i], m1.Mean[i], m1.Var[i], m2.Pi[i], m2.Mean[i], m2.Var[i])
+			}
+			for j := 0; j < n; j++ {
+				if !close2(m1.A[i][j], m2.A[i][j]) {
+					t.Fatalf("trial %d: A[%d][%d] %v vs %v", trial, i, j, m1.A[i][j], m2.A[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestOldAPIMatchesReference pins the exported seed-signature entry points
+// (which now delegate to the workspace kernels through the pool) to the
+// reference implementations too.
+func TestOldAPIMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 20; trial++ {
+		n, sym := 2, 5
+		m := randDiscrete(rng, n, sym)
+		obs := randObs(rng, 30, sym)
+		_, _, wantLL, err := hmmtest.Forward(m, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLL, err := m.LogLikelihood(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close2(gotLL, wantLL) {
+			t.Fatalf("trial %d: LogLikelihood %v vs %v", trial, gotLL, wantLL)
+		}
+		wantGamma, err := hmmtest.Posterior(m, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGamma, err := m.Posterior(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := range obs {
+			for i := 0; i < n; i++ {
+				if !close2(gotGamma[tt][i], wantGamma[tt][i]) {
+					t.Fatalf("trial %d: gamma[%d][%d] %v vs %v", trial, tt, i, gotGamma[tt][i], wantGamma[tt][i])
+				}
+			}
+		}
+		wantPath, _ := hmmtest.Viterbi(m, obs)
+		gotPath, _, err := m.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tt := range wantPath {
+			if gotPath[tt] != wantPath[tt] {
+				t.Fatalf("trial %d: path[%d] = %d, reference %d", trial, tt, gotPath[tt], wantPath[tt])
+			}
+		}
+	}
+}

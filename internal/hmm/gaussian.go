@@ -46,6 +46,17 @@ func NewGaussian(means, vars []float64) (*Gaussian, error) {
 // States returns the number of hidden states.
 func (m *Gaussian) States() int { return len(m.Pi) }
 
+// Clone returns a deep copy of the model.
+func (m *Gaussian) Clone() *Gaussian {
+	return &Gaussian{
+		A:        cloneMatrix(m.A),
+		Pi:       cloneVector(m.Pi),
+		Mean:     cloneVector(m.Mean),
+		Var:      cloneVector(m.Var),
+		VarFloor: m.VarFloor,
+	}
+}
+
 func (m *Gaussian) varFloor() float64 {
 	if m.VarFloor > 0 {
 		return m.VarFloor
@@ -53,118 +64,214 @@ func (m *Gaussian) varFloor() float64 {
 	return 1e-4
 }
 
-// density returns the emission density of observation x in state i.
+// density returns the emission density of observation x in state i. The
+// kernels use the equivalent precomputed form 1/(σ√2π)·exp(-d²/(2σ²))
+// from the workspace instead of calling this per observation.
 func (m *Gaussian) density(i int, x float64) float64 {
 	v := m.Var[i]
 	d := x - m.Mean[i]
 	return math.Exp(-d*d/(2*v)) / math.Sqrt(2*math.Pi*v)
 }
 
-// Forward runs the scaled forward pass; logProb is log P(obs|model) up to
-// the density (not probability) normalization inherent to continuous HMMs.
-func (m *Gaussian) Forward(obs []float64) (alpha [][]float64, scale []float64, logProb float64, err error) {
+func checkGaussObs(obs []float64) error {
 	if len(obs) == 0 {
-		return nil, nil, 0, ErrEmptySequence
+		return ErrEmptySequence
 	}
+	return nil
+}
+
+// forwardWS is the scaled forward kernel; assumes ws.loadGaussian(m) has
+// run. Fills ws.alpha (T*n row-major) and ws.scale.
+func (m *Gaussian) forwardWS(ws *Workspace, obs []float64) (float64, error) {
 	n, T := m.States(), len(obs)
-	alpha = makeMatrix(T, n)
-	scale = make([]float64, T)
+	ws.alpha = growF(ws.alpha, T*n)
+	ws.scale = growF(ws.scale, T)
+	a, alpha, scale := ws.a, ws.alpha, ws.scale
+	coef, negInv, mean := ws.gCoef, ws.gNegInv, m.Mean
 	for i := 0; i < n; i++ {
-		alpha[0][i] = m.Pi[i] * m.density(i, obs[0])
+		d := obs[0] - mean[i]
+		alpha[i] = m.Pi[i] * (coef[i] * math.Exp(d*d*negInv[i]))
 	}
-	scale[0] = normalizeRow(alpha[0])
+	scale[0] = normalizeRow(alpha[:n])
 	for t := 1; t < T; t++ {
+		prev := alpha[(t-1)*n : t*n]
+		cur := alpha[t*n : (t+1)*n]
+		x := obs[t]
 		for j := 0; j < n; j++ {
 			sum := 0.0
 			for i := 0; i < n; i++ {
-				sum += alpha[t-1][i] * m.A[i][j]
+				sum += prev[i] * a[i*n+j]
 			}
-			alpha[t][j] = sum * m.density(j, obs[t])
+			d := x - mean[j]
+			cur[j] = sum * (coef[j] * math.Exp(d*d*negInv[j]))
 		}
-		scale[t] = normalizeRow(alpha[t])
+		scale[t] = normalizeRow(cur)
 	}
+	logProb := 0.0
 	for t := 0; t < T; t++ {
 		if scale[t] <= 0 {
-			return nil, nil, 0, fmt.Errorf("hmm: zero-density observation at t=%d", t)
+			return 0, fmt.Errorf("hmm: zero-density observation at t=%d", t)
 		}
 		logProb += math.Log(scale[t])
 	}
-	return alpha, scale, logProb, nil
+	return logProb, nil
+}
+
+// backwardWS is the scaled backward kernel; assumes ws.loadGaussian(m) has
+// run. Fills ws.beta (T*n row-major).
+func (m *Gaussian) backwardWS(ws *Workspace, obs []float64, scale []float64) {
+	n, T := m.States(), len(obs)
+	ws.beta = growF(ws.beta, T*n)
+	a, beta := ws.a, ws.beta
+	coef, negInv, mean := ws.gCoef, ws.gNegInv, m.Mean
+	for i := 0; i < n; i++ {
+		beta[(T-1)*n+i] = 1 / scale[T-1]
+	}
+	// Per-step emission densities of obs[t+1] are shared by every i; stage
+	// them in ws.gamma to avoid recomputing exp n times per state.
+	ws.gamma = growF(ws.gamma, n)
+	dens := ws.gamma
+	for t := T - 2; t >= 0; t-- {
+		next := beta[(t+1)*n : (t+2)*n]
+		cur := beta[t*n : (t+1)*n]
+		x := obs[t+1]
+		for j := 0; j < n; j++ {
+			d := x - mean[j]
+			dens[j] = coef[j] * math.Exp(d*d*negInv[j])
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * dens[j] * next[j]
+			}
+			cur[i] = sum / scale[t]
+		}
+	}
+}
+
+// ForwardWS runs the scaled forward kernel on ws and returns views of the
+// scaled alpha lattice (T*n row-major) and the scaling coefficients, plus
+// the log-likelihood (up to the density normalization inherent to
+// continuous HMMs). The slices are backed by ws and valid until the next
+// kernel call on it.
+func (m *Gaussian) ForwardWS(ws *Workspace, obs []float64) (alpha, scale []float64, logProb float64, err error) {
+	if err := checkGaussObs(obs); err != nil {
+		return nil, nil, 0, err
+	}
+	ws.loadGaussian(m)
+	lp, err := m.forwardWS(ws, obs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return ws.alpha, ws.scale, lp, nil
+}
+
+// BackwardWS runs the scaled backward kernel on ws with the forward
+// scaling coefficients; the returned beta lattice (T*n row-major) is
+// backed by ws and valid until the next kernel call.
+func (m *Gaussian) BackwardWS(ws *Workspace, obs []float64, scale []float64) ([]float64, error) {
+	if err := checkGaussObs(obs); err != nil {
+		return nil, err
+	}
+	if len(scale) != len(obs) {
+		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), len(obs))
+	}
+	ws.loadGaussian(m)
+	m.backwardWS(ws, obs, scale)
+	return ws.beta, nil
+}
+
+// Forward runs the scaled forward pass; logProb is log P(obs|model) up to
+// the density (not probability) normalization inherent to continuous HMMs.
+func (m *Gaussian) Forward(obs []float64) (alpha [][]float64, scale []float64, logProb float64, err error) {
+	if err := checkGaussObs(obs); err != nil {
+		return nil, nil, 0, err
+	}
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.loadGaussian(m)
+	lp, err := m.forwardWS(ws, obs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	n, T := m.States(), len(obs)
+	return unflatten(ws.alpha, T, n), cloneVector(ws.scale[:T]), lp, nil
 }
 
 // Backward runs the scaled backward pass with the forward scaling factors.
 func (m *Gaussian) Backward(obs []float64, scale []float64) ([][]float64, error) {
-	if len(obs) == 0 {
-		return nil, ErrEmptySequence
+	if err := checkGaussObs(obs); err != nil {
+		return nil, err
 	}
 	n, T := m.States(), len(obs)
 	if len(scale) != T {
 		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), T)
 	}
-	beta := makeMatrix(T, n)
-	for i := 0; i < n; i++ {
-		beta[T-1][i] = 1 / scale[T-1]
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.loadGaussian(m)
+	m.backwardWS(ws, obs, scale)
+	return unflatten(ws.beta, T, n), nil
+}
+
+// PosteriorWS computes the flat posterior lattice gamma[t*n+i] =
+// P(state_t = i | obs, model) into dst, growing it only when its capacity
+// is insufficient, and returns it. Steady state performs zero heap
+// allocations.
+func (m *Gaussian) PosteriorWS(ws *Workspace, obs []float64, dst []float64) ([]float64, error) {
+	if err := checkGaussObs(obs); err != nil {
+		return nil, err
 	}
-	for t := T - 2; t >= 0; t-- {
+	ws.loadGaussian(m)
+	if _, err := m.forwardWS(ws, obs); err != nil {
+		return nil, err
+	}
+	m.backwardWS(ws, obs, ws.scale)
+	return posteriorWS(ws, dst, len(obs), m.States()), nil
+}
+
+// ViterbiWS decodes the most likely state sequence into path (grown only
+// when its capacity is insufficient) and returns it with its log score.
+// The emission log densities are evaluated directly in log space
+// (log coef + d²·(-1/2σ²)), which both avoids exp/log round trips and
+// keeps far-tail observations finite.
+func (m *Gaussian) ViterbiWS(ws *Workspace, obs []float64, path []int) ([]int, float64, error) {
+	if err := checkGaussObs(obs); err != nil {
+		return nil, 0, err
+	}
+	n := ws.loadGaussianLogs(m)
+	T := len(obs)
+	ws.le = growF(ws.le, T*n)
+	le, lcoef, negInv, mean := ws.le, ws.gLogCoef, ws.gNegInv, m.Mean
+	for t, x := range obs {
 		for i := 0; i < n; i++ {
-			sum := 0.0
-			for j := 0; j < n; j++ {
-				sum += m.A[i][j] * m.density(j, obs[t+1]) * beta[t+1][j]
-			}
-			beta[t][i] = sum / scale[t]
+			d := x - mean[i]
+			le[t*n+i] = lcoef[i] + d*d*negInv[i]
 		}
 	}
-	return beta, nil
+	path, best := viterbiWS(ws, T, n, path)
+	return path, best, nil
 }
 
 // Viterbi returns the most likely state sequence and its log score.
 func (m *Gaussian) Viterbi(obs []float64) ([]int, float64, error) {
-	if len(obs) == 0 {
-		return nil, 0, ErrEmptySequence
-	}
-	n, T := m.States(), len(obs)
-	delta := makeMatrix(T, n)
-	psi := make([][]int, T)
-	for t := range psi {
-		psi[t] = make([]int, n)
-	}
-	for i := 0; i < n; i++ {
-		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.density(i, obs[0]))
-	}
-	for t := 1; t < T; t++ {
-		for j := 0; j < n; j++ {
-			best := math.Inf(-1)
-			arg := 0
-			for i := 0; i < n; i++ {
-				v := delta[t-1][i] + safeLog(m.A[i][j])
-				if v > best {
-					best = v
-					arg = i
-				}
-			}
-			delta[t][j] = best + safeLog(m.density(j, obs[t]))
-			psi[t][j] = arg
-		}
-	}
-	best := math.Inf(-1)
-	last := 0
-	for i := 0; i < n; i++ {
-		if delta[T-1][i] > best {
-			best = delta[T-1][i]
-			last = i
-		}
-	}
-	path := make([]int, T)
-	path[T-1] = last
-	for t := T - 1; t > 0; t-- {
-		path[t-1] = psi[t][path[t]]
-	}
-	return path, best, nil
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.ViterbiWS(ws, obs, nil)
 }
 
 // BaumWelch fits transitions, initial distribution and emission moments to
 // the sequences by EM.
 func (m *Gaussian) BaumWelch(sequences [][]float64, cfg TrainConfig) (TrainResult, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.BaumWelchWS(ws, sequences, cfg)
+}
+
+// BaumWelchWS is BaumWelch running entirely on ws's flat buffers; steady
+// state performs zero heap allocations. ws must not be shared with
+// concurrent kernel calls.
+func (m *Gaussian) BaumWelchWS(ws *Workspace, sequences [][]float64, cfg TrainConfig) (TrainResult, error) {
 	cfg.fillDefaults()
 	if len(sequences) == 0 {
 		return TrainResult{}, ErrEmptySequence
@@ -175,76 +282,116 @@ func (m *Gaussian) BaumWelch(sequences [][]float64, cfg TrainConfig) (TrainResul
 		}
 	}
 	n := m.States()
+	ws.piAcc = growF(ws.piAcc, n)
+	ws.aNum = growF(ws.aNum, n*n)
+	ws.gSum = growF(ws.gSum, n)
+	ws.oSum = growF(ws.oSum, n)
+	ws.oSq = growF(ws.oSq, n)
+	ws.row = growF(ws.row, n)
 	prevLL := math.Inf(-1)
-	var res TrainResult
+	res := TrainResult{WarmStarted: cfg.WarmStart}
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		piAcc := make([]float64, n)
-		aNum := makeMatrix(n, n)
-		gammaSum := make([]float64, n)
-		obsSum := make([]float64, n)
-		obsSqSum := make([]float64, n)
+		piAcc, aNum := ws.piAcc, ws.aNum
+		gammaSum, obsSum, obsSqSum := ws.gSum, ws.oSum, ws.oSq
+		zeroF(piAcc)
+		zeroF(aNum)
+		zeroF(gammaSum)
+		zeroF(obsSum)
+		zeroF(obsSqSum)
+		ws.loadGaussian(m)
 		totalLL := 0.0
 
 		for _, obs := range sequences {
 			T := len(obs)
-			alpha, scale, ll, err := m.Forward(obs)
+			ll, err := m.forwardWS(ws, obs)
 			if err != nil {
 				return res, fmt.Errorf("gaussian baum-welch E-step: %w", err)
 			}
 			totalLL += ll
-			beta, err := m.Backward(obs, scale)
-			if err != nil {
-				return res, fmt.Errorf("gaussian baum-welch E-step: %w", err)
-			}
+			m.backwardWS(ws, obs, ws.scale)
+			a, alpha, beta := ws.a, ws.alpha, ws.beta
+			coef, negInv, mean := ws.gCoef, ws.gNegInv, m.Mean
 			for t := 0; t < T; t++ {
 				gsum := 0.0
-				gamma := make([]float64, n)
+				// Accumulate the per-step posterior over ws.row (n wide).
+				gamma := ws.row
 				for i := 0; i < n; i++ {
-					gamma[i] = alpha[t][i] * beta[t][i]
-					gsum += gamma[i]
+					g := alpha[t*n+i] * beta[t*n+i]
+					gamma[i] = g
+					gsum += g
 				}
 				if gsum <= 0 {
 					continue
 				}
+				x := obs[t]
 				for i := 0; i < n; i++ {
 					g := gamma[i] / gsum
 					if t == 0 {
 						piAcc[i] += g
 					}
 					gammaSum[i] += g
-					obsSum[i] += g * obs[t]
-					obsSqSum[i] += g * obs[t] * obs[t]
+					obsSum[i] += g * x
+					obsSqSum[i] += g * x * x
 				}
 			}
+			// Stage obs[t+1]'s emission densities once per step (shared by
+			// all source states i) in ws.gamma.
+			ws.gamma = growF(ws.gamma, n)
+			dens := ws.gamma
 			for t := 0; t < T-1; t++ {
+				x := obs[t+1]
+				for j := 0; j < n; j++ {
+					d := x - mean[j]
+					dens[j] = coef[j] * math.Exp(d*d*negInv[j])
+				}
+				next := beta[(t+1)*n : (t+2)*n]
 				for i := 0; i < n; i++ {
-					ai := alpha[t][i]
+					ai := alpha[t*n+i]
 					if ai == 0 {
 						continue
 					}
 					for j := 0; j < n; j++ {
-						aNum[i][j] += ai * m.A[i][j] * m.density(j, obs[t+1]) * beta[t+1][j]
+						aNum[i*n+j] += ai * a[i*n+j] * dens[j] * next[j]
 					}
 				}
 			}
 		}
 
+		maxDelta := 0.0
 		for i := 0; i < n; i++ {
 			piAcc[i] += cfg.SmoothPi
 		}
 		normalizeRow(piAcc)
+		if cfg.WarmStart {
+			for i := 0; i < n; i++ {
+				maxDelta = math.Max(maxDelta, math.Abs(piAcc[i]-m.Pi[i]))
+			}
+		}
 		copy(m.Pi, piAcc)
 		floor := m.varFloor()
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				m.A[i][j] = aNum[i][j] + cfg.SmoothA
+			rowA := m.A[i]
+			if cfg.WarmStart {
+				copy(ws.row[:n], rowA)
 			}
-			normalizeRow(m.A[i])
+			for j := 0; j < n; j++ {
+				rowA[j] = aNum[i*n+j] + cfg.SmoothA
+			}
+			normalizeRow(rowA)
+			if cfg.WarmStart {
+				for j := 0; j < n; j++ {
+					maxDelta = math.Max(maxDelta, math.Abs(rowA[j]-ws.row[j]))
+				}
+			}
 			if gammaSum[i] > 0 {
 				mean := obsSum[i] / gammaSum[i]
 				variance := obsSqSum[i]/gammaSum[i] - mean*mean
 				if variance < floor {
 					variance = floor
+				}
+				if cfg.WarmStart {
+					maxDelta = math.Max(maxDelta, math.Abs(mean-m.Mean[i]))
+					maxDelta = math.Max(maxDelta, math.Abs(variance-m.Var[i]))
 				}
 				m.Mean[i] = mean
 				m.Var[i] = variance
@@ -254,6 +401,10 @@ func (m *Gaussian) BaumWelch(sequences [][]float64, cfg TrainConfig) (TrainResul
 		res.Iterations = iter + 1
 		res.LogLikelihood = totalLL
 		if totalLL-prevLL < cfg.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+		if cfg.WarmStart && maxDelta < WarmStartParamTol {
 			res.Converged = true
 			break
 		}

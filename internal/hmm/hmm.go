@@ -4,6 +4,11 @@
 // decoding (Eq. 6-8). Two emission families are provided: discrete symbols
 // (used with a quantized ACS alphabet) and univariate Gaussians (used with
 // raw ACS values).
+//
+// Every algorithm runs on flat, strided kernels backed by a reusable
+// Workspace (the *WS entry points), which perform zero heap allocations in
+// steady state. The original matrix-returning API is kept intact and
+// delegates to the kernels through a pooled workspace.
 package hmm
 
 import (
@@ -105,6 +110,152 @@ func (m *Discrete) checkObs(obs []int) error {
 	return nil
 }
 
+// forwardWS is the scaled forward kernel. It assumes ws.loadDiscrete(m)
+// has run and obs is valid; it fills ws.alpha (T*n row-major) and
+// ws.scale (T) and returns the total log-likelihood.
+func (m *Discrete) forwardWS(ws *Workspace, obs []int) (float64, error) {
+	n, sym, T := m.States(), m.Symbols(), len(obs)
+	ws.alpha = growF(ws.alpha, T*n)
+	ws.scale = growF(ws.scale, T)
+	a, b, alpha, scale := ws.a, ws.b, ws.alpha, ws.scale
+	if n == 2 {
+		// The decoder's models are always 2-state; the unrolled recursion
+		// keeps both alpha entries in registers across steps.
+		a00, a01, a10, a11 := a[0], a[1], a[2], a[3]
+		p0 := m.Pi[0] * b[obs[0]]
+		p1 := m.Pi[1] * b[sym+obs[0]]
+		s := p0 + p1
+		scale[0] = s
+		if s > 0 {
+			inv := 1 / s
+			p0 *= inv
+			p1 *= inv
+		}
+		alpha[0], alpha[1] = p0, p1
+		for t := 1; t < T; t++ {
+			ot := obs[t]
+			q0 := (p0*a00 + p1*a10) * b[ot]
+			q1 := (p0*a01 + p1*a11) * b[sym+ot]
+			s := q0 + q1
+			scale[t] = s
+			if s > 0 {
+				inv := 1 / s
+				q0 *= inv
+				q1 *= inv
+			}
+			alpha[t*2], alpha[t*2+1] = q0, q1
+			p0, p1 = q0, q1
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			alpha[i] = m.Pi[i] * b[i*sym+obs[0]]
+		}
+		scale[0] = scaleRow(alpha[:n])
+		for t := 1; t < T; t++ {
+			prev := alpha[(t-1)*n : t*n]
+			cur := alpha[t*n : (t+1)*n]
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for i := 0; i < n; i++ {
+					sum += prev[i] * a[i*n+j]
+				}
+				cur[j] = sum * b[j*sym+obs[t]]
+			}
+			scale[t] = scaleRow(cur)
+		}
+	}
+	logProb := 0.0
+	for t := 0; t < T; t++ {
+		if scale[t] <= 0 {
+			return 0, fmt.Errorf("hmm: zero-probability observation at t=%d", t)
+		}
+		logProb += math.Log(scale[t])
+	}
+	return logProb, nil
+}
+
+// backwardWS is the scaled backward kernel, reusing the forward scaling
+// coefficients in scale. It assumes ws.loadDiscrete(m) has run; it fills
+// ws.beta (T*n row-major).
+func (m *Discrete) backwardWS(ws *Workspace, obs []int, scale []float64) {
+	n, sym, T := m.States(), m.Symbols(), len(obs)
+	ws.beta = growF(ws.beta, T*n)
+	a, b, beta := ws.a, ws.b, ws.beta
+	if n == 2 {
+		a00, a01, a10, a11 := a[0], a[1], a[2], a[3]
+		p0 := 1 / scale[T-1]
+		p1 := p0
+		beta[(T-1)*2], beta[(T-1)*2+1] = p0, p1
+		for t := T - 2; t >= 0; t-- {
+			on := obs[t+1]
+			e0 := b[on] * p0
+			e1 := b[sym+on] * p1
+			inv := 1 / scale[t]
+			p0 = (a00*e0 + a01*e1) * inv
+			p1 = (a10*e0 + a11*e1) * inv
+			beta[t*2], beta[t*2+1] = p0, p1
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		beta[(T-1)*n+i] = 1 / scale[T-1]
+	}
+	// The emission-weighted next-step betas b[j][obs[t+1]]*next[j] are
+	// shared by every source state i; stage them in ws.gamma so the inner
+	// recursion is a plain dot product, and scale by a single reciprocal
+	// instead of n divisions.
+	ws.gamma = growF(ws.gamma, n)
+	en := ws.gamma
+	for t := T - 2; t >= 0; t-- {
+		next := beta[(t+1)*n : (t+2)*n]
+		cur := beta[t*n : (t+1)*n]
+		on := obs[t+1]
+		for j := 0; j < n; j++ {
+			en[j] = b[j*sym+on] * next[j]
+		}
+		inv := 1 / scale[t]
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * en[j]
+			}
+			cur[i] = sum * inv
+		}
+	}
+}
+
+// ForwardWS runs the scaled forward kernel on ws and returns views of the
+// scaled alpha lattice (T*n row-major) and the scaling coefficients, plus
+// the total log-likelihood. The returned slices are backed by ws and are
+// valid until the next kernel call on it; steady state performs zero heap
+// allocations.
+func (m *Discrete) ForwardWS(ws *Workspace, obs []int) (alpha, scale []float64, logProb float64, err error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, nil, 0, err
+	}
+	ws.loadDiscrete(m)
+	lp, err := m.forwardWS(ws, obs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return ws.alpha, ws.scale, lp, nil
+}
+
+// BackwardWS runs the scaled backward kernel on ws with the forward
+// scaling coefficients and returns the beta lattice (T*n row-major, backed
+// by ws, valid until the next kernel call).
+func (m *Discrete) BackwardWS(ws *Workspace, obs []int, scale []float64) ([]float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, err
+	}
+	if len(scale) != len(obs) {
+		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), len(obs))
+	}
+	ws.loadDiscrete(m)
+	m.backwardWS(ws, obs, scale)
+	return ws.beta, nil
+}
+
 // Forward runs the scaled forward algorithm and returns the per-step scaled
 // alpha matrix, the scaling coefficients and the total log-likelihood
 // log P(obs | model).
@@ -112,30 +263,15 @@ func (m *Discrete) Forward(obs []int) (alpha [][]float64, scale []float64, logPr
 	if err := m.checkObs(obs); err != nil {
 		return nil, nil, 0, err
 	}
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.loadDiscrete(m)
+	lp, err := m.forwardWS(ws, obs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	n, T := m.States(), len(obs)
-	alpha = makeMatrix(T, n)
-	scale = make([]float64, T)
-	for i := 0; i < n; i++ {
-		alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
-	}
-	scale[0] = normalizeRow(alpha[0])
-	for t := 1; t < T; t++ {
-		for j := 0; j < n; j++ {
-			sum := 0.0
-			for i := 0; i < n; i++ {
-				sum += alpha[t-1][i] * m.A[i][j]
-			}
-			alpha[t][j] = sum * m.B[j][obs[t]]
-		}
-		scale[t] = normalizeRow(alpha[t])
-	}
-	for t := 0; t < T; t++ {
-		if scale[t] <= 0 {
-			return nil, nil, 0, fmt.Errorf("hmm: zero-probability observation at t=%d", t)
-		}
-		logProb += math.Log(scale[t])
-	}
-	return alpha, scale, logProb, nil
+	return unflatten(ws.alpha, T, n), cloneVector(ws.scale[:T]), lp, nil
 }
 
 // Backward runs the scaled backward algorithm reusing the forward scaling
@@ -148,99 +284,151 @@ func (m *Discrete) Backward(obs []int, scale []float64) ([][]float64, error) {
 	if len(scale) != T {
 		return nil, fmt.Errorf("hmm: scale length %d != T %d", len(scale), T)
 	}
-	beta := makeMatrix(T, n)
-	for i := 0; i < n; i++ {
-		beta[T-1][i] = 1 / scale[T-1]
-	}
-	for t := T - 2; t >= 0; t-- {
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for j := 0; j < n; j++ {
-				sum += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
-			}
-			beta[t][i] = sum / scale[t]
-		}
-	}
-	return beta, nil
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.loadDiscrete(m)
+	m.backwardWS(ws, obs, scale)
+	return unflatten(ws.beta, T, n), nil
 }
 
 // LogLikelihood returns log P(obs | model).
 func (m *Discrete) LogLikelihood(obs []int) (float64, error) {
-	_, _, lp, err := m.Forward(obs)
-	return lp, err
+	if err := m.checkObs(obs); err != nil {
+		return 0, err
+	}
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.loadDiscrete(m)
+	return m.forwardWS(ws, obs)
+}
+
+// posteriorWS computes gamma[t*n+i] = P(state_t = i | obs) into dst
+// (grown as needed) from the alpha/beta lattices already in ws.
+func posteriorWS(ws *Workspace, dst []float64, T, n int) []float64 {
+	dst = growF(dst, T*n)
+	alpha, beta := ws.alpha, ws.beta
+	for t := 0; t < T; t++ {
+		row := dst[t*n : (t+1)*n]
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			row[i] = alpha[t*n+i] * beta[t*n+i]
+			sum += row[i]
+		}
+		if sum > 0 {
+			for i := 0; i < n; i++ {
+				row[i] /= sum
+			}
+		}
+	}
+	return dst
+}
+
+// PosteriorWS computes the flat posterior lattice gamma[t*n+i] =
+// P(state_t = i | obs, model) into dst, growing it only when its capacity
+// is insufficient, and returns it. Steady state performs zero heap
+// allocations.
+func (m *Discrete) PosteriorWS(ws *Workspace, obs []int, dst []float64) ([]float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, err
+	}
+	ws.loadDiscrete(m)
+	if _, err := m.forwardWS(ws, obs); err != nil {
+		return nil, err
+	}
+	m.backwardWS(ws, obs, ws.scale)
+	return posteriorWS(ws, dst, len(obs), m.States()), nil
 }
 
 // Posterior returns gamma[t][i] = P(state_t = i | obs, model).
 func (m *Discrete) Posterior(obs []int) ([][]float64, error) {
-	alpha, scale, _, err := m.Forward(obs)
-	if err != nil {
+	if err := m.checkObs(obs); err != nil {
 		return nil, err
 	}
-	beta, err := m.Backward(obs, scale)
-	if err != nil {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	n, T := m.States(), len(obs)
+	flat := makeVector(T * n)
+	if _, err := m.PosteriorWS(ws, obs, flat); err != nil {
 		return nil, err
 	}
-	T, n := len(obs), m.States()
-	gamma := makeMatrix(T, n)
-	for t := 0; t < T; t++ {
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			gamma[t][i] = alpha[t][i] * beta[t][i]
-			sum += gamma[t][i]
-		}
-		if sum > 0 {
-			for i := 0; i < n; i++ {
-				gamma[t][i] /= sum
-			}
-		}
-	}
-	return gamma, nil
+	return unflatten(flat, T, n), nil
 }
 
-// Viterbi returns the most likely hidden state sequence for obs and its log
-// probability (Eq. 7-8 of the paper).
-func (m *Discrete) Viterbi(obs []int) ([]int, float64, error) {
-	if err := m.checkObs(obs); err != nil {
-		return nil, 0, err
-	}
-	n, T := m.States(), len(obs)
-	delta := makeMatrix(T, n)
-	psi := make([][]int, T)
-	for t := range psi {
-		psi[t] = make([]int, n)
-	}
+// viterbiWS is the Viterbi kernel over precomputed log-space parameters:
+// ws.la/ws.lp hold log transitions and log initial probabilities and
+// ws.le the T*n emission log lattice (filled by the caller). Pure flat
+// arithmetic — no math.Log calls, no closures, no allocations beyond
+// growing path when its capacity is insufficient.
+func viterbiWS(ws *Workspace, T, n int, path []int) ([]int, float64) {
+	ws.delta = growF(ws.delta, T*n)
+	ws.psi = growI32(ws.psi, T*n)
+	la, lp, le, delta, psi := ws.la, ws.lp, ws.le, ws.delta, ws.psi
 	for i := 0; i < n; i++ {
-		delta[0][i] = safeLog(m.Pi[i]) + safeLog(m.B[i][obs[0]])
+		delta[i] = lp[i] + le[i]
 	}
 	for t := 1; t < T; t++ {
+		prev := delta[(t-1)*n : t*n]
 		for j := 0; j < n; j++ {
 			best := math.Inf(-1)
 			arg := 0
 			for i := 0; i < n; i++ {
-				v := delta[t-1][i] + safeLog(m.A[i][j])
+				v := prev[i] + la[i*n+j]
 				if v > best {
 					best = v
 					arg = i
 				}
 			}
-			delta[t][j] = best + safeLog(m.B[j][obs[t]])
-			psi[t][j] = arg
+			delta[t*n+j] = best + le[t*n+j]
+			psi[t*n+j] = int32(arg)
 		}
 	}
 	best := math.Inf(-1)
 	last := 0
 	for i := 0; i < n; i++ {
-		if delta[T-1][i] > best {
-			best = delta[T-1][i]
+		if delta[(T-1)*n+i] > best {
+			best = delta[(T-1)*n+i]
 			last = i
 		}
 	}
-	path := make([]int, T)
+	if cap(path) < T {
+		path = make([]int, T)
+	}
+	path = path[:T]
 	path[T-1] = last
 	for t := T - 1; t > 0; t-- {
-		path[t-1] = psi[t][path[t]]
+		path[t-1] = int(psi[t*n+path[t]])
 	}
+	return path, best
+}
+
+// ViterbiWS decodes the most likely hidden state sequence into path
+// (grown only when its capacity is insufficient) and returns it with its
+// log probability. Steady state performs zero heap allocations: the
+// log-space parameters and the emission log lattice are precomputed once
+// per call into ws, so the lattice recursion is pure flat arithmetic.
+func (m *Discrete) ViterbiWS(ws *Workspace, obs []int, path []int) ([]int, float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, 0, err
+	}
+	n, sym := ws.loadDiscreteLogs(m)
+	T := len(obs)
+	ws.le = growF(ws.le, T*n)
+	le, lb := ws.le, ws.lb
+	for t, o := range obs {
+		for i := 0; i < n; i++ {
+			le[t*n+i] = lb[i*sym+o]
+		}
+	}
+	path, best := viterbiWS(ws, T, n, path)
 	return path, best, nil
+}
+
+// Viterbi returns the most likely hidden state sequence for obs and its log
+// probability (Eq. 7-8 of the paper).
+func (m *Discrete) Viterbi(obs []int) ([]int, float64, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return m.ViterbiWS(ws, obs, nil)
 }
 
 // --- shared helpers ---
@@ -264,13 +452,27 @@ func uniformVector(n int) []float64 {
 	return v
 }
 
+func makeVector(n int) []float64 { return make([]float64, n) }
+
 func makeMatrix(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
+	return sliceRows(make([]float64, rows*cols), rows, cols)
+}
+
+// sliceRows carves a rows×cols backing array into row views.
+func sliceRows(backing []float64, rows, cols int) [][]float64 {
 	m := make([][]float64, rows)
 	for i := range m {
 		m[i], backing = backing[:cols:cols], backing[cols:]
 	}
 	return m
+}
+
+// unflatten copies a flat row-major lattice into a freshly allocated
+// rows×cols matrix (the compatibility shape of the original API).
+func unflatten(flat []float64, rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	copy(backing, flat[:rows*cols])
+	return sliceRows(backing, rows, cols)
 }
 
 func cloneMatrix(m [][]float64) [][]float64 {
@@ -296,6 +498,25 @@ func normalizeRow(row []float64) float64 {
 	if sum > 0 {
 		for i := range row {
 			row[i] /= sum
+		}
+	}
+	return sum
+}
+
+// scaleRow is normalizeRow for the lattice hot paths: one division and n
+// multiplies instead of n divisions. The reciprocal form differs from
+// element-wise division only in the last ulp, well inside the kernels'
+// 1e-12 equivalence budget; the M-step keeps normalizeRow so re-estimated
+// parameters stay in the seed's exact arithmetic.
+func scaleRow(row []float64) float64 {
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range row {
+			row[i] *= inv
 		}
 	}
 	return sum

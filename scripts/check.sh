@@ -3,7 +3,7 @@
 #
 #   scripts/check.sh          tier-1: build + tests (the ROADMAP gate)
 #   scripts/check.sh race     tier-2: vet + full test suite under -race
-#   scripts/check.sh bench    observability microbenchmarks -> BENCH_obs.json
+#   scripts/check.sh bench    microbenchmarks -> BENCH_obs.json + BENCH_hmm.json
 #   scripts/check.sh chaos    chaos soak: seeded fault-injection schedules under -race
 #   scripts/check.sh all      tier-1 + tier-2
 set -eu
@@ -21,13 +21,10 @@ race() {
 	go test -race ./...
 }
 
-bench() {
-	echo "== bench: go test -bench on internal/obs and internal/workqueue =="
-	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/workqueue)
-	echo "$out"
-	# Flatten `go test -bench` lines into BENCH_obs.json so CI can diff
-	# telemetry-path costs across commits without reparsing raw output.
-	echo "$out" | awk '
+# bench_json flattens `go test -bench` output on stdin into a JSON array so
+# CI can diff per-commit costs without reparsing raw output.
+bench_json() {
+	awk '
 		BEGIN { print "["; n = 0 }
 		/^Benchmark/ {
 			name = $1; sub(/-[0-9]+$/, "", name)
@@ -40,8 +37,25 @@ bench() {
 			printf "}"
 		}
 		END { print "\n]" }
-	' >BENCH_obs.json
+	'
+}
+
+bench() {
+	echo "== bench: go test -bench on internal/obs and internal/workqueue =="
+	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/workqueue)
+	echo "$out"
+	echo "$out" | bench_json >BENCH_obs.json
 	echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) benchmarks)"
+
+	# The HMM kernel + decode-path baseline: the *Seed benchmarks replay the
+	# frozen pre-rewrite kernels (internal/hmm/hmmtest) on identical inputs,
+	# so each BENCH_hmm.json snapshot carries its own before/after pair
+	# measured on the same machine.
+	echo "== bench: go test -bench on internal/hmm and internal/core =="
+	out=$(go test -run '^$' -bench . -benchmem ./internal/hmm ./internal/core)
+	echo "$out"
+	echo "$out" | bench_json >BENCH_hmm.json
+	echo "wrote BENCH_hmm.json ($(grep -c '"name"' BENCH_hmm.json) benchmarks)"
 }
 
 chaos() {
