@@ -1,0 +1,181 @@
+// Command loadgen is the closed-loop load harness: it replays tracegen
+// streams against an in-process master/worker cluster (full wire protocol
+// over net.Pipe) at configurable arrival rates, sweeps the offered load
+// per worker-pool size until the deadline-miss rate crosses a threshold,
+// fits the capacity model against the paper's Eq. 10-12 WCET predictions,
+// and validates the fitted model as an admission gate at 1.5x the knee.
+//
+//	loadgen -trace boston -scale 0.05 -workers 1,2,4 -out BENCH_load.json
+//
+// The -duration and -max-rate flags are hard safety caps: the sweep stops
+// at whichever it hits first, marking the report truncated.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/control"
+	"github.com/social-sensing/sstd/internal/loadgen"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/tracegen"
+	"github.com/social-sensing/sstd/internal/traceio"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "trace file (from the tracegen command)")
+		trace   = flag.String("trace", "boston", "built-in profile when -in is empty: boston|paris|football")
+		scale   = flag.Float64("scale", 0.05, "volume scale for built-in profiles")
+		seed    = flag.Int64("seed", 42, "seed for trace synthesis, arrivals and scheduling")
+		workers = flag.String("workers", "1,2", "comma-separated worker-pool sizes to sweep")
+		mode    = flag.String("mode", "open", "load shape: open (Poisson arrivals) | closed (fixed concurrency)")
+
+		startRate  = flag.Float64("start-rate", 2, "first offered load (jobs/s in open mode, concurrency in closed)")
+		rateFactor = flag.Float64("rate-factor", 2, "geometric ramp between steps")
+		maxRate    = flag.Float64("max-rate", 256, "safety cap: stop the ramp at this offered load")
+		duration   = flag.Duration("duration", 60*time.Second, "safety cap: total sweep wall-time budget")
+		step       = flag.Duration("step", 2*time.Second, "measurement window per offered-load step")
+
+		deadline      = flag.Duration("deadline", 500*time.Millisecond, "per-job completion budget")
+		missThreshold = flag.Float64("miss-threshold", 0.5, "deadline-miss fraction that defines the knee")
+		tasksPerJob   = flag.Int("tasks-per-job", 4, "tasks each TD job is split into")
+		workDelay     = flag.Duration("work-delay", 0, "artificial per-report execution cost on workers")
+		admitFactor   = flag.Float64("admit-factor", 1.5, "admission validation offered load as a multiple of the knee rate (<= 0 skips)")
+
+		theta1 = flag.Duration("theta1", 10*time.Microsecond, "Eq. 10 per-report execution cost for the WCET comparison")
+		theta2 = flag.Duration("theta2", 40*time.Microsecond, "Eq. 11-12 distributed-execution constant")
+		initT  = flag.Duration("init-time", time.Millisecond, "Eq. 10 task init time TI")
+
+		out   = flag.String("out", "BENCH_load.json", "capacity report output path")
+		quiet = flag.Bool("quiet", false, "suppress per-step progress lines")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*in, *trace, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pools, err := parseWorkers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadgen.Config{
+		Trace:         tr,
+		Workers:       pools,
+		Mode:          *mode,
+		StartRate:     *startRate,
+		RateFactor:    *rateFactor,
+		MaxRate:       *maxRate,
+		Deadline:      *deadline,
+		MissThreshold: *missThreshold,
+		StepDuration:  *step,
+		Duration:      *duration,
+		TasksPerJob:   *tasksPerJob,
+		WorkDelay:     *workDelay,
+		AdmitFactor:   *admitFactor,
+		Seed:          *seed,
+		WCET: control.WCETModel{
+			InitTime: *initT,
+			Theta1:   *theta1,
+			Theta2:   *theta2,
+		},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		}
+	}
+
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	printCapacityTable(rep)
+	fmt.Printf("loadgen: report written to %s\n", *out)
+}
+
+// printCapacityTable renders the knee per pool size and the fitted model.
+func printCapacityTable(rep *loadgen.Report) {
+	fmt.Printf("capacity (%s mode, deadline %dms, miss threshold %.0f%%):\n",
+		rep.Mode, rep.DeadlineMs, rep.MissThreshold*100)
+	fmt.Printf("  %-8s %-10s %-9s %-10s %-10s %-8s %-8s\n",
+		"workers", "knee-rate", "crossed", "jobs/s", "tasks/s", "miss%", "p95ms")
+	for _, k := range rep.Knees {
+		fmt.Printf("  %-8d %-10.1f %-9t %-10.2f %-10.2f %-8.1f %-8.1f\n",
+			k.Workers, k.Rate, k.Crossed, k.JobsPerSec, k.TasksPerSec, k.MissRate*100, k.P95Ms)
+	}
+	f := rep.Fit
+	fmt.Printf("  fit: %.2f tasks/s/worker (%.2f jobs/s/worker, R²=%.3f)\n",
+		f.PerWorkerTasksPerSec, f.PerWorkerJobsPerSec, f.RSquared)
+	fmt.Printf("  WCET Eq.10 predicts %.2f tasks/s/worker at D=%.1f reports/task (divergence %+.1f%%); effective θ2=%.1fµs/report\n",
+		f.PredictedTasksPerSec, f.MeanTaskReports, f.DivergencePct, f.EffectiveTheta2Us)
+	if av := rep.Admission; av != nil {
+		fmt.Printf("  admission @ %.1f (%.1f× knee, %d workers): %d admitted miss %.0f%%, %d rejected (%d errtraced), held=%t\n",
+			av.OfferedRate, av.AdmitFactor, av.Workers, av.Point.Submitted,
+			av.AcceptedMissRate*100, av.Point.Rejected, av.RejectionTraces, av.Held)
+	}
+	if rep.Truncated {
+		fmt.Println("  note: sweep truncated by -duration/-max-rate safety caps; knees marked crossed=false are lower bounds")
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
+}
+
+func loadTrace(in, profile string, scale float64, seed int64) (*socialsensing.Trace, error) {
+	if in != "" {
+		return traceio.Load(in)
+	}
+	var prof tracegen.Profile
+	switch profile {
+	case "boston":
+		prof = tracegen.BostonBombing()
+	case "paris":
+		prof = tracegen.ParisShooting()
+	case "football":
+		prof = tracegen.CollegeFootball()
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	g, err := tracegen.New(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(scale)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

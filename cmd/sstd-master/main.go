@@ -75,6 +75,13 @@ func run() error {
 		taskTimeout = flag.Duration("task-timeout", 0, "requeue a task whose result has not arrived after this long (0 = wait forever)")
 		maxRetries  = flag.Int("max-retries", 0, "quarantine a task after this many lost attempts and finish its job degraded (0 = retry forever)")
 
+		controlOut  = flag.String("control-out", "", "write the control/telemetry artifact (metrics snapshot + per-worker tick series) here at exit")
+		sampleEvery = flag.Duration("sample-every", time.Second, "per-worker sampling period for -control-out")
+
+		deadline      = flag.Duration("deadline", 0, "per-job completion budget fed to admission control (0 = none)")
+		admissionRate = flag.Float64("admission-rate", 0, "fitted per-worker service rate (tasks/s) enabling admission control; jobs predicted past -deadline are rejected (from a loadgen capacity fit)")
+		admissionShed = flag.Bool("admission-shed", false, "shed over-deadline jobs to a near-zero-priority lane instead of rejecting them")
+
 		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec applied to every accepted worker connection, e.g. drop=0.3,corrupt=0.05 (see internal/chaos)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "TEST ONLY: seed for the fault-injection schedule (overrides any seed in -chaos-spec)")
 	)
@@ -92,11 +99,19 @@ func run() error {
 		metrics *obs.Registry
 		tracer  *obs.Tracer
 	)
-	if *telemetry != "" {
+	if *telemetry != "" || *controlOut != "" {
 		metrics = obs.NewRegistry()
 	}
 	if *telemetry != "" || *traceOut != "" {
 		tracer = obs.NewTracer(0)
+	}
+	var admission *workqueue.AdmissionConfig
+	if *admissionRate > 0 {
+		admission = &workqueue.AdmissionConfig{
+			TaskRatePerWorker: *admissionRate,
+			Deadline:          *deadline,
+			Shed:              *admissionShed,
+		}
 	}
 	master := workqueue.NewMaster(workqueue.MasterConfig{
 		Seed: *seed, ResultBuffer: 256,
@@ -106,6 +121,7 @@ func run() error {
 		StragglerFactor: *straggler,
 		TaskTimeout:     *taskTimeout,
 		MaxRetries:      *maxRetries,
+		Admission:       admission,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -129,6 +145,31 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "sstd-master: serve:", err)
 		}
 	}()
+	// Per-worker control sampling for the -control-out artifact: one tick
+	// of health-registry rows every -sample-every. The final tick is
+	// recorded at shutdown (below), so a run that finishes between ticks —
+	// or entirely inside the first tick — still produces its end state.
+	var recorder *obs.ControlRecorder
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	if *controlOut != "" {
+		recorder = obs.NewControlRecorder(0)
+		go func() {
+			defer close(samplerDone)
+			t := time.NewTicker(*sampleEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-t.C:
+					recordWorkerTick(recorder, master)
+				}
+			}
+		}()
+	} else {
+		close(samplerDone)
+	}
 	if *status != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/", master.StatusHandler())
@@ -166,13 +207,26 @@ func run() error {
 	tasksPerJob := make(map[string]int, len(byClaim))
 	jobSpans := make(map[string]*obs.Span, len(byClaim))
 	taskTotal := 0
+	rejected := 0
 	for claim, reports := range byClaim {
 		chunks := split(reports, *tasksPer)
-		tasksPerJob[string(claim)] = len(chunks)
 		// One distributed trace per TD job: the root span's context rides
 		// on every task, so the workers' stage spans land in the same
 		// timeline (nil tracer = nil span = no tracing, same protocol).
 		jobSpan := tracer.NewTrace("job " + string(claim))
+		// Admission control (enabled by -admission-rate): refuse jobs the
+		// capacity model predicts past their -deadline instead of letting
+		// them queue up and miss anyway. The gate logs the rejection with
+		// its errtrace return path.
+		d := master.AdmitJob(string(claim), jobSpan.TraceID(), len(chunks), *deadline)
+		if !d.Admit {
+			jobSpan.SetAttr("admission", "rejected")
+			jobSpan.Finish()
+			rejected++
+			fmt.Fprintf(os.Stderr, "sstd-master: job %s rejected: %v\n", claim, d.Err)
+			continue
+		}
+		tasksPerJob[string(claim)] = len(chunks)
 		jobSpans[string(claim)] = jobSpan
 		var tc *workqueue.TraceContext
 		if id := jobSpan.TraceID(); id != "" {
@@ -197,8 +251,18 @@ func run() error {
 			}
 			taskTotal++
 		}
+		if d.Shed {
+			// Degraded lane: near-zero scheduler weight, so the shed job
+			// only drains on capacity the admitted jobs leave idle.
+			master.SetJobPriority(string(claim), 0.001)
+		}
 	}
-	fmt.Printf("submitted %d tasks across %d jobs\n", taskTotal, len(byClaim))
+	admitted := len(tasksPerJob)
+	fmt.Printf("submitted %d tasks across %d jobs", taskTotal, admitted)
+	if rejected > 0 {
+		fmt.Printf(" (%d jobs rejected by admission control)", rejected)
+	}
+	fmt.Println()
 
 	// Merge partial sums per job and decode when each job completes.
 	dec, err := core.NewDecoder(core.DefaultDecoderConfig())
@@ -210,10 +274,10 @@ func run() error {
 	failedTasks := make(map[string]int)
 	start := time.Now()
 	finished := 0
-	for finished < len(byClaim) {
+	for finished < admitted {
 		res, ok := <-master.Results()
 		if !ok {
-			return fmt.Errorf("results closed with %d/%d jobs finished", finished, len(byClaim))
+			return fmt.Errorf("results closed with %d/%d jobs finished", finished, admitted)
 		}
 		if res.Err != "" {
 			// A task that exhausted its retries (quarantined) or failed
@@ -260,7 +324,7 @@ func run() error {
 		}
 	}
 	fmt.Printf("all %d jobs finished in %s across %d workers\n",
-		len(byClaim), time.Since(start).Round(time.Millisecond), master.WorkerCount())
+		admitted, time.Since(start).Round(time.Millisecond), master.WorkerCount())
 	for _, h := range master.ClusterHealth() {
 		flag := ""
 		if h.Straggler {
@@ -269,8 +333,22 @@ func run() error {
 		fmt.Printf("  worker %-20s %-8s tasks=%-4d exec=%6.1fms rate=%5.2f/s%s\n",
 			h.ID, h.State, h.TasksCompleted, h.EWMAExecMs, h.TasksPerSec, flag)
 	}
+	// Flush the final control tick before teardown: the run usually ends
+	// between sampler ticks, and without this the artifact would miss the
+	// end state (or, for a run shorter than one tick, hold no rows at all).
+	if recorder != nil {
+		close(samplerStop)
+		<-samplerDone
+		recordWorkerTick(recorder, master)
+	}
 	cancel()
 	master.Shutdown()
+	if *controlOut != "" {
+		if err := obs.WriteArtifactFile(*controlOut, metrics, recorder); err != nil {
+			return fmt.Errorf("write control artifact %s: %w", *controlOut, err)
+		}
+		fmt.Printf("wrote control artifact to %s (%d worker samples)\n", *controlOut, len(recorder.WorkerSamples()))
+	}
 	if *traceOut != "" {
 		// Shutdown first: the workers' final span flush (their last send
 		// spans) arrives before the connections close, so the export is
@@ -281,6 +359,30 @@ func run() error {
 		fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.Len())
 	}
 	return nil
+}
+
+// recordWorkerTick appends one control tick of per-worker health rows
+// (observed EWMA throughput, exec and transfer times, clock skew) to the
+// recorder. The standalone master has no WCET model, so the prediction
+// columns stay zero; the loadgen harness fills those in its capacity fit.
+func recordWorkerTick(rec *obs.ControlRecorder, master *workqueue.Master) {
+	rec.BeginTick()
+	now := time.Now()
+	for _, h := range master.ClusterHealth() {
+		if h.State == workqueue.WorkerDead {
+			continue
+		}
+		rec.RecordWorker(obs.WorkerSample{
+			Time:               now,
+			Worker:             h.ID,
+			State:              string(h.State),
+			TasksPerSec:        h.TasksPerSec,
+			ObservedExecMs:     h.EWMAExecMs,
+			MeasuredTransferMs: h.EWMATransferMs,
+			ClockSkewMs:        h.ClockSkewMs,
+			Straggler:          h.Straggler,
+		})
+	}
 }
 
 func loadTrace(in, profile string, scale float64, seed int64) (*socialsensing.Trace, error) {

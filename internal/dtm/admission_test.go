@@ -1,0 +1,103 @@
+package dtm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// TestManagerAdmissionRejects: with a capacity model too slow for the
+// deadline, SubmitJob refuses the job with the errtraced sentinel and the
+// rejection leaves a correlated structured log line.
+func TestManagerAdmissionRejects(t *testing.T) {
+	logger := obs.NewLogger(nil, obs.LevelDebug, 256)
+	cfg := DefaultConfig(origin())
+	cfg.Workers = 2
+	cfg.Logger = logger
+	cfg.Admission = &workqueue.AdmissionConfig{TaskRatePerWorker: 0.001}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+
+	err = m.SubmitJob("c-reject", flipReports("c-reject", 10, 5, 4, 0.1, 1), 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("SubmitJob should have been rejected by admission control")
+	}
+	if !errors.Is(err, workqueue.ErrAdmissionRejected) {
+		t.Fatalf("err %v does not wrap ErrAdmissionRejected", err)
+	}
+	if tr := obs.ReturnTrace(err); len(tr) < 2 {
+		t.Errorf("rejection error carries %d return frames, want >= 2: %v", len(tr), tr)
+	}
+	var found bool
+	for _, e := range logger.Entries() {
+		if e.Msg == "job rejected by admission control" && e.Fields["job_id"] == "c-reject" {
+			found = true
+			if _, ok := e.Fields["err_trace"]; !ok {
+				t.Error("rejection log line has no err_trace field")
+			}
+		}
+	}
+	if !found {
+		t.Error("no rejection log line for c-reject")
+	}
+}
+
+// TestManagerAdmissionSheds: in shed mode the same over-capacity job is
+// admitted into the degraded lane and completes flagged Shed.
+func TestManagerAdmissionSheds(t *testing.T) {
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Workers = 2
+	cfg.Admission = &workqueue.AdmissionConfig{TaskRatePerWorker: 0.001, Shed: true}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+
+	if err := m.SubmitJob("c-shed", flipReports("c-shed", 20, 10, 4, 0.1, 2), 50*time.Millisecond); err != nil {
+		t.Fatalf("shed mode should admit: %v", err)
+	}
+	res := drain(t, m, 1)[0]
+	if res.Err != nil {
+		t.Fatalf("shed job failed: %v", res.Err)
+	}
+	if !res.Shed {
+		t.Error("JobResult.Shed not set for an admission-shed job")
+	}
+}
+
+// TestManagerAdmissionOpenForNoDeadline: jobs without a deadline pass the
+// gate untouched even when the capacity model would reject them.
+func TestManagerAdmissionOpenForNoDeadline(t *testing.T) {
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Workers = 2
+	cfg.Admission = &workqueue.AdmissionConfig{TaskRatePerWorker: 0.001}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+
+	if err := m.SubmitJob("c-free", flipReports("c-free", 20, 10, 4, 0.1, 3), 0); err != nil {
+		t.Fatalf("no-deadline job should be admitted: %v", err)
+	}
+	res := drain(t, m, 1)[0]
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	if res.Shed {
+		t.Error("no-deadline job should not be shed")
+	}
+}

@@ -1,0 +1,43 @@
+package dtm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// TestCloseFlushesFinalControlTick: a run shorter than SampleEvery never
+// sees a periodic control tick, so Close must record a final one — the
+// artifact of a short experiment would otherwise carry no worker rows.
+func TestCloseFlushesFinalControlTick(t *testing.T) {
+	rec := obs.NewControlRecorder(0)
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Workers = 2
+	cfg.ControlLog = rec
+	cfg.SampleEvery = time.Hour // no periodic tick can fire in this test
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	if err := m.SubmitJob("c-flush", flipReports("c-flush", 20, 10, 4, 0.1, 7), 0); err != nil {
+		t.Fatal(err)
+	}
+	res := drain(t, m, 1)[0]
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	m.Close()
+	rows := rec.WorkerSamples()
+	if len(rows) == 0 {
+		t.Fatal("Close recorded no final control tick: worker samples empty")
+	}
+	for _, r := range rows {
+		if r.Worker == "" || r.State == "" {
+			t.Errorf("malformed worker row: %+v", r)
+		}
+	}
+}

@@ -85,6 +85,14 @@ type Config struct {
 	WrapConn func(master, worker net.Conn) (net.Conn, net.Conn)
 	WrapExec func(workqueue.Executor) workqueue.Executor
 
+	// Admission enables capacity-model admission control on SubmitJob:
+	// jobs whose predicted completion (given queue depth and the fitted
+	// or observed per-worker service rate) exceeds their deadline are
+	// rejected with workqueue.ErrAdmissionRejected — or, with
+	// Admission.Shed set, admitted into a near-zero-priority degraded
+	// lane. Nil leaves the gate open.
+	Admission *workqueue.AdmissionConfig
+
 	// Seed drives scheduler randomness.
 	Seed int64
 
@@ -143,6 +151,10 @@ type JobResult struct {
 	// nil; only a job with no successful task at all reports Err.
 	Degraded    bool
 	FailedTasks int
+	// Shed marks a job the admission gate demoted to the degraded
+	// priority lane: it ran, but only on capacity the deadline-bound
+	// jobs left idle, so its deadline carries no promise.
+	Shed bool
 }
 
 // taskPayload is the unit of work shipped to workers: compute partial
@@ -176,7 +188,13 @@ type jobState struct {
 	// associative), and a duplicate result for the same task is a no-op.
 	taskSums map[string]map[int]float64
 	firstErr error
-	span     *obs.Span // root trace span; nil without a tracer
+	// firstErrTrace is the worker-side return trace that rode the wire
+	// with the first failed result (Result.ErrTrace), kept alongside
+	// firstErr so the job-failed log can show the remote error path.
+	firstErrTrace string
+	// shed marks a job the admission gate demoted to the degraded lane.
+	shed bool
+	span *obs.Span // root trace span; nil without a tracer
 }
 
 // Manager is the Dynamic Task Manager.
@@ -211,8 +229,9 @@ type Manager struct {
 	hJobLatency   *obs.Histogram
 	hDecode       *obs.Histogram
 
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New validates cfg and builds a Manager. Call Start before submitting.
@@ -252,6 +271,7 @@ func New(cfg Config) (*Manager, error) {
 		SuspectAfter:    cfg.SuspectAfter,
 		DeadAfter:       cfg.DeadAfter,
 		StragglerFactor: cfg.StragglerFactor,
+		Admission:       cfg.Admission,
 	})
 	exec := workqueue.Executor(m.execute)
 	if cfg.WrapExec != nil {
@@ -334,6 +354,19 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 	// worker, so remote stage spans land in the same timeline.
 	js.span = m.tracer.NewTrace("job " + jobID)
 	js.span.SetAttr("reports", fmt.Sprintf("%d", len(reports)))
+	// Admission control: predict the job's completion against its
+	// deadline before any task enters the queue. The gate logs its own
+	// rejection provenance (with err_trace); here we only finish the
+	// just-opened span and surface the errtraced sentinel.
+	if d := m.master.AdmitJob(jobID, js.span.TraceID(), len(chunks), deadline); !d.Admit {
+		js.span.SetAttr("admission", "rejected")
+		js.span.SetAttr("error", d.Err.Error())
+		js.span.Finish()
+		return obs.Wrap(fmt.Errorf("dtm: submit job %s: %w", jobID, d.Err))
+	} else if d.Shed {
+		js.shed = true
+		js.span.SetAttr("admission", "shed")
+	}
 	m.mu.Lock()
 	if _, dup := m.jobs[jobID]; dup {
 		m.mu.Unlock()
@@ -370,8 +403,18 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 			return err
 		}
 	}
+	if js.shed {
+		// Degraded lane: the shed job's tasks only win the weighted-random
+		// pick when nothing deadline-bound is queued.
+		m.master.SetJobPriority(jobID, shedPriority)
+	}
 	return nil
 }
+
+// shedPriority is the scheduler weight of admission-shed jobs — three
+// orders of magnitude under the default 1.0, so a shed job drains on
+// idle capacity without starving completely.
+const shedPriority = 0.001
 
 // Results streams completed TD jobs. Closed by Close.
 func (m *Manager) Results() <-chan JobResult { return m.results }
@@ -420,8 +463,27 @@ func (m *Manager) Progress() []JobProgress {
 	return out
 }
 
-// Close tears everything down and closes Results.
+// Close tears everything down and closes Results. Before teardown it
+// records one final control tick: a run whose last job finishes between
+// SampleEvery ticks (every short experiment) would otherwise leave the
+// artifact without its end state — or, for runs shorter than one tick,
+// with no worker rows at all. Safe to call more than once.
 func (m *Manager) Close() {
+	m.closeOnce.Do(m.close)
+}
+
+func (m *Manager) close() {
+	if m.recorder != nil {
+		m.mu.Lock()
+		var totData, totTasks float64
+		for _, js := range m.jobs {
+			totData += js.dataSize
+			totTasks += float64(js.tasks)
+		}
+		m.mu.Unlock()
+		m.recorder.BeginTick()
+		m.recordWorkerRows(time.Now(), totData, totTasks)
+	}
 	if m.cancel != nil {
 		m.cancel()
 	}
@@ -438,11 +500,11 @@ func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
 	decode := workqueue.StartStageSpan(ctx, workqueue.StageDecode)
 	var p taskPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
-		return nil, workqueue.StageError(workqueue.StageDecode, fmt.Errorf("dtm: bad task payload: %w", err))
+		return nil, obs.Wrap(workqueue.StageError(workqueue.StageDecode, fmt.Errorf("dtm: bad task payload: %w", err)))
 	}
 	decode.Finish()
 	if p.Interval <= 0 {
-		return nil, errors.New("dtm: task payload has no interval")
+		return nil, obs.Wrap(errors.New("dtm: task payload has no interval"))
 	}
 	out := taskOutput{Sums: make(map[int]float64)}
 	for _, r := range p.Reports {
@@ -466,7 +528,7 @@ func (m *Manager) execute(ctx context.Context, payload []byte) ([]byte, error) {
 	encode := workqueue.StartStageSpan(ctx, workqueue.StageEncode)
 	b, err := json.Marshal(out)
 	if err != nil {
-		return nil, workqueue.StageError(workqueue.StageEncode, err)
+		return nil, obs.Wrap(workqueue.StageError(workqueue.StageEncode, err))
 	}
 	encode.Finish()
 	return b, nil
@@ -510,6 +572,7 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 		js.taskSums[r.TaskID] = nil
 		if js.firstErr == nil {
 			js.firstErr = errors.New(r.Err)
+			js.firstErrTrace = r.ErrTrace
 		}
 	} else {
 		var out taskOutput
@@ -517,7 +580,7 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 			js.failed++
 			js.taskSums[r.TaskID] = nil
 			if js.firstErr == nil {
-				js.firstErr = fmt.Errorf("dtm: bad task output: %w", err)
+				js.firstErr = obs.Wrap(fmt.Errorf("dtm: bad task output: %w", err))
 			}
 		} else {
 			js.taskSums[r.TaskID] = out.Sums
@@ -562,6 +625,7 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 		Elapsed:     time.Since(js.submitted),
 		Deadline:    js.deadline,
 		FailedTasks: js.failed,
+		Shed:        js.shed,
 	}
 	res.MetDeadline = js.deadline == 0 || res.Elapsed <= js.deadline
 	defer func() {
@@ -584,7 +648,7 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 	m.hDecode.ObserveDuration(time.Since(decodeStart))
 	decodeSpan.Finish()
 	if err != nil {
-		res.Err = err
+		res.Err = obs.Wrap(err)
 		m.emit(ctx, res)
 		return
 	}
@@ -607,8 +671,16 @@ func (m *Manager) observeJob(js *jobState, res JobResult) {
 	case res.Err != nil:
 		m.cJobsFailed.Inc()
 		js.span.SetAttr("error", res.Err.Error())
-		m.logger.Warn("job failed",
-			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()), obs.Err(res.Err))
+		fields := []obs.Field{
+			obs.JobID(string(js.claim)), obs.TraceID(js.span.TraceID()), obs.Err(res.Err),
+		}
+		if f := obs.ErrTrace(res.Err); f.Key != "" {
+			fields = append(fields, f)
+		}
+		if js.firstErrTrace != "" {
+			fields = append(fields, obs.F("worker_err_trace", js.firstErrTrace))
+		}
+		m.logger.Warn("job failed", fields...)
 	case res.Degraded:
 		m.cJobsDone.Inc()
 		m.cJobsDegraded.Inc()
@@ -727,34 +799,43 @@ func (m *Manager) controlStep(ctx context.Context) {
 				DeadlineMs:       float64(st.Deadline) / float64(time.Millisecond),
 			})
 		}
-		// Per-worker rows: observed throughput from the heartbeat-fed
-		// health registry next to the WCET model's per-task prediction
-		// (Eq. 10 on the current average task size), so the artifact shows
-		// where the model and the cluster disagree.
-		var predictedMs float64
-		if totTasks > 0 {
-			predictedMs = float64(m.cfg.WCET.TaskTime(totData/totTasks)) / float64(time.Millisecond)
+		m.recordWorkerRows(now, totData, totTasks)
+	}
+}
+
+// recordWorkerRows appends one per-worker observation row per alive
+// worker to the control recorder: observed throughput from the
+// heartbeat-fed health registry next to the WCET model's per-task
+// prediction (Eq. 10 on the current average task size), so the artifact
+// shows where the model and the cluster disagree. Shared by controlStep
+// and the final flush in Close.
+func (m *Manager) recordWorkerRows(now time.Time, totData, totTasks float64) {
+	if m.recorder == nil {
+		return
+	}
+	var predictedMs float64
+	if totTasks > 0 {
+		predictedMs = float64(m.cfg.WCET.TaskTime(totData/totTasks)) / float64(time.Millisecond)
+	}
+	// The model folds per-task transfer into its init term TI (Eq. 10);
+	// the registry's measured transfer EWMA sits next to it per worker.
+	predictedTransferMs := float64(m.cfg.WCET.InitTime) / float64(time.Millisecond)
+	for _, h := range m.master.ClusterHealth() {
+		if h.State == workqueue.WorkerDead {
+			continue
 		}
-		// The model folds per-task transfer into its init term TI (Eq. 10);
-		// the registry's measured transfer EWMA sits next to it per worker.
-		predictedTransferMs := float64(m.cfg.WCET.InitTime) / float64(time.Millisecond)
-		for _, h := range m.master.ClusterHealth() {
-			if h.State == workqueue.WorkerDead {
-				continue
-			}
-			m.recorder.RecordWorker(obs.WorkerSample{
-				Time:                now,
-				Worker:              h.ID,
-				State:               string(h.State),
-				TasksPerSec:         h.TasksPerSec,
-				ObservedExecMs:      h.EWMAExecMs,
-				PredictedExecMs:     predictedMs,
-				MeasuredTransferMs:  h.EWMATransferMs,
-				PredictedTransferMs: predictedTransferMs,
-				ClockSkewMs:         h.ClockSkewMs,
-				Straggler:           h.Straggler,
-			})
-		}
+		m.recorder.RecordWorker(obs.WorkerSample{
+			Time:                now,
+			Worker:              h.ID,
+			State:               string(h.State),
+			TasksPerSec:         h.TasksPerSec,
+			ObservedExecMs:      h.EWMAExecMs,
+			PredictedExecMs:     predictedMs,
+			MeasuredTransferMs:  h.EWMATransferMs,
+			PredictedTransferMs: predictedTransferMs,
+			ClockSkewMs:         h.ClockSkewMs,
+			Straggler:           h.Straggler,
+		})
 	}
 }
 

@@ -1,0 +1,140 @@
+// Package loadgen is the closed-loop load harness of the repo: it replays
+// tracegen streams against a real master/worker cluster at configurable
+// arrival rates, sweeps the offered load per worker-pool size until the
+// deadline-miss rate crosses a threshold (the knee), and fits the observed
+// saturation throughput into a capacity model compared against the paper's
+// Eq. 10-12 WCET predictions. The fitted per-worker service rate feeds the
+// workqueue admission gate, closing the loop from measurement to control.
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/control"
+)
+
+// Knee is the capacity knee of one worker-pool size: the highest measured
+// offered load whose deadline-miss rate stayed within the threshold, and
+// the throughput the pool sustained there.
+type Knee struct {
+	Workers int     `json:"workers"`
+	Mode    string  `json:"mode"`
+	Rate    float64 `json:"rate"`
+	// Crossed reports whether the sweep actually drove the pool past the
+	// miss threshold; false means the knee is a lower bound (the sweep hit
+	// its rate or duration cap first).
+	Crossed bool `json:"crossed"`
+	// JobsPerSec / TasksPerSec are the completion throughput at the knee.
+	JobsPerSec  float64 `json:"jobsPerSec"`
+	TasksPerSec float64 `json:"tasksPerSec"`
+	// MissRate is the deadline-miss fraction observed at the knee point.
+	MissRate float64 `json:"missRate"`
+	// P95Ms is the job latency tail at the knee.
+	P95Ms float64 `json:"p95Ms"`
+}
+
+// CapacityFit is the measured capacity model: a single per-worker service
+// rate fitted across pool sizes (least squares through the origin over
+// saturation throughput X_W ≈ μ·W), compared against what the Eq. 10-12
+// WCET parameters predict for the same task size.
+type CapacityFit struct {
+	// PerWorkerTasksPerSec is the fitted per-worker task service rate μ —
+	// the number the admission gate consumes (-admission-rate).
+	PerWorkerTasksPerSec float64 `json:"perWorkerTasksPerSec"`
+	// PerWorkerJobsPerSec is μ scaled to whole jobs (μ / tasks-per-job).
+	PerWorkerJobsPerSec float64 `json:"perWorkerJobsPerSec"`
+	// MeanTaskReports is the average task data size D the predictions use.
+	MeanTaskReports float64 `json:"meanTaskReports"`
+	// PredictedTasksPerSec is the WCET model's per-worker rate
+	// 1/TaskTime(D) (Eq. 10) for comparison with the fitted μ.
+	PredictedTasksPerSec float64 `json:"predictedTasksPerSec"`
+	// DivergencePct is (measured-predicted)/predicted × 100: positive
+	// means the cluster outran the model, negative that the model was
+	// optimistic.
+	DivergencePct float64 `json:"divergencePct"`
+	// EffectiveTheta2Us back-solves Eq. 12 from the measurement: with
+	// X_W·(D/task) reports/s drained per worker, θ2_eff = 1/(reports per
+	// worker-second), in microseconds per report.
+	EffectiveTheta2Us float64 `json:"effectiveTheta2Us"`
+	// RSquared grades the linear fit X_W ≈ μ·W across pool sizes (1 =
+	// perfectly linear scaling; meaningful only with 2+ pool sizes).
+	RSquared float64 `json:"rSquared"`
+}
+
+// fitCapacity fits μ through the origin over (workers, saturation task
+// throughput) pairs and derives the WCET comparison columns. meanTaskReports
+// is the average per-task data size; wcet supplies the Eq. 10 prediction.
+func fitCapacity(knees []Knee, tasksPerJob int, meanTaskReports float64, wcet control.WCETModel) CapacityFit {
+	var sxy, sxx float64
+	for _, k := range knees {
+		w := float64(k.Workers)
+		sxy += w * k.TasksPerSec
+		sxx += w * w
+	}
+	fit := CapacityFit{MeanTaskReports: meanTaskReports}
+	if sxx > 0 {
+		fit.PerWorkerTasksPerSec = sxy / sxx
+	}
+	if tasksPerJob > 0 {
+		fit.PerWorkerJobsPerSec = fit.PerWorkerTasksPerSec / float64(tasksPerJob)
+	}
+	// R² against the through-origin line.
+	if len(knees) >= 2 {
+		var mean float64
+		for _, k := range knees {
+			mean += k.TasksPerSec
+		}
+		mean /= float64(len(knees))
+		var ssRes, ssTot float64
+		for _, k := range knees {
+			pred := fit.PerWorkerTasksPerSec * float64(k.Workers)
+			ssRes += (k.TasksPerSec - pred) * (k.TasksPerSec - pred)
+			ssTot += (k.TasksPerSec - mean) * (k.TasksPerSec - mean)
+		}
+		if ssTot > 0 {
+			fit.RSquared = 1 - ssRes/ssTot
+		} else if ssRes == 0 {
+			fit.RSquared = 1
+		}
+	}
+	if tt := wcet.TaskTime(meanTaskReports); tt > 0 {
+		fit.PredictedTasksPerSec = float64(time.Second) / float64(tt)
+	}
+	if fit.PredictedTasksPerSec > 0 {
+		fit.DivergencePct = (fit.PerWorkerTasksPerSec - fit.PredictedTasksPerSec) /
+			fit.PredictedTasksPerSec * 100
+	}
+	// Eq. 12 reads JobWCET = D·θ2/(W·prio): one worker drains 1/θ2
+	// reports per second, so the measured reports-per-worker-second rate
+	// inverts to an effective θ2.
+	if rps := fit.PerWorkerTasksPerSec * meanTaskReports; rps > 0 {
+		fit.EffectiveTheta2Us = 1e6 / rps
+	}
+	return fit
+}
+
+// percentile returns the p-th percentile (0-100) of values, interpolating
+// between ranks; NaN-free: empty input returns 0.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

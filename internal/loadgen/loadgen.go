@@ -1,0 +1,565 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/control"
+	"github.com/social-sensing/sstd/internal/dtm"
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// Mode names the two load shapes the harness generates.
+const (
+	// ModeOpen is open-loop Poisson arrivals: jobs arrive at the offered
+	// rate regardless of completions, the way a live stream would.
+	ModeOpen = "open"
+	// ModeClosed is closed-loop fixed concurrency: the offered "rate" is
+	// the number of outstanding jobs kept in flight; a completion triggers
+	// the next submission.
+	ModeClosed = "closed"
+)
+
+// Config parameterizes a load sweep.
+type Config struct {
+	// Trace supplies the replayed jobs: each TD job is one claim's report
+	// stream, cycled as long as the step needs arrivals.
+	Trace *socialsensing.Trace
+	// Workers lists the pool sizes to sweep (default {1, 2}).
+	Workers []int
+	// Mode is ModeOpen (default) or ModeClosed.
+	Mode string
+	// StartRate is the first offered load: jobs/second in open mode, the
+	// concurrency level in closed mode. Default 2.
+	StartRate float64
+	// RateFactor is the geometric ramp between steps (default 2).
+	RateFactor float64
+	// MaxRate is the safety cap on offered load — the sweep stops there
+	// even if the miss threshold was never crossed. Default 256.
+	MaxRate float64
+	// Deadline is the per-job completion budget; a job finishing later
+	// counts as a miss. Default 500ms.
+	Deadline time.Duration
+	// MissThreshold is the deadline-miss fraction that defines the knee
+	// (default 0.5).
+	MissThreshold float64
+	// StepDuration is the measurement window per offered-load step
+	// (default 2s).
+	StepDuration time.Duration
+	// Duration is the safety cap on the whole sweep's wall time; steps
+	// that would start past it are skipped and the report is marked
+	// truncated. Default 60s.
+	Duration time.Duration
+	// TasksPerJob splits each TD job (default 4).
+	TasksPerJob int
+	// WorkDelay adds artificial per-report execution cost, emulating
+	// computation-heavy loads (default 0).
+	WorkDelay time.Duration
+	// WCET supplies the Eq. 10-12 parameters the fitted capacity model is
+	// compared against (zero values skip the comparison columns).
+	WCET control.WCETModel
+	// AdmitFactor drives the admission validation phase: after the fit,
+	// one extra step runs at AdmitFactor × the knee rate with the fitted
+	// rate feeding the admission gate, checking that accepted jobs stay
+	// under the miss threshold while rejections carry errtrace provenance.
+	// <= 0 skips the phase. Default 1.5.
+	AdmitFactor float64
+	// Seed drives arrival randomness and the scheduler.
+	Seed int64
+	// Logf, when set, receives progress lines (fmt.Printf signature).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if len(out.Workers) == 0 {
+		out.Workers = []int{1, 2}
+	}
+	if out.Mode == "" {
+		out.Mode = ModeOpen
+	}
+	if out.StartRate <= 0 {
+		out.StartRate = 2
+	}
+	if out.RateFactor <= 1 {
+		out.RateFactor = 2
+	}
+	if out.MaxRate <= 0 {
+		out.MaxRate = 256
+	}
+	if out.Deadline <= 0 {
+		out.Deadline = 500 * time.Millisecond
+	}
+	if out.MissThreshold <= 0 {
+		out.MissThreshold = 0.5
+	}
+	if out.StepDuration <= 0 {
+		out.StepDuration = 2 * time.Second
+	}
+	if out.Duration <= 0 {
+		out.Duration = 60 * time.Second
+	}
+	if out.TasksPerJob <= 0 {
+		out.TasksPerJob = 4
+	}
+	if out.AdmitFactor == 0 {
+		out.AdmitFactor = 1.5
+	}
+	return out
+}
+
+// SweepPoint is one measured (pool size, offered load) cell.
+type SweepPoint struct {
+	Workers int    `json:"workers"`
+	Mode    string `json:"mode"`
+	// OfferedRate is jobs/second (open) or the concurrency level (closed).
+	OfferedRate float64 `json:"offeredRate"`
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Failed      int     `json:"failed"`
+	// Missed counts completed jobs that blew their deadline; Undrained
+	// counts jobs still unfinished when the drain window closed (they
+	// count toward MissRate too — an unfinished job missed by definition).
+	Missed    int `json:"missed"`
+	Undrained int `json:"undrained"`
+	// Rejected counts admission-gate refusals (validation phase only).
+	Rejected int     `json:"rejected"`
+	MissRate float64 `json:"missRate"`
+	// JobsPerSec / TasksPerSec are completion throughput over the
+	// first-submit→last-result window.
+	JobsPerSec  float64 `json:"jobsPerSec"`
+	TasksPerSec float64 `json:"tasksPerSec"`
+	MeanMs      float64 `json:"meanMs"`
+	P50Ms       float64 `json:"p50Ms"`
+	P95Ms       float64 `json:"p95Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+}
+
+// AdmissionValidation is the closed-loop check: the fitted capacity model
+// feeding the admission gate at an offered load deliberately past the
+// knee, with the gate expected to keep accepted jobs under the miss
+// threshold by refusing the excess.
+type AdmissionValidation struct {
+	Workers     int     `json:"workers"`
+	OfferedRate float64 `json:"offeredRate"`
+	AdmitFactor float64 `json:"admitFactor"`
+	// FittedRate is the per-worker service rate handed to the gate.
+	FittedRate float64 `json:"fittedRate"`
+	// AcceptedMissRate is the miss rate among admitted jobs only.
+	AcceptedMissRate float64 `json:"acceptedMissRate"`
+	// Held reports the acceptance test: accepted jobs stayed under the
+	// sweep's miss threshold while at least one job was rejected.
+	Held bool `json:"held"`
+	// RejectionTraces counts rejection log lines that carried an
+	// err_trace return path (must equal the rejections).
+	RejectionTraces int        `json:"rejectionTraces"`
+	Point           SweepPoint `json:"point"`
+}
+
+// Report is the BENCH_load.json payload.
+type Report struct {
+	Trace         string  `json:"trace"`
+	Mode          string  `json:"mode"`
+	DeadlineMs    int64   `json:"deadlineMs"`
+	MissThreshold float64 `json:"missThreshold"`
+	TasksPerJob   int     `json:"tasksPerJob"`
+	StepMs        int64   `json:"stepMs"`
+	WorkDelayUs   int64   `json:"workDelayUs"`
+	// Truncated marks a sweep cut short by the -duration or -max-rate
+	// safety caps before every pool size crossed its knee.
+	Truncated bool                 `json:"truncated"`
+	Sweep     []SweepPoint         `json:"sweep"`
+	Knees     []Knee               `json:"knees"`
+	Fit       CapacityFit          `json:"fit"`
+	Admission *AdmissionValidation `json:"admission,omitempty"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Run executes the sweep and (when AdmitFactor > 0) the admission
+// validation phase, returning the capacity report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Trace == nil {
+		return nil, errors.New("loadgen: config needs a trace")
+	}
+	if cfg.Mode != "" && cfg.Mode != ModeOpen && cfg.Mode != ModeClosed {
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+	c := cfg.withDefaults()
+	r := &runner{cfg: c, start: time.Now()}
+	if err := r.loadJobs(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Trace:         c.Trace.Name,
+		Mode:          c.Mode,
+		DeadlineMs:    c.Deadline.Milliseconds(),
+		MissThreshold: c.MissThreshold,
+		TasksPerJob:   c.TasksPerJob,
+		StepMs:        c.StepDuration.Milliseconds(),
+		WorkDelayUs:   c.WorkDelay.Microseconds(),
+	}
+	for _, w := range c.Workers {
+		knee, points, truncated, err := r.sweepWorkers(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweep = append(rep.Sweep, points...)
+		rep.Knees = append(rep.Knees, knee)
+		rep.Truncated = rep.Truncated || truncated
+	}
+	rep.Fit = fitCapacity(rep.Knees, c.TasksPerJob, r.meanTaskReports, c.WCET)
+	r.logf("fit: %.2f tasks/s per worker (predicted %.2f, divergence %+.1f%%)",
+		rep.Fit.PerWorkerTasksPerSec, rep.Fit.PredictedTasksPerSec, rep.Fit.DivergencePct)
+	if c.AdmitFactor > 0 && rep.Fit.PerWorkerTasksPerSec > 0 && len(rep.Knees) > 0 {
+		av, err := r.validateAdmission(ctx, rep)
+		if err != nil {
+			return nil, err
+		}
+		rep.Admission = av
+	}
+	return rep, nil
+}
+
+// runner carries the sweep's shared state.
+type runner struct {
+	cfg   Config
+	start time.Time
+	// jobReports cycles as the arrival source; meanTaskReports is the
+	// average per-task data size D for the WCET comparison.
+	jobReports      [][]socialsensing.Report
+	meanTaskReports float64
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// loadJobs groups the trace per claim (sorted, for determinism) and
+// derives the mean task size.
+func (r *runner) loadJobs() error {
+	byClaim := r.cfg.Trace.ReportsByClaim()
+	claims := make([]string, 0, len(byClaim))
+	for c := range byClaim {
+		claims = append(claims, string(c))
+	}
+	sort.Strings(claims)
+	total := 0
+	for _, c := range claims {
+		reports := byClaim[socialsensing.ClaimID(c)]
+		if len(reports) == 0 {
+			continue
+		}
+		r.jobReports = append(r.jobReports, reports)
+		total += len(reports)
+	}
+	if len(r.jobReports) == 0 {
+		return errors.New("loadgen: trace has no reports")
+	}
+	r.meanTaskReports = float64(total) / float64(len(r.jobReports)*r.cfg.TasksPerJob)
+	return nil
+}
+
+// budgetLeft reports whether another step fits inside the -duration cap.
+func (r *runner) budgetLeft() bool {
+	return time.Since(r.start)+r.cfg.StepDuration <= r.cfg.Duration
+}
+
+// sweepWorkers ramps the offered load for one pool size until the miss
+// threshold is crossed or a safety cap stops the ramp.
+func (r *runner) sweepWorkers(ctx context.Context, workers int) (Knee, []SweepPoint, bool, error) {
+	knee := Knee{Workers: workers, Mode: r.cfg.Mode}
+	var points []SweepPoint
+	truncated := false
+	rate := r.cfg.StartRate
+	for {
+		if ctx.Err() != nil {
+			return knee, points, truncated, ctx.Err()
+		}
+		if !r.budgetLeft() {
+			truncated = true
+			r.logf("workers=%d: duration budget exhausted at rate %.1f", workers, rate)
+			break
+		}
+		p, err := r.step(ctx, workers, rate, nil, nil)
+		if err != nil {
+			return knee, points, truncated, err
+		}
+		points = append(points, p)
+		r.logf("workers=%d rate=%.1f (%s): %d submitted, %.1f jobs/s, miss %.0f%%, p95 %.0fms",
+			workers, rate, r.cfg.Mode, p.Submitted, p.JobsPerSec, p.MissRate*100, p.P95Ms)
+		if p.MissRate > r.cfg.MissThreshold {
+			knee.Crossed = true
+			break
+		}
+		// Highest in-threshold point so far = current knee candidate.
+		knee.Rate = p.OfferedRate
+		knee.JobsPerSec = p.JobsPerSec
+		knee.TasksPerSec = p.TasksPerSec
+		knee.MissRate = p.MissRate
+		knee.P95Ms = p.P95Ms
+		rate *= r.cfg.RateFactor
+		if rate > r.cfg.MaxRate {
+			truncated = true
+			r.logf("workers=%d: max-rate cap %.1f reached", workers, r.cfg.MaxRate)
+			break
+		}
+	}
+	if knee.Rate == 0 && len(points) > 0 {
+		// Even the first step was over threshold: the knee is below the
+		// start rate; report the first point as the (crossed) bound.
+		p := points[0]
+		knee.Rate = p.OfferedRate
+		knee.JobsPerSec = p.JobsPerSec
+		knee.TasksPerSec = p.TasksPerSec
+		knee.MissRate = p.MissRate
+		knee.P95Ms = p.P95Ms
+	}
+	return knee, points, truncated, nil
+}
+
+// step runs one measurement window: a fresh in-process cluster (master +
+// workers over net.Pipe, full wire protocol) at the given pool size, fed
+// arrivals at the offered load.
+func (r *runner) step(ctx context.Context, workers int, rate float64, admission *workqueue.AdmissionConfig, logger *obs.Logger) (SweepPoint, error) {
+	cfg := dtm.DefaultConfig(r.cfg.Trace.Start)
+	cfg.ACS.WindowIntervals = 3
+	cfg.TasksPerJob = r.cfg.TasksPerJob
+	cfg.Workers = workers
+	cfg.WorkDelay = r.cfg.WorkDelay
+	cfg.Seed = r.cfg.Seed
+	cfg.Admission = admission
+	cfg.Logger = logger
+	m, err := dtm.New(cfg)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	m.Start(ctx)
+	defer m.Close()
+
+	point := SweepPoint{Workers: workers, Mode: r.cfg.Mode, OfferedRate: rate}
+	var (
+		received                  atomic.Int64
+		lastResult                atomic.Int64 // unix nanos of the newest result
+		latencies                 []float64
+		completed, failed, missed int
+	)
+	collectorDone := make(chan struct{})
+	// Closed-loop tokens: one per concurrency slot, returned on completion.
+	concurrency := int(rate + 0.5)
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	sem := make(chan struct{}, concurrency+1)
+	for i := 0; i < concurrency; i++ {
+		sem <- struct{}{}
+	}
+	go func() {
+		defer close(collectorDone)
+		for res := range m.Results() {
+			lastResult.Store(time.Now().UnixNano())
+			received.Add(1)
+			if res.Err != nil {
+				failed++
+			} else {
+				completed++
+				latencies = append(latencies, float64(res.Elapsed)/float64(time.Millisecond))
+				if !res.MetDeadline {
+					missed++
+				}
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(r.cfg.Seed*7919 + int64(workers)*31 + int64(rate*1000)))
+	stepStart := time.Now()
+	stepEnd := stepStart.Add(r.cfg.StepDuration)
+	seq := 0
+	for time.Now().Before(stepEnd) && ctx.Err() == nil {
+		if r.cfg.Mode == ModeOpen {
+			// Poisson arrivals: exponential inter-arrival, mean 1/rate.
+			wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			if !sleepUntil(ctx, time.Now().Add(wait), stepEnd) {
+				break
+			}
+		} else {
+			// Fixed concurrency: wait for a free slot.
+			if !acquire(ctx, sem, stepEnd) {
+				break
+			}
+		}
+		reports := r.jobReports[seq%len(r.jobReports)]
+		// Synthesized claim IDs keep every job unique across the cycle
+		// (the dtm rejects duplicate in-flight job IDs).
+		id := socialsensing.ClaimID(fmt.Sprintf("%s#w%dr%.0f-%d",
+			reports[0].Claim, workers, rate*10, seq))
+		seq++
+		err := m.SubmitJob(id, reports, r.cfg.Deadline)
+		switch {
+		case err == nil:
+			point.Submitted++
+		case errors.Is(err, workqueue.ErrAdmissionRejected):
+			point.Rejected++
+		default:
+			return SweepPoint{}, fmt.Errorf("loadgen: submit: %w", err)
+		}
+	}
+
+	// Drain: every submitted job owes exactly one result. Undrained jobs
+	// past the window count as misses — a job that cannot finish within
+	// several deadlines of the step closing has certainly missed its own.
+	drainBudget := 4*r.cfg.Deadline + 2*time.Second
+	drainEnd := time.Now().Add(drainBudget)
+	for received.Load() < int64(point.Submitted) && time.Now().Before(drainEnd) && ctx.Err() == nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	m.Close() // closes Results; the collector drains out
+	<-collectorDone
+
+	point.Completed = completed
+	point.Failed = failed
+	point.Missed = missed
+	point.Undrained = point.Submitted - int(received.Load())
+	if point.Submitted > 0 {
+		point.MissRate = float64(point.Missed+point.Failed+point.Undrained) / float64(point.Submitted)
+	}
+	elapsed := r.cfg.StepDuration
+	if last := lastResult.Load(); last > 0 {
+		if d := time.Unix(0, last).Sub(stepStart); d > 0 {
+			elapsed = d
+		}
+	}
+	point.JobsPerSec = float64(completed) / elapsed.Seconds()
+	point.TasksPerSec = point.JobsPerSec * float64(r.cfg.TasksPerJob)
+	point.MeanMs = mean(latencies)
+	point.P50Ms = percentile(latencies, 50)
+	point.P95Ms = percentile(latencies, 95)
+	point.P99Ms = percentile(latencies, 99)
+	return point, nil
+}
+
+// validateAdmission reruns the largest pool at AdmitFactor × its knee
+// rate with the fitted capacity model feeding the admission gate: the
+// gate must keep accepted jobs under the miss threshold and leave an
+// errtraced rejection log line per refused job.
+func (r *runner) validateAdmission(ctx context.Context, rep *Report) (*AdmissionValidation, error) {
+	knee := rep.Knees[0]
+	for _, k := range rep.Knees {
+		if k.Workers > knee.Workers {
+			knee = k
+		}
+	}
+	offered := knee.Rate * r.cfg.AdmitFactor
+	logger := obs.NewLogger(nil, obs.LevelWarn, 4096)
+	admission := &workqueue.AdmissionConfig{
+		TaskRatePerWorker: rep.Fit.PerWorkerTasksPerSec,
+		Deadline:          r.cfg.Deadline,
+	}
+	r.logf("admission validation: workers=%d offered=%.1f (%.1f× knee), fitted rate %.2f tasks/s",
+		knee.Workers, offered, r.cfg.AdmitFactor, admission.TaskRatePerWorker)
+	point, err := r.step(ctx, knee.Workers, offered, admission, logger)
+	if err != nil {
+		return nil, err
+	}
+	av := &AdmissionValidation{
+		Workers:     knee.Workers,
+		OfferedRate: offered,
+		AdmitFactor: r.cfg.AdmitFactor,
+		FittedRate:  admission.TaskRatePerWorker,
+		Point:       point,
+	}
+	if point.Submitted > 0 {
+		av.AcceptedMissRate = float64(point.Missed+point.Failed+point.Undrained) / float64(point.Submitted)
+	}
+	for _, e := range logger.Entries() {
+		if e.Msg != "job rejected by admission control" {
+			continue
+		}
+		if tr, ok := e.Fields["err_trace"].([]string); ok && len(tr) > 0 {
+			av.RejectionTraces++
+		}
+	}
+	av.Held = av.AcceptedMissRate <= r.cfg.MissThreshold && point.Rejected > 0 &&
+		av.RejectionTraces >= point.Rejected
+	r.logf("admission validation: %d admitted (miss %.0f%%), %d rejected (%d with err_trace), held=%t",
+		point.Submitted, av.AcceptedMissRate*100, point.Rejected, av.RejectionTraces, av.Held)
+	return av, nil
+}
+
+// sleepUntil sleeps to the earlier of t and cap, returning false when the
+// cap (step end) arrived first or ctx died.
+func sleepUntil(ctx context.Context, t, cap time.Time) bool {
+	if t.After(cap) {
+		d := time.Until(cap)
+		if d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+		return false
+	}
+	if d := time.Until(t); d > 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(d):
+		}
+	}
+	return ctx.Err() == nil
+}
+
+// acquire takes a concurrency token before the step ends.
+func acquire(ctx context.Context, sem chan struct{}, end time.Time) bool {
+	d := time.Until(end)
+	if d <= 0 {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-sem:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}

@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/control"
+	"github.com/social-sensing/sstd/internal/tracegen"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestFitCapacityLinear(t *testing.T) {
+	// Perfect linear scaling: X_W = 100·W tasks/s.
+	knees := []Knee{
+		{Workers: 1, TasksPerSec: 100},
+		{Workers: 2, TasksPerSec: 200},
+		{Workers: 4, TasksPerSec: 400},
+	}
+	wcet := control.WCETModel{InitTime: time.Millisecond, Theta1: 10 * time.Microsecond}
+	fit := fitCapacity(knees, 4, 500, wcet)
+	approx(t, "PerWorkerTasksPerSec", fit.PerWorkerTasksPerSec, 100, 1e-9)
+	approx(t, "PerWorkerJobsPerSec", fit.PerWorkerJobsPerSec, 25, 1e-9)
+	approx(t, "RSquared", fit.RSquared, 1, 1e-9)
+	// Eq. 10: TaskTime(500) = 1ms + 500·10µs = 6ms → 166.67 tasks/s.
+	approx(t, "PredictedTasksPerSec", fit.PredictedTasksPerSec, 1000.0/6, 0.01)
+	wantDiv := (100 - 1000.0/6) / (1000.0 / 6) * 100
+	approx(t, "DivergencePct", fit.DivergencePct, wantDiv, 0.01)
+	// 100 tasks/s × 500 reports/task = 50k reports/s → θ2_eff = 20µs.
+	approx(t, "EffectiveTheta2Us", fit.EffectiveTheta2Us, 20, 1e-9)
+}
+
+func TestFitCapacitySublinear(t *testing.T) {
+	// Sub-linear scaling must pull R² below 1 and μ below the 1-worker rate.
+	knees := []Knee{
+		{Workers: 1, TasksPerSec: 100},
+		{Workers: 4, TasksPerSec: 250},
+	}
+	fit := fitCapacity(knees, 4, 100, control.WCETModel{})
+	// μ = (1·100 + 4·250)/(1+16) = 1100/17.
+	approx(t, "PerWorkerTasksPerSec", fit.PerWorkerTasksPerSec, 1100.0/17, 1e-9)
+	if fit.RSquared >= 1 {
+		t.Errorf("RSquared = %v, want < 1 for sub-linear scaling", fit.RSquared)
+	}
+	// Zero WCET model skips the prediction columns.
+	if fit.PredictedTasksPerSec != 0 || fit.DivergencePct != 0 {
+		t.Errorf("zero WCET model should skip prediction, got %+v", fit)
+	}
+}
+
+func TestFitCapacityEmpty(t *testing.T) {
+	fit := fitCapacity(nil, 4, 0, control.WCETModel{})
+	if fit.PerWorkerTasksPerSec != 0 || fit.RSquared != 0 {
+		t.Errorf("empty fit should be zero, got %+v", fit)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {95, 48}, {110, 50}, {-5, 10},
+	}
+	for _, c := range cases {
+		approx(t, "percentile", percentile(vals, c.p), c.want, 1e-9)
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Error("percentile mutated its input")
+	}
+}
+
+// TestRunSmokeSweep drives a miniature sweep end-to-end: real cluster,
+// tiny trace, short steps. It asserts the report's shape, that the ramp
+// crosses the knee (the work delay makes a single worker saturate fast),
+// and that the admission validation phase produces errtraced rejections.
+func TestRunSmokeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep needs a few wall-clock seconds")
+	}
+	g, err := tracegen.New(tracegen.BostonBombing(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Generate(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Trace:         tr,
+		Workers:       []int{1, 2},
+		Mode:          ModeOpen,
+		StartRate:     4,
+		RateFactor:    4,
+		MaxRate:       64,
+		Deadline:      60 * time.Millisecond,
+		MissThreshold: 0.5,
+		StepDuration:  400 * time.Millisecond,
+		Duration:      20 * time.Second,
+		TasksPerJob:   4,
+		WorkDelay:     200 * time.Microsecond,
+		AdmitFactor:   1.5,
+		Seed:          7,
+		Logf:          t.Logf,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Knees) != 2 {
+		t.Fatalf("want 2 knees, got %d", len(rep.Knees))
+	}
+	if len(rep.Sweep) < 2 {
+		t.Fatalf("want at least one sweep point per pool, got %d", len(rep.Sweep))
+	}
+	for _, p := range rep.Sweep {
+		if p.Submitted == 0 {
+			t.Errorf("sweep point %+v submitted nothing", p)
+		}
+	}
+	for _, k := range rep.Knees {
+		if k.Rate <= 0 {
+			t.Errorf("knee for %d workers has no rate: %+v", k.Workers, k)
+		}
+	}
+	if rep.Fit.PerWorkerTasksPerSec <= 0 {
+		t.Errorf("fit produced no per-worker rate: %+v", rep.Fit)
+	}
+	if rep.Admission == nil {
+		t.Fatal("admission validation phase did not run")
+	}
+	if rep.Admission.Point.Rejected > 0 &&
+		rep.Admission.RejectionTraces < rep.Admission.Point.Rejected {
+		t.Errorf("only %d of %d rejections carried err_trace",
+			rep.Admission.RejectionTraces, rep.Admission.Point.Rejected)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("nil trace should error")
+	}
+	g, _ := tracegen.New(tracegen.BostonBombing(), 1)
+	tr, _ := g.Generate(0.01)
+	if _, err := Run(context.Background(), Config{Trace: tr, Mode: "sideways"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

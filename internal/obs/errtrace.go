@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Error return traces, after bracesdev/errtrace: where a stack trace
+// records the code path that *created* an error, a return trace records
+// the path the error took to reach whoever finally reports it. The two
+// diverge in this codebase whenever an error crosses a goroutine or the
+// wire — a worker's exec failure surfaces on the master's collector
+// goroutine, where a stack trace would show only channel plumbing.
+//
+// Each Wrap call captures exactly one program counter (no full stack
+// unwind), so instrumenting a return boundary costs nanoseconds; frames
+// are resolved to function/file/line only when a trace is formatted,
+// i.e. when something actually failed.
+
+// returnTraced carries one return-boundary frame on top of err. Wrapping
+// an already-traced error adds a new node rather than mutating the old
+// one, so an error value shared across goroutines stays race-free.
+type returnTraced struct {
+	err error
+	pc  uintptr
+}
+
+func (e *returnTraced) Error() string { return e.err.Error() }
+
+// Unwrap keeps errors.Is / errors.As transparent through the trace node.
+func (e *returnTraced) Unwrap() error { return e.err }
+
+// Wrap annotates err with the caller's frame, appending one hop to the
+// error's return trace. Call it at each return boundary the error
+// crosses; nil stays nil so `return obs.Wrap(err)` works on every path.
+func Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pcs [1]uintptr
+	if runtime.Callers(2, pcs[:]) == 0 {
+		return err
+	}
+	return &returnTraced{err: err, pc: pcs[0]}
+}
+
+// ReturnTrace resolves err's return trace to human-readable frames,
+// origin first — the order the error travelled. Errors never passed
+// through Wrap yield nil.
+func ReturnTrace(err error) []string {
+	var pcs []uintptr
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if te, ok := e.(*returnTraced); ok {
+			pcs = append(pcs, te.pc)
+		}
+	}
+	if len(pcs) == 0 {
+		return nil
+	}
+	// The unwrap walk visits the outermost (latest) Wrap first; the trace
+	// reads origin -> surface, so reverse before resolving.
+	for i, j := 0, len(pcs)-1; i < j; i, j = i+1, j-1 {
+		pcs[i], pcs[j] = pcs[j], pcs[i]
+	}
+	out := make([]string, 0, len(pcs))
+	for _, pc := range pcs {
+		// Resolve each PC on its own and keep only the innermost logical
+		// frame: one frame per Wrap, regardless of inlining, so trace
+		// length equals hop count deterministically.
+		f, _ := runtime.CallersFrames([]uintptr{pc}).Next()
+		if f.Function != "" {
+			out = append(out, fmt.Sprintf("%s (%s:%d)", f.Function, shortFile(f.File), f.Line))
+		}
+	}
+	return out
+}
+
+// ReturnTraceString renders the return trace as a single line,
+// origin-first hops joined by " -> " — the compact form carried on the
+// wire in Result.ErrTrace and attached to trace spans. Empty for
+// untraced errors.
+func ReturnTraceString(err error) string {
+	return strings.Join(ReturnTrace(err), " -> ")
+}
+
+// ErrTrace tags a log entry with err's return trace under "err_trace"
+// (skipped for nil or untraced errors), alongside Err's "error" field.
+func ErrTrace(err error) Field {
+	frames := ReturnTrace(err)
+	if len(frames) == 0 {
+		return Field{}
+	}
+	return Field{Key: "err_trace", Value: frames}
+}
+
+// shortFile keeps the last two path components, enough to identify a
+// file in this repo without dragging the build host's GOPATH into logs.
+func shortFile(path string) string {
+	short := path
+	for i, sep := len(path)-1, 0; i >= 0; i-- {
+		if path[i] == '/' {
+			sep++
+			if sep == 2 {
+				short = path[i+1:]
+				break
+			}
+		}
+	}
+	return short
+}

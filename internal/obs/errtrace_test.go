@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(nil) != nil {
+		t.Fatal("Wrap(nil) must stay nil")
+	}
+	if got := ReturnTrace(nil); got != nil {
+		t.Fatalf("ReturnTrace(nil) = %v, want nil", got)
+	}
+	if got := ReturnTraceString(errors.New("plain")); got != "" {
+		t.Fatalf("untraced error rendered %q, want empty", got)
+	}
+}
+
+var errSentinel = errors.New("boom")
+
+func origin() error { return Wrap(errSentinel) }
+
+func middle() error { return Wrap(origin()) }
+
+func surface() error { return Wrap(middle()) }
+
+func TestReturnTraceOrder(t *testing.T) {
+	err := surface()
+	frames := ReturnTrace(err)
+	if len(frames) != 3 {
+		t.Fatalf("got %d frames, want 3: %v", len(frames), frames)
+	}
+	for i, fn := range []string{"origin", "middle", "surface"} {
+		if !strings.Contains(frames[i], fn) {
+			t.Errorf("frame %d = %q, want it to contain %q (origin-first order)", i, frames[i], fn)
+		}
+		if !strings.Contains(frames[i], "errtrace_test.go:") {
+			t.Errorf("frame %d = %q, want file:line", i, frames[i])
+		}
+	}
+	if s := ReturnTraceString(err); strings.Count(s, " -> ") != 2 {
+		t.Errorf("ReturnTraceString = %q, want 3 hops joined by ' -> '", s)
+	}
+}
+
+func TestWrapTransparentToIsAndAs(t *testing.T) {
+	err := surface()
+	if !errors.Is(err, errSentinel) {
+		t.Error("errors.Is must see through return-trace nodes")
+	}
+	wrapped := Wrap(fmt.Errorf("outer: %w", &testTypedErr{code: 7}))
+	var typed *testTypedErr
+	if !errors.As(wrapped, &typed) || typed.code != 7 {
+		t.Error("errors.As must see through return-trace nodes")
+	}
+	if wrapped.Error() != "outer: typed 7" {
+		t.Errorf("Error() = %q: Wrap must not change the message", wrapped.Error())
+	}
+}
+
+type testTypedErr struct{ code int }
+
+func (e *testTypedErr) Error() string { return fmt.Sprintf("typed %d", e.code) }
+
+func TestReturnTraceAcrossGoroutines(t *testing.T) {
+	// The errtrace selling point: the error is created on one goroutine,
+	// transported over a channel, and wrapped again on the receiver — the
+	// return trace spans both, where a stack trace would show only the
+	// receiving goroutine's channel plumbing.
+	ch := make(chan error, 1)
+	go func() { ch <- origin() }()
+	err := Wrap(<-ch)
+	frames := ReturnTrace(err)
+	// Two wraps; inlining may expand a PC into extra logical frames.
+	if len(frames) < 2 {
+		t.Fatalf("got %d frames, want >= 2: %v", len(frames), frames)
+	}
+	if !strings.Contains(frames[0], "origin") {
+		t.Errorf("first frame %q should be the sender-side origin", frames[0])
+	}
+	if !strings.Contains(frames[len(frames)-1], "TestReturnTraceAcrossGoroutines") {
+		t.Errorf("last frame %q should be the receiver-side wrap", frames[len(frames)-1])
+	}
+}
+
+func TestErrTraceField(t *testing.T) {
+	if f := ErrTrace(nil); f.Key != "" {
+		t.Errorf("ErrTrace(nil) = %+v, want empty field", f)
+	}
+	if f := ErrTrace(errors.New("plain")); f.Key != "" {
+		t.Errorf("ErrTrace(untraced) = %+v, want empty field", f)
+	}
+	f := ErrTrace(origin())
+	if f.Key != "err_trace" {
+		t.Fatalf("field key = %q, want err_trace", f.Key)
+	}
+	frames, ok := f.Value.([]string)
+	if !ok || len(frames) != 1 {
+		t.Fatalf("field value = %#v, want one-frame []string", f.Value)
+	}
+	// And the field must land in a structured log entry like any other.
+	lg := NewLogger(nil, LevelInfo, 8)
+	lg.Warn("task failed", f)
+	entries := lg.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	if _, ok := entries[0].Fields["err_trace"]; !ok {
+		t.Error("err_trace field missing from log entry")
+	}
+}
+
+func TestShortFile(t *testing.T) {
+	if got := shortFile("/a/b/c/d.go"); got != "c/d.go" {
+		t.Errorf("shortFile = %q, want c/d.go", got)
+	}
+	if got := shortFile("d.go"); got != "d.go" {
+		t.Errorf("shortFile = %q, want d.go", got)
+	}
+}
+
+func BenchmarkWrap(b *testing.B) {
+	err := errors.New("boom")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkErr = Wrap(err)
+	}
+}
+
+var sinkErr error

@@ -3,6 +3,8 @@ package workqueue
 import (
 	"errors"
 	"fmt"
+
+	"github.com/social-sensing/sstd/internal/obs"
 )
 
 // Execution stages a task moves through on a worker. Executors tag
@@ -28,6 +30,10 @@ type TaskError struct {
 	TaskID   string
 	Stage    string
 	Err      error
+	// Trace is the error's return path through the worker (obs.Wrap
+	// frames, origin first), captured before the stage tag was stripped.
+	// Empty when no return boundary wrapped the error.
+	Trace []string
 }
 
 func (e *TaskError) Error() string {
@@ -58,13 +64,28 @@ func (e *stagedError) Error() string { return e.stage + ": " + e.err.Error() }
 func (e *stagedError) Unwrap() error { return e.err }
 
 // newTaskError wraps one failed execution with provenance, extracting
-// the executor's stage tag when present (default StageExec).
+// the executor's stage tag when present (default StageExec) and the
+// error's return trace before either is stripped from the cause chain.
 func newTaskError(workerID, taskID string, err error) *TaskError {
+	trace := obs.ReturnTrace(err)
 	stage := StageExec
 	var se *stagedError
 	if errors.As(err, &se) {
 		stage = se.stage
 		err = se.err
 	}
-	return &TaskError{WorkerID: workerID, TaskID: taskID, Stage: stage, Err: err}
+	return &TaskError{WorkerID: workerID, TaskID: taskID, Stage: stage, Err: err, Trace: trace}
+}
+
+// ReturnTrace renders the error's worker-side return path as the compact
+// " -> "-joined wire form (empty when untraced).
+func (e *TaskError) ReturnTrace() string {
+	out := ""
+	for i, f := range e.Trace {
+		if i > 0 {
+			out += " -> "
+		}
+		out += f
+	}
+	return out
 }

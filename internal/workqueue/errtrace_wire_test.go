@@ -1,0 +1,63 @@
+package workqueue
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// failingInner is the origin of the traced failure; failingOuter adds a
+// second return boundary so the wire trace has a real path to show.
+func failingInner() error {
+	return obs.Wrap(errors.New("corrupt shard"))
+}
+
+func failingOuter() error {
+	return obs.Wrap(failingInner())
+}
+
+// TestErrTraceCrossesWire runs a real master/worker exchange (net.Pipe
+// via Pool) with an executor that fails through two obs.Wrap return
+// boundaries, and asserts the worker-side return trace arrives on the
+// master intact: origin first, frames joined with " -> ".
+func TestErrTraceCrossesWire(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewMaster(MasterConfig{ResultBuffer: 4})
+	p := NewPool(m, func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, failingOuter()
+	})
+	defer p.Close()
+	p.Resize(ctx, 1)
+
+	if err := m.Submit(Task{ID: "t0", JobID: "j", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	results := collect(t, m, 1)
+	r := results[0]
+	if r.Err == "" {
+		t.Fatalf("expected a failed result, got %+v", r)
+	}
+	if r.ErrTrace == "" {
+		t.Fatalf("result has no error return trace: %+v", r)
+	}
+	frames := strings.Split(r.ErrTrace, " -> ")
+	if len(frames) < 2 {
+		t.Fatalf("trace %q has %d frames, want >= 2", r.ErrTrace, len(frames))
+	}
+	if !strings.Contains(frames[0], "failingInner") {
+		t.Errorf("first frame %q should be the origin failingInner", frames[0])
+	}
+	var sawOuter bool
+	for _, f := range frames[1:] {
+		if strings.Contains(f, "failingOuter") {
+			sawOuter = true
+		}
+	}
+	if !sawOuter {
+		t.Errorf("trace %q is missing the failingOuter return boundary", r.ErrTrace)
+	}
+}

@@ -77,6 +77,11 @@ type MasterConfig struct {
 	// StragglerFactor flags workers whose EWMA exec time exceeds this
 	// multiple of the cluster median (<= 0 uses the default of 2).
 	StragglerFactor float64
+	// Admission enables capacity-model admission control: AdmitJob then
+	// predicts each offered job's completion against its deadline and
+	// refuses (or sheds) jobs the pool could not finish in time. Nil
+	// leaves the gate open.
+	Admission *AdmissionConfig
 }
 
 // Master owns the task pool and serves workers. It mirrors the Work Queue
@@ -93,6 +98,8 @@ type Master struct {
 	deadAfter    time.Duration
 	taskTimeout  time.Duration
 	backoff      BackoffConfig
+	// admission is the capacity-model job gate; nil = admit everything.
+	admission *admissionGate
 
 	// Telemetry handles; all nil when telemetry is off.
 	tracer       *obs.Tracer
@@ -109,7 +116,7 @@ type Master struct {
 	hWait        *obs.Histogram
 
 	mu       sync.Mutex
-	rng      *rand.Rand      // jitter source for requeue backoff; guarded by mu
+	rng      *rand.Rand // jitter source for requeue backoff; guarded by mu
 	stats    map[string]*JobStats
 	inflight map[string]Task // taskID -> task, for requeue on worker loss
 	attempts map[string]int  // taskID -> requeues so far
@@ -167,6 +174,9 @@ func NewMaster(cfg MasterConfig) *Master {
 	}
 	m.tracer = cfg.Tracer
 	m.logger = cfg.Logger
+	if cfg.Admission != nil {
+		m.admission = newAdmissionGate(*cfg.Admission, cfg.Metrics, cfg.Logger)
+	}
 	if cfg.Metrics != nil || cfg.Tracer != nil {
 		m.queuedAt = make(map[string]time.Time)
 	}
@@ -293,7 +303,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 
 	hello, err := c.recv()
 	if err != nil {
-		return fmt.Errorf("workqueue: worker hello: %w", err)
+		return obs.Wrap(fmt.Errorf("workqueue: worker hello: %w", err))
 	}
 	if hello.Type != msgHello || hello.WorkerID == "" {
 		return fmt.Errorf("workqueue: bad hello %+v", hello)
@@ -420,7 +430,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			// or the reader woke us because the connection died.
 			select {
 			case err := <-readErr:
-				return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
+				return obs.Wrap(fmt.Errorf("workqueue: worker %s lost: %w", workerID, err))
 			default:
 			}
 			sendShutdown()
@@ -448,7 +458,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		if err := c.send(message{Type: msgTask, Task: &wire}); err != nil {
 			m.cluster.taskAborted(workerID)
 			m.requeue(task)
-			return err
+			return obs.Wrap(err)
 		}
 		// The per-task deadline recovers from silently lost frames: if
 		// neither a result nor a connection error arrives in time, the
@@ -499,8 +509,9 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			m.cluster.taskAborted(workerID)
 			m.requeue(task)
 			lg.Warn("worker lost with task in flight",
-				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()), obs.Err(err))
-			return fmt.Errorf("workqueue: worker %s lost: %w", workerID, err)
+				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()),
+				obs.Err(err), obs.ErrTrace(err))
+			return obs.Wrap(fmt.Errorf("workqueue: worker %s lost: %w", workerID, err))
 		}
 	}
 }
@@ -646,14 +657,19 @@ func (m *Master) requeue(t Task) {
 		return
 	}
 	if exhausted {
+		// Build the quarantine error through obs.Wrap so the synthetic
+		// failed Result carries a master-side return path like a genuine
+		// worker failure would.
+		qerr := obs.Wrap(fmt.Errorf("workqueue: task quarantined after %d lost attempts (retry limit %d)", attempts, m.maxRetries))
 		m.logger.Warn("task quarantined: retry limit reached",
 			obs.TaskID(t.ID), obs.JobID(t.JobID), obs.TraceID(t.Trace.traceID()),
-			obs.F("attempts", attempts))
+			obs.F("attempts", attempts), obs.ErrTrace(qerr))
 		m.cQuarantined.Inc()
 		m.complete(Result{
-			TaskID: t.ID,
-			JobID:  t.JobID,
-			Err:    fmt.Sprintf("workqueue: task quarantined after %d lost attempts (retry limit %d)", attempts, m.maxRetries),
+			TaskID:   t.ID,
+			JobID:    t.JobID,
+			Err:      qerr.Error(),
+			ErrTrace: obs.ReturnTraceString(qerr),
 		})
 		return
 	}
@@ -748,6 +764,11 @@ func (m *Master) complete(r Result) {
 		if s := m.taskSpans[r.TaskID]; s != nil {
 			if r.Err != "" {
 				s.SetAttr("error", r.Err)
+			}
+			if r.ErrTrace != "" {
+				// The worker-side return path rides into the merged
+				// Chrome trace next to the failing exec span.
+				s.SetAttr("err_trace", r.ErrTrace)
 			}
 			s.Finish()
 		}

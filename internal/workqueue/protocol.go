@@ -60,7 +60,13 @@ type Result struct {
 	Err      string `json:"error,omitempty"`
 	// ErrStage names the execution stage that produced Err (see
 	// StageDecode / StageExec / StageEncode); empty on success.
-	ErrStage string        `json:"error_stage,omitempty"`
+	ErrStage string `json:"error_stage,omitempty"`
+	// ErrTrace is the worker-side error return trace (obs.Wrap frames,
+	// origin first, " -> "-joined): the path Err took through the worker
+	// before it was reported. Diagnostic only — like the clock stamps it
+	// is excluded from the CRC, so a frame that damages only the trace
+	// still delivers its result.
+	ErrTrace string        `json:"error_trace,omitempty"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 }
 
@@ -182,7 +188,7 @@ func (c *codec) send(m message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(m); err != nil {
-		return fmt.Errorf("workqueue: send %s: %w", m.Type, err)
+		return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
 	}
 	return nil
 }
@@ -210,21 +216,21 @@ func (c *codec) recv() (message, error) {
 		}
 		if err == bufio.ErrBufferFull {
 			if len(line) > maxFrameBytes {
-				return message{}, ErrFrameTooLarge
+				return message{}, obs.Wrap(ErrFrameTooLarge)
 			}
 			continue
 		}
-		return message{}, err
+		return message{}, obs.Wrap(err)
 	}
 	if len(line) > maxFrameBytes {
-		return message{}, ErrFrameTooLarge
+		return message{}, obs.Wrap(ErrFrameTooLarge)
 	}
 	var m message
 	if err := json.Unmarshal(line, &m); err != nil {
-		return message{}, fmt.Errorf("workqueue: decode message: %w", err)
+		return message{}, obs.Wrap(fmt.Errorf("workqueue: decode message: %w", err))
 	}
 	if m.CRC != 0 && m.CRC != m.checksum() {
-		return message{}, fmt.Errorf("%w (type %q)", ErrChecksum, m.Type)
+		return message{}, obs.Wrap(fmt.Errorf("%w (type %q)", ErrChecksum, m.Type))
 	}
 	return m, nil
 }

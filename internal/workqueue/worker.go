@@ -178,8 +178,8 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			lg.Error("worker connection lost", obs.Err(err))
-			return fmt.Errorf("workqueue: worker %s recv: %w", w.ID, err)
+			lg.Error("worker connection lost", obs.Err(err), obs.ErrTrace(err))
+			return obs.Wrap(fmt.Errorf("workqueue: worker %s recv: %w", w.ID, err))
 		}
 		switch m.Type {
 		case msgShutdown:
@@ -226,9 +226,11 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 				te := newTaskError(w.ID, m.Task.ID, execErr)
 				res.Err = te.Error()
 				res.ErrStage = te.Stage
+				res.ErrTrace = te.ReturnTrace()
 				lg.Warn("task failed",
 					obs.TaskID(m.Task.ID), obs.JobID(m.Task.JobID),
-					obs.TraceID(m.Task.Trace.traceID()), obs.F("stage", te.Stage), obs.Err(te.Err))
+					obs.TraceID(m.Task.Trace.traceID()), obs.F("stage", te.Stage), obs.Err(te.Err),
+					obs.ErrTrace(execErr))
 			}
 			// Ship everything finished so far: spans buffered from the
 			// previous task (its send span) plus this task's stages.
@@ -325,7 +327,8 @@ func (w *Worker) runExec(ctx context.Context, t *Task) ([]byte, error) {
 		budget = tb
 	}
 	if budget <= 0 {
-		return w.Exec(ctx, t.Payload)
+		out, err := w.Exec(ctx, t.Payload)
+		return out, obs.Wrap(err)
 	}
 	ectx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
@@ -340,7 +343,10 @@ func (w *Worker) runExec(ctx context.Context, t *Task) ([]byte, error) {
 	}()
 	select {
 	case r := <-done:
-		return r.out, r.err
+		// The executor's error crossed the done channel to get here:
+		// exactly the cross-goroutine hop a return trace records and a
+		// stack trace loses.
+		return r.out, obs.Wrap(r.err)
 	case <-ectx.Done():
 		if err := ctx.Err(); err != nil {
 			// Worker-level cancellation (shutdown or preemption), not a
@@ -348,7 +354,7 @@ func (w *Worker) runExec(ctx context.Context, t *Task) ([]byte, error) {
 			// exits without reporting and the master requeues the task.
 			return nil, err
 		}
-		return nil, StageError(StageExec, fmt.Errorf("workqueue: execution exceeded %s budget", budget))
+		return nil, obs.Wrap(StageError(StageExec, fmt.Errorf("workqueue: execution exceeded %s budget", budget)))
 	}
 }
 

@@ -5,6 +5,7 @@
 #   scripts/check.sh race     tier-2: vet + full test suite under -race
 #   scripts/check.sh bench    microbenchmarks -> BENCH_obs.json + BENCH_hmm.json
 #   scripts/check.sh chaos    chaos soak: seeded fault-injection schedules under -race
+#   scripts/check.sh load     10-second capacity smoke sweep -> BENCH_load.json
 #   scripts/check.sh all      tier-1 + tier-2
 set -eu
 cd "$(dirname "$0")/.."
@@ -71,17 +72,34 @@ chaos() {
 	go test -race -count=1 -run 'TestRequeueBackoffBoundsRetryRate|TestQuarantineLifecycle' ./internal/workqueue
 }
 
+load() {
+	# Smoke sweep: a real master + 2 in-process workers (full wire protocol
+	# over net.Pipe), offered load ramped until the deadline-miss knee,
+	# capped at ~10 seconds of wall time. Asserts the harness produces a
+	# non-empty capacity report with a sweep and a fitted model.
+	echo "== load: 10-second capacity smoke sweep =="
+	go run ./cmd/loadgen -trace boston -scale 0.005 -workers 1,2 \
+		-start-rate 4 -rate-factor 2 -max-rate 64 \
+		-deadline 100ms -step 800ms -duration 10s -work-delay 100us \
+		-out BENCH_load.json
+	test -s BENCH_load.json
+	grep -q '"sweep"' BENCH_load.json
+	grep -q '"perWorkerTasksPerSec"' BENCH_load.json
+	echo "BENCH_load.json OK ($(grep -c '"offeredRate"' BENCH_load.json) sweep points)"
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) race ;;
 bench) bench ;;
 chaos) chaos ;;
+load) load ;;
 all)
 	tier1
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|all]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|load|all]" >&2
 	exit 2
 	;;
 esac
