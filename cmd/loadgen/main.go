@@ -24,6 +24,8 @@ import (
 
 	"github.com/social-sensing/sstd/internal/control"
 	"github.com/social-sensing/sstd/internal/loadgen"
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 	"github.com/social-sensing/sstd/internal/traceio"
@@ -56,8 +58,22 @@ func main() {
 
 		out   = flag.String("out", "BENCH_load.json", "capacity report output path")
 		quiet = flag.Bool("quiet", false, "suppress per-step progress lines")
+
+		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
+		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
 	)
 	flag.Parse()
+
+	// Install before the sweep builds its clusters: probe rings bind at
+	// component construction.
+	flightRec, err := flightrec.EnableCLI(*flightRecord, *flightDumpOn, nil, nil,
+		obs.NewLogger(os.Stderr, obs.LevelWarn, 0))
+	if err != nil {
+		fatal(err)
+	}
+	if flightRec != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: flight recorder armed: deep dives to %s on [%s]\n", *flightRecord, *flightDumpOn)
+	}
 
 	tr, err := loadTrace(*in, *trace, *scale, *seed)
 	if err != nil {
@@ -107,6 +123,13 @@ func main() {
 	}
 	printCapacityTable(rep)
 	fmt.Printf("loadgen: report written to %s\n", *out)
+	if flightRec != nil {
+		flightRec.Wait()
+		for _, d := range flightRec.Dumps() {
+			fmt.Printf("loadgen: flight recorder deep dive: %s (%s: %d events, %d spans)\n",
+				d.Path, d.Trigger, d.Events, d.Spans)
+		}
+	}
 }
 
 // printCapacityTable renders the knee per pool size and the fitted model.

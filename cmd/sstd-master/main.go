@@ -25,6 +25,7 @@ import (
 	"github.com/social-sensing/sstd/internal/chaos"
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 	"github.com/social-sensing/sstd/internal/traceio"
@@ -84,6 +85,9 @@ func run() error {
 
 		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec applied to every accepted worker connection, e.g. drop=0.3,corrupt=0.05 (see internal/chaos)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "TEST ONLY: seed for the fault-injection schedule (overrides any seed in -chaos-spec)")
+
+		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
+		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
 	)
 	flag.Parse()
 
@@ -102,8 +106,20 @@ func run() error {
 	if *telemetry != "" || *controlOut != "" {
 		metrics = obs.NewRegistry()
 	}
-	if *telemetry != "" || *traceOut != "" {
+	if *telemetry != "" || *traceOut != "" || *flightRecord != "" {
+		// Flight-recorder deep dives merge the span timeline, so recording
+		// implies tracing even without a telemetry endpoint.
 		tracer = obs.NewTracer(0)
+	}
+	tracer.Instrument(metrics)
+	// Install the recorder before building the master: probe rings bind
+	// at component construction.
+	flightRec, err := flightrec.EnableCLI(*flightRecord, *flightDumpOn, tracer, metrics, logger)
+	if err != nil {
+		return err
+	}
+	if flightRec != nil {
+		fmt.Printf("flight recorder armed: deep dives to %s on [%s]\n", *flightRecord, *flightDumpOn)
 	}
 	var admission *workqueue.AdmissionConfig
 	if *admissionRate > 0 {
@@ -188,6 +204,10 @@ func run() error {
 		mux.Handle("/", obs.Handler(metrics, tracer, logger))
 		mux.Handle("/cluster", master.ClusterHandler())
 		mux.Handle("/status", master.StatusHandler())
+		if flightRec != nil {
+			mux.Handle("/debug/flightrec", flightRec.Handler())
+			mux.Handle("/debug/flightrec/", flightRec.Handler())
+		}
 		telemetrySrv := &http.Server{Addr: *telemetry, Handler: mux}
 		go func() {
 			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -357,6 +377,14 @@ func run() error {
 			return fmt.Errorf("write trace %s: %w", *traceOut, err)
 		}
 		fmt.Printf("wrote Chrome trace to %s (%d spans)\n", *traceOut, tracer.Len())
+	}
+	if flightRec != nil {
+		// Let a trip near shutdown land its deep-dive file before exit.
+		flightRec.Wait()
+		for _, d := range flightRec.Dumps() {
+			fmt.Printf("flight recorder deep dive: %s (%s: %d events, %d spans)\n",
+				d.Path, d.Trigger, d.Events, d.Spans)
+		}
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 
 	"github.com/social-sensing/sstd/internal/chaos"
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -67,6 +68,9 @@ func run() error {
 
 		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec, e.g. drop=0.3,corrupt=0.05,delay=0.1:1ms-5ms (see internal/chaos)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "TEST ONLY: seed for the fault-injection schedule (overrides any seed in -chaos-spec)")
+
+		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
+		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
 	)
 	flag.Parse()
 
@@ -87,17 +91,36 @@ func run() error {
 		metrics *obs.Registry
 		tracer  *obs.Tracer
 	)
-	if *telemetry != "" {
+	if *telemetry != "" || *flightRecord != "" {
 		metrics = obs.NewRegistry()
 		tracer = obs.NewTracer(0)
-		telemetrySrv := &http.Server{Addr: *telemetry, Handler: obs.Handler(metrics, tracer, logger)}
+		tracer.Instrument(metrics)
+	}
+	// Install the recorder before the worker builds its codec: probe
+	// rings bind at component construction.
+	flightRec, err := flightrec.EnableCLI(*flightRecord, *flightDumpOn, tracer, metrics, logger)
+	if err != nil {
+		return err
+	}
+	if flightRec != nil {
+		defer flightRec.Wait()
+		fmt.Printf("flight recorder armed: deep dives to %s on [%s]\n", *flightRecord, *flightDumpOn)
+	}
+	if *telemetry != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(metrics, tracer, logger))
+		if flightRec != nil {
+			mux.Handle("/debug/flightrec", flightRec.Handler())
+			mux.Handle("/debug/flightrec/", flightRec.Handler())
+		}
+		telemetrySrv := &http.Server{Addr: *telemetry, Handler: mux}
 		go func() {
 			if err := telemetrySrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "sstd-worker: telemetry endpoint:", err)
 			}
 		}()
 		defer func() { _ = telemetrySrv.Close() }()
-		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /debug/pprof)\n", *telemetry)
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /debug/pprof, /debug/flightrec)\n", *telemetry)
 	}
 
 	w := &workqueue.Worker{
@@ -125,7 +148,6 @@ func run() error {
 		fmt.Printf("CHAOS: fault injection armed (seed %d) — test use only\n", spec.Seed)
 	}
 	fmt.Printf("worker %s connecting to %s\n", workerID, *master)
-	var err error
 	if *reconnects > 0 {
 		err = w.Redial(ctx, *master)
 	} else {

@@ -30,6 +30,14 @@ func NewDecodeScratch() *DecodeScratch {
 	return &DecodeScratch{ws: hmm.NewWorkspace()}
 }
 
+// SetFlightParent tags the flight-recorder events of kernels running on
+// this scratch with the owning tracer span ID (0 clears) — the dtm sets
+// it to the decode span before finalize so deep-dive dumps nest EM
+// phases under the job that ran them.
+func (sc *DecodeScratch) SetFlightParent(parent int64) {
+	sc.ws.SetFlightParent(parent)
+}
+
 var scratchPool = sync.Pool{New: func() any { return NewDecodeScratch() }}
 
 func getScratch() *DecodeScratch   { return scratchPool.Get().(*DecodeScratch) }

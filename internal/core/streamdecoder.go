@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 )
 
@@ -29,6 +30,10 @@ type StreamingDecoder struct {
 	scratch    *DecodeScratch
 	model      *TrainedModel
 	trainIters int
+
+	// fr probes window decodes and frontier rotations into the flight
+	// recorder (nil, and free, when none is enabled).
+	fr *flightrec.Ring
 }
 
 // NewStreamingDecoder wraps a Decoder with fixed-lag smoothing. lag must
@@ -42,7 +47,10 @@ func NewStreamingDecoder(cfg DecoderConfig, lag int) (*StreamingDecoder, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &StreamingDecoder{decoder: dec, lag: lag, scratch: NewDecodeScratch()}, nil
+	return &StreamingDecoder{
+		decoder: dec, lag: lag, scratch: NewDecodeScratch(),
+		fr: flightrec.Fresh("stream"),
+	}, nil
 }
 
 // decodeWindow trains on and decodes the current window, reusing the
@@ -77,16 +85,19 @@ func (s *StreamingDecoder) TrainIterations() int { return s.trainIters }
 // for the newest interval.
 func (s *StreamingDecoder) Append(acs float64) (socialsensing.TruthValue, error) {
 	s.series = append(s.series, acs)
+	tp := s.fr.Start()
 	truth, err := s.decodeWindow()
 	if err != nil {
 		return socialsensing.False, err
 	}
+	tp = s.fr.Probe(flightrec.ProbeStreamAppend, tp, int64(len(s.series)), 0)
 	// Pin everything that has fallen out of the lag window.
 	newFrontier := len(s.series) - s.lag
 	for i := s.frontier; i < newFrontier; i++ {
 		s.pinned = append(s.pinned, truth[i-s.offset()])
 	}
 	if newFrontier > s.frontier {
+		s.fr.Probe(flightrec.ProbeStreamRotate, tp, int64(newFrontier-s.frontier), 0)
 		s.frontier = newFrontier
 	}
 	return truth[len(truth)-1], nil

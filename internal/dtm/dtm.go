@@ -21,6 +21,7 @@ import (
 	"github.com/social-sensing/sstd/internal/control"
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -212,6 +213,11 @@ type Manager struct {
 	mu   sync.Mutex
 	jobs map[string]*jobState
 
+	// fr probes merge/finalize phases into the flight recorder;
+	// missBurst trips a deep-dive dump when job deadline misses cluster.
+	fr        *flightrec.Ring
+	missBurst *flightrec.Burst
+
 	// Telemetry handles; all nil when telemetry is off.
 	tracer        *obs.Tracer
 	logger        *obs.Logger
@@ -253,11 +259,13 @@ func New(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		cfg:     cfg,
-		decoder: dec,
-		scratch: core.NewDecodeScratch(),
-		results: make(chan JobResult, 64),
-		jobs:    make(map[string]*jobState),
+		cfg:       cfg,
+		decoder:   dec,
+		scratch:   core.NewDecodeScratch(),
+		results:   make(chan JobResult, 64),
+		jobs:      make(map[string]*jobState),
+		fr:        flightrec.Shared("dtm"),
+		missBurst: flightrec.NewBurst(flightrec.TrigDeadlineMiss, 0, 0),
 	}
 	m.master = workqueue.NewMaster(workqueue.MasterConfig{
 		Seed:            cfg.Seed,
@@ -639,14 +647,21 @@ func (m *Manager) finalize(ctx context.Context, js *jobState) {
 		return
 	}
 	res.Degraded = js.failed > 0
+	tp := m.fr.Start()
 	merge := m.tracer.NewSpan("merge "+string(js.claim), js.span.SpanID())
 	series := windowedSeries(js.mergedSums(), m.cfg.ACS.WindowIntervals)
 	merge.Finish()
+	tp = m.fr.Probe(flightrec.ProbeDTMMerge, tp, int64(len(series)), merge.SpanID())
 	decodeSpan := m.tracer.NewSpan("decode "+string(js.claim), js.span.SpanID())
 	decodeStart := time.Now()
+	// Parent the kernel's EM-phase flight events under the decode span so
+	// a deep dive nests forward/backward/E/M inside this job's decode.
+	m.scratch.SetFlightParent(decodeSpan.SpanID())
 	truth, err := m.decoder.DecodeInto(m.scratch, series)
+	m.scratch.SetFlightParent(0)
 	m.hDecode.ObserveDuration(time.Since(decodeStart))
 	decodeSpan.Finish()
+	m.fr.Probe(flightrec.ProbeDTMFinalize, tp, int64(len(series)), decodeSpan.SpanID())
 	if err != nil {
 		res.Err = obs.Wrap(err)
 		m.emit(ctx, res)
@@ -701,6 +716,8 @@ func (m *Manager) observeJob(js *jobState, res JobResult) {
 			m.cDeadlineHit.Inc()
 		} else {
 			m.cDeadlineMiss.Inc()
+			m.missBurst.Observe(fmt.Sprintf("job %s %s over %s deadline",
+				js.claim, res.Elapsed, js.deadline))
 		}
 		js.span.SetAttr("deadline_met", fmt.Sprintf("%t", res.MetDeadline))
 	}

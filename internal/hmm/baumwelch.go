@@ -3,6 +3,8 @@ package hmm
 import (
 	"fmt"
 	"math"
+
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // WarmStartParamTol is the parameter-space convergence threshold used by
@@ -103,6 +105,7 @@ func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig
 	ws.row = growF(ws.row, max(n, sym))
 	prevLL := math.Inf(-1)
 	res := TrainResult{WarmStarted: cfg.WarmStart}
+	fr, frParent := ws.ring(), ws.frParent
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		piAcc, aNum, bNum, gamma := ws.piAcc, ws.aNum, ws.bNum, ws.gamma
 		zeroF(piAcc)
@@ -111,14 +114,20 @@ func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig
 		ws.loadDiscrete(m)
 		totalLL := 0.0
 
+		// Flight-recorder phase probes chain one timestamp through the
+		// iteration: forward/backward/E-step per sequence, then the
+		// M-step, each tagged with the iteration number.
+		tp := fr.Start()
 		for _, obs := range sequences {
 			T := len(obs)
 			ll, err := m.forwardWS(ws, obs)
 			if err != nil {
 				return res, fmt.Errorf("baum-welch E-step: %w", err)
 			}
+			tp = fr.Probe(flightrec.ProbeHMMForward, tp, int64(iter), frParent)
 			totalLL += ll
 			m.backwardWS(ws, obs, ws.scale)
+			tp = fr.Probe(flightrec.ProbeHMMBackward, tp, int64(iter), frParent)
 			a, b, alpha, beta := ws.a, ws.b, ws.alpha, ws.beta
 			if n == 2 {
 				// Unrolled 2-state E-step: per-step posteriors go straight
@@ -156,6 +165,7 @@ func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig
 				aNum[1] += x01
 				aNum[2] += x10
 				aNum[3] += x11
+				tp = fr.Probe(flightrec.ProbeHMMEStep, tp, int64(iter), frParent)
 				continue
 			}
 			// gamma[t][i] and xi accumulation.
@@ -201,6 +211,7 @@ func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig
 					}
 				}
 			}
+			tp = fr.Probe(flightrec.ProbeHMMEStep, tp, int64(iter), frParent)
 		}
 
 		// M-step with smoothing pseudo-counts. Under WarmStart, track the
@@ -247,6 +258,7 @@ func (m *Discrete) BaumWelchWS(ws *Workspace, sequences [][]int, cfg TrainConfig
 			}
 		}
 
+		fr.Probe(flightrec.ProbeHMMMStep, tp, int64(iter), frParent)
 		res.Iterations = iter + 1
 		res.LogLikelihood = totalLL
 		if totalLL-prevLL < cfg.Tolerance && iter > 0 {

@@ -3,6 +3,8 @@ package hmm
 import (
 	"fmt"
 	"math"
+
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Gaussian is an HMM whose per-state emissions are univariate normal
@@ -239,6 +241,7 @@ func (m *Gaussian) ViterbiWS(ws *Workspace, obs []float64, path []int) ([]int, f
 	if err := checkGaussObs(obs); err != nil {
 		return nil, 0, err
 	}
+	tp := ws.ring().Start()
 	n := ws.loadGaussianLogs(m)
 	T := len(obs)
 	ws.le = growF(ws.le, T*n)
@@ -250,6 +253,7 @@ func (m *Gaussian) ViterbiWS(ws *Workspace, obs []float64, path []int) ([]int, f
 		}
 	}
 	path, best := viterbiWS(ws, T, n, path)
+	ws.fr.Probe(flightrec.ProbeHMMViterbi, tp, int64(T), ws.frParent)
 	return path, best, nil
 }
 
@@ -290,6 +294,7 @@ func (m *Gaussian) BaumWelchWS(ws *Workspace, sequences [][]float64, cfg TrainCo
 	ws.row = growF(ws.row, n)
 	prevLL := math.Inf(-1)
 	res := TrainResult{WarmStarted: cfg.WarmStart}
+	fr, frParent := ws.ring(), ws.frParent
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		piAcc, aNum := ws.piAcc, ws.aNum
 		gammaSum, obsSum, obsSqSum := ws.gSum, ws.oSum, ws.oSq
@@ -301,14 +306,17 @@ func (m *Gaussian) BaumWelchWS(ws *Workspace, sequences [][]float64, cfg TrainCo
 		ws.loadGaussian(m)
 		totalLL := 0.0
 
+		tp := fr.Start()
 		for _, obs := range sequences {
 			T := len(obs)
 			ll, err := m.forwardWS(ws, obs)
 			if err != nil {
 				return res, fmt.Errorf("gaussian baum-welch E-step: %w", err)
 			}
+			tp = fr.Probe(flightrec.ProbeHMMForward, tp, int64(iter), frParent)
 			totalLL += ll
 			m.backwardWS(ws, obs, ws.scale)
+			tp = fr.Probe(flightrec.ProbeHMMBackward, tp, int64(iter), frParent)
 			a, alpha, beta := ws.a, ws.alpha, ws.beta
 			coef, negInv, mean := ws.gCoef, ws.gNegInv, m.Mean
 			for t := 0; t < T; t++ {
@@ -355,6 +363,7 @@ func (m *Gaussian) BaumWelchWS(ws *Workspace, sequences [][]float64, cfg TrainCo
 					}
 				}
 			}
+			tp = fr.Probe(flightrec.ProbeHMMEStep, tp, int64(iter), frParent)
 		}
 
 		maxDelta := 0.0
@@ -397,6 +406,7 @@ func (m *Gaussian) BaumWelchWS(ws *Workspace, sequences [][]float64, cfg TrainCo
 				m.Var[i] = variance
 			}
 		}
+		fr.Probe(flightrec.ProbeHMMMStep, tp, int64(iter), frParent)
 
 		res.Iterations = iter + 1
 		res.LogLikelihood = totalLL

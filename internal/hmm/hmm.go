@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Common errors.
@@ -410,6 +412,7 @@ func (m *Discrete) ViterbiWS(ws *Workspace, obs []int, path []int) ([]int, float
 	if err := m.checkObs(obs); err != nil {
 		return nil, 0, err
 	}
+	tp := ws.ring().Start()
 	n, sym := ws.loadDiscreteLogs(m)
 	T := len(obs)
 	ws.le = growF(ws.le, T*n)
@@ -420,6 +423,7 @@ func (m *Discrete) ViterbiWS(ws *Workspace, obs []int, path []int) ([]int, float
 		}
 	}
 	path, best := viterbiWS(ws, T, n, path)
+	ws.fr.Probe(flightrec.ProbeHMMViterbi, tp, int64(T), ws.frParent)
 	return path, best, nil
 }
 

@@ -3,6 +3,8 @@ package hmm
 import (
 	"math"
 	"sync"
+
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Workspace holds the flat, strided scratch buffers behind every HMM
@@ -52,6 +54,29 @@ type Workspace struct {
 	oSq   []float64 // n (gaussian weighted obs²)
 	gamma []float64 // n per-step posterior scratch
 	row   []float64 // max(n, sym) old-row scratch for warm-start deltas
+
+	// Flight-recorder hookup: kernels probe phase timings into fr (one
+	// private ring per workspace — the workspace's single-goroutine
+	// contract makes it single-writer), tagging events with frParent,
+	// the tracer span that owns the current work. Both stay zero-cost
+	// when no recorder is enabled.
+	fr       *flightrec.Ring
+	frParent int64
+}
+
+// SetFlightParent tags subsequent kernel probe events with the owning
+// tracer span ID (0 clears) — e.g. the dtm decode span, so a deep-dive
+// dump nests EM iterations under the job that ran them.
+func (ws *Workspace) SetFlightParent(parent int64) { ws.frParent = parent }
+
+// ring returns the workspace's flight-recorder ring, acquiring it
+// lazily (and caching it) once a recorder is enabled. With no recorder
+// the lookup is an atomic load + nil check per kernel call.
+func (ws *Workspace) ring() *flightrec.Ring {
+	if ws.fr == nil {
+		ws.fr = flightrec.Fresh("hmm")
+	}
+	return ws.fr
 }
 
 // NewWorkspace returns an empty workspace; buffers are allocated lazily by

@@ -14,6 +14,7 @@ import (
 	"github.com/social-sensing/sstd/internal/control"
 	"github.com/social-sensing/sstd/internal/dtm"
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -354,6 +355,14 @@ func (r *runner) step(ctx context.Context, workers int, rate float64, admission 
 	cfg.Seed = r.cfg.Seed
 	cfg.Admission = admission
 	cfg.Logger = logger
+	if rec := flightrec.Active(); rec != nil {
+		// Give the flight recorder this step's span timeline: each step
+		// runs a fresh cluster, so deep dives triggered here (deadline-miss
+		// bursts past the knee) nest probe events under this step's spans.
+		tracer := obs.NewTracer(0)
+		cfg.Tracer = tracer
+		rec.SetTracer(tracer)
+	}
 	m, err := dtm.New(cfg)
 	if err != nil {
 		return SweepPoint{}, err

@@ -1,0 +1,527 @@
+// Package flightrec is an always-on flight recorder: fixed-size,
+// allocation-free event rings that hot paths probe on every operation
+// (HMM kernel phases, codec frames, master scheduling, dtm merges,
+// stream windows), passive until an SLO trigger fires — a deadline-miss
+// burst, a straggler flag, an admission rejection spike, a task
+// quarantine — at which point the recorder freezes, snapshots the last
+// window of events across all rings, and writes a deep-dive Chrome
+// trace_event file merged with the span tracer's timeline.
+//
+// The probe fast path is two nil/flag checks, two clock reads, one
+// atomic cursor increment and five atomic stores — no allocation, no
+// lock, no map, no string. It is cheap enough (<100ns, see
+// BenchmarkProbe) to stay enabled in production; when no recorder is
+// installed the nil ring makes every probe a single branch.
+package flightrec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// ProbeID identifies a probe site. IDs are dense array indexes into the
+// probe-name table so records stay numeric on the hot path.
+type ProbeID int32
+
+const (
+	// HMM kernel phases, one probe per Baum-Welch iteration phase plus
+	// the Viterbi decode — the θ1 kernel cost of Eq. 10.
+	ProbeHMMForward ProbeID = iota
+	ProbeHMMBackward
+	ProbeHMMEStep
+	ProbeHMMMStep
+	ProbeHMMViterbi
+	// Codec frame legs: CRC stamping/checking and JSON encode/decode —
+	// the wire transfer terms of Eq. 10.
+	ProbeCodecCRC
+	ProbeCodecEncode
+	ProbeCodecDecode
+	// Master scheduling loop: task handed to a worker, task requeued
+	// after a failure, result acknowledged.
+	ProbeMasterAssign
+	ProbeMasterRequeue
+	ProbeMasterAck
+	// DTM job legs: per-task ACS merge and the finalize (merge+decode).
+	ProbeDTMMerge
+	ProbeDTMFinalize
+	// Streaming decoder: window append (decode) and frontier rotation.
+	ProbeStreamAppend
+	ProbeStreamRotate
+
+	numProbes
+)
+
+var probeNames = [numProbes]string{
+	"hmm.forward", "hmm.backward", "hmm.estep", "hmm.mstep", "hmm.viterbi",
+	"codec.crc", "codec.encode", "codec.decode",
+	"master.assign", "master.requeue", "master.ack",
+	"dtm.merge", "dtm.finalize",
+	"stream.append", "stream.rotate",
+}
+
+// Name returns the probe's dotted name ("hmm.forward", "codec.crc", ...).
+func (p ProbeID) Name() string {
+	if p < 0 || p >= numProbes {
+		return fmt.Sprintf("probe-%d", int32(p))
+	}
+	return probeNames[p]
+}
+
+// record is one ring slot. Every field is atomic so concurrent writers
+// (the cursor hands each Probe a private slot, but a lapped ring can
+// reassign a slot while a snapshot reads it) stay race-detector clean;
+// torn records are filtered at snapshot by the t0/t1 sanity checks.
+type record struct {
+	probe  atomic.Int64 // ProbeID+1; 0 marks a never-written slot
+	t0     atomic.Int64 // unix nanos
+	t1     atomic.Int64 // unix nanos
+	arg    atomic.Int64 // probe-specific payload (iteration, bytes, ...)
+	parent atomic.Int64 // owning tracer span ID (0 = none)
+}
+
+// Ring is one fixed-size probe event buffer. Rings created with NewRing
+// have a single writer by convention (one per workspace / codec /
+// goroutine); shared rings from Recorder.Ring accept concurrent writers
+// — the atomic cursor hands each probe a private slot either way. A nil
+// *Ring is valid and disables its probes.
+type Ring struct {
+	name string
+	recs []record
+	mask uint64
+	cur  atomic.Uint64 // total records ever written
+
+	// Probe timestamps are wall-at-recorder-creation plus monotonic
+	// elapsed: time.Since on a monotonic base reads only the monotonic
+	// clock (~half the cost of time.Now, which reads both), and the
+	// stamps stay comparable to the tracer's wall-clock spans.
+	base     time.Time
+	baseWall int64
+
+	frozen  *atomic.Bool // recorder-wide freeze flag
+	dropped *obs.Counter // recorder-wide overwrite counter
+}
+
+// Start opens a probe interval: it returns the current time, or 0 when
+// the ring is nil or frozen (Probe ignores a zero start). Call it
+// immediately before the probed region.
+func (g *Ring) Start() int64 {
+	if g == nil || g.frozen.Load() {
+		return 0
+	}
+	return int64(time.Since(g.base)) + g.baseWall
+}
+
+// Probe closes a probe interval opened by Start, recording
+// {id, t0, now, arg, parent} into the ring, and returns its end stamp —
+// back-to-back phases chain it as the next probe's t0 so a phase costs
+// one clock read, not two:
+//
+//	t := ring.Start()
+//	forward()
+//	t = ring.Probe(ProbeHMMForward, t, it, parent)
+//	backward()
+//	t = ring.Probe(ProbeHMMBackward, t, it, parent)
+//
+// parent is the tracer span the event belongs under (0 for none); arg
+// is probe-specific (EM iteration, frame bytes, window length, ...).
+// No-op returning 0 on a nil ring, a zero t0, or a frozen recorder.
+func (g *Ring) Probe(id ProbeID, t0, arg, parent int64) int64 {
+	if g == nil || t0 == 0 || g.frozen.Load() {
+		return 0
+	}
+	t1 := int64(time.Since(g.base)) + g.baseWall
+	pos := g.cur.Add(1) - 1
+	r := &g.recs[pos&g.mask]
+	r.probe.Store(int64(id) + 1)
+	r.t0.Store(t0)
+	r.t1.Store(t1)
+	r.arg.Store(arg)
+	r.parent.Store(parent)
+	if pos >= uint64(len(g.recs)) {
+		g.dropped.Inc()
+	}
+	return t1
+}
+
+// Name returns the ring's name ("" on nil).
+func (g *Ring) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Total reports how many events were ever written to the ring (0 on nil).
+func (g *Ring) Total() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.cur.Load()
+}
+
+// Trigger names accepted by Trip and the -flight-dump-on flag.
+const (
+	TrigDeadlineMiss = "deadline-miss" // burst of jobs past their deadline
+	TrigStraggler    = "straggler"     // health registry flags a slow worker
+	TrigAdmission    = "admission"     // admission gate rejection spike
+	TrigQuarantine   = "quarantine"    // poison task quarantined
+	TrigManual       = "manual"        // /debug/flightrec/trip or tests
+)
+
+// Config parameterizes a Recorder. The zero value is usable: default
+// ring size, 1s dump window, 5s trip cooldown, all triggers armed, no
+// dump directory (snapshots available over HTTP only).
+type Config struct {
+	// RingSize is the per-ring capacity in records, rounded up to a
+	// power of two (default 4096; one record is 40 bytes).
+	RingSize int
+	// MaxRings caps how many distinct rings the recorder tracks; past
+	// the cap NewRing degrades to the shared per-name ring so churning
+	// callers (reconnecting codecs) cannot grow memory without bound.
+	MaxRings int
+	// Window is how far back a deep-dive dump reaches (default 1s).
+	Window time.Duration
+	// Cooldown is the minimum gap between dumps (default 5s) so a
+	// trigger storm produces one deep dive, not hundreds.
+	Cooldown time.Duration
+	// Dir is where deep-dive trace files land; empty disables files
+	// (triggers still freeze + snapshot for the HTTP endpoint).
+	Dir string
+	// DumpOn lists the armed triggers (TrigDeadlineMiss, ...); empty or
+	// containing "all" arms everything.
+	DumpOn []string
+	// Tracer supplies the span timeline merged into deep dives; may be
+	// nil (events export on synthetic lanes) and replaced later with
+	// SetTracer.
+	Tracer *obs.Tracer
+	// Metrics, when set, exports flightrec_events_dropped_total,
+	// flightrec_trips_total and flightrec_dumps_total.
+	Metrics *obs.Registry
+	// Logger, when set, gets a line per trip and per dump.
+	Logger *obs.Logger
+}
+
+// DumpInfo describes one completed deep-dive dump.
+type DumpInfo struct {
+	Time    time.Time `json:"time"`
+	Trigger string    `json:"trigger"`
+	Detail  string    `json:"detail,omitempty"`
+	Path    string    `json:"path,omitempty"`
+	Events  int       `json:"events"`
+	Spans   int       `json:"spans"`
+}
+
+// Recorder owns the probe rings and the trigger/dump machinery. A nil
+// *Recorder is valid: every method no-ops.
+type Recorder struct {
+	ringSize int
+	maxRings int
+	window   time.Duration
+	cooldown time.Duration
+	dir      string
+	armed    map[string]bool // nil = all triggers armed
+	logger   *obs.Logger
+	base     time.Time // monotonic clock base shared by every ring
+	baseWall int64
+
+	frozen atomic.Bool
+	tracer atomic.Pointer[obs.Tracer]
+
+	cDropped *obs.Counter
+	cTrips   *obs.Counter
+	cDumps   *obs.Counter
+
+	mu       sync.Mutex
+	byName   map[string]*Ring // shared rings, by name
+	rings    []*Ring          // every ring, shared and private
+	lastTrip time.Time
+	dumping  bool
+	dumpSeq  int
+	dumps    []DumpInfo
+}
+
+// NewRecorder builds a recorder from cfg, creating cfg.Dir when set.
+func NewRecorder(cfg Config) (*Recorder, error) {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 4096
+	}
+	// Round up to a power of two so the cursor masks instead of mods.
+	pow := 1
+	for pow < size {
+		pow <<= 1
+	}
+	maxRings := cfg.MaxRings
+	if maxRings <= 0 {
+		maxRings = 64
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	cooldown := cfg.Cooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("flightrec: dump dir: %w", err)
+		}
+	}
+	var armed map[string]bool
+	if len(cfg.DumpOn) > 0 {
+		armed = make(map[string]bool, len(cfg.DumpOn))
+		for _, t := range cfg.DumpOn {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			if t == "all" {
+				armed = nil
+				break
+			}
+			armed[t] = true
+		}
+	}
+	now := time.Now()
+	r := &Recorder{
+		ringSize: pow,
+		maxRings: maxRings,
+		window:   window,
+		cooldown: cooldown,
+		dir:      cfg.Dir,
+		armed:    armed,
+		logger:   cfg.Logger,
+		base:     now,
+		baseWall: now.UnixNano(),
+		byName:   make(map[string]*Ring),
+	}
+	r.tracer.Store(cfg.Tracer)
+	if cfg.Metrics != nil {
+		r.cDropped = cfg.Metrics.Counter("flightrec_events_dropped_total")
+		r.cTrips = cfg.Metrics.Counter("flightrec_trips_total")
+		r.cDumps = cfg.Metrics.Counter("flightrec_dumps_total")
+	}
+	return r, nil
+}
+
+func (r *Recorder) newRingLocked(name string) *Ring {
+	g := &Ring{
+		name:     name,
+		recs:     make([]record, r.ringSize),
+		mask:     uint64(r.ringSize - 1),
+		base:     r.base,
+		baseWall: r.baseWall,
+		frozen:   &r.frozen,
+		dropped:  r.cDropped,
+	}
+	r.rings = append(r.rings, g)
+	return g
+}
+
+// Ring returns the shared ring registered under name, creating it on
+// first use. Concurrent writers are safe. Nil-safe: a nil recorder
+// returns a nil ring.
+func (r *Recorder) Ring(name string) *Ring {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.byName[name]; ok {
+		return g
+	}
+	g := r.newRingLocked(name)
+	r.byName[name] = g
+	return g
+}
+
+// NewRing returns a private ring under name — the per-goroutine shape:
+// one ring per workspace or codec means zero cursor contention. Past
+// Config.MaxRings it degrades to the shared per-name ring. Nil-safe.
+func (r *Recorder) NewRing(name string) *Ring {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if len(r.rings) < r.maxRings {
+		g := r.newRingLocked(name)
+		r.mu.Unlock()
+		return g
+	}
+	r.mu.Unlock()
+	return r.Ring(name)
+}
+
+// SetTracer replaces the span timeline merged into deep dives — used by
+// harnesses (loadgen) that build a fresh tracer per measurement step.
+// Nil-safe.
+func (r *Recorder) SetTracer(t *obs.Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer.Store(t)
+}
+
+// Armed reports whether trigger would trip this recorder.
+func (r *Recorder) Armed(trigger string) bool {
+	if r == nil {
+		return false
+	}
+	return r.armed == nil || r.armed[trigger]
+}
+
+// Frozen reports whether a dump snapshot is in progress.
+func (r *Recorder) Frozen() bool {
+	return r != nil && r.frozen.Load()
+}
+
+// Trip fires a trigger: if it is armed and the cooldown has expired the
+// recorder freezes and a background goroutine snapshots the last window
+// of events and writes the deep-dive file. Returns whether a dump was
+// started. Safe to call from hot paths — the slow work is asynchronous.
+func (r *Recorder) Trip(trigger, detail string) bool {
+	if r == nil || !r.Armed(trigger) {
+		return false
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.dumping || (!r.lastTrip.IsZero() && now.Sub(r.lastTrip) < r.cooldown) {
+		r.mu.Unlock()
+		return false
+	}
+	r.dumping = true
+	r.lastTrip = now
+	r.dumpSeq++
+	seq := r.dumpSeq
+	r.mu.Unlock()
+
+	r.cTrips.Inc()
+	r.frozen.Store(true)
+	r.logger.Warn("flightrec trip",
+		obs.F("trigger", trigger), obs.F("detail", detail), obs.F("seq", seq))
+	go r.dump(seq, trigger, detail)
+	return true
+}
+
+// dump runs off the hot path: snapshot under freeze, write, thaw.
+func (r *Recorder) dump(seq int, trigger, detail string) {
+	// Probes that passed the frozen check just before the trip may still
+	// be completing their stores; give them a beat before snapshotting.
+	time.Sleep(time.Millisecond)
+	events := r.Events(r.window)
+	var spans []obs.Span
+	if tr := r.tracer.Load(); tr != nil {
+		spans = tr.Spans()
+	}
+	info := DumpInfo{Time: time.Now(), Trigger: trigger, Detail: detail, Events: len(events), Spans: len(spans)}
+	if r.dir != "" {
+		path := filepath.Join(r.dir, fmt.Sprintf("flightrec-%03d-%s.trace.json", seq, trigger))
+		if err := writeDeepDiveFile(path, spans, events); err != nil {
+			r.logger.Error("flightrec dump failed", obs.F("err", err.Error()), obs.F("path", path))
+		} else {
+			info.Path = path
+			r.cDumps.Inc()
+			r.logger.Info("flightrec deep-dive written", obs.F("path", path),
+				obs.F("events", len(events)), obs.F("spans", len(spans)), obs.F("trigger", trigger))
+		}
+	} else {
+		r.cDumps.Inc()
+	}
+	r.frozen.Store(false)
+	r.mu.Lock()
+	r.dumping = false
+	r.dumps = append(r.dumps, info)
+	r.mu.Unlock()
+}
+
+// Wait blocks until any in-flight dump has finished — binaries call it
+// before exit so a trip near shutdown still lands its file. It polls the
+// mutex-guarded dump state rather than a WaitGroup so it can race freely
+// with new trips.
+func (r *Recorder) Wait() {
+	if r == nil {
+		return
+	}
+	for {
+		r.mu.Lock()
+		dumping := r.dumping
+		r.mu.Unlock()
+		if !dumping {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Dumps returns the completed dump history, oldest first.
+func (r *Recorder) Dumps() []DumpInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DumpInfo, len(r.dumps))
+	copy(out, r.dumps)
+	return out
+}
+
+// active is the process-wide default recorder. Deep library code (HMM
+// workspaces, codecs) acquires rings through it so recording needs no
+// config plumbing: binaries Enable once at startup, before building the
+// components they want probed.
+var active atomic.Pointer[Recorder]
+
+// Enable builds a recorder from cfg and installs it as the process
+// default.
+func Enable(cfg Config) (*Recorder, error) {
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	active.Store(r)
+	return r, nil
+}
+
+// Disable uninstalls the process default recorder. Rings already handed
+// out keep recording into the old recorder; new ring lookups return nil.
+func Disable() {
+	active.Store(nil)
+}
+
+// Active returns the process default recorder, or nil.
+func Active() *Recorder { return active.Load() }
+
+// Shared returns the default recorder's shared ring under name (nil
+// when no recorder is installed).
+func Shared(name string) *Ring { return Active().Ring(name) }
+
+// Fresh returns a private single-writer ring from the default recorder
+// (nil when no recorder is installed).
+func Fresh(name string) *Ring { return Active().NewRing(name) }
+
+// Trip fires a trigger on the default recorder.
+func Trip(trigger, detail string) bool { return Active().Trip(trigger, detail) }
+
+// EnableCLI installs the default recorder from the binaries' flag values:
+// dir is -flight-record (empty = recording off, returns nil), dumpOn is
+// the comma-separated -flight-dump-on trigger list ("" or "all" arms
+// everything). Call it before constructing the components to be probed —
+// rings are bound at component construction.
+func EnableCLI(dir, dumpOn string, tracer *obs.Tracer, metrics *obs.Registry, logger *obs.Logger) (*Recorder, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	var on []string
+	if dumpOn != "" {
+		on = strings.Split(dumpOn, ",")
+	}
+	return Enable(Config{Dir: dir, DumpOn: on, Tracer: tracer, Metrics: metrics, Logger: logger})
+}

@@ -1,0 +1,60 @@
+package flightrec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Burst trips a trigger when N observations land within a sliding
+// window — the shape of the deadline-miss and admission-rejection
+// triggers, where one event is routine but a spike means the system
+// crossed its knee. A nil *Burst is valid and ignores observations.
+type Burst struct {
+	trigger string
+	n       int
+	window  time.Duration
+
+	mu    sync.Mutex
+	times []time.Time
+}
+
+// NewBurst builds a detector that fires trigger once n observations
+// arrive within window (defaults: n=3, window=10s). The detector binds
+// to the process default recorder lazily at trip time, so it can be
+// constructed before — or without — Enable.
+func NewBurst(trigger string, n int, window time.Duration) *Burst {
+	if n <= 0 {
+		n = 3
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	return &Burst{trigger: trigger, n: n, window: window, times: make([]time.Time, 0, n)}
+}
+
+// Observe records one occurrence; when the burst threshold is crossed
+// it trips the default recorder with detail. Nil-safe and cheap when no
+// recorder is armed.
+func (b *Burst) Observe(detail string) {
+	if b == nil || !Active().Armed(b.trigger) {
+		return
+	}
+	now := time.Now()
+	b.mu.Lock()
+	keep := b.times[:0]
+	for _, t := range b.times {
+		if now.Sub(t) < b.window {
+			keep = append(keep, t)
+		}
+	}
+	b.times = append(keep, now)
+	burst := len(b.times) >= b.n
+	if burst {
+		b.times = b.times[:0]
+	}
+	b.mu.Unlock()
+	if burst {
+		Trip(b.trigger, fmt.Sprintf("%d in %s: %s", b.n, b.window, detail))
+	}
+}

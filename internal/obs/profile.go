@@ -5,12 +5,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // StartProfiling starts a CPU profile at cpuPath and returns a stop
 // function that ends it and snapshots the heap to memPath. Either path may
 // be empty to skip that profile; the returned stop function is always
-// non-nil and safe to call exactly once. The heap snapshot runs a GC first
+// non-nil and idempotent — repeat calls return the first call's result
+// without re-running the stop work. The heap snapshot runs a GC first
 // so it reports live objects, not garbage awaiting collection.
 func StartProfiling(cpuPath, memPath string) (func() error, error) {
 	var cpuFile *os.File
@@ -25,25 +27,31 @@ func StartProfiling(cpuPath, memPath string) (func() error, error) {
 		}
 		cpuFile = f
 	}
+	var once sync.Once
+	var stopErr error
 	stop := func() error {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return fmt.Errorf("cpu profile: %w", err)
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					stopErr = fmt.Errorf("cpu profile: %w", err)
+					return
+				}
 			}
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("mem profile: %w", err)
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					stopErr = fmt.Errorf("mem profile: %w", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					stopErr = fmt.Errorf("mem profile: %w", err)
+				}
 			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("mem profile: %w", err)
-			}
-		}
-		return nil
+		})
+		return stopErr
 	}
 	return stop, nil
 }

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartProfilingWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiling(cpu, mem)
+	if err != nil {
+		t.Fatalf("StartProfiling: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i) * 1.000001
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilingStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartProfiling(filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof"))
+	if err != nil {
+		t.Fatalf("StartProfiling: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	// A second (or concurrent) stop must not re-run the stop work: no
+	// double StopCPUProfile, no double close, same result back.
+	for i := 0; i < 3; i++ {
+		if err := stop(); err != nil {
+			t.Fatalf("repeat stop %d returned %v, want nil", i, err)
+		}
+	}
+}
+
+func TestStartProfilingStopErrorSticky(t *testing.T) {
+	dir := t.TempDir()
+	// Heap snapshot into a directory that does not exist: stop fails, and
+	// every later call reports the same error instead of retrying.
+	stop, err := StartProfiling("", filepath.Join(dir, "missing", "mem.pprof"))
+	if err != nil {
+		t.Fatalf("StartProfiling: %v", err)
+	}
+	first := stop()
+	if first == nil {
+		t.Fatal("stop into missing dir should fail")
+	}
+	if again := stop(); again != first {
+		t.Errorf("second stop returned %v, want the sticky %v", again, first)
+	}
+}
+
+func TestStartProfilingUnwritableCPUPath(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := StartProfiling(filepath.Join(dir, "missing", "cpu.pprof"), ""); err == nil {
+		t.Fatal("unwritable cpu path should fail at start")
+	}
+}
+
+func TestStartProfilingEmptyPathsNoop(t *testing.T) {
+	stop, err := StartProfiling("", "")
+	if err != nil {
+		t.Fatalf("StartProfiling with no paths: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop returned %v", err)
+	}
+}

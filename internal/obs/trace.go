@@ -95,10 +95,14 @@ type Tracer struct {
 	// now is a test hook for deterministic timestamps.
 	now func() time.Time
 
-	mu    sync.Mutex
-	ring  []Span
-	next  int
-	total int
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	total   int
+	dropped int
+	// cDropped, when instrumented, exports overwrites as
+	// obs_spans_dropped_total — ring overflow is otherwise silent.
+	cDropped *Counter
 }
 
 // NewTracer creates a tracer keeping the most recent capacity spans
@@ -202,8 +206,37 @@ func (t *Tracer) record(s Span) {
 	} else {
 		t.ring[t.next] = s
 		t.next = (t.next + 1) % t.capacity
+		t.dropped++
+		t.cDropped.Inc()
 	}
 	t.total++
+}
+
+// Instrument exports the tracer's overflow count to reg as
+// obs_spans_dropped_total, so a ring quietly evicting spans shows up on
+// the metrics endpoint. Counts dropped before instrumentation carry
+// over. Nil-safe on both sides.
+func (t *Tracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cDropped != nil {
+		return
+	}
+	t.cDropped = reg.Counter("obs_spans_dropped_total")
+	t.cDropped.Add(int64(t.dropped))
+}
+
+// Dropped reports how many spans the ring has overwritten (0 on nil).
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Len reports how many spans are currently buffered (0 on nil).

@@ -78,6 +78,37 @@ func TestTracerRingEviction(t *testing.T) {
 			t.Errorf("evicted span %d still buffered", s.ID)
 		}
 	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerDroppedCounterExported(t *testing.T) {
+	tr := NewTracer(2)
+	reg := NewRegistry()
+	tr.NewSpan("pre", 0).Finish()
+	tr.NewSpan("pre", 0).Finish()
+	tr.NewSpan("pre", 0).Finish() // first overwrite, before instrumentation
+	tr.Instrument(reg)
+	c := reg.Counter("obs_spans_dropped_total")
+	if c.Value() != 1 {
+		t.Fatalf("backlog not carried over: counter = %d, want 1", c.Value())
+	}
+	tr.NewSpan("post", 0).Finish()
+	tr.NewSpan("post", 0).Finish()
+	if c.Value() != 3 {
+		t.Errorf("counter = %d after 3 overwrites, want 3", c.Value())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", tr.Dropped())
+	}
+	// Re-instrumenting (or a nil tracer/registry) must not double count.
+	tr.Instrument(reg)
+	tr.Instrument(nil)
+	(*Tracer)(nil).Instrument(reg)
+	if c.Value() != 3 {
+		t.Errorf("re-instrument double-counted: %d", c.Value())
+	}
 }
 
 func TestTracerConcurrentSpans(t *testing.T) {

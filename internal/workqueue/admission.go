@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // ErrAdmissionRejected is the sentinel wrapped into every admission
@@ -77,13 +78,19 @@ type admissionGate struct {
 	cShed     *obs.Counter
 	hPredMiss *obs.Histogram
 	logger    *obs.Logger
+
+	// rejectBurst trips a flight-recorder deep dive when rejections
+	// cluster — a rejection spike means the capacity model and the live
+	// pool disagree, exactly when sub-span timing history is wanted.
+	rejectBurst *flightrec.Burst
 }
 
 func newAdmissionGate(cfg AdmissionConfig, reg *obs.Registry, logger *obs.Logger) *admissionGate {
 	if cfg.SafetyFactor <= 0 {
 		cfg.SafetyFactor = 1
 	}
-	g := &admissionGate{cfg: cfg, logger: logger}
+	g := &admissionGate{cfg: cfg, logger: logger,
+		rejectBurst: flightrec.NewBurst(flightrec.TrigAdmission, 0, 0)}
 	if reg != nil {
 		g.cAccepted = reg.Counter("admission_accepted_total")
 		g.cRejected = reg.Counter("admission_rejected_total")
@@ -143,6 +150,7 @@ func (g *admissionGate) decide(jobID, traceID string, jobTasks int, deadline tim
 	d.Err = obs.Wrap(fmt.Errorf("%w: job %s predicted %.0fms > deadline %dms (queue %d, workers %d, %s rate %.2f/s)",
 		ErrAdmissionRejected, jobID, d.PredictedMs, d.DeadlineMs, queueDepth, workers, rateSource, rate))
 	g.cRejected.Inc()
+	g.rejectBurst.Observe(fmt.Sprintf("job %s predicted %.0fms > %dms", jobID, d.PredictedMs, d.DeadlineMs))
 	g.logger.Warn("job rejected by admission control",
 		obs.JobID(jobID), obs.TraceID(traceID),
 		obs.F("predicted_ms", int64(d.PredictedMs)), obs.F("deadline_ms", d.DeadlineMs),

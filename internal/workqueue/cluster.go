@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // WorkerState is the liveness state of one worker as judged by the
@@ -111,6 +112,9 @@ type workerEntry struct {
 	// time (round trip minus worker-reported execution).
 	ewmaTransferMs float64
 	hasTransfer    bool
+	// wasStraggler remembers the previous health snapshot's straggler
+	// verdict so the flight recorder trips only on the flag's rising edge.
+	wasStraggler bool
 }
 
 // skewNs returns the estimated worker-clock offset from the master clock
@@ -464,6 +468,15 @@ func (cl *cluster) count() int {
 // then recently departed — computing straggler flags against the cluster
 // median EWMA exec time.
 func (cl *cluster) health() []WorkerHealth {
+	// Trip after the registry lock is released (deferred funcs run LIFO):
+	// a newly flagged straggler freezes the flight-recorder rings and
+	// dumps the timing history showing where the slow worker's time went.
+	var flipped []string
+	defer func() {
+		for _, detail := range flipped {
+			flightrec.Trip(flightrec.TrigStraggler, "worker flagged straggler: "+detail)
+		}
+	}()
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	out := make([]WorkerHealth, 0, len(cl.active)+len(cl.gone))
@@ -485,6 +498,10 @@ func (cl *cluster) health() []WorkerHealth {
 		h := healthRow(e)
 		h.Straggler = len(ewmas) >= 2 && median > 0 &&
 			e.tasksDone+e.tasksFailed > 0 && e.ewmaExecMs > cl.factor*median
+		if h.Straggler && !e.wasStraggler {
+			flipped = append(flipped, fmt.Sprintf("%s (%.1fms vs median %.1fms)", e.id, e.ewmaExecMs, median))
+		}
+		e.wasStraggler = h.Straggler
 		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // JobStats tracks per-job progress for the feedback control loop.
@@ -115,6 +116,10 @@ type Master struct {
 	hExec        *obs.Histogram
 	hWait        *obs.Histogram
 
+	// fr probes the assign/requeue/ack control loop into the flight
+	// recorder; handler goroutines share it (the ring cursor is atomic).
+	fr *flightrec.Ring
+
 	mu       sync.Mutex
 	rng      *rand.Rand // jitter source for requeue backoff; guarded by mu
 	stats    map[string]*JobStats
@@ -156,6 +161,7 @@ func NewMaster(cfg MasterConfig) *Master {
 		attempts:     make(map[string]int),
 		pending:      make(map[string]*time.Timer),
 		quarantine:   make(map[string]*QuarantinedTask),
+		fr:           flightrec.Shared("master"),
 	}
 	if cfg.RequeueBackoff.Jitter == 0 {
 		m.backoff.Jitter = 0.2
@@ -436,6 +442,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			sendShutdown()
 			return nil
 		}
+		tp := m.fr.Start()
 		execSpanID := m.trackInflight(task, workerID)
 		m.cluster.taskAssigned(workerID, task.ID)
 		// Ship a stamped copy: the send timestamp feeds the worker's leg of
@@ -460,6 +467,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			m.requeue(task)
 			return obs.Wrap(err)
 		}
+		m.fr.Probe(flightrec.ProbeMasterAssign, tp, int64(len(wire.Payload)), execSpanID)
 		// The per-task deadline recovers from silently lost frames: if
 		// neither a result nor a connection error arrives in time, the
 		// task (or its result) is assumed dropped — sever the connection
@@ -622,6 +630,7 @@ type QuarantinedTask struct {
 // at-least-once execution. A task that exhausts its retry budget is
 // quarantined and reported as a failed Result instead.
 func (m *Master) requeue(t Task) {
+	tp := m.fr.Start()
 	m.mu.Lock()
 	delete(m.inflight, t.ID)
 	if m.taskSpans != nil {
@@ -653,10 +662,16 @@ func (m *Master) requeue(t Task) {
 		m.quarantineLocked(t, attempts)
 	}
 	m.mu.Unlock()
+	m.fr.Probe(flightrec.ProbeMasterRequeue, tp, int64(attempts), t.Span)
 	if closed {
 		return
 	}
 	if exhausted {
+		// A poisoned task is exactly the moment the flight recorder's
+		// sub-span detail pays off: trip a deep-dive dump of the ring
+		// history leading up to the quarantine.
+		flightrec.Trip(flightrec.TrigQuarantine,
+			fmt.Sprintf("task %s quarantined after %d attempts", t.ID, attempts))
 		// Build the quarantine error through obs.Wrap so the synthetic
 		// failed Result carries a master-side return path like a genuine
 		// worker failure would.
@@ -754,6 +769,8 @@ func (m *Master) ReleaseQuarantined(taskID string) error {
 }
 
 func (m *Master) complete(r Result) {
+	tp := m.fr.Start()
+	var ackParent int64
 	m.mu.Lock()
 	delete(m.inflight, r.TaskID)
 	delete(m.attempts, r.TaskID)
@@ -762,6 +779,7 @@ func (m *Master) complete(r Result) {
 	}
 	if m.taskSpans != nil {
 		if s := m.taskSpans[r.TaskID]; s != nil {
+			ackParent = s.SpanID()
 			if r.Err != "" {
 				s.SetAttr("error", r.Err)
 			}
@@ -789,6 +807,7 @@ func (m *Master) complete(r Result) {
 	jobDone := js.Done()
 	closed := m.closed
 	m.mu.Unlock()
+	m.fr.Probe(flightrec.ProbeMasterAck, tp, int64(len(r.Output)), ackParent)
 	if jobDone {
 		// Drop the drained job's scheduler priority entry so a
 		// long-running master does not accumulate state per job.

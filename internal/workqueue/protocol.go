@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Task is one unit of work. Tasks belong to jobs (the paper's TD jobs); a
@@ -173,23 +174,41 @@ type codec struct {
 	sendMu   sync.Mutex
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+	// fr probes frame encode/decode and CRC phases into the flight
+	// recorder. The send side is mutex-serialized and recv is
+	// single-reader, so one ring per codec keeps writers private.
+	fr *flightrec.Ring
 }
 
 func newCodec(conn net.Conn) *codec {
-	c := &codec{conn: conn}
+	c := &codec{conn: conn, fr: flightrec.Fresh("codec")}
 	c.r = bufio.NewReader(countingReader{conn, &c.bytesIn})
 	c.enc = json.NewEncoder(countingWriter{conn, &c.bytesOut})
 	return c
 }
 
+// flightParent links a frame's codec events under the span that owns the
+// task it carries; telemetry-only frames stay unparented.
+func (m *message) flightParent() int64 {
+	if m.Task != nil && m.Task.Trace != nil {
+		return m.Task.Trace.ParentSpanID
+	}
+	return 0
+}
+
 // send writes one message, stamping its integrity checksum.
 func (c *codec) send(m message) error {
+	parent := m.flightParent()
+	tp := c.fr.Start()
 	m.CRC = m.checksum()
+	tp = c.fr.Probe(flightrec.ProbeCodecCRC, tp, 0, parent)
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	before := c.bytesOut.Load()
 	if err := c.enc.Encode(m); err != nil {
 		return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
 	}
+	c.fr.Probe(flightrec.ProbeCodecEncode, tp, c.bytesOut.Load()-before, parent)
 	return nil
 }
 
@@ -225,13 +244,17 @@ func (c *codec) recv() (message, error) {
 	if len(line) > maxFrameBytes {
 		return message{}, obs.Wrap(ErrFrameTooLarge)
 	}
+	tp := c.fr.Start()
 	var m message
 	if err := json.Unmarshal(line, &m); err != nil {
 		return message{}, obs.Wrap(fmt.Errorf("workqueue: decode message: %w", err))
 	}
+	parent := m.flightParent()
+	tp = c.fr.Probe(flightrec.ProbeCodecDecode, tp, int64(len(line)), parent)
 	if m.CRC != 0 && m.CRC != m.checksum() {
 		return message{}, obs.Wrap(fmt.Errorf("%w (type %q)", ErrChecksum, m.Type))
 	}
+	c.fr.Probe(flightrec.ProbeCodecCRC, tp, 0, parent)
 	return m, nil
 }
 

@@ -1,12 +1,16 @@
 #!/bin/sh
 # CI tiers for the SSTD reproduction.
 #
-#   scripts/check.sh          tier-1: build + tests (the ROADMAP gate)
-#   scripts/check.sh race     tier-2: vet + full test suite under -race
-#   scripts/check.sh bench    microbenchmarks -> BENCH_obs.json + BENCH_hmm.json
-#   scripts/check.sh chaos    chaos soak: seeded fault-injection schedules under -race
-#   scripts/check.sh load     10-second capacity smoke sweep -> BENCH_load.json
-#   scripts/check.sh all      tier-1 + tier-2
+#   scripts/check.sh            tier-1: build + tests (the ROADMAP gate)
+#   scripts/check.sh race       tier-2: vet + full test suite under -race
+#   scripts/check.sh bench      microbenchmarks -> BENCH_obs.json + BENCH_hmm.json
+#   scripts/check.sh chaos      chaos soak: seeded fault-injection schedules under -race
+#   scripts/check.sh load       10-second capacity smoke sweep -> BENCH_load.json
+#   scripts/check.sh flightrec  flight-recorder smoke: forced deep-dive dump in a 2-worker run
+#   scripts/check.sh all        tier-1 + tier-2
+#
+# scripts/benchdiff.sh wraps the bench tier with a regression gate against
+# the checked-in BENCH_obs.json/BENCH_hmm.json baselines.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -42,8 +46,8 @@ bench_json() {
 }
 
 bench() {
-	echo "== bench: go test -bench on internal/obs and internal/workqueue =="
-	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/workqueue)
+	echo "== bench: go test -bench on internal/obs, internal/obs/flightrec and internal/workqueue =="
+	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/obs/flightrec ./internal/workqueue)
 	echo "$out"
 	echo "$out" | bench_json >BENCH_obs.json
 	echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) benchmarks)"
@@ -88,18 +92,42 @@ load() {
 	echo "BENCH_load.json OK ($(grep -c '"offeredRate"' BENCH_load.json) sweep points)"
 }
 
+flightrec() {
+	# Flight-recorder smoke: a 2-worker loadgen run with a 1ms deadline no
+	# real job can meet, so the deadline-miss burst trips a deep-dive dump.
+	# Asserts the merged Chrome trace exists and contains both HMM
+	# kernel-phase and codec frame probe events. FLIGHTREC_DIR overrides
+	# the dump directory (CI points it somewhere uploadable).
+	echo "== flightrec: deep-dive smoke (2 workers, forced deadline-miss trigger) =="
+	dir="${FLIGHTREC_DIR:-$(mktemp -d)}"
+	mkdir -p "$dir"
+	rm -f "$dir"/flightrec-*.trace.json
+	go run ./cmd/loadgen -trace boston -scale 0.002 -workers 2 \
+		-start-rate 4 -rate-factor 2 -max-rate 8 \
+		-deadline 1ms -step 800ms -duration 8s -work-delay 200us \
+		-admit-factor 0 -quiet \
+		-out "$dir/BENCH_flightrec.json" -flight-record "$dir" -flight-dump-on deadline-miss
+	dump=$(ls "$dir"/flightrec-*.trace.json 2>/dev/null | head -n 1)
+	test -n "$dump"
+	test -s "$dump"
+	grep -q '"hmm\.' "$dump"
+	grep -q '"codec\.' "$dump"
+	echo "flightrec deep dive OK: $dump ($(wc -c <"$dump") bytes)"
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) race ;;
 bench) bench ;;
 chaos) chaos ;;
 load) load ;;
+flightrec) flightrec ;;
 all)
 	tier1
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|load|all]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|load|flightrec|all]" >&2
 	exit 2
 	;;
 esac
