@@ -13,12 +13,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,9 +29,12 @@ import (
 	"github.com/social-sensing/sstd/internal/loadgen"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/slo"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 	"github.com/social-sensing/sstd/internal/traceio"
+	"github.com/social-sensing/sstd/internal/workqueue"
 )
 
 func main() {
@@ -61,6 +67,13 @@ func main() {
 
 		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
 		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
+
+		telemetry = flag.String("telemetry", "", "optional address serving the cluster telemetry plane during the sweep: /metrics, /query (retained time-series), /slo (error budgets)")
+		linger    = flag.Duration("linger", 0, "keep the -telemetry endpoint up this long after the sweep so sstdctl can inspect the retained store")
+		sloTarget = flag.Float64("slo-target", 0.9, "deadline-hit-rate objective for the /slo error budget (needs -telemetry)")
+		sloFast   = flag.Duration("slo-fast", 5*time.Minute, "fast burn-rate window")
+		sloSlow   = flag.Duration("slo-slow", time.Hour, "slow burn-rate window")
+		sloBurn   = flag.Float64("slo-burn", 14.4, "burn-rate multiple that fires the alert (both windows)")
 	)
 	flag.Parse()
 
@@ -86,6 +99,54 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The telemetry plane: one registry shared by every step's cluster (so
+	// the dtm deadline counters accumulate across the sweep), a retained
+	// time-series store fed by worker TelemetryShip frames plus a periodic
+	// master self-scrape, and an SLO engine burning the deadline-hit-rate
+	// error budget. Its firing edge trips the flight recorder (when armed),
+	// which cascades into a cross-host FreezeRings collection on the
+	// step's live cluster.
+	var (
+		reg       *obs.Registry
+		store     *tsdb.Store
+		sloEngine *slo.Engine
+	)
+	planeStop := make(chan struct{})
+	defer close(planeStop)
+	if *telemetry != "" {
+		reg = obs.NewRegistry()
+		store = tsdb.New(0)
+		sloEngine = slo.New(slo.Config{Source: reg, Metrics: reg}, slo.Objective{
+			Name: "deadline", Good: "dtm_deadline_hit_total", Bad: "dtm_deadline_miss_total",
+			Target: *sloTarget, FastWindow: *sloFast, SlowWindow: *sloSlow, BurnThreshold: *sloBurn,
+		})
+		go sloEngine.Run(planeStop, 200*time.Millisecond)
+		go func() {
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-planeStop:
+					return
+				case now := <-t.C:
+					store.ScrapeRegistry(reg, "master", now)
+				}
+			}
+		}()
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg, nil, nil))
+		mux.Handle("/query", store.Handler())
+		mux.Handle("/slo", sloEngine.Handler())
+		srv := &http.Server{Addr: *telemetry, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "loadgen: telemetry endpoint:", err)
+			}
+		}()
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "loadgen: telemetry endpoint on %s (/metrics, /query, /slo)\n", *telemetry)
+	}
 
 	cfg := loadgen.Config{
 		Trace:         tr,
@@ -113,6 +174,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
 		}
 	}
+	if *telemetry != "" {
+		cfg.Metrics = reg
+		cfg.Telemetry = store
+		if flightRec != nil {
+			// Armed recorder + telemetry plane = cross-host collection: the
+			// step's master broadcasts FreezeRings on a trip and merges the
+			// workers' frozen rings (each pool worker gets its own recorder,
+			// hence its own lane) into one cluster trace in -flight-record.
+			cfg.FlightRec = flightRec
+			cfg.ClusterDumps = &workqueue.ClusterDumpConfig{Dir: *flightRecord}
+			var mu sync.Mutex
+			wrecs := map[string]*flightrec.Recorder{}
+			cfg.WorkerFlightRec = func(id string) *flightrec.Recorder {
+				mu.Lock()
+				defer mu.Unlock()
+				if r, ok := wrecs[id]; ok {
+					return r
+				}
+				r, err := flightrec.NewRecorder(flightrec.Config{})
+				if err != nil {
+					return nil
+				}
+				wrecs[id] = r
+				return r
+			}
+		}
+	}
 
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
@@ -123,6 +211,13 @@ func main() {
 	}
 	printCapacityTable(rep)
 	fmt.Printf("loadgen: report written to %s\n", *out)
+	if *telemetry != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: lingering %s on %s for inspection (interrupt to exit)\n", *linger, *telemetry)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*linger):
+		}
+	}
 	if flightRec != nil {
 		flightRec.Wait()
 		for _, d := range flightRec.Dumps() {

@@ -26,6 +26,8 @@ import (
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/slo"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/tracegen"
 	"github.com/social-sensing/sstd/internal/traceio"
@@ -88,6 +90,13 @@ func run() error {
 
 		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
 		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
+
+		sloGood   = flag.String("slo-good", "wq_tasks_completed_total", "good-event counter for the error-budget objective (needs -telemetry)")
+		sloBad    = flag.String("slo-bad", "wq_tasks_failed_total", "bad-event counter for the error-budget objective")
+		sloTarget = flag.Float64("slo-target", 0.99, "success-ratio objective")
+		sloFast   = flag.Duration("slo-fast", 5*time.Minute, "fast burn-rate window")
+		sloSlow   = flag.Duration("slo-slow", time.Hour, "slow burn-rate window")
+		sloBurn   = flag.Float64("slo-burn", 14.4, "burn-rate multiple that fires the alert (both windows)")
 	)
 	flag.Parse()
 
@@ -129,6 +138,41 @@ func run() error {
 			Shed:              *admissionShed,
 		}
 	}
+	// The telemetry plane: worker TelemetryShip frames land in the retained
+	// time-series store alongside a 1s self-scrape of the master registry,
+	// and the SLO engine burns its error budget from the configured counter
+	// pair. Its firing edge trips the flight recorder (when armed), which
+	// cascades into a cross-host FreezeRings collection.
+	var (
+		store     *tsdb.Store
+		sloEngine *slo.Engine
+	)
+	planeStop := make(chan struct{})
+	defer close(planeStop)
+	if metrics != nil {
+		store = tsdb.New(0)
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-planeStop:
+					return
+				case now := <-t.C:
+					store.ScrapeRegistry(metrics, "master", now)
+				}
+			}
+		}()
+		sloEngine = slo.New(slo.Config{Source: metrics, Metrics: metrics, Logger: logger}, slo.Objective{
+			Name: "tasks", Good: *sloGood, Bad: *sloBad,
+			Target: *sloTarget, FastWindow: *sloFast, SlowWindow: *sloSlow, BurnThreshold: *sloBurn,
+		})
+		go sloEngine.Run(planeStop, time.Second)
+	}
+	var clusterDumps *workqueue.ClusterDumpConfig
+	if *flightRecord != "" {
+		clusterDumps = &workqueue.ClusterDumpConfig{Dir: *flightRecord}
+	}
 	master := workqueue.NewMaster(workqueue.MasterConfig{
 		Seed: *seed, ResultBuffer: 256,
 		Metrics: metrics, Tracer: tracer, Logger: logger,
@@ -138,6 +182,9 @@ func run() error {
 		TaskTimeout:     *taskTimeout,
 		MaxRetries:      *maxRetries,
 		Admission:       admission,
+		Telemetry:       store,
+		FlightRec:       flightRec,
+		ClusterDumps:    clusterDumps,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -204,6 +251,11 @@ func run() error {
 		mux.Handle("/", obs.Handler(metrics, tracer, logger))
 		mux.Handle("/cluster", master.ClusterHandler())
 		mux.Handle("/status", master.StatusHandler())
+		mux.Handle("/query", store.Handler())
+		mux.Handle("/slo", sloEngine.Handler())
+		if clusterDumps != nil {
+			mux.Handle("/dump/cluster", master.ClusterDumpHandler())
+		}
 		if flightRec != nil {
 			mux.Handle("/debug/flightrec", flightRec.Handler())
 			mux.Handle("/debug/flightrec/", flightRec.Handler())
@@ -215,7 +267,7 @@ func run() error {
 			}
 		}()
 		defer func() { _ = telemetrySrv.Close() }()
-		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /cluster, /status, /debug/pprof)\n", *telemetry)
+		fmt.Printf("telemetry endpoint on %s (/metrics, /trace, /logs, /query, /slo, /cluster, /status, /debug/pprof)\n", *telemetry)
 	}
 	fmt.Printf("listening on %s, waiting for %d worker(s)...\n", l.Addr(), *minWorkers)
 	for master.WorkerCount() < *minWorkers {

@@ -133,6 +133,10 @@ func run() error {
 		Metrics:        metrics,
 		Tracer:         tracer,
 		Logger:         logger,
+		// With a recorder armed the worker answers the master's FreezeRings
+		// broadcasts (and ships its own trips), so this host's probe events
+		// land on a lane in the master's merged cluster trace.
+		FlightRec: flightRec,
 	}
 	if *chaosSpec != "" || *chaosSeed != 0 {
 		spec, err := chaos.ParseSpec(*chaosSpec)

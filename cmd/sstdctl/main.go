@@ -1,0 +1,106 @@
+// Command sstdctl inspects a running master's cluster telemetry plane:
+//
+//	sstdctl -addr http://localhost:8080 query                 # list retained series
+//	sstdctl query -series worker_tasks_executed_total \
+//	       -label host=pool-worker-0 -since 5m -step 1s       # fetch points
+//	sstdctl slo                                               # error-budget status
+//	sstdctl dump                                              # trigger a cross-host flight dump
+//	sstdctl dump -list                                        # list collected dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/social-sensing/sstd/internal/sstdctl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sstdctl:", err)
+		os.Exit(1)
+	}
+}
+
+// labelFlags collects repeatable -label k=v selectors.
+type labelFlags map[string]string
+
+func (l labelFlags) String() string { return fmt.Sprintf("%v", map[string]string(l)) }
+func (l labelFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("label selector %q is not key=value", s)
+	}
+	l[k] = v
+	return nil
+}
+
+func run(args []string) error {
+	// A leading -addr may precede the subcommand.
+	global := flag.NewFlagSet("sstdctl", flag.ContinueOnError)
+	addr := global.String("addr", "http://localhost:8080", "master observability endpoint")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: sstdctl [-addr URL] query|slo|dump [flags]")
+	}
+	c := &sstdctl.Client{Base: *addr}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		series := fs.String("series", "", "series name (empty lists retained names)")
+		since := fs.String("since", "", "lookback duration (5m) or RFC3339 instant")
+		step := fs.String("step", "", "downsample bucket (1s)")
+		limit := fs.Int("limit", 0, "max points per series")
+		tail := fs.Int("tail", 5, "points shown per series")
+		labels := labelFlags{}
+		fs.Var(labels, "label", "label selector key=value (repeatable)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		res, err := c.Query(sstdctl.QueryOpts{
+			Series: *series, Labels: labels, Since: *since, Step: *step, Limit: *limit,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sstdctl.FormatQuery(res, *tail))
+	case "slo":
+		fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		statuses, err := c.SLO()
+		if err != nil {
+			return err
+		}
+		fmt.Print(sstdctl.FormatSLO(statuses))
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+		list := fs.Bool("list", false, "list collected dumps instead of triggering one")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if *list {
+			ds, err := c.Dumps()
+			if err != nil {
+				return err
+			}
+			fmt.Print(sstdctl.FormatDumps(ds))
+			return nil
+		}
+		d, err := c.Dump()
+		if err != nil {
+			return err
+		}
+		fmt.Print(sstdctl.FormatDump(d))
+	default:
+		return fmt.Errorf("unknown command %q (want query|slo|dump)", cmd)
+	}
+	return nil
+}

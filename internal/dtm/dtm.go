@@ -22,6 +22,7 @@ import (
 	"github.com/social-sensing/sstd/internal/core"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -108,6 +109,21 @@ type Config struct {
 	Tracer     *obs.Tracer
 	ControlLog *obs.ControlRecorder
 	Logger     *obs.Logger
+
+	// Telemetry, when set, is handed to the work-queue master as the
+	// retained time-series store for the workers' shipped metrics
+	// snapshots (the telemetry plane's /query backing store).
+	Telemetry *tsdb.Store
+	// ClusterDumps enables cross-host flight-dump collection on the
+	// master: any flight-recorder trip then broadcasts FreezeRings and
+	// writes one merged multi-host Chrome trace. FlightRec overrides the
+	// recorder whose trips cascade (default flightrec.Active()).
+	ClusterDumps *workqueue.ClusterDumpConfig
+	FlightRec    *flightrec.Recorder
+	// WorkerFlightRec supplies each pool worker's private recorder so
+	// in-process workers answer FreezeRings with per-host rings (see
+	// workqueue.Pool.WorkerRecorder). Nil shares the process recorder.
+	WorkerFlightRec func(id string) *flightrec.Recorder
 }
 
 // DefaultConfig returns a working configuration.
@@ -280,6 +296,9 @@ func New(cfg Config) (*Manager, error) {
 		DeadAfter:       cfg.DeadAfter,
 		StragglerFactor: cfg.StragglerFactor,
 		Admission:       cfg.Admission,
+		Telemetry:       cfg.Telemetry,
+		FlightRec:       cfg.FlightRec,
+		ClusterDumps:    cfg.ClusterDumps,
 	})
 	exec := workqueue.Executor(m.execute)
 	if cfg.WrapExec != nil {
@@ -291,6 +310,7 @@ func New(cfg Config) (*Manager, error) {
 	m.pool.ExecTimeout = cfg.ExecTimeout
 	m.pool.WrapConn = cfg.WrapConn
 	m.pool.Respawn = cfg.RespawnWorkers
+	m.pool.WorkerRecorder = cfg.WorkerFlightRec
 	m.tracer = cfg.Tracer
 	m.logger = cfg.Logger
 	m.recorder = cfg.ControlLog
@@ -436,6 +456,21 @@ func (m *Manager) ClusterHealth() []workqueue.WorkerHealth { return m.master.Clu
 
 // ClusterHandler serves ClusterHealth as JSON (GET only).
 func (m *Manager) ClusterHandler() http.Handler { return m.master.ClusterHandler() }
+
+// ClusterDumpHandler serves the master's cross-host flight-dump history
+// (GET) and triggers a manual collection (POST) — the /dump/cluster
+// endpoint. Useful only when Config.ClusterDumps is set.
+func (m *Manager) ClusterDumpHandler() http.Handler { return m.master.ClusterDumpHandler() }
+
+// ClusterDumpHistory reports completed cross-host collections.
+func (m *Manager) ClusterDumpHistory() []workqueue.ClusterDumpInfo {
+	return m.master.ClusterDumpHistory()
+}
+
+// CollectClusterDump runs one cross-host collection round now.
+func (m *Manager) CollectClusterDump(trigger, detail string) (*workqueue.ClusterDumpInfo, error) {
+	return m.master.CollectClusterDump(trigger, detail)
+}
 
 // JobProgress is a live snapshot of one in-flight TD job.
 type JobProgress struct {

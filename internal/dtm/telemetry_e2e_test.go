@@ -1,0 +1,202 @@
+package dtm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/slo"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
+	"github.com/social-sensing/sstd/internal/sstdctl"
+	"github.com/social-sensing/sstd/internal/socialsensing"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// TestClusterTelemetryPlaneEndToEnd exercises the whole telemetry plane
+// against a live 2-worker cluster: workers ship delta-encoded metrics
+// snapshots into the master's time-series store, an SLO burn-rate alert
+// trips the flight recorder, the trip cascades into a cross-host
+// FreezeRings collection, and the result is ONE merged Chrome trace with
+// master and both workers on distinct per-host lanes — all visible
+// through the sstdctl client against the real HTTP endpoints.
+func TestClusterTelemetryPlaneEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracer := obs.NewTracer(4096)
+	reg := obs.NewRegistry()
+	store := tsdb.New(0)
+	mrec, err := flightrec.NewRecorder(flightrec.Config{
+		Window: 30 * time.Second, Cooldown: time.Millisecond, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrecs := map[string]*flightrec.Recorder{}
+	for _, id := range []string{"pool-worker-0", "pool-worker-1"} {
+		rec, err := flightrec.NewRecorder(flightrec.Config{Cooldown: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrecs[id] = rec
+	}
+
+	cfg := DefaultConfig(origin())
+	cfg.ACS.WindowIntervals = 3
+	cfg.Workers = 2
+	cfg.Heartbeat = 20 * time.Millisecond
+	cfg.Metrics = reg
+	cfg.Tracer = tracer
+	cfg.Telemetry = store
+	cfg.FlightRec = mrec
+	cfg.ClusterDumps = &workqueue.ClusterDumpConfig{
+		Dir: dir, Timeout: 5 * time.Second, Cooldown: time.Millisecond,
+	}
+	cfg.WorkerFlightRec = func(id string) *flightrec.Recorder { return wrecs[id] }
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	defer m.Close()
+
+	// The SLO engine watches the dtm deadline counters; its firing edge
+	// trips the master-side recorder, which cascades into collection.
+	engine := slo.New(slo.Config{
+		Source: reg, Metrics: reg,
+		OnAlert: func(o slo.Objective, s slo.Status) {
+			mrec.Trip(flightrec.TrigSLOBurn, "slo "+o.Name+" burning in both windows")
+		},
+	}, slo.Objective{
+		Name: "deadline", Good: "dtm_deadline_hit_total", Bad: "dtm_deadline_miss_total",
+		Target: 0.9, FastWindow: time.Second, SlowWindow: 2 * time.Second, BurnThreshold: 1,
+	})
+	engine.Tick(time.Now()) // baseline sample before any deadline outcome
+
+	// Jobs with an impossible deadline: every completion is a miss, so the
+	// error budget burns at 10x in both windows.
+	claims := []socialsensing.ClaimID{"c1", "c2", "c3"}
+	for i, c := range claims {
+		if err := m.SubmitJob(c, flipReports(c, 20, 10, 4, 0.15, int64(i)+7), time.Nanosecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, m, len(claims))
+	engine.Tick(time.Now())
+	if s := engine.Status()[0]; !s.Firing {
+		t.Fatalf("slo not firing after sustained misses: %+v", s)
+	}
+
+	// The trip cascades asynchronously (dump goroutine → FreezeRings →
+	// worker replies); poll for the merged trace.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(m.ClusterDumpHistory()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slo burn trip produced no cluster dump")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d := m.ClusterDumpHistory()[0]
+	if d.Trigger != flightrec.TrigSLOBurn {
+		t.Errorf("dump trigger = %q, want %q", d.Trigger, flightrec.TrigSLOBurn)
+	}
+	wantHosts := []string{"master", "pool-worker-0", "pool-worker-1"}
+	if len(d.Hosts) != len(wantHosts) {
+		t.Fatalf("dump hosts = %v, want %v", d.Hosts, wantHosts)
+	}
+	for i := range wantHosts {
+		if d.Hosts[i] != wantHosts[i] {
+			t.Fatalf("dump hosts = %v, want %v", d.Hosts, wantHosts)
+		}
+	}
+
+	// ONE merged multi-host trace: all three hosts on distinct pid lanes,
+	// both workers contributing skew-corrected probe events.
+	raw, err := os.ReadFile(d.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
+	}
+	lanes := map[string]int{}
+	eventsByPid := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			lanes[e.Args["name"]] = e.Pid
+		}
+		if e.Cat == "flightrec" {
+			eventsByPid[e.Pid]++
+		}
+	}
+	for name, want := range map[string]int{"master": 1, "host pool-worker-0": 2, "host pool-worker-1": 3} {
+		if lanes[name] != want {
+			t.Errorf("lane %q = pid %d, want %d (lanes: %v)", name, lanes[name], want, lanes)
+		}
+	}
+	for _, pid := range []int{2, 3} {
+		if eventsByPid[pid] == 0 {
+			t.Errorf("worker lane pid %d carries no probe events (per-pid counts: %v)", pid, eventsByPid)
+		}
+	}
+
+	// The live endpoints serve the plane to sstdctl: shipped worker series
+	// in /query, the firing objective in /slo, the dump in /dump/cluster.
+	mux := http.NewServeMux()
+	mux.Handle("/query", store.Handler())
+	mux.Handle("/slo", engine.Handler())
+	mux.Handle("/dump/cluster", m.ClusterDumpHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := &sstdctl.Client{Base: srv.URL}
+
+	// Worker telemetry ships ride the heartbeat stats cadence; wait for
+	// the first one to land.
+	var series *tsdb.QueryResult
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		series, err = c.Query(sstdctl.QueryOpts{
+			Series: "worker_tasks_executed_total", Labels: map[string]string{"host": "pool-worker-0"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series.Series) > 0 && len(series.Series[0].Points) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no shipped worker series reached the time-series store")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if last := series.Series[0].Points[len(series.Series[0].Points)-1].V; last <= 0 {
+		t.Errorf("worker_tasks_executed_total{host=pool-worker-0} = %v, want > 0", last)
+	}
+	statuses, err := c.SLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || !statuses[0].Firing || statuses[0].BadTotal != int64(len(claims)) {
+		t.Fatalf("slo over the wire = %+v, want firing with %d misses", statuses, len(claims))
+	}
+	dumps, err := c.Dumps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 || dumps[0].Path != d.Path {
+		t.Errorf("dump history over the wire = %+v, want %+v", dumps, d)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/social-sensing/sstd/internal/dtm"
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
 	"github.com/social-sensing/sstd/internal/socialsensing"
 	"github.com/social-sensing/sstd/internal/workqueue"
 )
@@ -78,6 +79,19 @@ type Config struct {
 	Seed int64
 	// Logf, when set, receives progress lines (fmt.Printf signature).
 	Logf func(format string, args ...any)
+
+	// Telemetry plane (all optional; nil leaves every step's cluster
+	// exactly as before). Metrics is the master-side registry each step's
+	// cluster records into; Telemetry retains worker TelemetryShip frames
+	// across steps; FlightRec + ClusterDumps arm cross-host FreezeRings
+	// collection on the step's master; WorkerFlightRec hands each pool
+	// worker its own recorder so its probe rings land on a per-host lane
+	// in the merged cluster trace.
+	Metrics         *obs.Registry
+	Telemetry       *tsdb.Store
+	FlightRec       *flightrec.Recorder
+	ClusterDumps    *workqueue.ClusterDumpConfig
+	WorkerFlightRec func(id string) *flightrec.Recorder
 }
 
 func (c *Config) withDefaults() Config {
@@ -355,6 +369,13 @@ func (r *runner) step(ctx context.Context, workers int, rate float64, admission 
 	cfg.Seed = r.cfg.Seed
 	cfg.Admission = admission
 	cfg.Logger = logger
+	if r.cfg.Metrics != nil {
+		cfg.Metrics = r.cfg.Metrics
+	}
+	cfg.Telemetry = r.cfg.Telemetry
+	cfg.FlightRec = r.cfg.FlightRec
+	cfg.ClusterDumps = r.cfg.ClusterDumps
+	cfg.WorkerFlightRec = r.cfg.WorkerFlightRec
 	if rec := flightrec.Active(); rec != nil {
 		// Give the flight recorder this step's span timeline: each step
 		// runs a fresh cluster, so deep dives triggered here (deadline-miss

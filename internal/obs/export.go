@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // WriteJSON writes the expvar-style JSON form of the registry.
@@ -87,7 +89,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // promName splits a metric name into its Prometheus base name (mapped
 // onto the legal charset) and an optional label block (the inside of a
-// trailing {...}, kept verbatim).
+// trailing {...}, with every label value re-escaped for the exposition
+// format).
 func promName(name string) (base, labels string) {
 	base, rest, hasLabels := strings.Cut(name, "{")
 	base = strings.Map(func(r rune) rune {
@@ -99,9 +102,126 @@ func promName(name string) (base, labels string) {
 		}
 	}, base)
 	if hasLabels {
-		labels = strings.TrimSuffix(rest, "}")
+		labels = sanitizeLabels(strings.TrimSuffix(rest, "}"))
 	}
 	return base, labels
+}
+
+// Label renders `base{k="v",...}` with every value escaped for the
+// Prometheus exposition format. kv alternates key, value. This is the
+// safe way to build labelled metric names from untrusted strings such as
+// worker IDs.
+func Label(base string, kv ...string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes the three characters the Prometheus text
+// format requires escaping in label values: backslash, double-quote and
+// newline. A raw newline would otherwise split the sample line and let a
+// hostile value inject fake series.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabels reparses a `k="v",...` label block and re-escapes every
+// value, so metric names assembled without Label (or with hostile
+// embedded IDs) cannot break the exposition format. Escaped sequences in
+// the input are decoded first to avoid double-escaping; anything after a
+// structural parse failure (e.g. an injected `"} fake_metric 1`) is
+// dropped.
+func sanitizeLabels(block string) string {
+	var out strings.Builder
+	i, n := 0, len(block)
+	for i < n {
+		j := strings.IndexByte(block[i:], '=')
+		if j < 0 {
+			break
+		}
+		key := sanitizeLabelKey(strings.TrimSpace(block[i : i+j]))
+		i += j + 1
+		if i < n && block[i] == '"' {
+			i++
+		}
+		var val strings.Builder
+		for i < n {
+			c := block[i]
+			if c == '\\' && i+1 < n {
+				switch block[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(block[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		for i < n && (block[i] == ',' || block[i] == ' ') {
+			i++
+		}
+		if key == "" {
+			continue
+		}
+		if out.Len() > 0 {
+			out.WriteByte(',')
+		}
+		out.WriteString(key)
+		out.WriteString(`="`)
+		out.WriteString(escapeLabelValue(val.String()))
+		out.WriteByte('"')
+	}
+	return out.String()
+}
+
+func sanitizeLabelKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
 }
 
 // promSeries renders one sample's series identifier.
@@ -178,8 +298,22 @@ func Handler(reg *Registry, tr *Tracer, lg *Logger) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		q := req.URL.Query()
+		limit := boundedLimit(q.Get("limit"), defaultLogsLimit, maxLogsLimit)
+		var since time.Time
+		if s := q.Get("since"); s != "" {
+			var ok bool
+			if since, ok = parseSince(s, time.Now()); !ok {
+				http.Error(w, "bad since: want a duration (5m) or RFC3339 time", http.StatusBadRequest)
+				return
+			}
+		}
+		min := LevelDebug
+		if s := q.Get("level"); s != "" {
+			min = ParseLogLevel(s)
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = lg.WriteJSON(w)
+		_ = lg.WriteJSONFiltered(w, since, min, limit)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -187,6 +321,37 @@ func Handler(reg *Registry, tr *Tracer, lg *Logger) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+const (
+	defaultLogsLimit = 1000
+	maxLogsLimit     = 10000
+)
+
+// boundedLimit parses a ?limit= param, applying a default when absent or
+// unparseable and clamping to max so no request can dump an unbounded
+// ring.
+func boundedLimit(s string, def, max int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return def
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// parseSince accepts either a lookback duration ("5m" → now-5m) or an
+// absolute RFC3339 timestamp.
+func parseSince(s string, now time.Time) (time.Time, bool) {
+	if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+		return now.Add(-d), true
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, true
+	}
+	return time.Time{}, false
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSampleLine matches one well-formed exposition sample (or TYPE
+// header); every line WritePrometheus emits must satisfy it even when
+// label values are hostile.
+var promSampleLine = regexp.MustCompile(`^(# TYPE [a-zA-Z0-9_:]+ (counter|gauge|histogram)|[a-zA-Z0-9_:]+(\{[a-zA-Z0-9_]+="(\\.|[^"\\])*"(,[a-zA-Z0-9_]+="(\\.|[^"\\])*")*\})? \S+)$`)
+
+func TestPrometheusEscapesHostileLabelValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		worker string // hostile worker ID embedded raw (unescaped) in the label
+	}{
+		{"backslash", `dir\worker`},
+		{"quote", `w"1`},
+		{"newline", "line\nbreak"},
+		{"injection", "evil\"} 1\nfake_metric_injected 2\nx{worker=\""},
+		{"mixed", "a\\\"b\nc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			// Unsafely concatenated name — the exporter must neutralize it.
+			reg.Counter(`wq_worker_tasks_total{worker="` + tc.worker + `"}`).Add(1)
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+			if len(lines) != 2 { // TYPE header + exactly one sample
+				t.Fatalf("want 2 lines, got %d:\n%s", len(lines), out)
+			}
+			for _, line := range lines {
+				if !promSampleLine.MatchString(line) {
+					t.Errorf("malformed exposition line %q", line)
+				}
+			}
+			if strings.Contains(out, "fake_metric_injected 2") {
+				t.Errorf("label value injected a fake sample:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestLabelEscapes(t *testing.T) {
+	got := Label("wq_worker_tasks_total", "worker", "a\"b\\c\nd")
+	want := `wq_worker_tasks_total{worker="a\"b\\c\nd"}`
+	if got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+	// Round trip: promName must keep a properly escaped block unchanged.
+	_, labels := promName(got)
+	if labels != `worker="a\"b\\c\nd"` {
+		t.Errorf("promName round trip = %q", labels)
+	}
+}
+
+func TestLogsEndpointBounds(t *testing.T) {
+	lg := NewLogger(nil, LevelDebug, 64)
+	for i := 0; i < 30; i++ {
+		lg.Debug("dbg")
+		lg.Info("inf")
+	}
+	lg.Warn("warned")
+	h := Handler(nil, nil, lg)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	count := func(rec *httptest.ResponseRecorder) int {
+		return strings.Count(rec.Body.String(), `"msg"`)
+	}
+
+	if got := count(get("/logs?limit=5")); got != 5 {
+		t.Errorf("limit=5 returned %d entries", got)
+	}
+	if got := count(get("/logs?level=warn")); got != 1 {
+		t.Errorf("level=warn returned %d entries, want 1", got)
+	}
+	if got := count(get("/logs?level=info")); got != 31 {
+		t.Errorf("level=info returned %d entries, want 31", got)
+	}
+	// A limit above the cap is clamped, not honored.
+	if got := count(get("/logs?limit=999999")); got != 61 {
+		t.Errorf("clamped limit returned %d entries, want all 61", got)
+	}
+	if rec := get("/logs?since=banana"); rec.Code != 400 {
+		t.Errorf("bad since: code=%d, want 400", rec.Code)
+	}
+	if got := count(get("/logs?since=1h")); got != 61 {
+		t.Errorf("since=1h returned %d entries, want 61", got)
+	}
+	if got := count(get("/logs?since=" + time.Now().Add(time.Hour).Format(time.RFC3339))); got != 0 {
+		t.Errorf("future since returned %d entries, want 0", got)
+	}
+}

@@ -1,0 +1,187 @@
+package flightrec
+
+import (
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// HostDump is one host's contribution to a merged cluster trace: the
+// frozen ring snapshot a worker shipped back after a FreezeRings
+// broadcast (or the master's own events, Host "" / "master").
+type HostDump struct {
+	// Host names the contributing host; "" or "master" is the master.
+	Host string `json:"host"`
+	// SkewNs is the clock-skew correction to ADD to every event
+	// timestamp to place it on the master's clock — the master fills it
+	// from the PR 3 NTP-style estimator, leaving master events at 0.
+	SkewNs int64 `json:"skew_ns,omitempty"`
+	// Events are the host's probe events, timestamps on the host's own
+	// clock.
+	Events []Event `json:"events"`
+}
+
+// WriteClusterTrace merges many hosts' flight-recorder snapshots and the
+// master's span timeline into ONE Chrome trace with per-host lanes:
+// pid 1 is the master, every other host gets its own pid (sorted by
+// name, so lane order is stable run to run). Worker event timestamps are
+// skew-corrected onto the master clock via each dump's SkewNs before
+// merging, so cross-host causality reads true in the timeline. Spans
+// render on the pid of their recording host (Span.Proc); probe events
+// always render on their shipping host's pid — inside their owning
+// span's lane when the parent is known, else on one synthetic lane per
+// (host, ring).
+func WriteClusterTrace(w io.Writer, spans []obs.Span, hosts []HostDump) error {
+	// Stable pid assignment: master first, workers sorted by name.
+	pidOf := map[string]int{"": 1, "master": 1}
+	names := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		if _, ok := pidOf[h.Host]; !ok {
+			pidOf[h.Host] = 0 // placeholder; assigned after sort
+			names = append(names, h.Host)
+		}
+	}
+	sort.Strings(names)
+	metas := []chromeMeta{{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "master"},
+	}}
+	for i, n := range names {
+		pidOf[n] = i + 2
+		metas = append(metas, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: i + 2,
+			Args: map[string]string{"name": "host " + n},
+		})
+	}
+	ensurePid := func(host string) int {
+		pid, ok := pidOf[host]
+		if !ok {
+			pid = len(pidOf) // "" and "master" share pid 1, so len works out
+			pidOf[host] = pid
+			metas = append(metas, chromeMeta{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": "host " + host},
+			})
+		}
+		return pid
+	}
+
+	// Origin: earliest skew-corrected timestamp, so the merged timeline
+	// loads near t=0.
+	var origin time.Time
+	for _, s := range spans {
+		if origin.IsZero() || s.Start.Before(origin) {
+			origin = s.Start
+		}
+	}
+	for _, h := range hosts {
+		for _, e := range h.Events {
+			t := time.Unix(0, e.T0+h.SkewNs)
+			if origin.IsZero() || t.Before(origin) {
+				origin = t
+			}
+		}
+	}
+
+	parentOf := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		parentOf[s.ID] = s.Parent
+	}
+	lane := func(id int64) int64 {
+		for hops := 0; hops < 64; hops++ {
+			p, ok := parentOf[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+		return id
+	}
+
+	out := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		attrs := make(map[string]string, len(s.Attrs)+3)
+		for k, v := range s.Attrs {
+			attrs[k] = v
+		}
+		attrs["id"] = strconv.FormatInt(s.ID, 10)
+		if s.Parent != 0 {
+			attrs["parent"] = strconv.FormatInt(s.Parent, 10)
+		}
+		if s.Trace != "" {
+			attrs["trace"] = s.Trace
+		}
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: "sstd", Ph: "X",
+			Ts:  s.Start.Sub(origin).Microseconds(),
+			Dur: s.End.Sub(s.Start).Microseconds(),
+			Pid: ensurePid(s.Proc), Tid: lane(s.ID),
+			Args: attrs,
+		})
+	}
+
+	type hostRing struct {
+		host, ring string
+	}
+	orphanLane := map[hostRing]int64{}
+	for _, h := range hosts {
+		pid := ensurePid(h.Host)
+		hostName := h.Host
+		if hostName == "" {
+			hostName = "master"
+		}
+		for _, e := range h.Events {
+			tid := int64(0)
+			if _, ok := parentOf[e.Parent]; e.Parent != 0 && ok {
+				tid = lane(e.Parent)
+			} else {
+				key := hostRing{h.Host, e.Ring}
+				l, ok := orphanLane[key]
+				if !ok {
+					l = orphanLaneBase + int64(len(orphanLane))
+					orphanLane[key] = l
+					metas = append(metas, chromeMeta{
+						Name: "thread_name", Ph: "M", Pid: pid, Tid: l,
+						Args: map[string]string{"name": "flightrec " + e.Ring},
+					})
+				}
+				tid = l
+			}
+			args := map[string]string{"ring": e.Ring, "host": hostName}
+			if e.Arg != 0 {
+				args["arg"] = strconv.FormatInt(e.Arg, 10)
+			}
+			if e.Parent != 0 {
+				args["parent"] = strconv.FormatInt(e.Parent, 10)
+			}
+			out = append(out, chromeEvent{
+				Name: e.Probe, Cat: "flightrec", Ph: "X",
+				Ts:  time.Unix(0, e.T0+h.SkewNs).Sub(origin).Microseconds(),
+				Dur: (e.T1 - e.T0) / int64(time.Microsecond),
+				Pid: pid, Tid: tid,
+				Args: args,
+			})
+		}
+	}
+	// Chrome sorts internally, but a time-ordered file makes the merged
+	// timeline greppable and the skew-correction tests direct.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return writeChromeJSON(w, metas, out)
+}
+
+// WriteClusterTraceFile writes the merged cluster trace to path.
+func WriteClusterTraceFile(path string, spans []obs.Span, hosts []HostDump) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteClusterTrace(f, spans, hosts); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -236,10 +236,16 @@ func writeDeepDive(w io.Writer, spans []obs.Span, events []Event) error {
 		})
 	}
 
+	return writeChromeJSON(w, metas, out)
+}
+
+// writeChromeJSON emits the Chrome trace_event envelope: metadata records
+// first, then the events, one JSON object per line.
+func writeChromeJSON(w io.Writer, metas []chromeMeta, events []chromeEvent) error {
 	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
 		return err
 	}
-	total := len(metas) + len(out)
+	total := len(metas) + len(events)
 	written := 0
 	writeRecord := func(v any) error {
 		b, err := json.Marshal(v)
@@ -259,7 +265,7 @@ func writeDeepDive(w io.Writer, spans []obs.Span, events []Event) error {
 			return err
 		}
 	}
-	for _, ev := range out {
+	for _, ev := range events {
 		if err := writeRecord(ev); err != nil {
 			return err
 		}

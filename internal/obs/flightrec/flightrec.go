@@ -172,6 +172,7 @@ const (
 	TrigStraggler    = "straggler"     // health registry flags a slow worker
 	TrigAdmission    = "admission"     // admission gate rejection spike
 	TrigQuarantine   = "quarantine"    // poison task quarantined
+	TrigSLOBurn      = "slo-burn"      // multi-window SLO burn-rate alert fired
 	TrigManual       = "manual"        // /debug/flightrec/trip or tests
 )
 
@@ -206,6 +207,11 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger, when set, gets a line per trip and per dump.
 	Logger *obs.Logger
+	// OnTrip, when set, runs on the dump goroutine after each completed
+	// local dump — the hook the cluster master uses to cascade a local
+	// trip into a cross-host flight-dump collection. Replaceable later
+	// with SetOnTrip.
+	OnTrip func(trigger, detail string)
 }
 
 // DumpInfo describes one completed deep-dive dump.
@@ -233,6 +239,7 @@ type Recorder struct {
 
 	frozen atomic.Bool
 	tracer atomic.Pointer[obs.Tracer]
+	onTrip atomic.Pointer[func(trigger, detail string)]
 
 	cDropped *obs.Counter
 	cTrips   *obs.Counter
@@ -304,6 +311,10 @@ func NewRecorder(cfg Config) (*Recorder, error) {
 		byName:   make(map[string]*Ring),
 	}
 	r.tracer.Store(cfg.Tracer)
+	if cfg.OnTrip != nil {
+		fn := cfg.OnTrip
+		r.onTrip.Store(&fn)
+	}
 	if cfg.Metrics != nil {
 		r.cDropped = cfg.Metrics.Counter("flightrec_events_dropped_total")
 		r.cTrips = cfg.Metrics.Counter("flightrec_trips_total")
@@ -368,6 +379,20 @@ func (r *Recorder) SetTracer(t *obs.Tracer) {
 		return
 	}
 	r.tracer.Store(t)
+}
+
+// SetOnTrip replaces the post-dump trip hook (nil clears it). The hook
+// runs on the dump goroutine after the local dump lands, so it may block
+// on network collection without stalling probe writers. Nil-safe.
+func (r *Recorder) SetOnTrip(fn func(trigger, detail string)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.onTrip.Store(nil)
+		return
+	}
+	r.onTrip.Store(&fn)
 }
 
 // Armed reports whether trigger would trip this recorder.
@@ -436,6 +461,12 @@ func (r *Recorder) dump(seq int, trigger, detail string) {
 		r.cDumps.Inc()
 	}
 	r.frozen.Store(false)
+	// Run the trip hook (cross-host collection) before clearing dumping,
+	// so Wait() covers it and concurrent trips stay suppressed while the
+	// cluster collection is in flight.
+	if fn := r.onTrip.Load(); fn != nil {
+		(*fn)(trigger, detail)
+	}
 	r.mu.Lock()
 	r.dumping = false
 	r.dumps = append(r.dumps, info)

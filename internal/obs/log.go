@@ -274,10 +274,42 @@ func (l *Logger) Entries() []LogEntry {
 	return out
 }
 
+// EntriesFiltered returns buffered entries newer than since (zero time =
+// all), at or above min severity, keeping only the newest limit entries
+// (limit <= 0 = no cap). Oldest first. Safe on nil.
+func (l *Logger) EntriesFiltered(since time.Time, min LogLevel, limit int) []LogEntry {
+	all := l.Entries()
+	out := all[:0:len(all)]
+	for _, e := range all {
+		if !since.IsZero() && e.Time.Before(since) {
+			continue
+		}
+		if ParseLogLevel(e.Level) < min {
+			continue
+		}
+		out = append(out, e)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
 // WriteJSON dumps the buffered entries as a JSON array (the /logs
 // payload).
 func (l *Logger) WriteJSON(w io.Writer) error {
 	entries := l.Entries()
+	if entries == nil {
+		entries = []LogEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// WriteJSONFiltered is WriteJSON bounded by EntriesFiltered's params.
+func (l *Logger) WriteJSONFiltered(w io.Writer, since time.Time, min LogLevel, limit int) error {
+	entries := l.EntriesFiltered(since, min, limit)
 	if entries == nil {
 		entries = []LogEntry{}
 	}

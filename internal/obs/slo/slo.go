@@ -1,0 +1,307 @@
+// Package slo tracks error budgets over the cluster's counters with
+// multi-window burn-rate alerting (the Google SRE shape: an alert fires
+// only when BOTH a fast and a slow window burn budget faster than the
+// threshold, so a brief blip cannot page but a sustained burn fires
+// within the fast window).
+//
+// An Objective maps onto the paper's deadline-hit-rate QoS: good =
+// dtm_deadline_hit_total, bad = dtm_deadline_miss_total, target = the
+// required hit rate. The engine samples the source registry on a tick,
+// keeps a bounded window of (good, bad) readings, exports burn rates and
+// alert state as metrics and structured log events, and trips the flight
+// recorder's slo-burn trigger on each firing edge — which, on a cluster
+// master, cascades into a cross-host flight-dump collection.
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+)
+
+// Objective is one error budget: the fraction of bad events among
+// good+bad must stay under 1-Target.
+type Objective struct {
+	// Name labels the exported metrics and log events.
+	Name string `json:"name"`
+	// Good and Bad are counter names in the source registry.
+	Good string `json:"good"`
+	Bad  string `json:"bad"`
+	// Target is the success-ratio objective, e.g. 0.99 (default 0.99).
+	Target float64 `json:"target"`
+	// FastWindow/SlowWindow are the two burn-rate windows (defaults
+	// 5m / 1h).
+	FastWindow time.Duration `json:"fastWindow"`
+	SlowWindow time.Duration `json:"slowWindow"`
+	// BurnThreshold is the burn-rate multiple that fires the alert
+	// (default 14.4 — burning a 30d budget in ~2 days).
+	BurnThreshold float64 `json:"burnThreshold"`
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.Target <= 0 || o.Target >= 1 {
+		o.Target = 0.99
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = time.Hour
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = o.FastWindow
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 14.4
+	}
+	return o
+}
+
+// Status is one objective's current state, the /slo payload.
+type Status struct {
+	Objective
+	// Good/Bad are the current cumulative counter readings.
+	GoodTotal int64 `json:"goodTotal"`
+	BadTotal  int64 `json:"badTotal"`
+	// FastBurn/SlowBurn are the windowed burn rates: (bad fraction in
+	// window) / (1 - target). 1.0 means burning exactly at budget.
+	FastBurn float64 `json:"fastBurn"`
+	SlowBurn float64 `json:"slowBurn"`
+	// BudgetRemaining is the fraction of total error budget left over
+	// the slow window (1 = untouched, <= 0 = exhausted).
+	BudgetRemaining float64 `json:"budgetRemaining"`
+	// Firing reports whether both windows exceed BurnThreshold.
+	Firing bool `json:"firing"`
+	// FiringSince is set while the alert is active (zero otherwise).
+	FiringSince time.Time `json:"firingSince"`
+	// Alerts counts firing edges since the engine started.
+	Alerts int64 `json:"alerts"`
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Source is the registry the objectives' counters live in.
+	Source *obs.Registry
+	// Metrics, when set, receives the exported slo_* series (it may be
+	// the same registry as Source).
+	Metrics *obs.Registry
+	// Logger, when set, gets a structured event per firing/resolve edge.
+	Logger *obs.Logger
+	// OnAlert, when set, runs on each firing edge. Defaults to tripping
+	// the process flight recorder with TrigSLOBurn.
+	OnAlert func(o Objective, s Status)
+}
+
+type sample struct {
+	t         time.Time
+	good, bad int64
+}
+
+type objectiveState struct {
+	obj     Objective
+	window  []sample
+	firing  bool
+	since   time.Time
+	alerts  int64
+	gFast   *obs.Gauge
+	gSlow   *obs.Gauge
+	gFiring *obs.Gauge
+	gBudget *obs.Gauge
+	cAlerts *obs.Counter
+}
+
+// Engine samples objectives on Tick and raises/clears burn-rate alerts.
+type Engine struct {
+	cfg Config
+
+	mu   sync.Mutex
+	objs []*objectiveState
+}
+
+// New builds an engine over the given objectives.
+func New(cfg Config, objectives ...Objective) *Engine {
+	e := &Engine{cfg: cfg}
+	for _, o := range objectives {
+		o = o.withDefaults()
+		st := &objectiveState{obj: o}
+		if m := cfg.Metrics; m != nil {
+			st.gFast = m.Gauge(obs.Label("slo_burn_rate_fast", "slo", o.Name))
+			st.gSlow = m.Gauge(obs.Label("slo_burn_rate_slow", "slo", o.Name))
+			st.gFiring = m.Gauge(obs.Label("slo_alert_firing", "slo", o.Name))
+			st.gBudget = m.Gauge(obs.Label("slo_error_budget_remaining", "slo", o.Name))
+			st.cAlerts = m.Counter(obs.Label("slo_alerts_total", "slo", o.Name))
+		}
+		st.gBudget.Set(1)
+		e.objs = append(e.objs, st)
+	}
+	return e
+}
+
+// Tick samples the source counters once and updates burn rates and alert
+// state. Call it on a steady cadence (Run does).
+func (e *Engine) Tick(now time.Time) {
+	if e == nil {
+		return
+	}
+	type edge struct {
+		obj Objective
+		st  Status
+	}
+	var fired []edge
+	e.mu.Lock()
+	for _, st := range e.objs {
+		good := e.cfg.Source.Counter(st.obj.Good).Value()
+		bad := e.cfg.Source.Counter(st.obj.Bad).Value()
+		st.window = append(st.window, sample{t: now, good: good, bad: bad})
+		// Evict samples older than the slow window (keep one sample just
+		// past the edge as the baseline for full-window deltas).
+		cut := now.Add(-st.obj.SlowWindow)
+		firstIn := 0
+		for firstIn < len(st.window) && st.window[firstIn].t.Before(cut) {
+			firstIn++
+		}
+		if firstIn > 1 {
+			st.window = st.window[firstIn-1:]
+		}
+
+		fast := burnRate(st.window, now.Add(-st.obj.FastWindow), good, bad, st.obj.Target)
+		slow := burnRate(st.window, cut, good, bad, st.obj.Target)
+		st.gFast.Set(fast)
+		st.gSlow.Set(slow)
+		st.gBudget.Set(1 - slow*windowFraction(st.window, now, st.obj.SlowWindow))
+
+		firing := fast >= st.obj.BurnThreshold && slow >= st.obj.BurnThreshold
+		if firing && !st.firing {
+			st.firing = true
+			st.since = now
+			st.alerts++
+			st.cAlerts.Inc()
+			st.gFiring.Set(1)
+			e.cfg.Logger.Warn("slo burn-rate alert firing",
+				obs.F("slo", st.obj.Name),
+				obs.F("fast_burn", fast), obs.F("slow_burn", slow),
+				obs.F("threshold", st.obj.BurnThreshold),
+				obs.F("good", good), obs.F("bad", bad))
+			fired = append(fired, edge{obj: st.obj, st: e.statusLocked(st, good, bad, fast, slow)})
+		} else if !firing && st.firing {
+			st.firing = false
+			st.since = time.Time{}
+			st.gFiring.Set(0)
+			e.cfg.Logger.Info("slo burn-rate alert resolved",
+				obs.F("slo", st.obj.Name),
+				obs.F("fast_burn", fast), obs.F("slow_burn", slow))
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range fired {
+		if e.cfg.OnAlert != nil {
+			e.cfg.OnAlert(f.obj, f.st)
+		} else {
+			flightrec.Trip(flightrec.TrigSLOBurn,
+				"slo "+f.obj.Name+" burning > threshold in both windows")
+		}
+	}
+}
+
+// burnRate computes (bad fraction of events inside the window) divided
+// by the budget (1-target). Returns 0 when the window saw no events.
+func burnRate(window []sample, cut time.Time, good, bad int64, target float64) float64 {
+	base := window[0]
+	for _, s := range window {
+		if !s.t.Before(cut) {
+			break
+		}
+		base = s
+	}
+	dGood, dBad := good-base.good, bad-base.bad
+	if dGood+dBad <= 0 || dBad <= 0 {
+		return 0
+	}
+	frac := float64(dBad) / float64(dGood+dBad)
+	return frac / (1 - target)
+}
+
+// windowFraction is how much of the slow window the retained samples
+// actually cover, so budget-remaining doesn't overstate burn early on.
+func windowFraction(window []sample, now time.Time, slow time.Duration) float64 {
+	if len(window) == 0 || slow <= 0 {
+		return 0
+	}
+	covered := now.Sub(window[0].t)
+	if covered > slow {
+		covered = slow
+	}
+	return float64(covered) / float64(slow)
+}
+
+func (e *Engine) statusLocked(st *objectiveState, good, bad int64, fast, slow float64) Status {
+	return Status{
+		Objective: st.obj,
+		GoodTotal: good, BadTotal: bad,
+		FastBurn: fast, SlowBurn: slow,
+		BudgetRemaining: st.gBudget.Value(),
+		Firing:          st.firing,
+		FiringSince:     st.since,
+		Alerts:          st.alerts,
+	}
+}
+
+// Status reports every objective's current state.
+func (e *Engine) Status() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.objs))
+	for _, st := range e.objs {
+		good, bad := int64(0), int64(0)
+		if n := len(st.window); n > 0 {
+			good, bad = st.window[n-1].good, st.window[n-1].bad
+		}
+		out = append(out, e.statusLocked(st, good, bad, st.gFast.Value(), st.gSlow.Value()))
+	}
+	return out
+}
+
+// Run ticks the engine on the given cadence until ctx is done. Nil-safe.
+func (e *Engine) Run(done <-chan struct{}, every time.Duration) {
+	if e == nil {
+		return
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-t.C:
+			e.Tick(now)
+		}
+	}
+}
+
+// Handler serves the engine's status as JSON — mount under /slo.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		st := e.Status()
+		if st == nil {
+			st = []Status{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}

@@ -1,0 +1,168 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func newTestEngine(t *testing.T, onAlert func(Objective, Status)) (*Engine, *obs.Registry, *obs.Registry) {
+	t.Helper()
+	src := obs.NewRegistry()
+	metrics := obs.NewRegistry()
+	e := New(Config{Source: src, Metrics: metrics, OnAlert: onAlert}, Objective{
+		Name: "deadline", Good: "hit_total", Bad: "miss_total",
+		Target: 0.9, FastWindow: 10 * time.Second, SlowWindow: 60 * time.Second,
+		BurnThreshold: 2,
+	})
+	return e, src, metrics
+}
+
+func TestAlertFiresOnlyWhenBothWindowsBurn(t *testing.T) {
+	var alerts atomic.Int64
+	e, src, metrics := newTestEngine(t, func(o Objective, s Status) {
+		if o.Name != "deadline" || !s.Firing {
+			t.Errorf("alert payload = %+v", s)
+		}
+		alerts.Add(1)
+	})
+	hit, miss := src.Counter("hit_total"), src.Counter("miss_total")
+
+	// Healthy traffic: all hits, no alert.
+	now := t0
+	for i := 0; i < 5; i++ {
+		hit.Add(10)
+		e.Tick(now)
+		now = now.Add(time.Second)
+	}
+	if s := e.Status()[0]; s.Firing || s.FastBurn != 0 {
+		t.Fatalf("healthy status = %+v", s)
+	}
+
+	// Sustained 50% miss rate: burn = 0.5/0.1 = 5 >= 2 in both windows.
+	for i := 0; i < 5; i++ {
+		hit.Add(5)
+		miss.Add(5)
+		e.Tick(now)
+		now = now.Add(time.Second)
+	}
+	s := e.Status()[0]
+	if !s.Firing || s.Alerts != 1 {
+		t.Fatalf("burning status = %+v", s)
+	}
+	if alerts.Load() != 1 {
+		t.Fatalf("OnAlert ran %d times, want 1 (edge-triggered)", alerts.Load())
+	}
+	if g := metrics.Gauge(obs.Label("slo_alert_firing", "slo", "deadline")).Value(); g != 1 {
+		t.Errorf("slo_alert_firing = %v, want 1", g)
+	}
+	if v := metrics.Counter(obs.Label("slo_alerts_total", "slo", "deadline")).Value(); v != 1 {
+		t.Errorf("slo_alerts_total = %d, want 1", v)
+	}
+
+	// Keep burning: still one alert (no re-fire while active).
+	miss.Add(5)
+	e.Tick(now)
+	if alerts.Load() != 1 {
+		t.Errorf("alert re-fired while active: %d", alerts.Load())
+	}
+
+	// Recovery: the fast window drains past the misses, alert resolves.
+	now = now.Add(11 * time.Second) // past FastWindow
+	for i := 0; i < 12; i++ {
+		hit.Add(100)
+		e.Tick(now)
+		now = now.Add(time.Second)
+	}
+	s = e.Status()[0]
+	if s.Firing {
+		t.Fatalf("alert did not resolve: %+v", s)
+	}
+	if g := metrics.Gauge(obs.Label("slo_alert_firing", "slo", "deadline")).Value(); g != 0 {
+		t.Errorf("slo_alert_firing after resolve = %v", g)
+	}
+}
+
+func TestBriefBlipDoesNotFire(t *testing.T) {
+	var alerts atomic.Int64
+	e, src, _ := newTestEngine(t, func(Objective, Status) { alerts.Add(1) })
+	hit, miss := src.Counter("hit_total"), src.Counter("miss_total")
+
+	// Long healthy history fills the slow window.
+	now := t0
+	for i := 0; i < 50; i++ {
+		hit.Add(100)
+		e.Tick(now)
+		now = now.Add(time.Second)
+	}
+	// One second of pure misses: fast window burns, slow window does not
+	// (50*100 hits vs 10 misses over the slow window).
+	miss.Add(10)
+	e.Tick(now)
+	s := e.Status()[0]
+	if s.Firing || alerts.Load() != 0 {
+		t.Fatalf("blip fired the alert: %+v", s)
+	}
+	if s.FastBurn < s.SlowBurn {
+		t.Errorf("fast burn %v should exceed slow burn %v on a fresh blip", s.FastBurn, s.SlowBurn)
+	}
+}
+
+func TestDefaultOnAlertTripsFlightRecorder(t *testing.T) {
+	// No OnAlert: Tick must not panic with no global recorder enabled.
+	src := obs.NewRegistry()
+	e := New(Config{Source: src}, Objective{
+		Name: "x", Good: "g", Bad: "b", Target: 0.5,
+		FastWindow: time.Second, SlowWindow: time.Second, BurnThreshold: 0.1,
+	})
+	e.Tick(t0) // baseline
+	src.Counter("b").Add(100)
+	e.Tick(t0.Add(time.Second))
+	if !e.Status()[0].Firing {
+		t.Fatal("objective should be firing")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	e, src, _ := newTestEngine(t, func(Objective, Status) {})
+	hit := src.Counter("hit_total")
+	now := t0
+	for i := 0; i < 1000; i++ {
+		hit.Inc()
+		e.Tick(now)
+		now = now.Add(time.Second)
+	}
+	e.mu.Lock()
+	n := len(e.objs[0].window)
+	e.mu.Unlock()
+	// SlowWindow is 60s at a 1s cadence: ~61 samples retained, not 1000.
+	if n > 70 {
+		t.Errorf("window grew to %d samples, want bounded by slow window", n)
+	}
+}
+
+func TestHandlerServesStatus(t *testing.T) {
+	e, src, _ := newTestEngine(t, func(Objective, Status) {})
+	src.Counter("hit_total").Add(5)
+	e.Tick(t0)
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	var out []Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out) != 1 {
+		t.Fatalf("handler: err=%v body=%s", err, rec.Body.String())
+	}
+	if out[0].Name != "deadline" || out[0].GoodTotal != 5 {
+		t.Errorf("status = %+v", out[0])
+	}
+	post := httptest.NewRecorder()
+	e.Handler().ServeHTTP(post, httptest.NewRequest("POST", "/slo", nil))
+	if post.Code != 405 {
+		t.Errorf("POST: code=%d", post.Code)
+	}
+}

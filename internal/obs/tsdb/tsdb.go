@@ -1,0 +1,456 @@
+// Package tsdb is the master-side retained time-series store of the
+// cluster telemetry plane: fixed-capacity per-series point rings keyed by
+// metric name + label set, fed by local registry scrapes and by
+// TelemetryShip deltas arriving from workers over the wire, and queryable
+// through the /query debug endpoint (and `sstdctl query`).
+//
+// Retention is bounded by construction — capacity points per series, so
+// memory is O(series × capacity) regardless of uptime. Series identity
+// follows the repo's label convention: a metric name may carry a
+// `{k="v",...}` block; the store adds a `host` label to everything it
+// ingests so one store holds the whole cluster.
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+// Point is one retained sample. T is unix milliseconds — coarse enough
+// to be compact in JSON, fine enough for heartbeat-cadence telemetry.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is one named, labelled time series as returned by Query.
+type Series struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// DefaultCapacity is the per-series ring size when New is given n <= 0:
+// at a 1s scrape cadence roughly 8.5 minutes of history per series.
+const DefaultCapacity = 512
+
+// Store retains bounded history for many series. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	cap    int
+	series map[string]*ring // canonical key -> ring
+	ships  map[string]*shipState
+}
+
+type ring struct {
+	name   string
+	labels map[string]string
+	pts    []Point
+	next   int
+	full   bool
+}
+
+// shipState is the per-host cumulative decoder state for ApplyShip.
+type shipState struct {
+	seq      int64
+	counters map[string]int64
+	hists    map[string]*histState
+}
+
+type histState struct {
+	bounds []float64
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// New creates a store retaining capacity points per series
+// (DefaultCapacity when <= 0).
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		cap:    capacity,
+		series: make(map[string]*ring),
+		ships:  make(map[string]*shipState),
+	}
+}
+
+// Append records one sample. name may carry a `{k="v"}` label block
+// (parsed into the series' label set); labels adds or overrides pairs on
+// top of it. Nil-safe.
+func (s *Store) Append(name string, labels map[string]string, t time.Time, v float64) {
+	if s == nil {
+		return
+	}
+	base, parsed := splitName(name)
+	if len(labels) > 0 {
+		if parsed == nil {
+			parsed = make(map[string]string, len(labels))
+		}
+		for k, val := range labels {
+			parsed[k] = val
+		}
+	}
+	s.append(base, parsed, t.UnixMilli(), v)
+}
+
+func (s *Store) append(base string, labels map[string]string, tms int64, v float64) {
+	key := seriesKey(base, labels)
+	s.mu.Lock()
+	r, ok := s.series[key]
+	if !ok {
+		r = &ring{name: base, labels: labels, pts: make([]Point, s.cap)}
+		s.series[key] = r
+	}
+	r.pts[r.next] = Point{T: tms, V: v}
+	r.next++
+	if r.next == len(r.pts) {
+		r.next, r.full = 0, true
+	}
+	s.mu.Unlock()
+}
+
+// ScrapeRegistry samples every metric in reg into the store under the
+// given host label. Histograms expand to _count, _sum and _p50/_p90/_p99
+// series. Nil-safe on both receiver and registry.
+func (s *Store) ScrapeRegistry(reg *obs.Registry, host string, now time.Time) {
+	if s == nil || reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	tms := now.UnixMilli()
+	for name, v := range snap.Counters {
+		base, labels := splitName(name)
+		s.append(base, withHost(labels, host), tms, float64(v))
+	}
+	for name, v := range snap.Gauges {
+		base, labels := splitName(name)
+		s.append(base, withHost(labels, host), tms, v)
+	}
+	for name, h := range snap.Histograms {
+		base, labels := splitName(name)
+		labels = withHost(labels, host)
+		s.append(base+"_count", labels, tms, float64(h.Count))
+		s.append(base+"_sum", labels, tms, h.Sum)
+		s.append(base+"_p50", labels, tms, h.P50)
+		s.append(base+"_p90", labels, tms, h.P90)
+		s.append(base+"_p99", labels, tms, h.P99)
+	}
+}
+
+// ApplyShip folds one TelemetryShip from a worker into the store: counter
+// deltas accumulate onto per-host cumulative state (reset by Full ships),
+// gauges append directly, histogram bucket deltas accumulate and append
+// _count/_sum plus interpolated _p50/_p90/_p99 series. Every resulting
+// series carries host as its host label. Nil-safe.
+func (s *Store) ApplyShip(host string, ship *obs.TelemetryShip, now time.Time) {
+	if s == nil || ship == nil {
+		return
+	}
+	tms := now.UnixMilli()
+	s.mu.Lock()
+	st, ok := s.ships[host]
+	if !ok || ship.Full {
+		// Unknown host or an explicit resync: start cumulative state from
+		// zero (a non-Full stream without prior state applies deltas from
+		// zero — the best available).
+		st = &shipState{counters: make(map[string]int64), hists: make(map[string]*histState)}
+		s.ships[host] = st
+	}
+	st.seq = ship.Seq
+	// Snapshot the cumulative values to append outside the histogram math.
+	type sample struct {
+		name string
+		v    float64
+	}
+	samples := make([]sample, 0, len(ship.Counters)+len(ship.Gauges)+5*len(ship.Hists))
+	for name, d := range ship.Counters {
+		if ship.Full {
+			st.counters[name] = d
+		} else {
+			st.counters[name] += d
+		}
+		samples = append(samples, sample{name, float64(st.counters[name])})
+	}
+	for name, v := range ship.Gauges {
+		samples = append(samples, sample{name, v})
+	}
+	for name, d := range ship.Hists {
+		h := st.hists[name]
+		if h == nil || len(d.Bounds) > 0 {
+			// Full ship, first sight of the series, or a layout change:
+			// the delta carries absolute counts and authoritative bounds.
+			h = &histState{bounds: append([]float64(nil), d.Bounds...)}
+			st.hists[name] = h
+			h.counts = append([]int64(nil), d.Counts...)
+			h.count, h.sum = d.Count, d.Sum
+		} else {
+			if len(h.counts) != len(d.Counts) {
+				continue // layout mismatch without bounds: drop the delta
+			}
+			for i, c := range d.Counts {
+				h.counts[i] += c
+			}
+			h.count += d.Count
+			h.sum += d.Sum
+		}
+		samples = append(samples,
+			sample{name + "_count", float64(h.count)},
+			sample{name + "_sum", h.sum},
+			sample{name + "_p50", h.quantile(0.5)},
+			sample{name + "_p90", h.quantile(0.9)},
+			sample{name + "_p99", h.quantile(0.99)})
+	}
+	s.mu.Unlock()
+	for _, sm := range samples {
+		base, labels := splitName(sm.name)
+		s.append(base, withHost(labels, host), tms, sm.v)
+	}
+}
+
+// quantile mirrors obs.Histogram.Quantile over the accumulated bucket
+// counts (linear interpolation within the target bucket).
+func (h *histState) quantile(q float64) float64 {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	cum := int64(0)
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+int64(n)) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Query selects retained series.
+type Query struct {
+	// Name is the exact series base name ("" matches every series).
+	Name string
+	// Matchers are label equality constraints; every pair must match.
+	Matchers map[string]string
+	// Since drops points older than now-Since (0 = all retained).
+	Since time.Duration
+	// Step downsamples to the last point per step bucket (0 = raw).
+	Step time.Duration
+	// Limit caps points per series, keeping the newest (<= 0 = DefaultQueryLimit).
+	Limit int
+}
+
+// DefaultQueryLimit and MaxQueryLimit bound points per series in query
+// results so a /query response can never be unbounded.
+const (
+	DefaultQueryLimit = 500
+	MaxQueryLimit     = 5000
+)
+
+// Run executes the query against the store at time now. Results are
+// sorted by name then label signature; points are oldest first.
+func (s *Store) Run(q Query, now time.Time) []Series {
+	if s == nil {
+		return nil
+	}
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultQueryLimit
+	}
+	if limit > MaxQueryLimit {
+		limit = MaxQueryLimit
+	}
+	var cutoff int64
+	if q.Since > 0 {
+		cutoff = now.Add(-q.Since).UnixMilli()
+	}
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.series))
+	for key, r := range s.series {
+		if q.Name != "" && r.name != q.Name {
+			continue
+		}
+		match := true
+		for k, v := range q.Matchers {
+			if r.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Series, 0, len(keys))
+	for _, key := range keys {
+		r := s.series[key]
+		pts := r.ordered()
+		if cutoff > 0 {
+			i := sort.Search(len(pts), func(i int) bool { return pts[i].T >= cutoff })
+			pts = pts[i:]
+		}
+		if q.Step > 0 {
+			pts = downsample(pts, q.Step.Milliseconds())
+		}
+		if len(pts) > limit {
+			pts = pts[len(pts)-limit:]
+		}
+		labels := make(map[string]string, len(r.labels))
+		for k, v := range r.labels {
+			labels[k] = v
+		}
+		out = append(out, Series{Name: r.name, Labels: labels, Points: append([]Point(nil), pts...)})
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// SeriesNames returns the distinct base names retained, sorted.
+func (s *Store) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	set := make(map[string]struct{})
+	for _, r := range s.series {
+		set[r.name] = struct{}{}
+	}
+	s.mu.RUnlock()
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ordered returns a copy of the ring's points, oldest first. (A copy, so
+// downsampling can compact in place without touching ring storage.)
+func (r *ring) ordered() []Point {
+	if !r.full {
+		return append([]Point(nil), r.pts[:r.next]...)
+	}
+	out := make([]Point, len(r.pts))
+	n := copy(out, r.pts[r.next:])
+	copy(out[n:], r.pts[:r.next])
+	return out
+}
+
+// downsample keeps the last point of each stepMs-wide time bucket.
+func downsample(pts []Point, stepMs int64) []Point {
+	if stepMs <= 0 || len(pts) == 0 {
+		return pts
+	}
+	out := pts[:0:len(pts)]
+	for i, p := range pts {
+		if i+1 < len(pts) && pts[i+1].T/stepMs == p.T/stepMs {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// splitName separates a `base{k="v",...}` metric name into base and
+// parsed labels (nil when unlabelled).
+func splitName(name string) (string, map[string]string) {
+	base, rest, has := strings.Cut(name, "{")
+	if !has {
+		return base, nil
+	}
+	rest = strings.TrimSuffix(rest, "}")
+	labels := make(map[string]string)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			break
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		rest = strings.TrimLeft(rest[i:], ", ")
+		if key != "" {
+			labels[key] = val.String()
+		}
+	}
+	if len(labels) == 0 {
+		return base, nil
+	}
+	return base, labels
+}
+
+func withHost(labels map[string]string, host string) map[string]string {
+	if labels == nil {
+		labels = make(map[string]string, 1)
+	}
+	if host != "" {
+		labels["host"] = host
+	}
+	return labels
+}
+
+func seriesKey(base string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	for _, k := range keys {
+		b.WriteByte('\x00')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestAppendAndQuery(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 5; i++ {
+		s.Append("reqs_total", map[string]string{"host": "a"}, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	s.Append("reqs_total", map[string]string{"host": "b"}, t0, 99)
+	s.Append("other", nil, t0, 1)
+
+	got := s.Run(Query{Name: "reqs_total"}, t0.Add(10*time.Second))
+	if len(got) != 2 {
+		t.Fatalf("want 2 series, got %d: %+v", len(got), got)
+	}
+	if got[0].Labels["host"] != "a" || len(got[0].Points) != 5 {
+		t.Errorf("series a = %+v", got[0])
+	}
+	if got[1].Labels["host"] != "b" || got[1].Points[0].V != 99 {
+		t.Errorf("series b = %+v", got[1])
+	}
+
+	got = s.Run(Query{Name: "reqs_total", Matchers: map[string]string{"host": "b"}}, t0)
+	if len(got) != 1 || got[0].Labels["host"] != "b" {
+		t.Errorf("matcher query = %+v", got)
+	}
+}
+
+func TestRingRetentionBound(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		s.Append("m", nil, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := s.Run(Query{Name: "m"}, t0.Add(time.Minute))
+	if len(got) != 1 || len(got[0].Points) != 4 {
+		t.Fatalf("want 4 retained points, got %+v", got)
+	}
+	// Oldest first, and only the newest 4 survive.
+	for i, p := range got[0].Points {
+		if p.V != float64(6+i) {
+			t.Errorf("point %d = %+v, want V=%d", i, p, 6+i)
+		}
+	}
+}
+
+func TestQuerySinceStepLimit(t *testing.T) {
+	s := New(64)
+	for i := 0; i < 30; i++ {
+		s.Append("m", nil, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	now := t0.Add(30 * time.Second)
+
+	got := s.Run(Query{Name: "m", Since: 10 * time.Second}, now)
+	if n := len(got[0].Points); n != 10 {
+		t.Errorf("since=10s kept %d points, want 10", n)
+	}
+	got = s.Run(Query{Name: "m", Step: 10 * time.Second}, now)
+	if n := len(got[0].Points); n > 4 {
+		t.Errorf("step=10s kept %d points, want <= 4", n)
+	}
+	// Downsampling keeps the LAST point of each bucket.
+	last := got[0].Points[len(got[0].Points)-1]
+	if last.V != 29 {
+		t.Errorf("last downsampled point = %+v, want V=29", last)
+	}
+	got = s.Run(Query{Name: "m", Limit: 3}, now)
+	if n := len(got[0].Points); n != 3 {
+		t.Errorf("limit=3 kept %d points", n)
+	}
+	if got[0].Points[2].V != 29 {
+		t.Errorf("limit should keep newest points: %+v", got[0].Points)
+	}
+}
+
+func TestScrapeRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total").Add(7)
+	reg.Gauge(`g{worker="w-1"}`).Set(3)
+	reg.Histogram("h_ms", []float64{1, 10}).Observe(5)
+
+	s := New(8)
+	s.ScrapeRegistry(reg, "master", t0)
+
+	if got := s.Run(Query{Name: "c_total"}, t0); len(got) != 1 || got[0].Points[0].V != 7 || got[0].Labels["host"] != "master" {
+		t.Errorf("scraped counter = %+v", got)
+	}
+	if got := s.Run(Query{Name: "g"}, t0); len(got) != 1 || got[0].Labels["worker"] != "w-1" {
+		t.Errorf("scraped labelled gauge = %+v", got)
+	}
+	for _, suffix := range []string{"_count", "_sum", "_p50", "_p90", "_p99"} {
+		if got := s.Run(Query{Name: "h_ms" + suffix}, t0); len(got) != 1 {
+			t.Errorf("missing histogram series h_ms%s", suffix)
+		}
+	}
+}
+
+func TestApplyShipAccumulates(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("worker_tasks_total")
+	h := reg.Histogram("exec_ms", []float64{1, 10})
+	c.Add(3)
+	h.Observe(5)
+	shipper := obs.NewShipper(reg)
+
+	s := New(16)
+	s.ApplyShip("w-1", shipper.Ship(), t0) // full
+	c.Add(2)
+	h.Observe(0.5)
+	s.ApplyShip("w-1", shipper.Ship(), t0.Add(time.Second)) // delta
+
+	got := s.Run(Query{Name: "worker_tasks_total"}, t0.Add(time.Minute))
+	if len(got) != 1 || got[0].Labels["host"] != "w-1" {
+		t.Fatalf("shipped counter = %+v", got)
+	}
+	pts := got[0].Points
+	if len(pts) != 2 || pts[0].V != 3 || pts[1].V != 5 {
+		t.Errorf("cumulative counter points = %+v, want 3 then 5", pts)
+	}
+	got = s.Run(Query{Name: "exec_ms_count"}, t0.Add(time.Minute))
+	if len(got) != 1 || got[0].Points[1].V != 2 {
+		t.Errorf("hist count series = %+v", got)
+	}
+	got = s.Run(Query{Name: "exec_ms_p50"}, t0.Add(time.Minute))
+	if len(got) != 1 || len(got[0].Points) != 2 {
+		t.Errorf("hist p50 series = %+v", got)
+	}
+
+	// A second Full ship (worker restart) resets cumulative state.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("worker_tasks_total").Add(1)
+	s.ApplyShip("w-1", obs.NewShipper(reg2).Ship(), t0.Add(2*time.Second))
+	got = s.Run(Query{Name: "worker_tasks_total"}, t0.Add(time.Minute))
+	pts = got[0].Points
+	if pts[len(pts)-1].V != 1 {
+		t.Errorf("post-restart counter = %+v, want reset to 1", pts)
+	}
+}
+
+func TestHandlerQueryEndpoint(t *testing.T) {
+	s := New(8)
+	s.Append("m", map[string]string{"host": "a"}, time.Now(), 1)
+	s.Append("m", map[string]string{"host": "b"}, time.Now(), 2)
+	h := s.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/?series=m")
+	var out QueryResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out.Series) != 2 {
+		t.Fatalf("query: err=%v body=%s", err, rec.Body.String())
+	}
+	rec = get("/?series=m&label=host=b")
+	out = QueryResult{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out.Series) != 1 || out.Series[0].Labels["host"] != "b" {
+		t.Fatalf("label query: err=%v body=%s", err, rec.Body.String())
+	}
+	// Discovery mode.
+	rec = get("/")
+	out = QueryResult{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out.Names) != 1 || out.Names[0] != "m" {
+		t.Fatalf("names: err=%v body=%s", err, rec.Body.String())
+	}
+	for _, bad := range []string{"/?series=m&since=banana", "/?series=m&step=-1s", "/?series=m&limit=x", "/?series=m&label=nokey"} {
+		if rec := get(bad); rec.Code != 400 {
+			t.Errorf("GET %s: code=%d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestHandlerLimitClamped(t *testing.T) {
+	s := New(8)
+	s.Append("m", nil, time.Now(), 1)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/?series=m&limit=99999999", nil))
+	if rec.Code != 200 {
+		t.Fatalf("clamped limit: code=%d", rec.Code)
+	}
+}
+
+func BenchmarkTelemetryShipApply(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+		reg.Histogram(fmt.Sprintf("h%d", i), nil).Observe(float64(i))
+	}
+	shipper := obs.NewShipper(reg)
+	s := New(256)
+	s.ApplyShip("w", shipper.Ship(), t0)
+	hot := reg.Counter("c0")
+	h := reg.Histogram("h0", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hot.Inc()
+		h.Observe(1)
+		s.ApplyShip("w", shipper.Ship(), t0)
+	}
+}
+
+func BenchmarkTSDBAppend(b *testing.B) {
+	s := New(1024)
+	labels := map[string]string{"host": "w-1"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append("m_total", labels, t0, float64(i))
+	}
+}

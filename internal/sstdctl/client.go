@@ -1,0 +1,217 @@
+// Package sstdctl is the client library behind the sstdctl CLI: thin
+// typed wrappers over a master's telemetry-plane endpoints (/query for
+// the retained time-series store, /slo for error-budget status,
+// /dump/cluster for cross-host flight-dump collection) plus text
+// renderers for terminal output.
+package sstdctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs/slo"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+// Client talks to one master's observability endpoints.
+type Client struct {
+	// Base is the endpoint root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// get fetches path (with query values) and decodes the JSON reply into out.
+func (c *Client) get(path string, q url.Values, out any) error {
+	u := strings.TrimRight(c.Base, "/") + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return fmt.Errorf("sstdctl: GET %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("sstdctl: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// QueryOpts selects series from the /query endpoint. Zero Series lists
+// the retained series names instead.
+type QueryOpts struct {
+	Series string
+	// Labels are exact-match selectors (e.g. host=pool-worker-0).
+	Labels map[string]string
+	// Since is a lookback duration ("5m") or RFC3339 instant; empty means
+	// the full retention.
+	Since string
+	// Step downsamples to one point per bucket ("1s"); empty keeps raw.
+	Step string
+	// Limit caps points per series (0 = server default).
+	Limit int
+}
+
+// Query runs one time-series query.
+func (c *Client) Query(opts QueryOpts) (*tsdb.QueryResult, error) {
+	q := url.Values{}
+	if opts.Series != "" {
+		q.Set("series", opts.Series)
+	}
+	for k, v := range opts.Labels {
+		q.Add("label", k+"="+v)
+	}
+	if opts.Since != "" {
+		q.Set("since", opts.Since)
+	}
+	if opts.Step != "" {
+		q.Set("step", opts.Step)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", fmt.Sprintf("%d", opts.Limit))
+	}
+	var out tsdb.QueryResult
+	if err := c.get("/query", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SLO fetches every objective's error-budget status.
+func (c *Client) SLO() ([]slo.Status, error) {
+	var out []slo.Status
+	if err := c.get("/slo", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dumps lists completed cross-host flight-dump collections.
+func (c *Client) Dumps() ([]workqueue.ClusterDumpInfo, error) {
+	var out []workqueue.ClusterDumpInfo
+	if err := c.get("/dump/cluster", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dump triggers a manual cross-host collection round and reports the
+// merged trace it wrote.
+func (c *Client) Dump() (*workqueue.ClusterDumpInfo, error) {
+	u := strings.TrimRight(c.Base, "/") + "/dump/cluster"
+	resp, err := c.http().Post(u, "application/json", nil)
+	if err != nil {
+		return nil, fmt.Errorf("sstdctl: POST /dump/cluster: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("sstdctl: POST /dump/cluster: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out workqueue.ClusterDumpInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FormatQuery renders a query result for the terminal: a name listing
+// for discovery queries, otherwise one block per series with its label
+// set and last points.
+func FormatQuery(res *tsdb.QueryResult, tail int) string {
+	var b strings.Builder
+	if len(res.Series) == 0 {
+		if len(res.Names) == 0 {
+			return "no series retained\n"
+		}
+		fmt.Fprintf(&b, "%d series:\n", len(res.Names))
+		for _, n := range res.Names {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+		return b.String()
+	}
+	if tail <= 0 {
+		tail = 5
+	}
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "%s%s  (%d points)\n", s.Name, formatLabels(s.Labels), len(s.Points))
+		pts := s.Points
+		if len(pts) > tail {
+			pts = pts[len(pts)-tail:]
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %s  %g\n", time.UnixMilli(p.T).UTC().Format("15:04:05.000"), p.V)
+		}
+	}
+	return b.String()
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// FormatSLO renders the error-budget table.
+func FormatSLO(statuses []slo.Status) string {
+	if len(statuses) == 0 {
+		return "no objectives configured\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-8s %10s %10s %10s %8s %7s\n",
+		"SLO", "TARGET", "GOOD", "BAD", "FAST-BURN", "SLOW", "FIRING")
+	for _, s := range statuses {
+		firing := "no"
+		if s.Firing {
+			firing = fmt.Sprintf("YES (%s)", time.Since(s.FiringSince).Round(time.Second))
+		}
+		fmt.Fprintf(&b, "%-16s %-8.3g %10d %10d %10.2f %8.2f %7s\n",
+			s.Name, s.Target, s.GoodTotal, s.BadTotal, s.FastBurn, s.SlowBurn, firing)
+		fmt.Fprintf(&b, "  budget remaining: %.1f%%  alerts: %d\n", s.BudgetRemaining*100, s.Alerts)
+	}
+	return b.String()
+}
+
+// FormatDump renders one collection record.
+func FormatDump(d *workqueue.ClusterDumpInfo) string {
+	return fmt.Sprintf("cluster dump #%d  trigger=%s  hosts=%s  events=%d\n  %s\n",
+		d.Seq, d.Trigger, strings.Join(d.Hosts, ","), d.Events, d.Path)
+}
+
+// FormatDumps renders the collection history.
+func FormatDumps(ds []workqueue.ClusterDumpInfo) string {
+	if len(ds) == 0 {
+		return "no cluster dumps collected\n"
+	}
+	var b strings.Builder
+	for i := range ds {
+		b.WriteString(FormatDump(&ds[i]))
+	}
+	return b.String()
+}

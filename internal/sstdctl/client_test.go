@@ -1,0 +1,108 @@
+package sstdctl
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/slo"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
+)
+
+// newTelemetryServer mounts a real store and SLO engine behind the same
+// endpoints the binaries expose, so the client is tested against the
+// actual handlers rather than canned JSON.
+func newTelemetryServer(t *testing.T) (*httptest.Server, *tsdb.Store, *slo.Engine, *obs.Registry) {
+	t.Helper()
+	store := tsdb.New(0)
+	src := obs.NewRegistry()
+	engine := slo.New(slo.Config{Source: src, OnAlert: func(slo.Objective, slo.Status) {}}, slo.Objective{
+		Name: "deadline", Good: "dtm_deadline_hit_total", Bad: "dtm_deadline_miss_total",
+		Target: 0.9, FastWindow: time.Second, SlowWindow: 2 * time.Second, BurnThreshold: 1,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/query", store.Handler())
+	mux.Handle("/slo", engine.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, store, engine, src
+}
+
+func TestClientQueryAndDiscovery(t *testing.T) {
+	srv, store, _, _ := newTelemetryServer(t)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		store.Append("wq_queue_depth", map[string]string{"host": "master"}, now.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	c := &Client{Base: srv.URL}
+
+	// Discovery: no series selected lists names.
+	res, err := c.Query(QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 1 || res.Names[0] != "wq_queue_depth" {
+		t.Fatalf("names = %v", res.Names)
+	}
+	if out := FormatQuery(res, 5); !strings.Contains(out, "wq_queue_depth") {
+		t.Errorf("discovery output = %q", out)
+	}
+
+	// Selection with a label matcher.
+	res, err = c.Query(QueryOpts{Series: "wq_queue_depth", Labels: map[string]string{"host": "master"}, Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("series = %+v", res.Series)
+	}
+	if n := len(res.Series[0].Points); n != 3 {
+		t.Errorf("limit ignored: %d points", n)
+	}
+	if out := FormatQuery(res, 2); !strings.Contains(out, `host="master"`) {
+		t.Errorf("series output = %q", out)
+	}
+
+	// A mismatched matcher selects nothing.
+	res, err = c.Query(QueryOpts{Series: "wq_queue_depth", Labels: map[string]string{"host": "elsewhere"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 0 {
+		t.Errorf("matcher should have excluded all series: %+v", res.Series)
+	}
+}
+
+func TestClientSLO(t *testing.T) {
+	srv, _, engine, src := newTelemetryServer(t)
+	src.Counter("dtm_deadline_hit_total").Add(9)
+	src.Counter("dtm_deadline_miss_total").Add(1)
+	engine.Tick(time.Now())
+
+	c := &Client{Base: srv.URL}
+	statuses, err := c.SLO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || statuses[0].Name != "deadline" || statuses[0].GoodTotal != 9 {
+		t.Fatalf("statuses = %+v", statuses)
+	}
+	if out := FormatSLO(statuses); !strings.Contains(out, "deadline") {
+		t.Errorf("slo output = %q", out)
+	}
+}
+
+func TestClientErrorsSurfaceBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad label selector", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	_, err := c.Query(QueryOpts{Series: "x"})
+	if err == nil || !strings.Contains(err.Error(), "bad label selector") {
+		t.Fatalf("err = %v, want body surfaced", err)
+	}
+}

@@ -89,7 +89,12 @@ type workerEntry struct {
 	lastSeen    time.Time
 	wake        context.CancelFunc
 	conn        net.Conn
-	released    bool
+	// codec is the handler's framed connection, kept so the master can
+	// broadcast control frames (FreezeRings) from outside the handler
+	// goroutine — codec sends are mutex-serialized. Nil in tests that
+	// attach without a connection.
+	codec    *codec
+	released bool
 	inflight    string
 	heartbeats  int64
 	tasksDone   int64
@@ -166,7 +171,7 @@ func workerLabel(name, id string) string {
 
 // attach registers a connecting worker. Duplicate live IDs are rejected:
 // two connections claiming one identity would corrupt the health record.
-func (cl *cluster) attach(id string, wake context.CancelFunc, conn net.Conn) (*workerEntry, error) {
+func (cl *cluster) attach(id string, wake context.CancelFunc, conn net.Conn, c *codec) (*workerEntry, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if _, dup := cl.active[id]; dup {
@@ -180,6 +185,7 @@ func (cl *cluster) attach(id string, wake context.CancelFunc, conn net.Conn) (*w
 		lastSeen:    now,
 		wake:        wake,
 		conn:        conn,
+		codec:       c,
 	}
 	cl.active[id] = e
 	cl.reg.Gauge(workerLabel("wq_worker_up", id)).Set(1)
@@ -462,6 +468,28 @@ func (cl *cluster) count() int {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	return len(cl.active)
+}
+
+// workerCodec pairs a worker ID with its framed connection for control
+// broadcasts.
+type workerCodec struct {
+	id string
+	c  *codec
+}
+
+// codecs snapshots the attached workers' codecs (sorted by ID) so the
+// cluster-dump collector can broadcast FreezeRings outside cl.mu.
+func (cl *cluster) codecs() []workerCodec {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]workerCodec, 0, len(cl.active))
+	for id, e := range cl.active {
+		if e.codec != nil {
+			out = append(out, workerCodec{id: id, c: e.codec})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // health snapshots every known worker — attached first (sorted by ID),

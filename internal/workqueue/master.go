@@ -12,6 +12,7 @@ import (
 
 	"github.com/social-sensing/sstd/internal/obs"
 	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
 )
 
 // JobStats tracks per-job progress for the feedback control loop.
@@ -83,6 +84,20 @@ type MasterConfig struct {
 	// refuses (or sheds) jobs the pool could not finish in time. Nil
 	// leaves the gate open.
 	Admission *AdmissionConfig
+	// Telemetry, when set, retains the workers' shipped metrics snapshots
+	// as labeled time series (the /query endpoint's backing store). Each
+	// worker's TelemetryShip deltas are applied under a host=<worker-id>
+	// label on arrival.
+	Telemetry *tsdb.Store
+	// FlightRec overrides the recorder whose trips cascade into cross-host
+	// dump collection (default: the process-global flightrec.Active()).
+	FlightRec *flightrec.Recorder
+	// ClusterDumps enables cross-host flight-dump collection: on a trip,
+	// the master broadcasts FreezeRings to every attached worker, gathers
+	// their ring snapshots, applies per-worker clock-skew correction and
+	// writes one merged multi-host Chrome trace. Nil disables collection
+	// (worker dumps are then ignored).
+	ClusterDumps *ClusterDumpConfig
 }
 
 // Master owns the task pool and serves workers. It mirrors the Work Queue
@@ -119,6 +134,19 @@ type Master struct {
 	// fr probes the assign/requeue/ack control loop into the flight
 	// recorder; handler goroutines share it (the ring cursor is atomic).
 	fr *flightrec.Ring
+
+	// telemetry is the retained time-series store fed by worker ships;
+	// nil when the telemetry plane is off.
+	telemetry *tsdb.Store
+	// Cross-host dump collection state (clusterdump.go). clusterRec is
+	// the master-side recorder whose events (and trips) participate.
+	clusterDumps *ClusterDumpConfig
+	clusterRec   *flightrec.Recorder
+	dumpMu       sync.Mutex
+	dumpSeq      int64
+	dumpPending  *dumpCollector
+	dumpLast     time.Time
+	dumpHistory  []ClusterDumpInfo
 
 	mu       sync.Mutex
 	rng      *rand.Rand // jitter source for requeue backoff; guarded by mu
@@ -188,6 +216,22 @@ func NewMaster(cfg MasterConfig) *Master {
 	}
 	if cfg.Tracer != nil {
 		m.taskSpans = make(map[string]*obs.Span)
+	}
+	m.telemetry = cfg.Telemetry
+	if cfg.ClusterDumps != nil {
+		cd := *cfg.ClusterDumps
+		m.clusterDumps = &cd
+		rec := cfg.FlightRec
+		if rec == nil {
+			rec = flightrec.Active()
+		}
+		m.clusterRec = rec
+		// Cascade any local trip (deadline-miss burst, SLO burn, manual)
+		// into a cluster-wide collection. The hook runs on the recorder's
+		// dump goroutine, after the local dump thaws the rings.
+		rec.SetOnTrip(func(trigger, detail string) {
+			_, _ = m.collectClusterDump(trigger, detail, nil)
+		})
 	}
 	return m
 }
@@ -318,7 +362,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	lg := m.logger.With(obs.WorkerID(workerID))
 	wctx, wake := context.WithCancel(ctx)
 	defer wake()
-	if _, err := m.cluster.attach(workerID, wake, conn); err != nil {
+	if _, err := m.cluster.attach(workerID, wake, conn, c); err != nil {
 		return err
 	}
 	lg.Info("worker attached")
@@ -358,6 +402,12 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			}
 			m.cluster.observeClock(workerID, d1, msg.TaskDelayNs)
 			m.ingestRemoteSpans(workerID, msg.Spans)
+			if msg.Telemetry != nil && m.telemetry != nil {
+				// Shipped metrics snapshot (piggybacked on the stats
+				// cadence): fold the deltas into the retained time-series
+				// store under this worker's host label.
+				m.telemetry.ApplyShip(workerID, msg.Telemetry, time.Now())
+			}
 			switch msg.Type {
 			case msgHeartbeat:
 				m.cluster.heartbeat(workerID)
@@ -367,6 +417,12 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 				} else {
 					m.cluster.heartbeat(workerID)
 				}
+			case msgFlightDump:
+				// Either the answer to our FreezeRings broadcast or a
+				// worker-initiated cluster trip; a dump is also proof of
+				// life for the liveness monitor.
+				m.cluster.heartbeat(workerID)
+				m.handleFlightDump(workerID, msg.Dump)
 			case msgResult:
 				if msg.Result == nil {
 					readErr <- fmt.Errorf("workqueue: result message without result")
@@ -835,6 +891,12 @@ func (m *Master) taskStateSizes() (inflight, attempts int) {
 // Shutdown closes the task pool, waits for worker handlers spawned by
 // Serve to drain and closes the Results channel. It is safe to call once.
 func (m *Master) Shutdown() {
+	if m.clusterDumps != nil {
+		// Detach the trip cascade: a later trip (possibly under a new
+		// master sharing the process recorder) must not collect against
+		// this closed pool.
+		m.clusterRec.SetOnTrip(nil)
+	}
 	m.sched.close()
 	m.wg.Wait()
 	m.mu.Lock()

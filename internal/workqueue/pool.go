@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Pool is an elastic in-process worker pool attached to a master via
@@ -40,6 +41,12 @@ type Pool struct {
 	// it a crashed worker leaves the pool one slot short forever.
 	Respawn      bool
 	RespawnDelay time.Duration
+	// WorkerRecorder, when set, supplies each spawned worker's private
+	// flight recorder (see Worker.FlightRec): in-process workers then
+	// keep their frame-leg probe events in per-host rings, so cluster
+	// dump collection gets true per-host provenance without process
+	// isolation. Called once per incarnation with the worker's ID.
+	WorkerRecorder func(id string) *flightrec.Recorder
 
 	mu      sync.Mutex
 	next    int
@@ -126,6 +133,9 @@ func (p *Pool) spawnSlotLocked(ctx context.Context, slot, incarnation int) {
 			ID: id, Exec: p.exec,
 			HeartbeatEvery: p.Heartbeat, Logger: p.Logger,
 			ExecTimeout: p.ExecTimeout,
+		}
+		if p.WorkerRecorder != nil {
+			w.FlightRec = p.WorkerRecorder(id)
 		}
 		err := w.Run(wctx, wconn)
 		if err != nil && p.Respawn {

@@ -101,7 +101,41 @@ const (
 	// including while a task is executing.
 	msgHeartbeat = "heartbeat"
 	msgStats     = "stats"
+	// msgFreeze is the master's FreezeRings broadcast: every worker
+	// snapshots its flight-recorder rings and replies with msgFlightDump.
+	// A worker may also send msgFlightDump unsolicited (Seq 0, Trigger
+	// set) when its own recorder trips, which the master treats as a
+	// cluster-wide trip.
+	msgFreeze     = "freeze"
+	msgFlightDump = "flight-dump"
 )
+
+// FreezeRequest asks a worker for its flight-recorder snapshot, part of
+// cross-host dump collection.
+type FreezeRequest struct {
+	// Seq correlates the reply with one collection round.
+	Seq int64 `json:"seq"`
+	// Trigger/Detail describe why the master is collecting.
+	Trigger string `json:"trigger,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	// WindowNs bounds how far back the snapshot reaches (0 = the
+	// worker recorder's full retained history).
+	WindowNs int64 `json:"window_ns,omitempty"`
+}
+
+// FlightDump is a worker's flight-recorder snapshot shipped to the
+// master. Event timestamps are on the worker's clock; the master applies
+// its per-worker skew estimate when merging.
+type FlightDump struct {
+	Seq     int64  `json:"seq"`
+	Host    string `json:"host"`
+	Trigger string `json:"trigger,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	// Events is the snapshot payload. Like telemetry it is excluded from
+	// the CRC: a damaged diagnostic dump is not worth severing the
+	// connection over.
+	Events []flightrec.Event `json:"events,omitempty"`
+}
 
 // message is the wire envelope: one JSON object per line.
 type message struct {
@@ -123,6 +157,15 @@ type message struct {
 	// Spans are finished worker-side stage spans being shipped to the
 	// master (on results, heartbeats and stats messages alike).
 	Spans []RemoteSpan `json:"spans,omitempty"`
+	// Telemetry piggybacks a delta-encoded metrics snapshot on stats
+	// messages, feeding the master's time-series store. Excluded from the
+	// CRC like the clock stamps: telemetry damage is not worth a
+	// disconnect.
+	Telemetry *obs.TelemetryShip `json:"telemetry,omitempty"`
+	// Freeze rides on msgFreeze (master→worker); Dump on msgFlightDump
+	// (worker→master).
+	Freeze *FreezeRequest `json:"freeze,omitempty"`
+	Dump   *FlightDump    `json:"dump,omitempty"`
 	// CRC guards the corruption-sensitive fields (message type, task and
 	// result identity, payloads) against frames that are damaged in
 	// flight yet still parse as JSON — without it a single flipped bit
@@ -181,7 +224,15 @@ type codec struct {
 }
 
 func newCodec(conn net.Conn) *codec {
-	c := &codec{conn: conn, fr: flightrec.Fresh("codec")}
+	return newCodecWith(conn, flightrec.Active())
+}
+
+// newCodecWith builds a codec probing into an explicit recorder — the
+// hook that lets each worker of an in-process pool keep its frame-leg
+// events in its own private recorder, so cross-host dump collection gets
+// true per-host provenance even without process isolation.
+func newCodecWith(conn net.Conn, rec *flightrec.Recorder) *codec {
+	c := &codec{conn: conn, fr: rec.NewRing("codec")}
 	c.r = bufio.NewReader(countingReader{conn, &c.bytesIn})
 	c.enc = json.NewEncoder(countingWriter{conn, &c.bytesOut})
 	return c

@@ -1,0 +1,217 @@
+package workqueue
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+	"github.com/social-sensing/sstd/internal/obs/tsdb"
+)
+
+// TestShutdownFlushesFinalStatsAndTelemetry is the regression test for
+// the graceful-shutdown flush: a short-lived worker that never reached
+// its stats cadence must still deliver its final WorkerStats snapshot
+// and telemetry ship on the way out, so its last window of work reaches
+// the master's registry and time-series store.
+func TestShutdownFlushesFinalStatsAndTelemetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := obs.NewRegistry()
+	store := tsdb.New(0)
+	m := NewMaster(MasterConfig{ResultBuffer: 8, Metrics: reg, Telemetry: store})
+
+	mconn, wconn := pipePair()
+	done := make(chan struct{})
+	go func() { _ = m.HandleWorker(ctx, mconn); close(done) }()
+	wdone := make(chan struct{})
+	go func() {
+		w := &Worker{
+			ID:      "brief",
+			Exec:    echoExec,
+			Metrics: obs.NewRegistry(),
+			// A long heartbeat interval: no periodic stats can fire during
+			// the test, so any snapshot the master sees came from the
+			// shutdown flush.
+			HeartbeatEvery: time.Hour,
+		}
+		_ = w.Run(ctx, wconn)
+		close(wdone)
+	}()
+
+	for i := 0; i < 3; i++ {
+		if err := m.Submit(Task{ID: string(rune('a' + i)), JobID: "j", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, m, 3)
+	m.Shutdown()
+	<-done
+	<-wdone
+
+	// The final snapshot landed in the master registry under the worker's
+	// label...
+	if got := reg.Counter(workerLabel("wq_worker_tasks_total", "brief")).Value(); got != 3 {
+		t.Errorf("wq_worker_tasks_total{worker=brief} = %d, want 3 (shutdown flush)", got)
+	}
+	// ...and the telemetry ship landed in the time-series store under the
+	// host label.
+	res := store.Run(tsdb.Query{
+		Name:     "worker_tasks_executed_total",
+		Matchers: map[string]string{"host": "brief"},
+	}, time.Now())
+	if len(res) != 1 || len(res[0].Points) == 0 {
+		t.Fatalf("tsdb series for brief worker = %+v, want 1 series with points", res)
+	}
+	if last := res[0].Points[len(res[0].Points)-1].V; last != 3 {
+		t.Errorf("worker_tasks_executed_total last point = %v, want 3", last)
+	}
+}
+
+// TestCollectClusterDumpMergesHosts drives a full cross-host collection
+// round: two in-process workers with private recorders answer the
+// FreezeRings broadcast, and the master writes one merged multi-host
+// Chrome trace with master and both workers on distinct process lanes.
+func TestCollectClusterDumpMergesHosts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := t.TempDir()
+	mrec, err := flightrec.NewRecorder(flightrec.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaster(MasterConfig{
+		ResultBuffer: 8,
+		FlightRec:    mrec,
+		ClusterDumps: &ClusterDumpConfig{Dir: dir, Timeout: 5 * time.Second, Cooldown: time.Millisecond},
+	})
+	defer m.Shutdown()
+
+	for _, id := range []string{"w-1", "w-2"} {
+		rec, err := flightrec.NewRecorder(flightrec.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mconn, wconn := pipePair()
+		go func() { _ = m.HandleWorker(ctx, mconn) }()
+		go func(id string) {
+			w := &Worker{ID: id, Exec: echoExec, FlightRec: rec}
+			_ = w.Run(ctx, wconn)
+		}(id)
+	}
+	waitFor(t, func() bool { return m.WorkerCount() == 2 }, "workers attached")
+
+	// A little traffic so every host's codec ring holds events.
+	for i := 0; i < 4; i++ {
+		if err := m.Submit(Task{ID: string(rune('a' + i)), JobID: "j", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, m, 4)
+
+	info, err := m.CollectClusterDump(flightrec.TrigManual, "test collection")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHosts := []string{"master", "w-1", "w-2"}
+	if len(info.Hosts) != 3 {
+		t.Fatalf("dump hosts = %v, want %v", info.Hosts, wantHosts)
+	}
+	for i, h := range wantHosts {
+		if info.Hosts[i] != h {
+			t.Fatalf("dump hosts = %v, want %v", info.Hosts, wantHosts)
+		}
+	}
+	if info.Events == 0 {
+		t.Error("merged dump carries no events")
+	}
+	if want := filepath.Join(dir, "flightrec-cluster-001-manual.trace.json"); info.Path != want {
+		t.Errorf("dump path = %q, want %q", info.Path, want)
+	}
+
+	// The merged trace parses and puts each host on its own pid lane.
+	raw, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
+	}
+	lanes := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			lanes[e.Args["name"]] = e.Pid
+		}
+	}
+	for name, want := range map[string]int{"master": 1, "host w-1": 2, "host w-2": 3} {
+		if lanes[name] != want {
+			t.Errorf("lane %q = pid %d, want %d (all lanes: %v)", name, lanes[name], want, lanes)
+		}
+	}
+
+	// History records the round; a second collection inside the pending
+	// window is refused, not stacked.
+	if h := m.ClusterDumpHistory(); len(h) != 1 || h[0].Seq != 1 {
+		t.Errorf("dump history = %+v, want the one round", h)
+	}
+}
+
+// TestWorkerTripStartsClusterCollection: a worker-local recorder trip
+// ships an unsolicited dump, which the master must turn into a full
+// cluster-wide collection seeded with that worker's events.
+func TestWorkerTripStartsClusterCollection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := t.TempDir()
+	m := NewMaster(MasterConfig{
+		ResultBuffer: 8,
+		FlightRec:    mustRecorder(t),
+		ClusterDumps: &ClusterDumpConfig{Dir: dir, Timeout: 5 * time.Second, Cooldown: time.Millisecond},
+	})
+	defer m.Shutdown()
+
+	wrec := mustRecorder(t)
+	mconn, wconn := pipePair()
+	go func() { _ = m.HandleWorker(ctx, mconn) }()
+	go func() {
+		w := &Worker{ID: "tripper", Exec: echoExec, FlightRec: wrec}
+		_ = w.Run(ctx, wconn)
+	}()
+	waitFor(t, func() bool { return m.WorkerCount() == 1 }, "worker attached")
+
+	if !wrec.Trip(flightrec.TrigManual, "worker-side trip") {
+		t.Fatal("worker recorder refused the trip")
+	}
+	waitFor(t, func() bool { return len(m.ClusterDumpHistory()) == 1 }, "cluster collection after worker trip")
+	h := m.ClusterDumpHistory()[0]
+	if h.Trigger != flightrec.TrigManual {
+		t.Errorf("collection trigger = %q, want %q", h.Trigger, flightrec.TrigManual)
+	}
+	if len(h.Hosts) != 2 || h.Hosts[0] != "master" || h.Hosts[1] != "tripper" {
+		t.Errorf("collection hosts = %v, want [master tripper]", h.Hosts)
+	}
+	if _, err := os.Stat(h.Path); err != nil {
+		t.Errorf("merged trace missing: %v", err)
+	}
+}
+
+func mustRecorder(t *testing.T) *flightrec.Recorder {
+	t.Helper()
+	rec, err := flightrec.NewRecorder(flightrec.Config{Cooldown: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}

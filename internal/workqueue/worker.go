@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
 )
 
 // Executor is the function a worker runs for each task payload. Use
@@ -69,6 +70,21 @@ type Worker struct {
 	// cancelled). The counter resets whenever a connection is
 	// established.
 	MaxReconnects int
+	// FlightRec is the flight recorder whose rings this worker's codec
+	// probes into and whose snapshot answers the master's FreezeRings
+	// broadcast. Nil uses the process-wide recorder (flightrec.Active).
+	// When set, the worker also forwards the recorder's own trips to the
+	// master as unsolicited flight dumps, making any host's trip a
+	// cluster-wide collection.
+	FlightRec *flightrec.Recorder
+}
+
+// recorder resolves the worker's flight recorder.
+func (w *Worker) recorder() *flightrec.Recorder {
+	if w.FlightRec != nil {
+		return w.FlightRec
+	}
+	return flightrec.Active()
 }
 
 // workerInstruments holds the worker-side metric handles. All methods
@@ -136,6 +152,9 @@ func (i *workerInstruments) snapshot(c *codec) WorkerStats {
 type workerRun struct {
 	spans         spanBuffer
 	lastTaskDelay atomic.Int64
+	// shipper delta-encodes the worker registry for the telemetry
+	// piggyback on stats messages (nil when telemetry is off).
+	shipper *obs.Shipper
 }
 
 // stamp fills the envelope's clock fields just before a send.
@@ -151,7 +170,8 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		return fmt.Errorf("workqueue: worker needs ID and Exec")
 	}
 	lg := w.Logger.With(obs.WorkerID(w.ID))
-	c := newCodec(conn)
+	rec := w.recorder()
+	c := newCodecWith(conn, rec)
 	defer func() { _ = c.close() }()
 	// Unblock reads when ctx is cancelled.
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
@@ -165,11 +185,24 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		reg = obs.NewRegistry()
 	}
 	inst := newWorkerInstruments(reg)
-	run := &workerRun{}
+	run := &workerRun{shipper: obs.NewShipper(reg)}
 	if w.HeartbeatEvery > 0 {
 		hbStop := make(chan struct{})
 		defer close(hbStop)
 		go w.heartbeatLoop(ctx, c, inst, run, hbStop)
+	}
+	if w.FlightRec != nil {
+		// A local trip ships an unsolicited dump — the master turns it
+		// into a cluster-wide collection. Only wired for a dedicated
+		// recorder: hooking the process-wide one would hijack a co-located
+		// master's own trip hook.
+		rec.SetOnTrip(func(trigger, detail string) {
+			d := FlightDump{Host: w.ID, Trigger: trigger, Detail: detail, Events: rec.Events(0)}
+			env := message{Type: msgFlightDump, WorkerID: w.ID, Dump: &d}
+			run.stamp(&env)
+			_ = c.send(env)
+		})
+		defer rec.SetOnTrip(nil)
 	}
 	for {
 		m, err := c.recv()
@@ -183,14 +216,42 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 		}
 		switch m.Type {
 		case msgShutdown:
-			// Flush any still-buffered spans (the last task's send span)
-			// on a final heartbeat so the master's timeline is complete.
-			if spans := run.spans.drain(); len(spans) > 0 {
-				fin := message{Type: msgHeartbeat, WorkerID: w.ID, Spans: spans}
+			// Flush buffered spans AND a final stats/telemetry snapshot on
+			// the way out (mirroring the PR 6 final-control-tick flush), so
+			// a short-lived worker's last window of work still reaches the
+			// master's registry and time-series store.
+			fin := message{Type: msgHeartbeat, WorkerID: w.ID, Spans: run.spans.drain()}
+			if reg != nil {
+				s := inst.snapshot(c)
+				fin.Type = msgStats
+				fin.Stats = &s
+				fin.Telemetry = run.shipper.Ship()
+			}
+			if fin.Stats != nil || len(fin.Spans) > 0 {
 				run.stamp(&fin)
 				_ = c.send(fin)
 			}
 			return nil
+		case msgFreeze:
+			// FreezeRings: snapshot this host's probe rings and ship them
+			// back for the master's merged cluster trace. Handled between
+			// tasks (the loop is synchronous), so a freeze that lands
+			// mid-task is answered as soon as the task's result is sent.
+			if m.Freeze == nil {
+				return fmt.Errorf("workqueue: worker %s got freeze message without request", w.ID)
+			}
+			d := FlightDump{
+				Seq:     m.Freeze.Seq,
+				Host:    w.ID,
+				Trigger: m.Freeze.Trigger,
+				Detail:  m.Freeze.Detail,
+				Events:  rec.Events(time.Duration(m.Freeze.WindowNs)),
+			}
+			env := message{Type: msgFlightDump, WorkerID: w.ID, Dump: &d}
+			run.stamp(&env)
+			if err := c.send(env); err != nil {
+				return err
+			}
 		case msgTask:
 			if m.Task == nil {
 				return fmt.Errorf("workqueue: worker %s got task message without task", w.ID)
@@ -304,6 +365,9 @@ func (w *Worker) heartbeatLoop(ctx context.Context, c *codec, inst *workerInstru
 				s := inst.snapshot(c)
 				m.Type = msgStats
 				m.Stats = &s
+				// Piggyback the delta-encoded metrics snapshot on the
+				// stats cadence — the worker half of the telemetry plane.
+				m.Telemetry = run.shipper.Ship()
 			}
 			run.stamp(&m)
 			w.mirror(m.Spans)

@@ -7,6 +7,7 @@
 #   scripts/check.sh chaos      chaos soak: seeded fault-injection schedules under -race
 #   scripts/check.sh load       10-second capacity smoke sweep -> BENCH_load.json
 #   scripts/check.sh flightrec  flight-recorder smoke: forced deep-dive dump in a 2-worker run
+#   scripts/check.sh telemetry  telemetry-plane smoke: SLO burn -> merged multi-host cluster trace
 #   scripts/check.sh all        tier-1 + tier-2
 #
 # scripts/benchdiff.sh wraps the bench tier with a regression gate against
@@ -46,8 +47,8 @@ bench_json() {
 }
 
 bench() {
-	echo "== bench: go test -bench on internal/obs, internal/obs/flightrec and internal/workqueue =="
-	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/obs/flightrec ./internal/workqueue)
+	echo "== bench: go test -bench on internal/obs, internal/obs/flightrec, internal/obs/tsdb and internal/workqueue =="
+	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/obs/flightrec ./internal/obs/tsdb ./internal/workqueue)
 	echo "$out"
 	echo "$out" | bench_json >BENCH_obs.json
 	echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) benchmarks)"
@@ -115,6 +116,62 @@ flightrec() {
 	echo "flightrec deep dive OK: $dump ($(wc -c <"$dump") bytes)"
 }
 
+telemetry() {
+	# Telemetry-plane smoke: a 2-worker loadgen sweep with the plane armed
+	# (-telemetry endpoint + armed flight recorder) and a 1ms deadline no
+	# real job can meet, so the SLO deadline error budget burns in both
+	# windows, trips the recorder and cascades into a cross-host FreezeRings
+	# collection — ONE merged Chrome trace with master and both workers on
+	# distinct lanes. While the harness lingers, sstdctl reads the live
+	# /query (shipped worker series) and /slo (alert count) endpoints.
+	# TELEMETRY_DIR overrides the dump directory (CI uploads the trace).
+	echo "== telemetry: cluster plane smoke (2 workers, SLO burn -> merged cluster trace) =="
+	dir="${TELEMETRY_DIR:-$(mktemp -d)}"
+	addr="127.0.0.1:${TELEMETRY_PORT:-19381}"
+	mkdir -p "$dir"
+	rm -f "$dir"/flightrec-*.trace.json
+	go build -o "$dir/sstdctl" ./cmd/sstdctl
+	go run ./cmd/loadgen -trace boston -scale 0.002 -workers 2 \
+		-start-rate 4 -rate-factor 2 -max-rate 8 \
+		-deadline 1ms -step 800ms -duration 8s -work-delay 200us \
+		-admit-factor -1 -quiet \
+		-telemetry "$addr" -linger 60s \
+		-slo-fast 1s -slo-slow 2s -slo-burn 1 \
+		-out "$dir/BENCH_telemetry.json" -flight-record "$dir" &
+	lg=$!
+	trap 'kill -INT "$lg" 2>/dev/null || true' EXIT
+	# Poll the live /query endpoint until a worker's shipped series shows up.
+	tries=0
+	until "$dir/sstdctl" -addr "http://$addr" query -series worker_tasks_executed_total 2>/dev/null |
+		grep -q 'host="pool-worker-'; do
+		tries=$((tries + 1))
+		test "$tries" -le 120 || { echo "telemetry: no shipped worker series after 120s" >&2; exit 1; }
+		sleep 1
+	done
+	echo "-- sstdctl query (shipped worker series live) --"
+	"$dir/sstdctl" -addr "http://$addr" query -series worker_tasks_executed_total
+	# The alert needs a couple of seconds of miss samples in both windows;
+	# the engine's alert counter is cumulative, so poll until the edge lands.
+	tries=0
+	until "$dir/sstdctl" -addr "http://$addr" slo 2>/dev/null | grep -q 'alerts: [1-9]'; do
+		tries=$((tries + 1))
+		test "$tries" -le 60 || { echo "telemetry: SLO burn alert never fired" >&2; exit 1; }
+		sleep 1
+	done
+	echo "-- sstdctl slo (burn alert fired) --"
+	"$dir/sstdctl" -addr "http://$addr" slo
+	kill -INT "$lg" 2>/dev/null || true
+	wait "$lg" || true
+	trap - EXIT
+	dump=$(ls "$dir"/flightrec-cluster-*.trace.json 2>/dev/null | head -n 1)
+	test -n "$dump"
+	test -s "$dump"
+	grep -q '"master"' "$dump"
+	grep -q '"host pool-worker-0"' "$dump"
+	grep -q '"host pool-worker-1"' "$dump"
+	echo "merged cluster trace OK: $dump ($(wc -c <"$dump") bytes)"
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) race ;;
@@ -122,12 +179,13 @@ bench) bench ;;
 chaos) chaos ;;
 load) load ;;
 flightrec) flightrec ;;
+telemetry) telemetry ;;
 all)
 	tier1
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|load|flightrec|all]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|load|flightrec|telemetry|all]" >&2
 	exit 2
 	;;
 esac
