@@ -56,6 +56,7 @@ func main() {
 		missThreshold = flag.Float64("miss-threshold", 0.5, "deadline-miss fraction that defines the knee")
 		tasksPerJob   = flag.Int("tasks-per-job", 4, "tasks each TD job is split into")
 		workDelay     = flag.Duration("work-delay", 0, "artificial per-report execution cost on workers")
+		batch         = flag.Int("batch", 0, "master task-batch size: coalesce up to N tasks per wire frame with a pipelined ack window (0 = lock-step single-task frames)")
 		admitFactor   = flag.Float64("admit-factor", 1.5, "admission validation offered load as a multiple of the knee rate (<= 0 skips)")
 
 		theta1 = flag.Duration("theta1", 10*time.Microsecond, "Eq. 10 per-report execution cost for the WCET comparison")
@@ -161,6 +162,7 @@ func main() {
 		Duration:      *duration,
 		TasksPerJob:   *tasksPerJob,
 		WorkDelay:     *workDelay,
+		TaskBatch:     *batch,
 		AdmitFactor:   *admitFactor,
 		Seed:          *seed,
 		WCET: control.WCETModel{

@@ -76,6 +76,7 @@ func run() error {
 		straggler    = flag.Float64("straggler-factor", 2, "flag workers slower than this multiple of the cluster median exec time")
 
 		taskTimeout = flag.Duration("task-timeout", 0, "requeue a task whose result has not arrived after this long (0 = wait forever)")
+		batch       = flag.Int("batch", 0, "task-batch size: coalesce up to N tasks per wire frame to each worker, with a pipelined ack window (0 = lock-step single-task frames)")
 		maxRetries  = flag.Int("max-retries", 0, "quarantine a task after this many lost attempts and finish its job degraded (0 = retry forever)")
 
 		controlOut  = flag.String("control-out", "", "write the control/telemetry artifact (metrics snapshot + per-worker tick series) here at exit")
@@ -181,6 +182,7 @@ func run() error {
 		StragglerFactor: *straggler,
 		TaskTimeout:     *taskTimeout,
 		MaxRetries:      *maxRetries,
+		BatchSize:       *batch,
 		Admission:       admission,
 		Telemetry:       store,
 		FlightRec:       flightRec,

@@ -64,6 +64,7 @@ func run() error {
 		logLevel   = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 
 		execTimeout = flag.Duration("exec-timeout", 0, "per-task execution budget; a task past it is cancelled and reported failed (0 = none)")
+		maxBatch    = flag.Int("max-batch", 0, "largest task batch to accept per wire frame (0 = a generous default, -1 = refuse batching, lock-step frames only)")
 		reconnects  = flag.Int("reconnects", 0, "reconnect with backoff after connection loss, giving up after this many consecutive failed attempts (0 = exit on first loss)")
 
 		chaosSpec = flag.String("chaos-spec", "", "TEST ONLY: fault-injection spec, e.g. drop=0.3,corrupt=0.05,delay=0.1:1ms-5ms (see internal/chaos)")
@@ -129,6 +130,7 @@ func run() error {
 		HeartbeatEvery: *heartbeat,
 		StatsEvery:     *statsEvery,
 		ExecTimeout:    *execTimeout,
+		MaxBatch:       *maxBatch,
 		MaxReconnects:  *reconnects,
 		Metrics:        metrics,
 		Tracer:         tracer,

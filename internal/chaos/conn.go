@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"regexp"
@@ -8,14 +9,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/social-sensing/sstd/internal/workqueue"
 )
 
 // Conn wraps a workqueue connection and applies the injector's schedule
-// to outgoing frames. The codec speaks newline-delimited JSON, so the
-// wrapper buffers partial writes until a full frame ('\n'-terminated)
-// is available, numbers it, and lets the fault plan decide its fate:
-// pass, drop, corrupt, delay, or reset the connection. Clock skew
-// rewrites the frame's timestamp fields in place.
+// to outgoing frames. The codec speaks either length-prefixed binary
+// (the default) or newline-delimited JSON; the wrapper buffers partial
+// writes until a full frame is available — a binary frame's length
+// header or a JSON frame's terminating '\n' marks the boundary —
+// numbers it, and lets the fault plan decide its fate: pass, drop,
+// corrupt, delay, or reset the connection. Clock skew rewrites the
+// frame's timestamp fields in place, by regex digit-rewrite for JSON
+// and by decode/shift/re-encode for binary.
 //
 // Only the write side is faulted: wrapping both endpoints of a link
 // (as Injector.PoolWrapper does) covers both directions, and keeping
@@ -56,6 +62,25 @@ func (c *Conn) applySkew(frame []byte) []byte {
 	})
 }
 
+// nextFrame reports the length of the complete frame at the head of
+// buf, or ok=false when more bytes are needed. A buffer beginning with
+// the binary wire magic is cut at the length-prefixed boundary
+// (workqueue.WireFrameSplit); anything else is newline-delimited JSON.
+func nextFrame(buf []byte) (int, bool) {
+	if len(buf) == 0 {
+		return 0, false
+	}
+	if buf[0] == workqueue.WireMagic {
+		return workqueue.WireFrameSplit(buf)
+	}
+	for i, b := range buf {
+		if b == '\n' {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
 // Write applies the fault plan frame by frame. It reports the full
 // length as written even when frames are dropped — the peer simply
 // never sees them, exactly like loss inside the network.
@@ -64,21 +89,19 @@ func (c *Conn) Write(p []byte) (int, error) {
 	defer c.wmu.Unlock()
 	c.wbuf = append(c.wbuf, p...)
 	for {
-		nl := -1
-		for i, b := range c.wbuf {
-			if b == '\n' {
-				nl = i
-				break
-			}
-		}
-		if nl < 0 {
+		end, ok := nextFrame(c.wbuf)
+		if !ok {
 			return len(p), nil
 		}
-		frame := c.wbuf[:nl+1]
+		frame := c.wbuf[:end]
 		idx := c.widx
 		c.widx++
 		if c.in.spec.SkewNs != 0 {
-			frame = c.applySkew(frame)
+			if frame[0] == workqueue.WireMagic {
+				frame = workqueue.ShiftBinaryStamps(frame, c.in.spec.SkewNs)
+			} else {
+				frame = c.applySkew(frame)
+			}
 			c.in.record(FaultSkew, c.stream, idx, time.Duration(c.in.spec.SkewNs).String(), time.Now())
 		}
 		fault, _ := c.in.decide(transportFaults, c.stream, idx)
@@ -111,19 +134,23 @@ func (c *Conn) Write(p []byte) (int, error) {
 				return 0, err
 			}
 		}
-		c.wbuf = c.wbuf[nl+1:]
+		c.wbuf = c.wbuf[end:]
 	}
 }
 
-// CorruptFrame deterministically mangles one newline-terminated frame;
-// the hash selects among four corruption modes. The returned frame stays
-// newline-terminated (except "truncate", which may cut mid-frame and
-// splice into the next — exactly what a torn TCP segment looks like to
-// the codec). Exported so the fuzz corpus can grow the same shapes the
-// chaos layer produces.
+// CorruptFrame deterministically mangles one frame; the hash selects
+// among four corruption modes. JSON frames stay newline-terminated
+// (except "truncate", which may cut mid-frame and splice into the next —
+// exactly what a torn TCP segment looks like to the codec); binary
+// frames get the equivalent damage shapes via corruptBinaryFrame.
+// Exported so the fuzz corpus can grow the same shapes the chaos layer
+// produces.
 func CorruptFrame(h uint64, frame []byte) ([]byte, string) {
 	if len(frame) == 0 {
 		return frame, "empty"
+	}
+	if frame[0] == workqueue.WireMagic {
+		return corruptBinaryFrame(h, frame)
 	}
 	body := frame[:len(frame)-1] // strip '\n'
 	switch h % 4 {
@@ -162,6 +189,48 @@ func CorruptFrame(h uint64, frame []byte) ([]byte, string) {
 			out[i] = b
 		}
 		return append(out, '\n'), "garbage"
+	}
+}
+
+// corruptBinaryFrame mangles one complete binary wire frame with the
+// same four damage shapes as the JSON path, mapped onto the binary
+// framing: "bitflip" flips a body byte (framing intact, content damage —
+// the CRC's job to catch), "truncate" cuts the tail so the next frame's
+// bytes are absorbed as body (a torn TCP segment), "oversize" rewrites
+// the length header to an absurd value (the codec's frame cap must
+// reject it), and "garbage" randomizes the body under an intact header.
+func corruptBinaryFrame(h uint64, frame []byte) ([]byte, string) {
+	_, used := binary.Uvarint(frame[2:])
+	if used <= 0 || 2+used >= len(frame) {
+		// Header-only or unparseable frame: flip a byte anywhere.
+		out := append([]byte(nil), frame...)
+		out[int((h>>2)%uint64(len(out)))] ^= byte(1 << ((h >> 32) % 8))
+		return out, "bitflip"
+	}
+	hdr := 2 + used
+	body := frame[hdr:]
+	switch h % 4 {
+	case 0: // bitflip: one byte, somewhere in the body
+		out := append([]byte(nil), frame...)
+		pos := hdr + int((h>>2)%uint64(len(body)))
+		out[pos] ^= byte(1 << ((h >> 32) % 8))
+		return out, "bitflip"
+	case 1: // truncate: cut the tail off
+		cut := int((h >> 2) % uint64(len(frame)))
+		return append([]byte(nil), frame[:cut]...), "truncate"
+	case 2: // oversize: corrupt the length header to an absurd value
+		out := make([]byte, 0, len(frame)+8)
+		out = append(out, frame[0], frame[1])
+		out = binary.AppendUvarint(out, 1<<30)
+		return append(out, body...), "oversize"
+	default: // garbage: randomize the body under an intact header
+		out := append([]byte(nil), frame[:hdr]...)
+		x := h
+		for range body {
+			x = splitmix64(x)
+			out = append(out, byte(x))
+		}
+		return out, "garbage"
 	}
 }
 

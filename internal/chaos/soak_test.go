@@ -26,6 +26,10 @@ type soakSchedule struct {
 	// frames); maxRetries bounds requeues before quarantine.
 	taskTimeout time.Duration
 	maxRetries  int
+	// batch sets the master's BatchSize: 0 is the lock-step protocol,
+	// >1 coalesces tasks into batched frames with a pipelined window —
+	// the mode where one dropped connection strands a whole batch.
+	batch int
 	// maxRetryCount bounds wq_task_retries_total: the regression guard
 	// against a hot requeue loop.
 	maxRetryCount int64
@@ -60,6 +64,20 @@ func soakSchedules() []soakSchedule {
 			maxTimeouts:   200,
 		},
 		{
+			// Batched frames under a crash/drop storm: a severed
+			// connection now strands up to two 8-task frames of un-acked
+			// work — every one must be requeued, none double-delivered.
+			name:          "crash-storm-batched",
+			spec:          Spec{Seed: 4242, Crash: 0.12, Drop: 0.10, Fail: 0.04},
+			workers:       4,
+			tasks:         40,
+			taskTimeout:   300 * time.Millisecond,
+			maxRetries:    12,
+			maxRetryCount: 40 * 13,
+			maxTimeouts:   120,
+			batch:         8,
+		},
+		{
 			name: "corrupt-frame-burst",
 			spec: Spec{Seed: 1337, Corrupt: 0.05, Drop: 0.02,
 				Script: []ScriptedFault{{Fault: FaultCorrupt, From: 10, To: 25}}},
@@ -92,6 +110,7 @@ func runSoakCluster(t *testing.T, sc soakSchedule, reg *obs.Registry, inj *Injec
 		RequeueBackoff: workqueue.BackoffConfig{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond},
 		SuspectAfter:   150 * time.Millisecond,
 		DeadAfter:      500 * time.Millisecond,
+		BatchSize:      sc.batch,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -1,0 +1,61 @@
+package chaos
+
+// BenchmarkWireTasksPerSecLatentConn is the batching headline number:
+// tasks/sec through ONE master↔worker connection whose every frame pays
+// a fixed 250µs delivery delay (the chaos delay fault at probability 1,
+// modeling a serialized network link). The lock-step protocol pays two
+// frame delays per task — dispatch and ack — so it is latency-bound at
+// ~2k tasks/s regardless of codec speed; a 64-task batched window
+// amortizes those delays across the whole batch. The ratio between the
+// two sub-benchmarks is the Eq. 10 transfer-term improvement BENCH_wire
+// records (≥10× expected).
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/workqueue"
+)
+
+func BenchmarkWireTasksPerSecLatentConn(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+	}{
+		{"lockstep", 0},
+		{"batched64", 64},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			const frameDelay = 250 * time.Microsecond
+			inj := New(Spec{Seed: 1, Delay: 1, DelayMin: frameDelay, DelayMax: frameDelay}, nil, nil)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			m := workqueue.NewMaster(workqueue.MasterConfig{Seed: 1, ResultBuffer: 1024, BatchSize: bc.batch})
+			p := workqueue.NewPool(m, func(_ context.Context, payload []byte) ([]byte, error) {
+				return payload, nil
+			})
+			p.WrapConn = func(mc, wc net.Conn) (net.Conn, net.Conn) {
+				return inj.WrapConn("bench/m2w", mc), inj.WrapConn("bench/w2m", wc)
+			}
+			defer p.Close()
+			p.Resize(ctx, 1)
+			payload := []byte(`{"claim":"claim-17","reports":[{"s":"src-1","t":"2017-04-01T10:00:00Z"}]}`)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			go func() {
+				for i := 0; i < b.N; i++ {
+					_ = m.Submit(workqueue.Task{ID: fmt.Sprintf("t%d", i), JobID: "bench", Payload: payload})
+				}
+			}()
+			for i := 0; i < b.N; i++ {
+				<-m.Results()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
+}

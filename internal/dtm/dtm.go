@@ -76,6 +76,11 @@ type Config struct {
 	ExecTimeout    time.Duration
 	MaxTaskRetries int
 	RequeueBackoff workqueue.BackoffConfig
+	// TaskBatch enables task batching on the work-queue master: up to
+	// this many tasks coalesce into one wire frame per worker, with a
+	// pipelined ack window (see workqueue.MasterConfig.BatchSize).
+	// Zero keeps the lock-step one-task-per-frame protocol.
+	TaskBatch int
 	// RespawnWorkers keeps the pool at its target size when a worker
 	// dies without a graceful release (the paper's scavenged pool
 	// backfilling evicted nodes).
@@ -289,6 +294,7 @@ func New(cfg Config) (*Manager, error) {
 		MaxRetries:      cfg.MaxTaskRetries,
 		TaskTimeout:     cfg.TaskTimeout,
 		RequeueBackoff:  cfg.RequeueBackoff,
+		BatchSize:       cfg.TaskBatch,
 		Metrics:         cfg.Metrics,
 		Tracer:          cfg.Tracer,
 		Logger:          cfg.Logger,

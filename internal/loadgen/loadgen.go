@@ -66,6 +66,10 @@ type Config struct {
 	// WorkDelay adds artificial per-report execution cost, emulating
 	// computation-heavy loads (default 0).
 	WorkDelay time.Duration
+	// TaskBatch is the master's task-batch size for each step's cluster:
+	// up to this many tasks per wire frame with a pipelined ack window
+	// (0 = the lock-step one-task-per-frame protocol).
+	TaskBatch int
 	// WCET supplies the Eq. 10-12 parameters the fitted capacity model is
 	// compared against (zero values skip the comparison columns).
 	WCET control.WCETModel
@@ -366,6 +370,7 @@ func (r *runner) step(ctx context.Context, workers int, rate float64, admission 
 	cfg.TasksPerJob = r.cfg.TasksPerJob
 	cfg.Workers = workers
 	cfg.WorkDelay = r.cfg.WorkDelay
+	cfg.TaskBatch = r.cfg.TaskBatch
 	cfg.Seed = r.cfg.Seed
 	cfg.Admission = admission
 	cfg.Logger = logger

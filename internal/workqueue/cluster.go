@@ -45,9 +45,13 @@ type WorkerHealth struct {
 	TasksPerSec float64 `json:"tasksPerSec"`
 	// Straggler flags a worker whose EWMA exec time exceeds the
 	// configured factor times the cluster median.
-	Straggler    bool   `json:"straggler"`
-	InflightTask string `json:"inflightTask,omitempty"`
-	Heartbeats   int64  `json:"heartbeats"`
+	Straggler bool `json:"straggler"`
+	// InflightTask is the oldest un-acked task (the next expected ack);
+	// InflightCount the size of the whole dispatch window — larger than 1
+	// only with task batching.
+	InflightTask  string `json:"inflightTask,omitempty"`
+	InflightCount int    `json:"inflightCount,omitempty"`
+	Heartbeats    int64  `json:"heartbeats"`
 	// EWMATransferMs is the master-measured wire transfer time per task
 	// (round trip minus worker-reported execution), smoothed.
 	EWMATransferMs float64 `json:"ewmaTransferMs"`
@@ -95,7 +99,10 @@ type workerEntry struct {
 	// attach without a connection.
 	codec    *codec
 	released bool
-	inflight    string
+	// inflight is the dispatch-ordered window of un-acked task IDs; with
+	// batching a worker may hold many at once, the head being the next
+	// expected ack.
+	inflight    []string
 	heartbeats  int64
 	tasksDone   int64
 	tasksFailed int64
@@ -207,7 +214,7 @@ func (cl *cluster) detach(id, reason string) {
 		e.state = WorkerDead
 		e.reason = reason
 	}
-	e.inflight = ""
+	e.inflight = nil
 	cl.gone = append(cl.gone, e)
 	if len(cl.gone) > deadRetention {
 		cl.gone = cl.gone[len(cl.gone)-deadRetention:]
@@ -279,22 +286,22 @@ func (cl *cluster) recordStats(id string, s *WorkerStats) {
 	}
 }
 
-// taskAssigned marks the worker busy with taskID.
+// taskAssigned appends taskID to the worker's in-flight window.
 func (cl *cluster) taskAssigned(id, taskID string) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if e, ok := cl.active[id]; ok {
-		e.inflight = taskID
+		e.inflight = append(e.inflight, taskID)
 	}
 }
 
-// taskAborted clears the in-flight marker after a send failure or worker
-// loss (the task itself is requeued by the master).
+// taskAborted clears the in-flight window after a send failure or worker
+// loss (the tasks themselves are requeued by the master).
 func (cl *cluster) taskAborted(id string) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if e, ok := cl.active[id]; ok {
-		e.inflight = ""
+		e.inflight = nil
 	}
 }
 
@@ -307,7 +314,12 @@ func (cl *cluster) taskFinished(id string, r Result) {
 	if !ok {
 		return
 	}
-	e.inflight = ""
+	for i, tid := range e.inflight {
+		if tid == r.TaskID {
+			e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
+			break
+		}
+	}
 	cl.seenLocked(e)
 	execMs := float64(r.Elapsed) / float64(time.Millisecond)
 	if e.tasksDone+e.tasksFailed == 0 {
@@ -550,9 +562,12 @@ func healthRow(e *workerEntry) WorkerHealth {
 		TasksFailed:    e.tasksFailed,
 		EWMAExecMs:     e.ewmaExecMs,
 		TasksPerSec:    e.ewmaRate,
-		InflightTask:   e.inflight,
+		InflightCount:  len(e.inflight),
 		Heartbeats:     e.heartbeats,
 		EWMATransferMs: e.ewmaTransferMs,
+	}
+	if len(e.inflight) > 0 {
+		h.InflightTask = e.inflight[0]
 	}
 	if skew, ok := e.skewNs(); ok {
 		h.ClockSkewMs = skew / float64(time.Millisecond)

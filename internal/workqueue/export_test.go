@@ -23,7 +23,7 @@ func DecodeFrame(line []byte) error {
 // MaxFrameBytes exposes the frame cap to external tests.
 const MaxFrameBytes = maxFrameBytes
 
-// EncodeTaskFrame produces one valid wire frame (CRC stamped by the
+// EncodeTaskFrame produces one valid JSON wire frame (CRC stamped by the
 // production send path) carrying a task — pristine material for external
 // tests to mangle.
 func EncodeTaskFrame(id, job string, payload []byte) []byte {
@@ -34,6 +34,40 @@ func EncodeTaskFrame(id, job string, payload []byte) []byte {
 		line, _ := bufio.NewReader(b).ReadBytes('\n')
 		framed <- line
 	}()
-	_ = newCodec(a).send(message{Type: msgTask, Task: &Task{ID: id, JobID: job, Payload: payload}})
+	c := newCodec(a)
+	c.setJSON(true)
+	_ = c.send(message{Type: msgTask, Task: &Task{ID: id, JobID: job, Payload: payload}})
 	return <-framed
+}
+
+// EncodeTaskFrameBinary is EncodeTaskFrame for the binary wire format:
+// one complete length-prefixed frame, CRC stamped, produced by the
+// production encoder.
+func EncodeTaskFrameBinary(id, job string, payload []byte) []byte {
+	m := message{Type: msgTask, Task: &Task{ID: id, JobID: job, Payload: payload}}
+	m.CRC = m.checksum()
+	frame, err := appendWireFrame(nil, &m)
+	if err != nil {
+		panic(err)
+	}
+	return frame
+}
+
+// EncodeResultBatchFrameBinary produces one complete binary frame
+// carrying a batch of n synthetic results — material for the frame-cap
+// and oversize-batch-count tests.
+func EncodeResultBatchFrameBinary(n, payloadBytes int) []byte {
+	m := message{Type: msgResultBatch, WorkerID: "w"}
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, Result{
+			TaskID: "t", JobID: "j", WorkerID: "w",
+			Output: make([]byte, payloadBytes),
+		})
+	}
+	m.CRC = m.checksum()
+	frame, err := appendWireFrame(nil, &m)
+	if err != nil {
+		panic(err)
+	}
+	return frame
 }

@@ -56,8 +56,19 @@ type MasterConfig struct {
 	// self-reports a timeout result before the master gives up on it).
 	// Required for recovery from silently dropped frames: a lost task
 	// or result message otherwise stalls the handler with the worker
-	// still heartbeating happily.
+	// still heartbeating happily. With batching it is a progress
+	// deadline: the clock restarts on every ack, so a batch only times
+	// out when the worker stops producing results, not because the batch
+	// as a whole outlasted one task's budget.
 	TaskTimeout time.Duration
+	// BatchSize enables task batching: the master coalesces up to this
+	// many queued tasks into one task-batch frame per worker and keeps a
+	// pipelined window of two batches un-acked, so the worker's next
+	// batch is already in its socket buffer while the current one
+	// executes. The effective batch is min(BatchSize, the worker
+	// hello's advertised capacity). <= 1 disables batching and keeps the
+	// original lock-step one-task-one-result exchange.
+	BatchSize int
 	// Metrics and Tracer enable telemetry (both may be nil: the master
 	// then keeps no per-task timing state and every hook no-ops). Logger
 	// receives structured master events (worker attach/loss, evictions,
@@ -113,6 +124,7 @@ type Master struct {
 	suspectAfter time.Duration
 	deadAfter    time.Duration
 	taskTimeout  time.Duration
+	batchSize    int
 	backoff      BackoffConfig
 	// admission is the capacity-model job gate; nil = admit everything.
 	admission *admissionGate
@@ -182,6 +194,7 @@ func NewMaster(cfg MasterConfig) *Master {
 		suspectAfter: cfg.SuspectAfter,
 		deadAfter:    cfg.DeadAfter,
 		taskTimeout:  cfg.TaskTimeout,
+		batchSize:    cfg.BatchSize,
 		backoff:      cfg.RequeueBackoff.withDefaults(5*time.Millisecond, 2*time.Second),
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		stats:        make(map[string]*JobStats),
@@ -373,6 +386,25 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		m.gWorkers.SetInt(m.cluster.count())
 	}()
 
+	// Batch negotiation: the worker's hello advertises the largest task
+	// batch it accepts per frame; the master dispatches up to the smaller
+	// of that and its own BatchSize. Either side at <= 0 keeps the
+	// original lock-step protocol (a window of one single-task frame).
+	// With batching the un-acked window is two batches deep, so the next
+	// batch is already in the worker's socket buffer while the current
+	// one executes — the pipelining that hides the dispatch round trip.
+	batchMax := m.batchSize
+	if hello.Batch < batchMax {
+		batchMax = hello.Batch
+	}
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	maxInflight := batchMax
+	if batchMax > 1 {
+		maxInflight = 2 * batchMax
+	}
+
 	// Reader: demultiplex the worker's messages. Results flow to the
 	// handler loop; heartbeats and stats feed the health registry
 	// directly. Any receive error (including the liveness monitor or
@@ -381,7 +413,14 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	// reader's escape hatch for a stray result nobody will consume —
 	// it must not race with normal delivery, so it closes only when this
 	// handler returns, not on mere context cancellation.
-	results := make(chan Result, 1)
+	//
+	// The results channel capacity covers the whole pipelined window: a
+	// conforming worker never has more un-acked result frames than
+	// un-acked tasks, so the reader can always forward without blocking —
+	// the property that keeps the handler free to send the next batch
+	// while results stream back (on net.Pipe a blocked reader would
+	// deadlock against a blocked send).
+	results := make(chan []Result, maxInflight+1)
 	readErr := make(chan error, 1)
 	handlerDone := make(chan struct{})
 	defer close(handlerDone)
@@ -430,7 +469,18 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 					return
 				}
 				select {
-				case results <- *msg.Result:
+				case results <- []Result{*msg.Result}:
+				case <-handlerDone:
+					return
+				}
+			case msgResultBatch:
+				if len(msg.Results) == 0 {
+					readErr <- fmt.Errorf("workqueue: result-batch message without results")
+					wake()
+					return
+				}
+				select {
+				case results <- msg.Results:
 				case <-handlerDone:
 					return
 				}
@@ -479,55 +529,81 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		case <-time.After(time.Second):
 		}
 	}
-	for {
-		if m.cluster.isReleased(workerID) {
-			// Graceful drain: the pool asked this worker to leave after
-			// its current task; no task is lost.
-			sendShutdown()
-			return nil
+	// outstanding is the dispatch-ordered window of un-acked tasks. The
+	// worker executes frames in order and each frame's tasks in order, so
+	// the head of the window is always the next expected result; anything
+	// else is a protocol violation that severs the connection.
+	type sentTask struct {
+		task   Task
+		sentAt time.Time
+	}
+	var outstanding []sentTask
+	requeueOutstanding := func() {
+		m.cluster.taskAborted(workerID)
+		for _, st := range outstanding {
+			m.requeue(st.task)
 		}
-		task, ok := m.sched.next(wctx)
-		if !ok {
-			// Pool closed, ctx done, the worker was released while idle,
-			// or the reader woke us because the connection died.
-			select {
-			case err := <-readErr:
-				return obs.Wrap(fmt.Errorf("workqueue: worker %s lost: %w", workerID, err))
-			default:
-			}
-			sendShutdown()
-			return nil
-		}
+		outstanding = nil
+	}
+	// lastAck approximates when the worker finished its previous result.
+	// The transfer estimate for a batched result measures from the later
+	// of its dispatch and the previous ack, so time a task spent queued
+	// behind its batch-mates is not misread as wire time.
+	var lastAck time.Time
+
+	// dispatch ships one batch. Each task goes out as a stamped copy: the
+	// send timestamp feeds the worker's leg of the clock-skew estimate,
+	// and the rewritten TraceContext parents the worker's stage spans
+	// directly under that task's exec span. A window of one task keeps
+	// the original single-task frame so pre-batching peers interoperate.
+	dispatch := func(batch []Task) error {
 		tp := m.fr.Start()
-		execSpanID := m.trackInflight(task, workerID)
-		m.cluster.taskAssigned(workerID, task.ID)
-		// Ship a stamped copy: the send timestamp feeds the worker's leg of
-		// the clock-skew estimate, and the rewritten TraceContext parents
-		// the worker's stage spans directly under this task's exec span.
-		wire := task
-		if task.Trace != nil && execSpanID != 0 {
-			tc := *task.Trace
-			tc.ParentSpanID = execSpanID
-			wire.Trace = &tc
-		}
-		if m.taskTimeout > 0 && wire.TimeoutNs == 0 {
-			// Give the worker 80% of the master-side deadline as its own
-			// execution budget: a cooperative worker then self-reports a
-			// timeout result before the master severs the connection.
-			wire.TimeoutNs = int64(m.taskTimeout) * 4 / 5
-		}
+		wires := make([]Task, len(batch))
+		var payloadBytes, firstSpan int64
 		sentAt := time.Now()
-		wire.SentUnixNano = sentAt.UnixNano()
-		if err := c.send(message{Type: msgTask, Task: &wire}); err != nil {
-			m.cluster.taskAborted(workerID)
-			m.requeue(task)
+		for i, task := range batch {
+			execSpanID := m.trackInflight(task, workerID)
+			m.cluster.taskAssigned(workerID, task.ID)
+			wire := task
+			if task.Trace != nil && execSpanID != 0 {
+				tc := *task.Trace
+				tc.ParentSpanID = execSpanID
+				wire.Trace = &tc
+			}
+			if m.taskTimeout > 0 && wire.TimeoutNs == 0 {
+				// Give the worker 80% of the master-side deadline as its
+				// own execution budget: a cooperative worker then
+				// self-reports a timeout result before the master severs
+				// the connection.
+				wire.TimeoutNs = int64(m.taskTimeout) * 4 / 5
+			}
+			wire.SentUnixNano = sentAt.UnixNano()
+			wires[i] = wire
+			payloadBytes += int64(len(wire.Payload))
+			if i == 0 {
+				firstSpan = execSpanID
+			}
+			outstanding = append(outstanding, sentTask{task: task, sentAt: sentAt})
+		}
+		env := message{Type: msgTaskBatch, Tasks: wires}
+		if batchMax == 1 {
+			env = message{Type: msgTask, Task: &wires[0]}
+		}
+		if err := c.send(env); err != nil {
+			requeueOutstanding()
 			return obs.Wrap(err)
 		}
-		m.fr.Probe(flightrec.ProbeMasterAssign, tp, int64(len(wire.Payload)), execSpanID)
-		// The per-task deadline recovers from silently lost frames: if
-		// neither a result nor a connection error arrives in time, the
-		// task (or its result) is assumed dropped — sever the connection
-		// so a late result cannot double-deliver, and requeue.
+		m.fr.Probe(flightrec.ProbeMasterAssign, tp, payloadBytes, firstSpan)
+		return nil
+	}
+
+	// waitAck blocks for the next result frame, connection error or
+	// progress deadline, consuming acks strictly in dispatch order. The
+	// deadline recovers from silently lost frames: if the worker makes no
+	// progress within TaskTimeout, the whole window is assumed dropped —
+	// sever the connection so a late result cannot double-deliver, and
+	// requeue everything un-acked.
+	waitAck := func() error {
 		var timer *time.Timer
 		var deadline <-chan time.Time
 		if m.taskTimeout > 0 {
@@ -536,46 +612,117 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 		}
 		select {
 		case <-deadline:
-			m.cluster.taskAborted(workerID)
+			head := outstanding[0].task
 			m.cTimeouts.Inc()
 			lg.Warn("task deadline exceeded, severing worker",
-				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()))
+				obs.TaskID(head.ID), obs.JobID(head.JobID), obs.TraceID(head.Trace.traceID()),
+				obs.F("outstanding", len(outstanding)))
 			_ = conn.Close()
-			m.requeue(task)
+			requeueOutstanding()
 			// Wait (bounded) for the reader to observe the severed
 			// connection so its error does not leak to a later handler.
 			select {
 			case <-readErr:
 			case <-time.After(time.Second):
 			}
-			return fmt.Errorf("workqueue: worker %s: task %s deadline (%s) exceeded", workerID, task.ID, m.taskTimeout)
-		case r := <-results:
+			return fmt.Errorf("workqueue: worker %s: task %s deadline (%s) exceeded", workerID, head.ID, m.taskTimeout)
+		case rs := <-results:
 			if timer != nil {
 				timer.Stop()
 			}
-			if r.TaskID != task.ID {
-				m.cluster.taskAborted(workerID)
-				m.requeue(task)
-				return fmt.Errorf("workqueue: worker %s answered task %s with result for %q", workerID, task.ID, r.TaskID)
+			for _, r := range rs {
+				if len(outstanding) == 0 || r.TaskID != outstanding[0].task.ID {
+					expect := "nothing"
+					if len(outstanding) > 0 {
+						expect = outstanding[0].task.ID
+					}
+					requeueOutstanding()
+					return fmt.Errorf("workqueue: worker %s answered task %s with result for %q", workerID, expect, r.TaskID)
+				}
+				st := outstanding[0]
+				outstanding = outstanding[1:]
+				// Round trip minus the worker-reported execution is the
+				// wire transfer (send + result serialization + transit
+				// both ways) — the measured counterpart of the WCET
+				// model's transfer budget.
+				from := st.sentAt
+				if lastAck.After(from) {
+					from = lastAck
+				}
+				if transfer := time.Since(from) - r.Elapsed; transfer > 0 {
+					m.cluster.observeTransfer(workerID, transfer)
+				}
+				lastAck = time.Now()
+				m.cluster.taskFinished(workerID, r)
+				m.complete(r)
 			}
-			// Round trip minus the worker-reported execution is the wire
-			// transfer (send + result serialization + transit both ways) —
-			// the measured counterpart of the WCET model's transfer budget.
-			if transfer := time.Since(sentAt) - r.Elapsed; transfer > 0 {
-				m.cluster.observeTransfer(workerID, transfer)
-			}
-			m.cluster.taskFinished(workerID, r)
-			m.complete(r)
+			return nil
 		case err := <-readErr:
 			if timer != nil {
 				timer.Stop()
 			}
-			m.cluster.taskAborted(workerID)
-			m.requeue(task)
+			head := outstanding[0].task
+			requeueOutstanding()
 			lg.Warn("worker lost with task in flight",
-				obs.TaskID(task.ID), obs.JobID(task.JobID), obs.TraceID(task.Trace.traceID()),
+				obs.TaskID(head.ID), obs.JobID(head.JobID), obs.TraceID(head.Trace.traceID()),
 				obs.Err(err), obs.ErrTrace(err))
 			return obs.Wrap(fmt.Errorf("workqueue: worker %s lost: %w", workerID, err))
+		}
+	}
+
+	for {
+		if m.cluster.isReleased(workerID) {
+			// Graceful drain: collect the acks for everything already
+			// dispatched, then ask the worker to leave; no task is lost.
+			for len(outstanding) > 0 {
+				if err := waitAck(); err != nil {
+					return err
+				}
+			}
+			sendShutdown()
+			return nil
+		}
+		room := maxInflight - len(outstanding)
+		if room > batchMax {
+			room = batchMax
+		}
+		var batch []Task
+		if room > 0 {
+			if len(outstanding) == 0 {
+				// Idle: block until a task arrives, the pool closes, the
+				// worker is released, or the reader fails.
+				task, ok := m.sched.next(wctx)
+				if !ok {
+					select {
+					case err := <-readErr:
+						return obs.Wrap(fmt.Errorf("workqueue: worker %s lost: %w", workerID, err))
+					default:
+					}
+					sendShutdown()
+					return nil
+				}
+				batch = append(batch, task)
+			}
+			// Fill the rest of the frame opportunistically — never
+			// blocking while work is already queued or in flight.
+			for len(batch) < room {
+				task, ok := m.sched.tryNext()
+				if !ok {
+					break
+				}
+				batch = append(batch, task)
+			}
+		}
+		if len(batch) > 0 {
+			if err := dispatch(batch); err != nil {
+				return err
+			}
+			continue
+		}
+		// Window full, or the queue is dry with work still in flight:
+		// wait for the next ack, error or deadline.
+		if err := waitAck(); err != nil {
+			return err
 		}
 	}
 }

@@ -14,6 +14,7 @@ package workqueue
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -108,6 +109,12 @@ const (
 	// cluster-wide trip.
 	msgFreeze     = "freeze"
 	msgFlightDump = "flight-dump"
+	// msgTaskBatch carries several tasks in one frame (master→worker);
+	// msgResultBatch carries several results back (worker→master). Both
+	// sides fall back to the singular forms when batching is not
+	// negotiated (hello.Batch == 0).
+	msgTaskBatch   = "task-batch"
+	msgResultBatch = "result-batch"
 )
 
 // FreezeRequest asks a worker for its flight-recorder snapshot, part of
@@ -166,6 +173,14 @@ type message struct {
 	// (worker→master).
 	Freeze *FreezeRequest `json:"freeze,omitempty"`
 	Dump   *FlightDump    `json:"dump,omitempty"`
+	// Batch rides on hello: the largest task batch the worker is willing
+	// to accept in one frame (0 = unbatched, the pre-batching protocol).
+	// The master dispatches min(its configured batch size, this).
+	Batch int `json:"batch,omitempty"`
+	// Tasks rides on msgTaskBatch, Results on msgResultBatch. Like their
+	// singular counterparts both are CRC-guarded, element by element.
+	Tasks   []Task   `json:"tasks,omitempty"`
+	Results []Result `json:"results,omitempty"`
 	// CRC guards the corruption-sensitive fields (message type, task and
 	// result identity, payloads) against frames that are damaged in
 	// flight yet still parse as JSON — without it a single flipped bit
@@ -176,28 +191,43 @@ type message struct {
 	CRC uint32 `json:"crc,omitempty"`
 }
 
-// checksum computes the integrity check over the guarded fields.
+// checksum computes the integrity check over the guarded fields. It
+// hashes decoded field values, not wire bytes, so a message carries the
+// same checksum whether it travels as JSON or binary — a frame can be
+// re-encoded across codecs without invalidating its CRC.
 func (m *message) checksum() uint32 {
 	h := crc32.NewIEEE()
 	write := func(s string) { _, _ = io.WriteString(h, s); _, _ = h.Write([]byte{0}) }
+	sumTask := func(t *Task) {
+		write("task")
+		write(t.ID)
+		write(t.JobID)
+		_, _ = h.Write(t.Payload)
+		_, _ = h.Write([]byte{0})
+	}
+	sumResult := func(r *Result) {
+		write("result")
+		write(r.TaskID)
+		write(r.JobID)
+		write(r.WorkerID)
+		write(r.Err)
+		write(r.ErrStage)
+		_, _ = h.Write(r.Output)
+		_, _ = h.Write([]byte{0})
+	}
 	write(m.Type)
 	write(m.WorkerID)
 	if m.Task != nil {
-		write("task")
-		write(m.Task.ID)
-		write(m.Task.JobID)
-		_, _ = h.Write(m.Task.Payload)
-		_, _ = h.Write([]byte{0})
+		sumTask(m.Task)
 	}
 	if m.Result != nil {
-		write("result")
-		write(m.Result.TaskID)
-		write(m.Result.JobID)
-		write(m.Result.WorkerID)
-		write(m.Result.Err)
-		write(m.Result.ErrStage)
-		_, _ = h.Write(m.Result.Output)
-		_, _ = h.Write([]byte{0})
+		sumResult(m.Result)
+	}
+	for i := range m.Tasks {
+		sumTask(&m.Tasks[i])
+	}
+	for i := range m.Results {
+		sumResult(&m.Results[i])
 	}
 	return h.Sum32()
 }
@@ -206,17 +236,28 @@ func (m *message) checksum() uint32 {
 // its guarded content.
 var ErrChecksum = errors.New("workqueue: frame checksum mismatch")
 
-// codec frames messages as newline-delimited JSON over a connection.
-// Sends are serialized by a mutex so a worker's heartbeat goroutine and
-// its task loop can share the connection; recv is single-reader. Wire
-// bytes are counted in both directions for the stats snapshots.
+// codec frames messages over a connection in one of two formats: the
+// length-prefixed binary wire format (wire.go, the default) or
+// newline-delimited JSON (the original protocol, kept for compatibility
+// and as the differential-testing reference). recv auto-detects the
+// format of every incoming frame — a binary frame's magic byte 0xF5 can
+// never begin a JSON document — and the send side mirrors the format the
+// peer last spoke, so a JSON-only peer is answered in JSON with no
+// negotiation handshake. Sends are serialized by a mutex so a worker's
+// heartbeat goroutine and its task loop can share the connection; recv
+// is single-reader. Wire bytes are counted in both directions for the
+// stats snapshots.
 type codec struct {
 	conn     net.Conn
 	r        *bufio.Reader
+	w        io.Writer
 	enc      *json.Encoder
 	sendMu   sync.Mutex
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+	// sendJSON selects the outbound format; flipped by recv to mirror
+	// the peer (atomic: recv and senders are separate goroutines).
+	sendJSON atomic.Bool
 	// fr probes frame encode/decode and CRC phases into the flight
 	// recorder. The send side is mutex-serialized and recv is
 	// single-reader, so one ring per codec keeps writers private.
@@ -234,15 +275,24 @@ func newCodec(conn net.Conn) *codec {
 func newCodecWith(conn net.Conn, rec *flightrec.Recorder) *codec {
 	c := &codec{conn: conn, fr: rec.NewRing("codec")}
 	c.r = bufio.NewReader(countingReader{conn, &c.bytesIn})
-	c.enc = json.NewEncoder(countingWriter{conn, &c.bytesOut})
+	c.w = countingWriter{conn, &c.bytesOut}
+	c.enc = json.NewEncoder(c.w)
 	return c
 }
+
+// setJSON pins the outbound format (true = newline-delimited JSON).
+// The dialing side calls this before its hello to pick the protocol;
+// the accepting side just mirrors whatever arrives.
+func (c *codec) setJSON(v bool) { c.sendJSON.Store(v) }
 
 // flightParent links a frame's codec events under the span that owns the
 // task it carries; telemetry-only frames stay unparented.
 func (m *message) flightParent() int64 {
 	if m.Task != nil && m.Task.Trace != nil {
 		return m.Task.Trace.ParentSpanID
+	}
+	if len(m.Tasks) > 0 && m.Tasks[0].Trace != nil {
+		return m.Tasks[0].Trace.ParentSpanID
 	}
 	return 0
 }
@@ -256,8 +306,27 @@ func (c *codec) send(m message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	before := c.bytesOut.Load()
-	if err := c.enc.Encode(m); err != nil {
-		return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
+	// A message type the binary format has no byte for travels as JSON:
+	// recv auto-detects per frame, so formats may mix freely on one
+	// connection — the forward-compatibility story for new types.
+	_, encodable := wireTypeOf[m.Type]
+	if c.sendJSON.Load() || !encodable {
+		if err := c.enc.Encode(m); err != nil {
+			return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
+		}
+	} else {
+		bp := wireBufPool.Get().(*[]byte)
+		frame, err := appendWireFrame((*bp)[:0], &m)
+		if err != nil {
+			wireBufPool.Put(bp)
+			return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
+		}
+		_, err = c.w.Write(frame)
+		*bp = frame[:0]
+		wireBufPool.Put(bp)
+		if err != nil {
+			return obs.Wrap(fmt.Errorf("workqueue: send %s: %w", m.Type, err))
+		}
 	}
 	c.fr.Probe(flightrec.ProbeCodecEncode, tp, c.bytesOut.Load()-before, parent)
 	return nil
@@ -273,10 +342,75 @@ const maxFrameBytes = 32 << 20
 // maxFrameBytes before its terminating newline arrives.
 var ErrFrameTooLarge = errors.New("workqueue: frame exceeds size limit")
 
-// recv reads the next message. Frames larger than maxFrameBytes are
-// rejected with ErrFrameTooLarge instead of being buffered whole, so a
-// corrupt length cannot blow up allocation.
+// recv reads the next message, sniffing its format from the first byte
+// (WireMagic → binary, anything else → JSON) and mirroring that format
+// onto the send side. Frames larger than maxFrameBytes are rejected with
+// ErrFrameTooLarge instead of being buffered whole, so a corrupt length
+// cannot blow up allocation.
 func (c *codec) recv() (message, error) {
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return message{}, obs.Wrap(err)
+	}
+	if first[0] == WireMagic {
+		m, err := c.recvBinary()
+		if err == nil {
+			c.sendJSON.Store(false)
+		}
+		return m, err
+	}
+	m, err := c.recvJSON()
+	if err == nil {
+		c.sendJSON.Store(true)
+	}
+	return m, err
+}
+
+// recvBinary reads one length-prefixed binary frame into a pooled
+// buffer and decodes it.
+func (c *codec) recvBinary() (message, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return message{}, obs.Wrap(err)
+	}
+	if hdr[1] != wireVersion {
+		return message{}, obs.Wrap(fmt.Errorf("%w: unsupported version %d", ErrWireFormat, hdr[1]))
+	}
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		return message{}, obs.Wrap(fmt.Errorf("%w: frame length: %v", ErrWireFormat, err))
+	}
+	if n > maxFrameBytes {
+		return message{}, obs.Wrap(ErrFrameTooLarge)
+	}
+	bp := wireBufPool.Get().(*[]byte)
+	defer wireBufPool.Put(bp)
+	body := *bp
+	if cap(body) < int(n) {
+		body = make([]byte, n)
+	}
+	body = body[:n]
+	*bp = body[:0]
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return message{}, obs.Wrap(fmt.Errorf("workqueue: read binary frame: %w", err))
+	}
+	tp := c.fr.Start()
+	m, err := decodeWireBody(body)
+	if err != nil {
+		return message{}, err
+	}
+	parent := m.flightParent()
+	tp = c.fr.Probe(flightrec.ProbeCodecDecode, tp, int64(len(body))+3, parent)
+	if m.CRC != 0 && m.CRC != m.checksum() {
+		return message{}, obs.Wrap(fmt.Errorf("%w (type %q)", ErrChecksum, m.Type))
+	}
+	c.fr.Probe(flightrec.ProbeCodecCRC, tp, 0, parent)
+	return m, nil
+}
+
+// recvJSON reads one newline-delimited JSON frame — the original
+// protocol, kept as the compatibility path and differential reference.
+func (c *codec) recvJSON() (message, error) {
 	var line []byte
 	for {
 		chunk, err := c.r.ReadSlice('\n')

@@ -81,6 +81,24 @@ func (s *scheduler) next(ctx context.Context) (Task, bool) {
 	if s.closed || ctx.Err() != nil || s.pending == 0 {
 		return Task{}, false
 	}
+	return s.takeLocked(), true
+}
+
+// tryNext returns a queued task without blocking; ok=false when the pool
+// is empty or closed. Batching handlers use it to fill a frame beyond
+// the first (blocking) draw.
+func (s *scheduler) tryNext() (Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.pending == 0 {
+		return Task{}, false
+	}
+	return s.takeLocked(), true
+}
+
+// takeLocked pops the next task (priority-weighted job pick, FIFO within
+// the job). Callers hold s.mu and have checked pending > 0.
+func (s *scheduler) takeLocked() Task {
 	jobID := s.pickJobLocked()
 	q := s.queues[jobID]
 	t := q[0]
@@ -91,7 +109,7 @@ func (s *scheduler) next(ctx context.Context) (Task, bool) {
 		s.queues[jobID] = q[1:]
 	}
 	s.pending--
-	return t, true
+	return t
 }
 
 // pickJobLocked selects a job with pending tasks, weighted by priority.

@@ -1,0 +1,829 @@
+package workqueue
+
+// wire.go is the length-prefixed binary wire format — the fast codec the
+// cluster speaks by default. A frame is
+//
+//	magic(0xF5) version(0x01) uvarint(bodyLen) body
+//
+// and the body is one message: a type byte, a field-presence bitmap, then
+// the present fields in fixed order. Strings and byte slices travel as
+// uvarint length + raw bytes, integers as varints, floats as fixed 8-byte
+// IEEE 754 little-endian, and repeated structures (spans, batched tasks
+// and results, histogram buckets, telemetry samples) as flat
+// count-prefixed arrays — no field names, no base64, no per-field
+// allocation. Map-backed telemetry is emitted with sorted keys so
+// encoding is deterministic and golden frames stay byte-stable.
+//
+// The JSON codec (protocol.go) remains fully supported: recv sniffs the
+// first byte of each frame (0xF5 never begins a JSON document) and
+// decodes either format, and the send side mirrors whatever format the
+// peer last spoke. The CRC32 integrity check is computed over the same
+// decoded field values in both formats, so a frame re-encoded across
+// codecs keeps its checksum.
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+)
+
+// WireMagic is the first byte of every binary frame. It is not a legal
+// first byte of any JSON document (or of UTF-8 text at all), which is
+// what lets recv distinguish the two formats without negotiation.
+const WireMagic byte = 0xF5
+
+// wireVersion is the binary format revision. Bump it for incompatible
+// layout changes; the decoder rejects versions it does not know.
+const wireVersion byte = 1
+
+// ErrWireFormat is returned by the binary decoder for a structurally
+// invalid body: truncated varints, lengths past the frame end, unknown
+// message types or trailing garbage.
+var ErrWireFormat = errors.New("workqueue: malformed binary frame")
+
+// Binary message type bytes. The wire carries these; the decoded message
+// keeps the string constants of protocol.go so the rest of the package
+// (and the JSON codec) is format-agnostic.
+const (
+	wireHello byte = iota + 1
+	wireTask
+	wireResult
+	wireShutdown
+	wireHeartbeat
+	wireStats
+	wireFreeze
+	wireFlightDump
+	wireTaskBatch
+	wireResultBatch
+)
+
+var wireTypeOf = map[string]byte{
+	msgHello:       wireHello,
+	msgTask:        wireTask,
+	msgResult:      wireResult,
+	msgShutdown:    wireShutdown,
+	msgHeartbeat:   wireHeartbeat,
+	msgStats:       wireStats,
+	msgFreeze:      wireFreeze,
+	msgFlightDump:  wireFlightDump,
+	msgTaskBatch:   wireTaskBatch,
+	msgResultBatch: wireResultBatch,
+}
+
+var wireTypeName = [...]string{
+	wireHello:       msgHello,
+	wireTask:        msgTask,
+	wireResult:      msgResult,
+	wireShutdown:    msgShutdown,
+	wireHeartbeat:   msgHeartbeat,
+	wireStats:       msgStats,
+	wireFreeze:      msgFreeze,
+	wireFlightDump:  msgFlightDump,
+	wireTaskBatch:   msgTaskBatch,
+	wireResultBatch: msgResultBatch,
+}
+
+// Field-presence bits, in encode order.
+const (
+	wfWorkerID = 1 << iota
+	wfSent
+	wfTaskDelay
+	wfCRC
+	wfBatch
+	wfTask
+	wfResult
+	wfStats
+	wfSpans
+	wfTelemetry
+	wfFreeze
+	wfDump
+	wfTasks
+	wfResults
+)
+
+// wireBufPool recycles encode scratch and recv body buffers. Buffers are
+// returned at their grown capacity, so steady-state encode and decode of
+// same-shaped traffic allocates nothing.
+var wireBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// wireHeaderRoom reserves space in the encode buffer for the frame
+// header: magic + version + a worst-case 5-byte uvarint length (bodies
+// are capped well under 4 GiB by maxFrameBytes).
+const wireHeaderRoom = 7
+
+// wireWriter appends primitive values to a growing buffer.
+type wireWriter struct{ b []byte }
+
+func (w *wireWriter) u64(v uint64)  { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wireWriter) i64(v int64)   { w.b = binary.AppendVarint(w.b, v) }
+func (w *wireWriter) byte(v byte)   { w.b = append(w.b, v) }
+func (w *wireWriter) str(s string)  { w.u64(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *wireWriter) blob(p []byte) { w.u64(uint64(len(p))); w.b = append(w.b, p...) }
+func (w *wireWriter) bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+func (w *wireWriter) f64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+func (w *wireWriter) u32(v uint32) {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+}
+func (w *wireWriter) f64s(vs []float64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+func (w *wireWriter) i64s(vs []int64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.i64(v)
+	}
+}
+
+// wireReader consumes primitive values from a frame body with a sticky
+// error: the first malformed read poisons the reader and every later
+// read returns zero values, so decode paths stay straight-line.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrWireFormat
+	}
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) bool() bool { return r.byte() != 0 }
+
+// count reads a length-prefix and validates it against the bytes left in
+// the frame (each counted element occupies at least elemSize bytes), so
+// a corrupt count can never drive a large allocation.
+func (r *wireReader) count(elemSize int) int {
+	v := r.u64()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(r.remaining())/uint64(elemSize)+1 || int(v)*elemSize > r.remaining() {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *wireReader) str() string {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// blob returns a copy of the next byte string (the frame buffer is
+// pooled; decoded messages must own their bytes). Zero length decodes as
+// nil, matching the JSON codec's omitempty round trip.
+func (r *wireReader) blob() []byte {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) f64s() []float64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *wireReader) i64s() []int64 {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.i64()
+	}
+	return out
+}
+
+// --- per-structure encoders/decoders ------------------------------------
+
+func wirePutTask(w *wireWriter, t *Task) {
+	w.str(t.ID)
+	w.str(t.JobID)
+	w.blob(t.Payload)
+	w.i64(t.Span)
+	if t.Trace != nil {
+		w.bool(true)
+		w.str(t.Trace.TraceID)
+		w.i64(t.Trace.ParentSpanID)
+	} else {
+		w.bool(false)
+	}
+	w.i64(t.SentUnixNano)
+	w.i64(t.TimeoutNs)
+}
+
+func wireGetTask(r *wireReader) Task {
+	var t Task
+	t.ID = r.str()
+	t.JobID = r.str()
+	t.Payload = r.blob()
+	t.Span = r.i64()
+	if r.bool() {
+		t.Trace = &TraceContext{TraceID: r.str(), ParentSpanID: r.i64()}
+	}
+	t.SentUnixNano = r.i64()
+	t.TimeoutNs = r.i64()
+	return t
+}
+
+func wirePutResult(w *wireWriter, res *Result) {
+	w.str(res.TaskID)
+	w.str(res.JobID)
+	w.str(res.WorkerID)
+	w.blob(res.Output)
+	w.str(res.Err)
+	w.str(res.ErrStage)
+	w.str(res.ErrTrace)
+	w.i64(int64(res.Elapsed))
+}
+
+func wireGetResult(r *wireReader) Result {
+	var res Result
+	res.TaskID = r.str()
+	res.JobID = r.str()
+	res.WorkerID = r.str()
+	res.Output = r.blob()
+	res.Err = r.str()
+	res.ErrStage = r.str()
+	res.ErrTrace = r.str()
+	res.Elapsed = time.Duration(r.i64())
+	return res
+}
+
+func wirePutHistogram(w *wireWriter, h *obs.HistogramSnapshot) {
+	w.i64(h.Count)
+	w.f64(h.Sum)
+	w.f64s(h.Bounds)
+	w.i64s(h.Counts)
+	w.f64(h.P50)
+	w.f64(h.P90)
+	w.f64(h.P99)
+}
+
+func wireGetHistogram(r *wireReader) obs.HistogramSnapshot {
+	var h obs.HistogramSnapshot
+	h.Count = r.i64()
+	h.Sum = r.f64()
+	h.Bounds = r.f64s()
+	h.Counts = r.i64s()
+	h.P50 = r.f64()
+	h.P90 = r.f64()
+	h.P99 = r.f64()
+	return h
+}
+
+func wirePutStats(w *wireWriter, s *WorkerStats) {
+	w.i64(s.TasksExecuted)
+	w.i64(s.TasksFailed)
+	w.i64(s.BytesIn)
+	w.i64(s.BytesOut)
+	w.i64(int64(s.Goroutines))
+	w.u64(s.HeapBytes)
+	w.i64(s.UptimeMs)
+	wirePutHistogram(w, &s.Exec)
+}
+
+func wireGetStats(r *wireReader) WorkerStats {
+	var s WorkerStats
+	s.TasksExecuted = r.i64()
+	s.TasksFailed = r.i64()
+	s.BytesIn = r.i64()
+	s.BytesOut = r.i64()
+	s.Goroutines = int(r.i64())
+	s.HeapBytes = r.u64()
+	s.UptimeMs = r.i64()
+	s.Exec = wireGetHistogram(r)
+	return s
+}
+
+func wirePutSpan(w *wireWriter, s *RemoteSpan) {
+	w.str(s.TraceID)
+	w.i64(s.Parent)
+	w.str(s.Name)
+	w.str(s.TaskID)
+	w.i64(s.StartUnixNano)
+	w.i64(s.DurNs)
+}
+
+func wireGetSpan(r *wireReader) RemoteSpan {
+	var s RemoteSpan
+	s.TraceID = r.str()
+	s.Parent = r.i64()
+	s.Name = r.str()
+	s.TaskID = r.str()
+	s.StartUnixNano = r.i64()
+	s.DurNs = r.i64()
+	return s
+}
+
+// sortedKeys returns map keys in sorted order so telemetry encoding is
+// deterministic (golden frames are byte-stable across runs).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func wirePutTelemetry(w *wireWriter, t *obs.TelemetryShip) {
+	w.i64(t.Seq)
+	w.bool(t.Full)
+	w.u64(uint64(len(t.Counters)))
+	for _, k := range sortedKeys(t.Counters) {
+		w.str(k)
+		w.i64(t.Counters[k])
+	}
+	w.u64(uint64(len(t.Gauges)))
+	for _, k := range sortedKeys(t.Gauges) {
+		w.str(k)
+		w.f64(t.Gauges[k])
+	}
+	w.u64(uint64(len(t.Hists)))
+	for _, k := range sortedKeys(t.Hists) {
+		h := t.Hists[k]
+		w.str(k)
+		w.f64s(h.Bounds)
+		w.i64s(h.Counts)
+		w.i64(h.Count)
+		w.f64(h.Sum)
+	}
+}
+
+func wireGetTelemetry(r *wireReader) *obs.TelemetryShip {
+	t := &obs.TelemetryShip{}
+	t.Seq = r.i64()
+	t.Full = r.bool()
+	if n := r.count(2); n > 0 {
+		t.Counters = make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			t.Counters[k] = r.i64()
+		}
+	}
+	if n := r.count(2); n > 0 {
+		t.Gauges = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			t.Gauges[k] = r.f64()
+		}
+	}
+	if n := r.count(2); n > 0 {
+		t.Hists = make(map[string]obs.HistogramDelta, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			var h obs.HistogramDelta
+			h.Bounds = r.f64s()
+			h.Counts = r.i64s()
+			h.Count = r.i64()
+			h.Sum = r.f64()
+			t.Hists[k] = h
+		}
+	}
+	return t
+}
+
+func wirePutFreeze(w *wireWriter, f *FreezeRequest) {
+	w.i64(f.Seq)
+	w.str(f.Trigger)
+	w.str(f.Detail)
+	w.i64(f.WindowNs)
+}
+
+func wireGetFreeze(r *wireReader) *FreezeRequest {
+	return &FreezeRequest{Seq: r.i64(), Trigger: r.str(), Detail: r.str(), WindowNs: r.i64()}
+}
+
+func wirePutDump(w *wireWriter, d *FlightDump) {
+	w.i64(d.Seq)
+	w.str(d.Host)
+	w.str(d.Trigger)
+	w.str(d.Detail)
+	w.u64(uint64(len(d.Events)))
+	for i := range d.Events {
+		e := &d.Events[i]
+		w.str(e.Ring)
+		w.str(e.Probe)
+		w.i64(e.T0)
+		w.i64(e.T1)
+		w.i64(e.Arg)
+		w.i64(e.Parent)
+	}
+}
+
+func wireGetDump(r *wireReader) *FlightDump {
+	d := &FlightDump{}
+	d.Seq = r.i64()
+	d.Host = r.str()
+	d.Trigger = r.str()
+	d.Detail = r.str()
+	if n := r.count(6); n > 0 {
+		d.Events = make([]flightrec.Event, n)
+		for i := range d.Events {
+			e := &d.Events[i]
+			e.Ring = r.str()
+			e.Probe = r.str()
+			e.T0 = r.i64()
+			e.T1 = r.i64()
+			e.Arg = r.i64()
+			e.Parent = r.i64()
+		}
+	}
+	return d
+}
+
+// --- whole-message encode/decode ----------------------------------------
+
+// wireFlags computes the presence bitmap for m.
+func wireFlags(m *message) uint64 {
+	var f uint64
+	if m.WorkerID != "" {
+		f |= wfWorkerID
+	}
+	if m.SentUnixNano != 0 {
+		f |= wfSent
+	}
+	if m.TaskDelayNs != 0 {
+		f |= wfTaskDelay
+	}
+	if m.CRC != 0 {
+		f |= wfCRC
+	}
+	if m.Batch != 0 {
+		f |= wfBatch
+	}
+	if m.Task != nil {
+		f |= wfTask
+	}
+	if m.Result != nil {
+		f |= wfResult
+	}
+	if m.Stats != nil {
+		f |= wfStats
+	}
+	if len(m.Spans) > 0 {
+		f |= wfSpans
+	}
+	if m.Telemetry != nil {
+		f |= wfTelemetry
+	}
+	if m.Freeze != nil {
+		f |= wfFreeze
+	}
+	if m.Dump != nil {
+		f |= wfDump
+	}
+	if len(m.Tasks) > 0 {
+		f |= wfTasks
+	}
+	if len(m.Results) > 0 {
+		f |= wfResults
+	}
+	return f
+}
+
+// appendWireFrame encodes m as one complete binary frame (header
+// included) appended to dst. It fails only for a message type the format
+// has no byte for.
+func appendWireFrame(dst []byte, m *message) ([]byte, error) {
+	mt, ok := wireTypeOf[m.Type]
+	if !ok {
+		return dst, fmt.Errorf("workqueue: no binary encoding for message type %q", m.Type)
+	}
+	// Reserve header room, encode the body after it, then write the
+	// header immediately before the body — one buffer, no copy.
+	base := len(dst)
+	for len(dst) < base+wireHeaderRoom {
+		dst = append(dst, 0)
+	}
+	w := wireWriter{b: dst}
+	w.byte(mt)
+	flags := wireFlags(m)
+	w.u64(flags)
+	if flags&wfWorkerID != 0 {
+		w.str(m.WorkerID)
+	}
+	if flags&wfSent != 0 {
+		w.i64(m.SentUnixNano)
+	}
+	if flags&wfTaskDelay != 0 {
+		w.i64(m.TaskDelayNs)
+	}
+	if flags&wfCRC != 0 {
+		w.u32(m.CRC)
+	}
+	if flags&wfBatch != 0 {
+		w.i64(int64(m.Batch))
+	}
+	if flags&wfTask != 0 {
+		wirePutTask(&w, m.Task)
+	}
+	if flags&wfResult != 0 {
+		wirePutResult(&w, m.Result)
+	}
+	if flags&wfStats != 0 {
+		wirePutStats(&w, m.Stats)
+	}
+	if flags&wfSpans != 0 {
+		w.u64(uint64(len(m.Spans)))
+		for i := range m.Spans {
+			wirePutSpan(&w, &m.Spans[i])
+		}
+	}
+	if flags&wfTelemetry != 0 {
+		wirePutTelemetry(&w, m.Telemetry)
+	}
+	if flags&wfFreeze != 0 {
+		wirePutFreeze(&w, m.Freeze)
+	}
+	if flags&wfDump != 0 {
+		wirePutDump(&w, m.Dump)
+	}
+	if flags&wfTasks != 0 {
+		w.u64(uint64(len(m.Tasks)))
+		for i := range m.Tasks {
+			wirePutTask(&w, &m.Tasks[i])
+		}
+	}
+	if flags&wfResults != 0 {
+		w.u64(uint64(len(m.Results)))
+		for i := range m.Results {
+			wirePutResult(&w, &m.Results[i])
+		}
+	}
+	bodyLen := len(w.b) - base - wireHeaderRoom
+	var hdr [wireHeaderRoom]byte
+	hdr[0] = WireMagic
+	hdr[1] = wireVersion
+	n := binary.PutUvarint(hdr[2:], uint64(bodyLen))
+	// Slide the header flush against the body: the frame starts at
+	// base+wireHeaderRoom-(2+n).
+	start := base + wireHeaderRoom - (2 + n)
+	copy(w.b[start:], hdr[:2+n])
+	if start > base {
+		// Shift the frame down so it begins at base (callers append
+		// frames back to back).
+		copy(w.b[base:], w.b[start:])
+		w.b = w.b[:len(w.b)-(start-base)]
+	}
+	return w.b, nil
+}
+
+// decodeWireBody decodes one binary frame body (header already consumed).
+func decodeWireBody(body []byte) (message, error) {
+	r := wireReader{b: body}
+	mt := r.byte()
+	if int(mt) >= len(wireTypeName) || wireTypeName[mt] == "" {
+		return message{}, fmt.Errorf("%w: unknown message type %d", ErrWireFormat, mt)
+	}
+	var m message
+	m.Type = wireTypeName[mt]
+	flags := r.u64()
+	if flags&wfWorkerID != 0 {
+		m.WorkerID = r.str()
+	}
+	if flags&wfSent != 0 {
+		m.SentUnixNano = r.i64()
+	}
+	if flags&wfTaskDelay != 0 {
+		m.TaskDelayNs = r.i64()
+	}
+	if flags&wfCRC != 0 {
+		m.CRC = r.u32()
+	}
+	if flags&wfBatch != 0 {
+		m.Batch = int(r.i64())
+	}
+	if flags&wfTask != 0 {
+		t := wireGetTask(&r)
+		m.Task = &t
+	}
+	if flags&wfResult != 0 {
+		res := wireGetResult(&r)
+		m.Result = &res
+	}
+	if flags&wfStats != 0 {
+		s := wireGetStats(&r)
+		m.Stats = &s
+	}
+	if flags&wfSpans != 0 {
+		if n := r.count(6); n > 0 {
+			m.Spans = make([]RemoteSpan, n)
+			for i := range m.Spans {
+				m.Spans[i] = wireGetSpan(&r)
+			}
+		}
+	}
+	if flags&wfTelemetry != 0 {
+		m.Telemetry = wireGetTelemetry(&r)
+	}
+	if flags&wfFreeze != 0 {
+		m.Freeze = wireGetFreeze(&r)
+	}
+	if flags&wfDump != 0 {
+		m.Dump = wireGetDump(&r)
+	}
+	if flags&wfTasks != 0 {
+		// A task is at least 8 bytes (two strings, a blob, five varints,
+		// a trace flag); the floor bounds allocation from a corrupt count.
+		if n := r.count(8); n > 0 {
+			m.Tasks = make([]Task, n)
+			for i := range m.Tasks {
+				m.Tasks[i] = wireGetTask(&r)
+			}
+		}
+	}
+	if flags&wfResults != 0 {
+		if n := r.count(8); n > 0 {
+			m.Results = make([]Result, n)
+			for i := range m.Results {
+				m.Results[i] = wireGetResult(&r)
+			}
+		}
+	}
+	if r.err != nil {
+		return message{}, obs.Wrap(fmt.Errorf("%w (type %q)", ErrWireFormat, m.Type))
+	}
+	if r.remaining() != 0 {
+		return message{}, obs.Wrap(fmt.Errorf("%w: %d trailing bytes (type %q)", ErrWireFormat, r.remaining(), m.Type))
+	}
+	return m, nil
+}
+
+// WireFrameSplit reports how transport-level wrappers (the chaos
+// injection layer) should cut buf at the next frame boundary. For a
+// buffered byte stream beginning with a binary frame header it returns
+// the total frame length once enough bytes are present: (0, false) means
+// the header or body is still incomplete — wait for more bytes. A header
+// that is present but invalid (bad varint, absurd length) returns
+// (len(buf), true): the stream is already garbage, flush it through and
+// let the codec reject it.
+func WireFrameSplit(buf []byte) (int, bool) {
+	if len(buf) == 0 || buf[0] != WireMagic {
+		return 0, false
+	}
+	if len(buf) < 3 {
+		return 0, false
+	}
+	n, used := binary.Uvarint(buf[2:])
+	if used == 0 {
+		if len(buf) >= 2+binary.MaxVarintLen64 {
+			return len(buf), true // unterminated varint: garbage
+		}
+		return 0, false
+	}
+	if used < 0 || n > maxFrameBytes {
+		return len(buf), true // overflow or absurd length: garbage
+	}
+	total := 2 + used + int(n)
+	if len(buf) < total {
+		return 0, false
+	}
+	return total, true
+}
+
+// ShiftBinaryStamps rewrites the absolute clock stamps of one complete
+// binary frame by deltaNs — the binary counterpart of the chaos layer's
+// JSON regex rewrite. Shifted fields mirror the JSON path exactly: the
+// envelope and task send stamps ("sent_ns") and remote span starts
+// ("start_unix_ns"). Relative fields (task_delay_ns, durations, timeout
+// budgets) and the CRC-guarded identity fields are untouched, so a
+// skewed frame still passes its checksum — skew stays a timing
+// condition, not corruption. A frame that does not decode is returned
+// unchanged (it is already garbage; the codec will reject it).
+func ShiftBinaryStamps(frame []byte, deltaNs int64) []byte {
+	total, ok := WireFrameSplit(frame)
+	if !ok || total != len(frame) || frame[1] != wireVersion {
+		return frame
+	}
+	_, used := binary.Uvarint(frame[2:])
+	m, err := decodeWireBody(frame[2+used:])
+	if err != nil {
+		return frame
+	}
+	shift := func(v *int64) {
+		if *v != 0 {
+			*v += deltaNs
+		}
+	}
+	shift(&m.SentUnixNano)
+	if m.Task != nil {
+		shift(&m.Task.SentUnixNano)
+	}
+	for i := range m.Tasks {
+		shift(&m.Tasks[i].SentUnixNano)
+	}
+	for i := range m.Spans {
+		shift(&m.Spans[i].StartUnixNano)
+	}
+	out, err := appendWireFrame(nil, &m)
+	if err != nil {
+		return frame
+	}
+	return out
+}

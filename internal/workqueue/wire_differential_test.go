@@ -1,0 +1,435 @@
+package workqueue
+
+// Differential codec tests: every message type, filled with seeded
+// pseudo-random content, must decode to the identical Go value whether
+// it traveled as newline-delimited JSON or as a binary wire frame. The
+// JSON codec is the reference implementation; the binary codec is the
+// optimization under test — any field the fast path drops, reorders or
+// re-types shows up here as a DeepEqual diff naming the seed.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs"
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+)
+
+// genString draws a short valid-UTF-8 string (JSON cannot carry invalid
+// UTF-8, so the codecs are only defined to agree on clean strings).
+// Includes multi-byte runes and JSON-escape-sensitive characters.
+func genString(rng *rand.Rand) string {
+	const alphabet = "abcXYZ079-_./:\"\\\n\téλ中💥 "
+	runes := []rune(alphabet)
+	n := rng.Intn(24)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = runes[rng.Intn(len(runes))]
+	}
+	return string(out)
+}
+
+// genBytes draws nil or a non-empty blob — never a non-nil empty slice,
+// which both codecs' omitempty semantics collapse to nil on decode.
+func genBytes(rng *rand.Rand) []byte {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	out := make([]byte, 1+rng.Intn(64))
+	rng.Read(out)
+	return out
+}
+
+func genTask(rng *rand.Rand) Task {
+	t := Task{
+		ID:           genString(rng),
+		JobID:        genString(rng),
+		Payload:      genBytes(rng),
+		Span:         rng.Int63() - rng.Int63(),
+		SentUnixNano: rng.Int63(),
+		TimeoutNs:    rng.Int63n(int64(time.Minute)),
+	}
+	if rng.Intn(2) == 0 {
+		t.Trace = &TraceContext{TraceID: genString(rng), ParentSpanID: rng.Int63()}
+	}
+	return t
+}
+
+func genResult(rng *rand.Rand) Result {
+	return Result{
+		TaskID:   genString(rng),
+		JobID:    genString(rng),
+		WorkerID: genString(rng),
+		Output:   genBytes(rng),
+		Err:      genString(rng),
+		ErrStage: genString(rng),
+		ErrTrace: genString(rng),
+		Elapsed:  time.Duration(rng.Int63n(int64(time.Hour))),
+	}
+}
+
+func genHistogramSnapshot(rng *rand.Rand) obs.HistogramSnapshot {
+	n := 1 + rng.Intn(5)
+	h := obs.HistogramSnapshot{
+		Count:  rng.Int63n(1 << 40),
+		Sum:    rng.NormFloat64() * 1e6,
+		Bounds: make([]float64, n),
+		Counts: make([]int64, n+1),
+		P50:    rng.Float64() * 100,
+		P90:    rng.Float64() * 1000,
+		P99:    rng.Float64() * 10000,
+	}
+	for i := range h.Bounds {
+		h.Bounds[i] = float64(i+1) * rng.Float64() * 10
+	}
+	for i := range h.Counts {
+		h.Counts[i] = rng.Int63n(1 << 30)
+	}
+	return h
+}
+
+func genSpans(rng *rand.Rand) []RemoteSpan {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	out := make([]RemoteSpan, 1+rng.Intn(6))
+	for i := range out {
+		out[i] = RemoteSpan{
+			TraceID:       genString(rng),
+			Parent:        rng.Int63(),
+			Name:          genString(rng),
+			TaskID:        genString(rng),
+			StartUnixNano: rng.Int63(),
+			DurNs:         rng.Int63n(int64(time.Second)),
+		}
+	}
+	return out
+}
+
+func genTelemetry(rng *rand.Rand) *obs.TelemetryShip {
+	t := &obs.TelemetryShip{Seq: rng.Int63(), Full: rng.Intn(2) == 0}
+	if n := rng.Intn(4); n > 0 {
+		t.Counters = make(map[string]int64, n)
+		for i := 0; i < n; i++ {
+			t.Counters[genString(rng)+"c"] = rng.Int63() - rng.Int63()
+		}
+	}
+	if n := rng.Intn(4); n > 0 {
+		t.Gauges = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			t.Gauges[genString(rng)+"g"] = rng.NormFloat64()
+		}
+	}
+	if n := rng.Intn(3); n > 0 {
+		t.Hists = make(map[string]obs.HistogramDelta, n)
+		for i := 0; i < n; i++ {
+			hs := genHistogramSnapshot(rng)
+			t.Hists[genString(rng)+"h"] = obs.HistogramDelta{
+				Bounds: hs.Bounds, Counts: hs.Counts, Count: hs.Count, Sum: hs.Sum,
+			}
+		}
+	}
+	return t
+}
+
+func genDump(rng *rand.Rand) *FlightDump {
+	d := &FlightDump{
+		Seq:     rng.Int63(),
+		Host:    genString(rng),
+		Trigger: genString(rng),
+		Detail:  genString(rng),
+	}
+	if n := rng.Intn(5); n > 0 {
+		d.Events = make([]flightrec.Event, n)
+		for i := range d.Events {
+			d.Events[i] = flightrec.Event{
+				Ring: genString(rng), Probe: genString(rng),
+				T0: rng.Int63(), T1: rng.Int63(),
+				Arg: rng.Int63() - rng.Int63(), Parent: rng.Int63(),
+			}
+		}
+	}
+	return d
+}
+
+// genMessage builds a seeded message of the given type with the field
+// population the production senders use, plus randomized optional
+// envelope fields (clock stamps, piggybacked spans).
+func genMessage(rng *rand.Rand, typ string) message {
+	m := message{Type: typ}
+	switch typ {
+	case msgHello:
+		m.WorkerID = "w-" + genString(rng)
+		m.Batch = rng.Intn(512)
+	case msgTask:
+		t := genTask(rng)
+		m.Task = &t
+	case msgResult:
+		r := genResult(rng)
+		m.Result = &r
+		m.WorkerID = r.WorkerID
+		m.SentUnixNano = rng.Int63()
+		m.TaskDelayNs = rng.Int63() - rng.Int63()
+		m.Spans = genSpans(rng)
+	case msgShutdown:
+		// bare envelope
+	case msgHeartbeat:
+		m.WorkerID = "w-" + genString(rng)
+		m.SentUnixNano = rng.Int63()
+		m.TaskDelayNs = rng.Int63() - rng.Int63()
+		m.Spans = genSpans(rng)
+	case msgStats:
+		m.WorkerID = "w-" + genString(rng)
+		m.SentUnixNano = rng.Int63()
+		s := WorkerStats{
+			TasksExecuted: rng.Int63n(1 << 30),
+			TasksFailed:   rng.Int63n(1 << 20),
+			BytesIn:       rng.Int63n(1 << 40),
+			BytesOut:      rng.Int63n(1 << 40),
+			Goroutines:    rng.Intn(10000),
+			HeapBytes:     uint64(rng.Int63()),
+			UptimeMs:      rng.Int63n(1 << 32),
+			Exec:          genHistogramSnapshot(rng),
+		}
+		m.Stats = &s
+		m.Spans = genSpans(rng)
+		if rng.Intn(2) == 0 {
+			m.Telemetry = genTelemetry(rng)
+		}
+	case msgFreeze:
+		m.Freeze = &FreezeRequest{
+			Seq: rng.Int63(), Trigger: genString(rng),
+			Detail: genString(rng), WindowNs: rng.Int63n(int64(time.Minute)),
+		}
+	case msgFlightDump:
+		m.WorkerID = "w-" + genString(rng)
+		m.Dump = genDump(rng)
+	case msgTaskBatch:
+		m.Tasks = make([]Task, 1+rng.Intn(8))
+		for i := range m.Tasks {
+			m.Tasks[i] = genTask(rng)
+		}
+	case msgResultBatch:
+		m.WorkerID = "w-" + genString(rng)
+		m.SentUnixNano = rng.Int63()
+		m.TaskDelayNs = rng.Int63() - rng.Int63()
+		m.Results = make([]Result, 1+rng.Intn(8))
+		for i := range m.Results {
+			m.Results[i] = genResult(rng)
+		}
+		m.Spans = genSpans(rng)
+	default:
+		panic("genMessage: unknown type " + typ)
+	}
+	return m
+}
+
+// wireMessageTypes is every type the binary format encodes — kept in a
+// test-side list so a new message type that forgets differential
+// coverage fails TestDifferentialCoversAllWireTypes below.
+func wireMessageTypes() []string {
+	return []string{
+		msgHello, msgTask, msgResult, msgShutdown, msgHeartbeat,
+		msgStats, msgFreeze, msgFlightDump, msgTaskBatch, msgResultBatch,
+	}
+}
+
+// codecRoundTrip pushes m through the production send/recv paths in the
+// given format and returns the decoded message.
+func codecRoundTrip(t *testing.T, m message, asJSON bool) message {
+	t.Helper()
+	a, b := pipePair()
+	ca, cb := newCodec(a), newCodec(b)
+	defer func() { _ = ca.close() }()
+	ca.setJSON(asJSON)
+	errc := make(chan error, 1)
+	go func() { errc <- ca.send(m) }()
+	got, err := cb.recv()
+	if err != nil {
+		t.Fatalf("recv (json=%v): %v", asJSON, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send (json=%v): %v", asJSON, err)
+	}
+	return got
+}
+
+// TestDifferentialCodecs is the harness that proves the binary format
+// correct: for every message type and many seeds, the JSON and binary
+// round trips must agree with each other and with the sent value
+// (CRC-stamped), field for field.
+func TestDifferentialCodecs(t *testing.T) {
+	const seedsPerType = 32
+	for _, typ := range wireMessageTypes() {
+		typ := typ
+		t.Run(typ, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seedsPerType; seed++ {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(len(typ))))
+				m := genMessage(rng, typ)
+				want := m
+				want.CRC = m.checksum() // send stamps this
+				jsonGot := codecRoundTrip(t, m, true)
+				binGot := codecRoundTrip(t, m, false)
+				if !reflect.DeepEqual(jsonGot, want) {
+					t.Fatalf("seed %d: JSON round trip diverged\n got %+v\nwant %+v", seed, jsonGot, want)
+				}
+				if !reflect.DeepEqual(binGot, want) {
+					t.Fatalf("seed %d: binary round trip diverged\n got %+v\nwant %+v", seed, binGot, want)
+				}
+				if !reflect.DeepEqual(jsonGot, binGot) {
+					t.Fatalf("seed %d: codecs disagree\njson %+v\n bin %+v", seed, jsonGot, binGot)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCoversAllWireTypes pins the test list to the codec's
+// type table: adding a binary message type without differential coverage
+// is a failure, not an oversight.
+func TestDifferentialCoversAllWireTypes(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, typ := range wireMessageTypes() {
+		covered[typ] = true
+	}
+	for typ := range wireTypeOf {
+		if !covered[typ] {
+			t.Errorf("wire type %q has no differential coverage — add it to wireMessageTypes and genMessage", typ)
+		}
+	}
+	if len(covered) != len(wireTypeOf) {
+		t.Errorf("differential list has %d types, codec table has %d", len(covered), len(wireTypeOf))
+	}
+}
+
+// TestCrossCodecChecksumStable: the CRC is computed over decoded values,
+// so a message decoded from JSON and re-encoded as binary (or vice
+// versa) keeps its checksum — the property that lets a frame cross a
+// codec boundary (e.g. a JSON-speaking submitter behind a binary
+// cluster) without a spurious integrity failure.
+func TestCrossCodecChecksumStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, typ := range []string{msgTask, msgResult, msgTaskBatch, msgResultBatch} {
+		m := genMessage(rng, typ)
+		fromJSON := codecRoundTrip(t, m, true)
+		again := codecRoundTrip(t, fromJSON, false) // re-encode binary, CRC re-stamped
+		if again.CRC != fromJSON.CRC {
+			t.Errorf("%s: checksum changed across codecs: %08x -> %08x", typ, fromJSON.CRC, again.CRC)
+		}
+	}
+}
+
+// TestWireFramesConcatenate: frames appended back to back into one
+// buffer split cleanly at WireFrameSplit boundaries and decode
+// independently — the invariant the chaos layer's frame splitter and any
+// future frame-coalescing writer rely on.
+func TestWireFramesConcatenate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var msgs []message
+	var buf []byte
+	for _, typ := range wireMessageTypes() {
+		m := genMessage(rng, typ)
+		m.CRC = m.checksum()
+		msgs = append(msgs, m)
+		var err error
+		buf, err = appendWireFrame(buf, &m)
+		if err != nil {
+			t.Fatalf("encode %s: %v", typ, err)
+		}
+	}
+	for i, want := range msgs {
+		n, ok := WireFrameSplit(buf)
+		if !ok || n <= 0 {
+			t.Fatalf("frame %d: split failed (n=%d ok=%v, %d bytes left)", i, n, ok, len(buf))
+		}
+		frame := buf[:n]
+		buf = buf[n:]
+		_, used := uvarintAt(frame, 2)
+		got, err := decodeWireBody(frame[2+used:])
+		if err != nil {
+			t.Fatalf("frame %d (%s): decode: %v", i, want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d (%s) diverged\n got %+v\nwant %+v", i, want.Type, got, want)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after all frames", len(buf))
+	}
+}
+
+// uvarintAt decodes the uvarint starting at off, returning value and width.
+func uvarintAt(b []byte, off int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i := off; i < len(b); i++ {
+		c := b[i]
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i - off + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// TestShiftBinaryStampsMovesClocksOnly: the chaos skew rewrite shifts
+// exactly the absolute clock stamps (envelope sent_ns, task sent_ns,
+// span starts) and nothing else — and the shifted frame still passes its
+// CRC, because skew must read as a timing condition, not corruption.
+func TestShiftBinaryStampsMovesClocksOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const delta = int64(5 * time.Second)
+	for _, typ := range []string{msgHeartbeat, msgTask, msgTaskBatch, msgResultBatch} {
+		m := genMessage(rng, typ)
+		m.CRC = m.checksum()
+		frame, err := appendWireFrame(nil, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shifted := ShiftBinaryStamps(frame, delta)
+		_, used := uvarintAt(shifted, 2)
+		got, err := decodeWireBody(shifted[2+used:])
+		if err != nil {
+			t.Fatalf("%s: shifted frame does not decode: %v", typ, err)
+		}
+		if got.CRC != 0 && got.CRC != got.checksum() {
+			t.Errorf("%s: skew broke the checksum — skew must not read as corruption", typ)
+		}
+		want := m
+		if want.SentUnixNano != 0 {
+			want.SentUnixNano += delta
+		}
+		if want.Task != nil {
+			tt := *want.Task
+			if tt.SentUnixNano != 0 {
+				tt.SentUnixNano += delta
+			}
+			want.Task = &tt
+		}
+		if len(want.Tasks) > 0 {
+			ts := append([]Task(nil), want.Tasks...)
+			for i := range ts {
+				if ts[i].SentUnixNano != 0 {
+					ts[i].SentUnixNano += delta
+				}
+			}
+			want.Tasks = ts
+		}
+		if len(want.Spans) > 0 {
+			ss := append([]RemoteSpan(nil), want.Spans...)
+			for i := range ss {
+				if ss[i].StartUnixNano != 0 {
+					ss[i].StartUnixNano += delta
+				}
+			}
+			want.Spans = ss
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: skew rewrote more than the clock stamps\n got %+v\nwant %+v", typ, got, want)
+		}
+	}
+}

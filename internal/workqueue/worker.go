@@ -77,6 +77,33 @@ type Worker struct {
 	// master as unsolicited flight dumps, making any host's trip a
 	// cluster-wide collection.
 	FlightRec *flightrec.Recorder
+	// MaxBatch is the largest task batch this worker advertises in its
+	// hello (the master dispatches min(its BatchSize, this) per frame).
+	// Zero advertises the default of 256; negative advertises 0, opting
+	// out of batching entirely.
+	MaxBatch int
+}
+
+// defaultWorkerBatch is the batch capacity a worker advertises when
+// MaxBatch is unset — generous, because the master's own BatchSize caps
+// the effective batch and an unbatching master ignores it entirely.
+const defaultWorkerBatch = 256
+
+// resultFlushEvery chunks a batch's return path: results ship every this
+// many completions (and at batch end), so the master's ack window keeps
+// moving while the rest of the batch executes instead of waiting for one
+// giant result frame.
+const resultFlushEvery = 16
+
+// batchAdvert resolves the hello's advertised batch capacity.
+func (w *Worker) batchAdvert() int {
+	if w.MaxBatch < 0 {
+		return 0
+	}
+	if w.MaxBatch == 0 {
+		return defaultWorkerBatch
+	}
+	return w.MaxBatch
 }
 
 // recorder resolves the worker's flight recorder.
@@ -177,7 +204,7 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
 	defer stop()
 
-	if err := c.send(message{Type: msgHello, WorkerID: w.ID}); err != nil {
+	if err := c.send(message{Type: msgHello, WorkerID: w.ID, Batch: w.batchAdvert()}); err != nil {
 		return err
 	}
 	reg := w.Metrics
@@ -259,43 +286,15 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 			if m.Task.SentUnixNano != 0 {
 				run.lastTaskDelay.Store(recvAt.UnixNano() - m.Task.SentUnixNano)
 			}
-			tt := newTaskTrace(m.Task.Trace, m.Task.ID)
-			start := time.Now()
-			// The recv stage covers task arrival to executor start; its
-			// skew-adjusted start marks when the task landed on this
-			// worker, making wire transit visible as the gap after the
-			// master's send timestamp.
-			tt.add(StageRecv, recvAt, start)
-			out, execErr := w.runExec(withTaskTrace(ctx, tt), m.Task)
-			elapsed := time.Since(start)
-			tt.add(StageExec, start, start.Add(elapsed))
-			inst.observe(elapsed, execErr != nil)
-			if execErr != nil && ctx.Err() != nil {
+			res, tt, ok := w.execOne(ctx, m.Task, recvAt, inst, run, lg)
+			if !ok {
 				// The worker is being preempted (pool shrink or
 				// shutdown): exit without reporting so the master
 				// requeues the task onto a live worker.
 				return nil
 			}
-			res := Result{
-				TaskID:   m.Task.ID,
-				JobID:    m.Task.JobID,
-				WorkerID: w.ID,
-				Output:   out,
-				Elapsed:  elapsed,
-			}
-			if execErr != nil {
-				te := newTaskError(w.ID, m.Task.ID, execErr)
-				res.Err = te.Error()
-				res.ErrStage = te.Stage
-				res.ErrTrace = te.ReturnTrace()
-				lg.Warn("task failed",
-					obs.TaskID(m.Task.ID), obs.JobID(m.Task.JobID),
-					obs.TraceID(m.Task.Trace.traceID()), obs.F("stage", te.Stage), obs.Err(te.Err),
-					obs.ErrTrace(execErr))
-			}
 			// Ship everything finished so far: spans buffered from the
 			// previous task (its send span) plus this task's stages.
-			run.spans.add(tt.take()...)
 			env := message{Type: msgResult, Result: &res, Spans: run.spans.drain()}
 			run.stamp(&env)
 			w.mirror(env.Spans)
@@ -309,10 +308,114 @@ func (w *Worker) Run(ctx context.Context, conn net.Conn) error {
 				run.spans.add(sent...)
 				w.mirror(sent)
 			}
+		case msgTaskBatch:
+			if len(m.Tasks) == 0 {
+				return fmt.Errorf("workqueue: worker %s got task-batch message without tasks", w.ID)
+			}
+			if m.Tasks[0].SentUnixNano != 0 {
+				run.lastTaskDelay.Store(recvAt.UnixNano() - m.Tasks[0].SentUnixNano)
+			}
+			if err := w.runBatch(ctx, c, m.Tasks, recvAt, inst, run, lg); err != nil {
+				return err
+			}
+			if ctx.Err() != nil {
+				// Preempted mid-batch: exit without reporting the rest so
+				// the master requeues its un-acked window onto live
+				// workers.
+				return nil
+			}
 		default:
 			return fmt.Errorf("workqueue: worker %s got unexpected message %q", w.ID, m.Type)
 		}
 	}
+}
+
+// execOne runs one task through the full stage pipeline — recv span,
+// executor under its budget, result construction with error provenance —
+// and buffers the finished stage spans. arrivedAt is when the task
+// became runnable on this worker: the frame receive time for a frame's
+// first task, the previous task's completion for later batch-mates (so
+// the recv span shows wire transit for the former and in-batch queueing
+// for the latter). ok=false means the worker is being preempted (ctx
+// cancelled): the caller must exit without reporting, leaving the master
+// to requeue.
+func (w *Worker) execOne(ctx context.Context, task *Task, arrivedAt time.Time, inst *workerInstruments, run *workerRun, lg *obs.Logger) (Result, *TaskTrace, bool) {
+	tt := newTaskTrace(task.Trace, task.ID)
+	start := time.Now()
+	tt.add(StageRecv, arrivedAt, start)
+	out, execErr := w.runExec(withTaskTrace(ctx, tt), task)
+	elapsed := time.Since(start)
+	tt.add(StageExec, start, start.Add(elapsed))
+	inst.observe(elapsed, execErr != nil)
+	if execErr != nil && ctx.Err() != nil {
+		return Result{}, nil, false
+	}
+	res := Result{
+		TaskID:   task.ID,
+		JobID:    task.JobID,
+		WorkerID: w.ID,
+		Output:   out,
+		Elapsed:  elapsed,
+	}
+	if execErr != nil {
+		te := newTaskError(w.ID, task.ID, execErr)
+		res.Err = te.Error()
+		res.ErrStage = te.Stage
+		res.ErrTrace = te.ReturnTrace()
+		lg.Warn("task failed",
+			obs.TaskID(task.ID), obs.JobID(task.JobID),
+			obs.TraceID(task.Trace.traceID()), obs.F("stage", te.Stage), obs.Err(te.Err),
+			obs.ErrTrace(execErr))
+	}
+	run.spans.add(tt.take()...)
+	return res, tt, true
+}
+
+// runBatch executes one task-batch frame in order, streaming results
+// back as chunked result-batch frames: a flush every resultFlushEvery
+// completions (and at batch end) bounds result latency and keeps the
+// master's ack window moving while the rest of the batch executes. A
+// preemption mid-batch returns nil with ctx cancelled; the un-reported
+// remainder is requeued by the master.
+func (w *Worker) runBatch(ctx context.Context, c *codec, tasks []Task, recvAt time.Time, inst *workerInstruments, run *workerRun, lg *obs.Logger) error {
+	var done []Result
+	var lastTT *TaskTrace
+	flush := func() error {
+		if len(done) == 0 {
+			return nil
+		}
+		env := message{Type: msgResultBatch, Results: done, Spans: run.spans.drain()}
+		run.stamp(&env)
+		w.mirror(env.Spans)
+		sendStart := time.Now()
+		if err := c.send(env); err != nil {
+			return err
+		}
+		if lastTT != nil {
+			lastTT.add(StageSend, sendStart, time.Now())
+			sent := lastTT.take()
+			run.spans.add(sent...)
+			w.mirror(sent)
+		}
+		done, lastTT = nil, nil
+		return nil
+	}
+	arrived := recvAt
+	for i := range tasks {
+		res, tt, ok := w.execOne(ctx, &tasks[i], arrived, inst, run, lg)
+		if !ok {
+			return nil // preempted; the caller checks ctx
+		}
+		arrived = time.Now()
+		done = append(done, res)
+		lastTT = tt
+		if len(done) >= resultFlushEvery {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }
 
 // traceID is a nil-safe accessor used for log tagging.

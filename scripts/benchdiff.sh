@@ -3,20 +3,20 @@
 #
 # Re-runs the bench tier (scripts/check.sh bench) and compares every
 # benchmark's ns/op against the checked-in baselines (BENCH_obs.json,
-# BENCH_hmm.json). Exits non-zero if any benchmark regressed by more than
+# BENCH_hmm.json, BENCH_wire.json). Exits non-zero if any benchmark regressed by more than
 # BENCHDIFF_THRESHOLD percent (default 25). Benchmarks present only on
 # one side are reported but never fail the gate — CI machines differ, but
 # a >25% same-machine-format regression against the committed baseline is
 # a signal worth breaking the build for.
 #
-# The bench run overwrites BENCH_obs.json/BENCH_hmm.json in the working
+# The bench run overwrites the BENCH_*.json baselines in the working
 # tree with fresh numbers (same behavior as check.sh bench); use git to
 # restore the baselines or commit the new ones after investigating.
 set -eu
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${BENCHDIFF_THRESHOLD:-25}"
-BASELINES="BENCH_obs.json BENCH_hmm.json"
+BASELINES="BENCH_obs.json BENCH_hmm.json BENCH_wire.json"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

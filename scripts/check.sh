@@ -3,15 +3,16 @@
 #
 #   scripts/check.sh            tier-1: build + tests (the ROADMAP gate)
 #   scripts/check.sh race       tier-2: vet + full test suite under -race
-#   scripts/check.sh bench      microbenchmarks -> BENCH_obs.json + BENCH_hmm.json
+#   scripts/check.sh bench      microbenchmarks -> BENCH_obs.json + BENCH_hmm.json + BENCH_wire.json
 #   scripts/check.sh chaos      chaos soak: seeded fault-injection schedules under -race
 #   scripts/check.sh load       10-second capacity smoke sweep -> BENCH_load.json
+#   scripts/check.sh wire       binary-codec batching smoke: differential/golden tests + 2-worker batched sweep
 #   scripts/check.sh flightrec  flight-recorder smoke: forced deep-dive dump in a 2-worker run
 #   scripts/check.sh telemetry  telemetry-plane smoke: SLO burn -> merged multi-host cluster trace
 #   scripts/check.sh all        tier-1 + tier-2
 #
 # scripts/benchdiff.sh wraps the bench tier with a regression gate against
-# the checked-in BENCH_obs.json/BENCH_hmm.json baselines.
+# the checked-in BENCH_obs.json/BENCH_hmm.json/BENCH_wire.json baselines.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -48,10 +49,27 @@ bench_json() {
 
 bench() {
 	echo "== bench: go test -bench on internal/obs, internal/obs/flightrec, internal/obs/tsdb and internal/workqueue =="
-	out=$(go test -run '^$' -bench . -benchmem ./internal/obs ./internal/obs/flightrec ./internal/obs/tsdb ./internal/workqueue)
+	# The workqueue run pins the regex to the observability benches; the
+	# wire-protocol benches (BenchmarkWire*) get their own baseline below.
+	out=$(
+		go test -run '^$' -bench . -benchmem ./internal/obs ./internal/obs/flightrec ./internal/obs/tsdb
+		go test -run '^$' -bench '^Benchmark(Message|StageSpan)' -benchmem ./internal/workqueue
+	)
 	echo "$out"
 	echo "$out" | bench_json >BENCH_obs.json
 	echo "wrote BENCH_obs.json ($(grep -c '"name"' BENCH_obs.json) benchmarks)"
+
+	# The wire-protocol baseline: JSON-vs-binary encode/decode pairs for a
+	# traced task/result (the Eq. 10 transfer term) plus end-to-end
+	# tasks/sec through one master connection — lock-step vs batched, on a
+	# raw pipe (internal/workqueue) and across a 250µs-per-frame delay
+	# link (internal/chaos), where batching's amortization is the
+	# headline ratio.
+	echo "== bench: go test -bench '^BenchmarkWire' on internal/workqueue and internal/chaos =="
+	out=$(go test -run '^$' -bench '^BenchmarkWire' -benchmem ./internal/workqueue ./internal/chaos)
+	echo "$out"
+	echo "$out" | bench_json >BENCH_wire.json
+	echo "wrote BENCH_wire.json ($(grep -c '"name"' BENCH_wire.json) benchmarks)"
 
 	# The HMM kernel + decode-path baseline: the *Seed benchmarks replay the
 	# frozen pre-rewrite kernels (internal/hmm/hmmtest) on identical inputs,
@@ -91,6 +109,27 @@ load() {
 	grep -q '"sweep"' BENCH_load.json
 	grep -q '"perWorkerTasksPerSec"' BENCH_load.json
 	echo "BENCH_load.json OK ($(grep -c '"offeredRate"' BENCH_load.json) sweep points)"
+}
+
+wire() {
+	# Binary-codec batching smoke: the codec-correctness suite (JSON-vs-
+	# binary differential round trips, golden frame fixtures, batching
+	# invariants), then a short 2-worker loadgen sweep with task batching
+	# on — the whole cluster speaking the binary wire format end to end.
+	echo "== wire: differential/golden codec tests + batching invariants =="
+	go test -count=1 -run 'TestDifferential|TestGolden|TestBatch|TestPartialBatch|TestUnbatched|TestMidBatch|TestCrossCodec|TestWireFrames|TestShiftBinary|TestBinary' ./internal/workqueue
+	echo "== wire: 2-worker batched sweep over the binary codec =="
+	dir=$(mktemp -d)
+	go run ./cmd/loadgen -trace boston -scale 0.005 -workers 2 \
+		-start-rate 4 -rate-factor 2 -max-rate 32 \
+		-deadline 100ms -step 800ms -duration 8s -work-delay 100us \
+		-batch 8 -admit-factor 0 -quiet \
+		-out "$dir/BENCH_wire_smoke.json"
+	test -s "$dir/BENCH_wire_smoke.json"
+	grep -q '"sweep"' "$dir/BENCH_wire_smoke.json"
+	grep -q '"perWorkerTasksPerSec"' "$dir/BENCH_wire_smoke.json"
+	echo "wire smoke OK ($(grep -c '"offeredRate"' "$dir/BENCH_wire_smoke.json") sweep points, batch=8)"
+	rm -rf "$dir"
 }
 
 flightrec() {
@@ -178,6 +217,7 @@ race) race ;;
 bench) bench ;;
 chaos) chaos ;;
 load) load ;;
+wire) wire ;;
 flightrec) flightrec ;;
 telemetry) telemetry ;;
 all)
@@ -185,7 +225,7 @@ all)
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|load|flightrec|telemetry|all]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|load|wire|flightrec|telemetry|all]" >&2
 	exit 2
 	;;
 esac
