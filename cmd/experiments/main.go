@@ -39,12 +39,19 @@ func run() (retErr error) {
 		workers    = flag.Int("workers", 4, "SSTD worker pool size")
 		cost       = flag.Duration("per-report-cost", 50*time.Microsecond, "modelled per-report preprocessing cost for the timing figures")
 		telemetry  = flag.String("telemetry", "", "write the control-loop time series of the PID-driven experiments (fig6, ablation-pid) to this JSON file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile)
+	stopProf, err := obs.StartProfilingWith(obs.ProfileConfig{
+		CPUPath:   *cpuprofile,
+		MemPath:   *memprofile,
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	})
 	if err != nil {
 		return err
 	}

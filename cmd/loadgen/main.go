@@ -63,8 +63,13 @@ func main() {
 		theta2 = flag.Duration("theta2", 40*time.Microsecond, "Eq. 11-12 distributed-execution constant")
 		initT  = flag.Duration("init-time", time.Millisecond, "Eq. 10 task init time TI")
 
+		schedShards = flag.Int("sched-shards", 0, "scheduler shard count on each step's master (0 = GOMAXPROCS)")
+
 		out   = flag.String("out", "BENCH_load.json", "capacity report output path")
 		quiet = flag.Bool("quiet", false, "suppress per-step progress lines")
+
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 
 		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
 		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
@@ -77,6 +82,19 @@ func main() {
 		sloBurn   = flag.Float64("slo-burn", 14.4, "burn-rate multiple that fires the alert (both windows)")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfilingWith(obs.ProfileConfig{
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: profile:", perr)
+		}
+	}()
 
 	// Install before the sweep builds its clusters: probe rings bind at
 	// component construction.
@@ -165,6 +183,7 @@ func main() {
 		TaskBatch:     *batch,
 		AdmitFactor:   *admitFactor,
 		Seed:          *seed,
+		SchedShards:   *schedShards,
 		WCET: control.WCETModel{
 			InitTime: *initT,
 			Theta1:   *theta1,

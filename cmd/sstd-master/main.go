@@ -98,8 +98,31 @@ func run() error {
 		sloFast   = flag.Duration("slo-fast", 5*time.Minute, "fast burn-rate window")
 		sloSlow   = flag.Duration("slo-slow", time.Hour, "slow burn-rate window")
 		sloBurn   = flag.Float64("slo-burn", 14.4, "burn-rate multiple that fires the alert (both windows)")
+
+		schedShards = flag.Int("sched-shards", 0, "scheduler shard count (0 = GOMAXPROCS)")
+		tsdbPoints  = flag.Int("tsdb-points", 0, "retained points per telemetry time series (0 = default 512)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfilingWith(obs.ProfileConfig{
+		CPUPath:   *cpuprofile,
+		MemPath:   *memprofile,
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sstd-master: profile:", perr)
+		}
+	}()
 
 	tr, err := loadTrace(*in, *trace, *scale, *seed)
 	if err != nil {
@@ -151,7 +174,7 @@ func run() error {
 	planeStop := make(chan struct{})
 	defer close(planeStop)
 	if metrics != nil {
-		store = tsdb.New(0)
+		store = tsdb.New(*tsdbPoints)
 		go func() {
 			t := time.NewTicker(time.Second)
 			defer t.Stop()
@@ -175,7 +198,7 @@ func run() error {
 		clusterDumps = &workqueue.ClusterDumpConfig{Dir: *flightRecord}
 	}
 	master := workqueue.NewMaster(workqueue.MasterConfig{
-		Seed: *seed, ResultBuffer: 256,
+		Seed: *seed, SchedShards: *schedShards, ResultBuffer: 256,
 		Metrics: metrics, Tracer: tracer, Logger: logger,
 		SuspectAfter:    *suspectAfter,
 		DeadAfter:       *deadAfter,

@@ -72,8 +72,24 @@ func run() error {
 
 		flightRecord = flag.String("flight-record", "", "enable the always-on flight recorder; deep-dive trace files land in this directory when an SLO trigger fires")
 		flightDumpOn = flag.String("flight-dump-on", "all", "comma-separated triggers that dump a deep dive: deadline-miss, straggler, admission, quarantine, manual (or all)")
+
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfilingWith(obs.ProfileConfig{
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "sstd-worker: profile:", perr)
+		}
+	}()
 
 	workerID := *id
 	if workerID == "" {

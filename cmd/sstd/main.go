@@ -47,12 +47,19 @@ func run() (retErr error) {
 		rank       = flag.Int("rank-sources", 0, "also print the N most / least reliable sources (0 = off)")
 		telemetry  = flag.String("telemetry", "", "write a metrics + control-loop JSON artifact to this file")
 		deadline   = flag.Duration("deadline", 0, "per-job deadline enabling the PID control loop (distributed runs only)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	stopProf, err := obs.StartProfiling(*cpuprofile, *memprofile)
+	stopProf, err := obs.StartProfilingWith(obs.ProfileConfig{
+		CPUPath:   *cpuprofile,
+		MemPath:   *memprofile,
+		MutexPath: *mutexprofile,
+		BlockPath: *blockprofile,
+	})
 	if err != nil {
 		return err
 	}

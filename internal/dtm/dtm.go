@@ -102,6 +102,9 @@ type Config struct {
 
 	// Seed drives scheduler randomness.
 	Seed int64
+	// SchedShards overrides the work-queue scheduler's shard count
+	// (0 = GOMAXPROCS; see workqueue.MasterConfig.SchedShards).
+	SchedShards int
 
 	// Metrics, Tracer and ControlLog enable telemetry (each may be nil;
 	// the instrumentation then costs one nil check per event). Metrics
@@ -204,11 +207,21 @@ type jobState struct {
 	dataSize  float64 // total reports
 	remaining float64 // reports not yet completed
 	perTask   map[string]int
-	// taskSums keeps each task's partial sums separately; finalize merges
-	// them in sorted task order so the decoded truth is bit-identical
-	// regardless of result arrival order (float addition is not
-	// associative), and a duplicate result for the same task is a no-op.
-	taskSums map[string]map[int]float64
+	// taskIndex maps each task ID to its chunk index — the position that
+	// fixes the task's merge shard and fold order below.
+	taskIndex map[string]int
+	// seen marks tasks whose result already arrived; a duplicate delivery
+	// (result raced a requeue) must not double count.
+	seen map[string]bool
+	// merge holds the sharded partial-sum pre-merge: task i folds into
+	// shard i%N in ascending chunk order (out-of-order arrivals are
+	// buffered until their predecessors land), and finalize folds the N
+	// pre-merged shard accumulators in shard order. The fold order is a
+	// pure function of the task set — float addition is not associative,
+	// so this is what keeps the decoded truth bit-identical regardless of
+	// result arrival order, while finalize now merges N accumulators
+	// instead of re-folding every task.
+	merge    []mergeShard
 	firstErr error
 	// firstErrTrace is the worker-side return trace that rode the wire
 	// with the first failed result (Result.ErrTrace), kept alongside
@@ -290,6 +303,7 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m.master = workqueue.NewMaster(workqueue.MasterConfig{
 		Seed:            cfg.Seed,
+		SchedShards:     cfg.SchedShards,
 		ResultBuffer:    256,
 		MaxRetries:      cfg.MaxTaskRetries,
 		TaskTimeout:     cfg.TaskTimeout,
@@ -380,7 +394,12 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		dataSize:  float64(len(reports)),
 		remaining: float64(len(reports)),
 		perTask:   make(map[string]int, len(chunks)),
-		taskSums:  make(map[string]map[int]float64, len(chunks)),
+		taskIndex: make(map[string]int, len(chunks)),
+		seen:      make(map[string]bool, len(chunks)),
+		merge:     make([]mergeShard, mergeShardCount),
+	}
+	for s := range js.merge {
+		js.merge[s].sums = make(map[int]float64)
 	}
 	// Open the job's root span before publishing js: the collector may
 	// touch a finished job's span as soon as it is visible. The root span
@@ -432,6 +451,7 @@ func (m *Manager) SubmitJob(claim socialsensing.ClaimID, reports []socialsensing
 		taskID := fmt.Sprintf("%s/%d", jobID, i)
 		m.mu.Lock()
 		js.perTask[taskID] = len(chunk)
+		js.taskIndex[taskID] = i
 		m.mu.Unlock()
 		if err := m.master.Submit(workqueue.Task{ID: taskID, JobID: jobID, Payload: payload, Span: js.span.SpanID(), Trace: tc}); err != nil {
 			return err
@@ -605,20 +625,21 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 		m.mu.Unlock()
 		return
 	}
-	if _, dup := js.taskSums[r.TaskID]; dup {
+	if js.seen[r.TaskID] {
 		// A duplicate delivery (result raced a requeue) must not double
 		// count: the first result for a task is the one that sticks.
 		m.mu.Unlock()
 		return
 	}
+	js.seen[r.TaskID] = true
 	js.done++
 	js.remaining -= float64(js.perTask[r.TaskID])
 	if js.remaining < 0 {
 		js.remaining = 0
 	}
+	var sums map[int]float64 // nil (nothing to fold) on any failure
 	if r.Err != "" {
 		js.failed++
-		js.taskSums[r.TaskID] = nil
 		if js.firstErr == nil {
 			js.firstErr = errors.New(r.Err)
 			js.firstErrTrace = r.ErrTrace
@@ -627,14 +648,14 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 		var out taskOutput
 		if err := json.Unmarshal(r.Output, &out); err != nil {
 			js.failed++
-			js.taskSums[r.TaskID] = nil
 			if js.firstErr == nil {
 				js.firstErr = obs.Wrap(fmt.Errorf("dtm: bad task output: %w", err))
 			}
 		} else {
-			js.taskSums[r.TaskID] = out.Sums
+			sums = out.Sums
 		}
 	}
+	js.mergeTask(js.taskIndex[r.TaskID], sums)
 	finished := js.done == js.tasks
 	if finished {
 		delete(m.jobs, r.JobID)
@@ -647,20 +668,59 @@ func (m *Manager) handleResult(ctx context.Context, r workqueue.Result) {
 	}
 }
 
-// mergedSums folds the per-task partial sums in sorted task order, so
-// the accumulated floats — and therefore the decoded truth — are
-// identical no matter in which order results arrived. Failed tasks
-// (nil entries) contribute nothing.
-func (js *jobState) mergedSums() map[int]float64 {
-	ids := make([]string, 0, len(js.taskSums))
-	for id := range js.taskSums {
-		ids = append(ids, id)
+// mergeShardCount fixes how many pre-merge accumulators each job keeps.
+// It is a constant, not GOMAXPROCS: the fold order must not depend on
+// the machine or the decode would drift across hosts.
+const mergeShardCount = 4
+
+// mergeShard is one pre-merge accumulator: tasks with chunk index
+// i % mergeShardCount == shard fold into sums in ascending index order.
+// next is the local sequence (i / mergeShardCount) the shard folds next;
+// results arriving ahead of their predecessors wait in buffered.
+type mergeShard struct {
+	next     int
+	buffered map[int]map[int]float64
+	sums     map[int]float64
+}
+
+// mergeTask folds one task's partial sums (nil for a failed task) into
+// its shard, draining any buffered successors that become foldable.
+// Callers hold m.mu. Per-interval accumulators are independent, so the
+// random map iteration order within one task cannot affect the result;
+// across tasks each shard folds strictly in chunk order.
+func (js *jobState) mergeTask(index int, sums map[int]float64) {
+	sh := &js.merge[index%len(js.merge)]
+	seq := index / len(js.merge)
+	if seq != sh.next {
+		if sh.buffered == nil {
+			sh.buffered = make(map[int]map[int]float64)
+		}
+		sh.buffered[seq] = sums
+		return
 	}
-	sort.Strings(ids)
+	for {
+		for idx, s := range sums {
+			sh.sums[idx] += s
+		}
+		sh.next++
+		var ok bool
+		sums, ok = sh.buffered[sh.next]
+		if !ok {
+			return
+		}
+		delete(sh.buffered, sh.next)
+	}
+}
+
+// mergedSums folds the pre-merged shard accumulators in shard order —
+// a deterministic order no matter how results arrived, so the
+// accumulated floats (and therefore the decoded truth) are bit-identical
+// across runs. Failed tasks contributed nothing to their shard.
+func (js *jobState) mergedSums() map[int]float64 {
 	sums := make(map[int]float64)
-	for _, id := range ids {
-		for idx, s := range js.taskSums[id] {
-			sums[idx] += s
+	for s := range js.merge {
+		for idx, v := range js.merge[s].sums {
+			sums[idx] += v
 		}
 	}
 	return sums

@@ -1,0 +1,94 @@
+package dtm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// newMergeState builds a jobState with just the sharded-merge fields, as
+// SubmitJob would for a job of n tasks.
+func newMergeState(n int) *jobState {
+	js := &jobState{
+		tasks: n,
+		merge: make([]mergeShard, mergeShardCount),
+	}
+	for s := range js.merge {
+		js.merge[s].sums = make(map[int]float64)
+	}
+	return js
+}
+
+// TestMergeOrderIndependentBits feeds the same per-task partial sums in
+// many random arrival orders and requires the merged floats to be
+// bit-identical every time: the sharded pre-merge must keep the decode
+// arrival-order independent exactly like the old sorted full re-fold did.
+func TestMergeOrderIndependentBits(t *testing.T) {
+	const tasks = 17
+	const intervals = 9
+	rng := rand.New(rand.NewSource(42))
+	// Sums chosen to make float addition order visible: wildly different
+	// magnitudes so (a+b)+c != a+(b+c) in the low bits.
+	taskSums := make([]map[int]float64, tasks)
+	for i := range taskSums {
+		taskSums[i] = make(map[int]float64, intervals)
+		for k := 0; k < intervals; k++ {
+			taskSums[i][k] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+		}
+	}
+
+	merge := func(order []int) map[int]uint64 {
+		js := newMergeState(tasks)
+		for _, i := range order {
+			js.mergeTask(i, taskSums[i])
+		}
+		out := make(map[int]uint64, intervals)
+		for idx, v := range js.mergedSums() {
+			out[idx] = math.Float64bits(v)
+		}
+		return out
+	}
+
+	order := make([]int, tasks)
+	for i := range order {
+		order[i] = i
+	}
+	want := merge(order)
+	for trial := 0; trial < 50; trial++ {
+		rng.Shuffle(tasks, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := merge(order)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: interval count %d != %d", trial, len(got), len(want))
+		}
+		for idx, bits := range want {
+			if got[idx] != bits {
+				t.Fatalf("trial %d: interval %d merged to %x, want %x (arrival order leaked into the fold)",
+					trial, idx, got[idx], bits)
+			}
+		}
+	}
+}
+
+// TestMergeFailedTaskUnblocksShard checks that a failed task (nil sums)
+// still advances its shard's fold cursor: successors buffered behind it
+// must fold, contributing their sums, with the failure itself adding
+// nothing.
+func TestMergeFailedTaskUnblocksShard(t *testing.T) {
+	n := 2 * mergeShardCount
+	js := newMergeState(n)
+	// Arrive in reverse, with task 0 failing: every later task on shard 0
+	// is buffered until the nil fold for task 0 releases them.
+	for i := n - 1; i > 0; i-- {
+		js.mergeTask(i, map[int]float64{0: 1})
+	}
+	js.mergeTask(0, nil)
+	got := js.mergedSums()[0]
+	if want := float64(n - 1); got != want {
+		t.Fatalf("merged sum = %v, want %v (failed task blocked or double-counted its shard)", got, want)
+	}
+	for s := range js.merge {
+		if len(js.merge[s].buffered) != 0 {
+			t.Fatalf("shard %d still buffers %d entries after all tasks arrived", s, len(js.merge[s].buffered))
+		}
+	}
+}

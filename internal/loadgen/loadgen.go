@@ -81,6 +81,9 @@ type Config struct {
 	AdmitFactor float64
 	// Seed drives arrival randomness and the scheduler.
 	Seed int64
+	// SchedShards overrides each step cluster's scheduler shard count
+	// (0 = GOMAXPROCS; see workqueue.MasterConfig.SchedShards).
+	SchedShards int
 	// Logf, when set, receives progress lines (fmt.Printf signature).
 	Logf func(format string, args ...any)
 
@@ -372,6 +375,7 @@ func (r *runner) step(ctx context.Context, workers int, rate float64, admission 
 	cfg.WorkDelay = r.cfg.WorkDelay
 	cfg.TaskBatch = r.cfg.TaskBatch
 	cfg.Seed = r.cfg.Seed
+	cfg.SchedShards = r.cfg.SchedShards
 	cfg.Admission = admission
 	cfg.Logger = logger
 	if r.cfg.Metrics != nil {

@@ -8,6 +8,23 @@ import (
 	"sync"
 )
 
+// ProfileConfig selects which runtime profiles to collect. Any empty
+// path skips that profile. Mutex and block profiling carry a runtime
+// cost while armed, so they are sampled: MutexFraction is passed to
+// runtime.SetMutexProfileFraction (<= 0 defaults to 5, i.e. 1-in-5
+// contended mutex events recorded) and BlockRate to
+// runtime.SetBlockProfileRate in nanoseconds (<= 0 defaults to 10µs —
+// one sample per 10µs of goroutine blocking).
+type ProfileConfig struct {
+	CPUPath   string
+	MemPath   string
+	MutexPath string
+	BlockPath string
+
+	MutexFraction int
+	BlockRate     int
+}
+
 // StartProfiling starts a CPU profile at cpuPath and returns a stop
 // function that ends it and snapshots the heap to memPath. Either path may
 // be empty to skip that profile; the returned stop function is always
@@ -15,9 +32,17 @@ import (
 // without re-running the stop work. The heap snapshot runs a GC first
 // so it reports live objects, not garbage awaiting collection.
 func StartProfiling(cpuPath, memPath string) (func() error, error) {
+	return StartProfilingWith(ProfileConfig{CPUPath: cpuPath, MemPath: memPath})
+}
+
+// StartProfilingWith is StartProfiling plus contention profiles: when
+// MutexPath or BlockPath is set the matching runtime sampler is armed
+// for the run and the accumulated profile is written at stop (then the
+// sampler is disarmed so the process returns to zero overhead).
+func StartProfilingWith(cfg ProfileConfig) (func() error, error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+	if cfg.CPUPath != "" {
+		f, err := os.Create(cfg.CPUPath)
 		if err != nil {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
@@ -26,6 +51,20 @@ func StartProfiling(cpuPath, memPath string) (func() error, error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		cpuFile = f
+	}
+	if cfg.MutexPath != "" {
+		frac := cfg.MutexFraction
+		if frac <= 0 {
+			frac = 5
+		}
+		runtime.SetMutexProfileFraction(frac)
+	}
+	if cfg.BlockPath != "" {
+		rate := cfg.BlockRate
+		if rate <= 0 {
+			rate = 10_000 // one sample per 10µs blocked
+		}
+		runtime.SetBlockProfileRate(rate)
 	}
 	var once sync.Once
 	var stopErr error
@@ -38,8 +77,24 @@ func StartProfiling(cpuPath, memPath string) (func() error, error) {
 					return
 				}
 			}
-			if memPath != "" {
-				f, err := os.Create(memPath)
+			if cfg.MutexPath != "" {
+				err := writeLookupProfile("mutex", cfg.MutexPath)
+				runtime.SetMutexProfileFraction(0)
+				if err != nil {
+					stopErr = err
+					return
+				}
+			}
+			if cfg.BlockPath != "" {
+				err := writeLookupProfile("block", cfg.BlockPath)
+				runtime.SetBlockProfileRate(0)
+				if err != nil {
+					stopErr = err
+					return
+				}
+			}
+			if cfg.MemPath != "" {
+				f, err := os.Create(cfg.MemPath)
 				if err != nil {
 					stopErr = fmt.Errorf("mem profile: %w", err)
 					return
@@ -54,4 +109,20 @@ func StartProfiling(cpuPath, memPath string) (func() error, error) {
 		return stopErr
 	}
 	return stop, nil
+}
+
+func writeLookupProfile(kind, path string) error {
+	p := pprof.Lookup(kind)
+	if p == nil {
+		return fmt.Errorf("%s profile: runtime profile missing", kind)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%s profile: %w", kind, err)
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		return fmt.Errorf("%s profile: %w", kind, err)
+	}
+	return nil
 }

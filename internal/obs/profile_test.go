@@ -3,6 +3,8 @@ package obs
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -73,6 +75,49 @@ func TestStartProfilingUnwritableCPUPath(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := StartProfiling(filepath.Join(dir, "missing", "cpu.pprof"), ""); err == nil {
 		t.Fatal("unwritable cpu path should fail at start")
+	}
+}
+
+func TestStartProfilingWithContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mutexPath := filepath.Join(dir, "mutex.pprof")
+	blockPath := filepath.Join(dir, "block.pprof")
+	stop, err := StartProfilingWith(ProfileConfig{MutexPath: mutexPath, BlockPath: blockPath})
+	if err != nil {
+		t.Fatalf("StartProfilingWith: %v", err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 5 {
+		t.Errorf("mutex profile fraction while armed = %d, want the default 5", got)
+	}
+	// Generate some contention so the profiles have a chance to hold
+	// samples (emptiness is fine — the writes must still succeed).
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck // contention on purpose
+			}
+		}()
+	}
+	wg.Wait()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 0 {
+		t.Errorf("mutex profile fraction after stop = %d, want disarmed 0", got)
+	}
+	for _, p := range []string{mutexPath, blockPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

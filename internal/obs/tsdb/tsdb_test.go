@@ -54,6 +54,38 @@ func TestRingRetentionBound(t *testing.T) {
 	}
 }
 
+// TestConfigurableCapacityRetention covers the -tsdb-points path: a
+// capacity above the default retains exactly that many points per
+// series, and New(0) falls back to DefaultCapacity.
+func TestConfigurableCapacityRetention(t *testing.T) {
+	capacity := DefaultCapacity + 100
+	s := New(capacity)
+	n := capacity + 50
+	for i := 0; i < n; i++ {
+		s.Append("m", nil, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got := s.Run(Query{Name: "m", Limit: MaxQueryLimit}, t0.Add(time.Duration(n)*time.Second))
+	if len(got) != 1 || len(got[0].Points) != capacity {
+		t.Fatalf("want %d retained points, got %d", capacity, len(got[0].Points))
+	}
+	// The survivors are the newest `capacity` samples, oldest first.
+	if first := got[0].Points[0].V; first != float64(n-capacity) {
+		t.Errorf("oldest retained V = %v, want %d", first, n-capacity)
+	}
+	if last := got[0].Points[capacity-1].V; last != float64(n-1) {
+		t.Errorf("newest retained V = %v, want %d", last, n-1)
+	}
+
+	def := New(0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		def.Append("m", nil, t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	got = def.Run(Query{Name: "m", Limit: MaxQueryLimit}, t0.Add(time.Hour))
+	if len(got) != 1 || len(got[0].Points) != DefaultCapacity {
+		t.Fatalf("New(0) retained %d points, want DefaultCapacity %d", len(got[0].Points), DefaultCapacity)
+	}
+}
+
 func TestQuerySinceStepLimit(t *testing.T) {
 	s := New(64)
 	for i := 0; i < 30; i++ {

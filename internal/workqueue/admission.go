@@ -169,9 +169,7 @@ func (m *Master) AdmitJob(jobID, traceID string, jobTasks int, deadline time.Dur
 	if m.admission == nil {
 		return AdmissionDecision{Admit: true, PredictedMs: -1}
 	}
-	m.mu.Lock()
-	backlog := len(m.inflight)
-	m.mu.Unlock()
+	backlog, _ := m.taskStateSizes()
 	backlog += m.sched.len()
 	return m.admission.decide(jobID, traceID, jobTasks, deadline,
 		backlog, m.cluster.count(), m.observedRatePerWorker())

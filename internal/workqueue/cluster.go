@@ -86,7 +86,11 @@ const deadRetention = 64
 
 // workerEntry is the registry's mutable record for one worker.
 type workerEntry struct {
-	id          string
+	id string
+	// seq is the worker's attach sequence number; the master uses it to
+	// stagger each handler's preferred scheduler shard so idle handlers
+	// do not all start their steal scan at shard zero.
+	seq         int
 	state       WorkerState
 	reason      string
 	connectedAt time.Time
@@ -147,6 +151,9 @@ type cluster struct {
 	mu     sync.Mutex
 	active map[string]*workerEntry
 	gone   []*workerEntry // most recent last, capped at deadRetention
+	// attachSeq numbers attaches; each worker's entry keeps its value so
+	// the master can spread handlers across scheduler shards.
+	attachSeq int
 
 	reg    *obs.Registry // master metrics registry; may be nil
 	factor float64       // straggler threshold multiplier
@@ -185,8 +192,10 @@ func (cl *cluster) attach(id string, wake context.CancelFunc, conn net.Conn, c *
 		return nil, fmt.Errorf("workqueue: worker id %q already attached", id)
 	}
 	now := time.Now()
+	cl.attachSeq++
 	e := &workerEntry{
 		id:          id,
+		seq:         cl.attachSeq,
 		state:       WorkerAlive,
 		connectedAt: now,
 		lastSeen:    now,

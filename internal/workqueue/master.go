@@ -8,6 +8,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/social-sensing/sstd/internal/obs"
@@ -34,6 +35,10 @@ func (js JobStats) Done() bool { return js.Submitted > 0 && js.Completed+js.Fail
 type MasterConfig struct {
 	// Seed drives the weighted-random job picker (deterministic tests).
 	Seed int64
+	// SchedShards sets how many lock shards the task pool and the
+	// master's per-job bookkeeping are partitioned into. <= 0 picks
+	// GOMAXPROCS. One shard reproduces the old single-mutex behavior.
+	SchedShards int
 	// ResultBuffer sizes the Results channel. Default 1.
 	ResultBuffer int
 	// MaxRetries bounds how many times a task lost to worker failure is
@@ -160,6 +165,20 @@ type Master struct {
 	dumpLast     time.Time
 	dumpHistory  []ClusterDumpInfo
 
+	// shards partitions all per-job and per-task bookkeeping by job hash
+	// (the same hash the scheduler shards by), so a completion ack only
+	// ever contends with traffic for jobs on its own shard. closed is
+	// atomic: the hot paths read it without any lock.
+	shards []masterShard
+	closed atomic.Bool
+
+	wg sync.WaitGroup
+}
+
+// masterShard is one lock domain of the master's bookkeeping: job stats,
+// the in-flight window, retry attempts, backoff timers, the poison-task
+// quarantine and telemetry state for every job hashing to it.
+type masterShard struct {
 	mu       sync.Mutex
 	rng      *rand.Rand // jitter source for requeue backoff; guarded by mu
 	stats    map[string]*JobStats
@@ -167,7 +186,7 @@ type Master struct {
 	attempts map[string]int  // taskID -> requeues so far
 	// pending holds the backoff timers of tasks waiting to re-enter the
 	// queue after a worker loss; quarantine holds tasks that exhausted
-	// their retry budget (capped at quarantineRetention).
+	// their retry budget (capped at quarantineRetention per shard).
 	pending    map[string]*time.Timer
 	quarantine map[string]*QuarantinedTask
 	// queuedAt / taskSpans back the queue-wait histogram and per-task
@@ -175,9 +194,12 @@ type Master struct {
 	// holds each in-flight task's currently open span (queue or exec).
 	queuedAt  map[string]time.Time
 	taskSpans map[string]*obs.Span
-	closed    bool
+	_         [24]byte
+}
 
-	wg sync.WaitGroup
+// shardFor maps a job to its bookkeeping shard.
+func (m *Master) shardFor(jobID string) *masterShard {
+	return &m.shards[shardIndex(jobID, len(m.shards))]
 }
 
 // NewMaster creates a master.
@@ -187,7 +209,7 @@ func NewMaster(cfg MasterConfig) *Master {
 		buf = 1
 	}
 	m := &Master{
-		sched:        newScheduler(cfg.Seed),
+		sched:        newScheduler(cfg.Seed, cfg.SchedShards),
 		results:      make(chan Result, buf),
 		maxRetries:   cfg.MaxRetries,
 		cluster:      newCluster(cfg.Metrics, cfg.StragglerFactor),
@@ -196,13 +218,21 @@ func NewMaster(cfg MasterConfig) *Master {
 		taskTimeout:  cfg.TaskTimeout,
 		batchSize:    cfg.BatchSize,
 		backoff:      cfg.RequeueBackoff.withDefaults(5*time.Millisecond, 2*time.Second),
-		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
-		stats:        make(map[string]*JobStats),
-		inflight:     make(map[string]Task),
-		attempts:     make(map[string]int),
-		pending:      make(map[string]*time.Timer),
-		quarantine:   make(map[string]*QuarantinedTask),
 		fr:           flightrec.Shared("master"),
+	}
+	// Bookkeeping shards mirror the scheduler's so a job's queue entries
+	// and its in-flight/quarantine state share one lock domain. Each
+	// shard carries its own jitter rng: requeue backoff never serializes
+	// against dispatch on another shard.
+	m.shards = make([]masterShard, len(m.sched.shards))
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.rng = rand.New(rand.NewSource(cfg.Seed + 1 + int64(i)))
+		sh.stats = make(map[string]*JobStats)
+		sh.inflight = make(map[string]Task)
+		sh.attempts = make(map[string]int)
+		sh.pending = make(map[string]*time.Timer)
+		sh.quarantine = make(map[string]*QuarantinedTask)
 	}
 	if cfg.RequeueBackoff.Jitter == 0 {
 		m.backoff.Jitter = 0.2
@@ -224,11 +254,14 @@ func NewMaster(cfg MasterConfig) *Master {
 	if cfg.Admission != nil {
 		m.admission = newAdmissionGate(*cfg.Admission, cfg.Metrics, cfg.Logger)
 	}
-	if cfg.Metrics != nil || cfg.Tracer != nil {
-		m.queuedAt = make(map[string]time.Time)
-	}
-	if cfg.Tracer != nil {
-		m.taskSpans = make(map[string]*obs.Span)
+	m.sched.instrument(cfg.Metrics)
+	for i := range m.shards {
+		if cfg.Metrics != nil || cfg.Tracer != nil {
+			m.shards[i].queuedAt = make(map[string]time.Time)
+		}
+		if cfg.Tracer != nil {
+			m.shards[i].taskSpans = make(map[string]*obs.Span)
+		}
 	}
 	m.telemetry = cfg.Telemetry
 	if cfg.ClusterDumps != nil {
@@ -251,19 +284,19 @@ func NewMaster(cfg MasterConfig) *Master {
 
 // Submit adds a task to the pool.
 func (m *Master) Submit(t Task) error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return errors.New("workqueue: master is shut down")
 	}
-	js, ok := m.stats[t.JobID]
+	sh := m.shardFor(t.JobID)
+	sh.mu.Lock()
+	js, ok := sh.stats[t.JobID]
 	if !ok {
 		js = &JobStats{JobID: t.JobID, FirstSubmit: time.Now()}
-		m.stats[t.JobID] = js
+		sh.stats[t.JobID] = js
 	}
 	js.Submitted++
-	m.markQueuedLocked(t)
-	m.mu.Unlock()
+	m.markQueuedLocked(sh, t)
+	sh.mu.Unlock()
 	m.cSubmitted.Inc()
 	m.sched.push(t)
 	m.gQueue.SetInt(m.sched.len())
@@ -271,15 +304,16 @@ func (m *Master) Submit(t Task) error {
 }
 
 // markQueuedLocked opens the task's queue-wait measurement (and span).
-func (m *Master) markQueuedLocked(t Task) {
-	if m.queuedAt != nil {
-		m.queuedAt[t.ID] = time.Now()
+// Callers hold sh.mu for the task's shard.
+func (m *Master) markQueuedLocked(sh *masterShard, t Task) {
+	if sh.queuedAt != nil {
+		sh.queuedAt[t.ID] = time.Now()
 	}
-	if m.taskSpans != nil {
+	if sh.taskSpans != nil {
 		s := m.tracer.NewSpan("queue "+t.ID, t.Span)
 		s.SetAttr("job", t.JobID)
 		s.SetTrace(t.Trace.traceID())
-		m.taskSpans[t.ID] = s
+		sh.taskSpans[t.ID] = s
 	}
 }
 
@@ -294,21 +328,25 @@ func (m *Master) Results() <-chan Result { return m.results }
 // Stats returns a snapshot of the named job's progress (zero value when
 // unknown).
 func (m *Master) Stats(jobID string) JobStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if js, ok := m.stats[jobID]; ok {
+	sh := m.shardFor(jobID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if js, ok := sh.stats[jobID]; ok {
 		return *js
 	}
 	return JobStats{JobID: jobID}
 }
 
-// AllStats snapshots every job.
+// AllStats snapshots every job across all shards.
 func (m *Master) AllStats() []JobStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]JobStats, 0, len(m.stats))
-	for _, js := range m.stats {
-		out = append(out, *js)
+	var out []JobStats
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, js := range sh.stats {
+			out = append(out, *js)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -375,7 +413,8 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	lg := m.logger.With(obs.WorkerID(workerID))
 	wctx, wake := context.WithCancel(ctx)
 	defer wake()
-	if _, err := m.cluster.attach(workerID, wake, conn, c); err != nil {
+	entry, err := m.cluster.attach(workerID, wake, conn, c)
+	if err != nil {
 		return err
 	}
 	lg.Info("worker attached")
@@ -404,6 +443,14 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 	if batchMax > 1 {
 		maxInflight = 2 * batchMax
 	}
+
+	// This connection's dispatch endpoint: while idle the handler parks on
+	// the waiter's private one-slot channel and a push hands it the task
+	// directly — no shard lock, no broadcast storm. The cluster attach
+	// sequence staggers each handler's steal-scan start shard.
+	w := m.sched.getWaiter()
+	w.preferred = uint32(entry.seq)
+	defer m.sched.putWaiter(w)
 
 	// Reader: demultiplex the worker's messages. Results flow to the
 	// handler loop; heartbeats and stats feed the health registry
@@ -691,7 +738,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			if len(outstanding) == 0 {
 				// Idle: block until a task arrives, the pool closes, the
 				// worker is released, or the reader fails.
-				task, ok := m.sched.next(wctx)
+				task, ok := w.next(wctx)
 				if !ok {
 					select {
 					case err := <-readErr:
@@ -706,7 +753,7 @@ func (m *Master) HandleWorker(ctx context.Context, conn net.Conn) error {
 			// Fill the rest of the frame opportunistically — never
 			// blocking while work is already queued or in flight.
 			for len(batch) < room {
-				task, ok := m.sched.tryNext()
+				task, ok := w.tryNext()
 				if !ok {
 					break
 				}
@@ -779,32 +826,33 @@ func (m *Master) ingestRemoteSpans(workerID string, spans []RemoteSpan) {
 // tracing is off) — the parent under which the worker's remote stage
 // spans will nest.
 func (m *Master) trackInflight(t Task, workerID string) int64 {
-	m.mu.Lock()
-	m.inflight[t.ID] = t
+	sh := m.shardFor(t.JobID)
+	sh.mu.Lock()
+	sh.inflight[t.ID] = t
 	var wait time.Duration
 	waited := false
-	if m.queuedAt != nil {
-		if at, ok := m.queuedAt[t.ID]; ok {
+	if sh.queuedAt != nil {
+		if at, ok := sh.queuedAt[t.ID]; ok {
 			wait, waited = time.Since(at), true
-			delete(m.queuedAt, t.ID)
+			delete(sh.queuedAt, t.ID)
 		}
 	}
 	var execSpanID int64
-	if m.taskSpans != nil {
+	if sh.taskSpans != nil {
 		// Guard the lookup: a task assigned without ever being marked
 		// queued (a direct scheduler push, or queuedAt/taskSpans enabled
 		// mid-run) has no open queue span to finish.
-		if s := m.taskSpans[t.ID]; s != nil {
+		if s := sh.taskSpans[t.ID]; s != nil {
 			s.Finish()
 		}
 		s := m.tracer.NewSpan("exec "+t.ID, t.Span)
 		s.SetAttr("job", t.JobID)
 		s.SetAttr("worker", workerID)
 		s.SetTrace(t.Trace.traceID())
-		m.taskSpans[t.ID] = s
+		sh.taskSpans[t.ID] = s
 		execSpanID = s.SpanID()
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if waited {
 		m.hWait.ObserveDuration(wait)
 	}
@@ -834,37 +882,40 @@ type QuarantinedTask struct {
 // quarantined and reported as a failed Result instead.
 func (m *Master) requeue(t Task) {
 	tp := m.fr.Start()
-	m.mu.Lock()
-	delete(m.inflight, t.ID)
-	if m.taskSpans != nil {
-		if s := m.taskSpans[t.ID]; s != nil {
+	sh := m.shardFor(t.JobID)
+	sh.mu.Lock()
+	delete(sh.inflight, t.ID)
+	if sh.taskSpans != nil {
+		if s := sh.taskSpans[t.ID]; s != nil {
 			s.SetAttr("outcome", "lost")
 			s.Finish()
 		}
-		delete(m.taskSpans, t.ID)
+		delete(sh.taskSpans, t.ID)
 	}
-	closed := m.closed
-	m.attempts[t.ID]++
-	attempts := m.attempts[t.ID]
+	closed := m.closed.Load()
+	sh.attempts[t.ID]++
+	attempts := sh.attempts[t.ID]
 	exhausted := m.maxRetries > 0 && attempts > m.maxRetries
 	if exhausted || closed {
 		// Drop the attempt count either way: an exhausted task is done,
 		// and a closed master will never retry — keeping the entry
 		// would leak it forever.
-		delete(m.attempts, t.ID)
+		delete(sh.attempts, t.ID)
 	}
-	if closed && m.queuedAt != nil {
-		delete(m.queuedAt, t.ID)
+	if closed && sh.queuedAt != nil {
+		delete(sh.queuedAt, t.ID)
 	}
 	var delay time.Duration
 	if !closed && !exhausted {
-		m.markQueuedLocked(t)
-		delay = m.backoff.Delay(attempts, m.rng)
+		m.markQueuedLocked(sh, t)
+		// The jitter rng is per shard: backoff for one job never
+		// serializes against dispatch or acks for jobs on other shards.
+		delay = m.backoff.Delay(attempts, sh.rng)
 	}
 	if exhausted && !closed {
-		m.quarantineLocked(t, attempts)
+		m.quarantineLocked(sh, t, attempts)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	m.fr.Probe(flightrec.ProbeMasterRequeue, tp, int64(attempts), t.Span)
 	if closed {
 		return
@@ -900,26 +951,27 @@ func (m *Master) requeue(t Task) {
 		m.gQueue.SetInt(m.sched.len())
 		return
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	sh.mu.Lock()
+	if m.closed.Load() {
+		sh.mu.Unlock()
 		return
 	}
-	m.pending[t.ID] = time.AfterFunc(delay, func() { m.firePending(t) })
-	m.mu.Unlock()
+	sh.pending[t.ID] = time.AfterFunc(delay, func() { m.firePending(t) })
+	sh.mu.Unlock()
 }
 
 // firePending moves a backed-off task into the scheduler when its delay
 // elapses. A master closed in the meantime drops the task (its job can
 // never complete anyway — the Results channel is gone).
 func (m *Master) firePending(t Task) {
-	m.mu.Lock()
-	delete(m.pending, t.ID)
-	closed := m.closed
-	if closed && m.queuedAt != nil {
-		delete(m.queuedAt, t.ID)
+	sh := m.shardFor(t.JobID)
+	sh.mu.Lock()
+	delete(sh.pending, t.ID)
+	closed := m.closed.Load()
+	if closed && sh.queuedAt != nil {
+		delete(sh.queuedAt, t.ID)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if closed {
 		return
 	}
@@ -928,28 +980,31 @@ func (m *Master) firePending(t Task) {
 }
 
 // quarantineLocked parks a poisoned task, evicting the oldest entry past
-// the retention cap. Callers hold m.mu.
-func (m *Master) quarantineLocked(t Task, attempts int) {
-	if len(m.quarantine) >= quarantineRetention {
+// the retention cap (applied per shard). Callers hold sh.mu.
+func (m *Master) quarantineLocked(sh *masterShard, t Task, attempts int) {
+	if len(sh.quarantine) >= quarantineRetention {
 		oldestID := ""
 		var oldestAt time.Time
-		for id, q := range m.quarantine {
+		for id, q := range sh.quarantine {
 			if oldestID == "" || q.QuarantinedAt.Before(oldestAt) {
 				oldestID, oldestAt = id, q.QuarantinedAt
 			}
 		}
-		delete(m.quarantine, oldestID)
+		delete(sh.quarantine, oldestID)
 	}
-	m.quarantine[t.ID] = &QuarantinedTask{Task: t, Attempts: attempts, QuarantinedAt: time.Now()}
+	sh.quarantine[t.ID] = &QuarantinedTask{Task: t, Attempts: attempts, QuarantinedAt: time.Now()}
 }
 
 // Quarantined snapshots the poison-task quarantine, sorted by task ID.
 func (m *Master) Quarantined() []QuarantinedTask {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]QuarantinedTask, 0, len(m.quarantine))
-	for _, q := range m.quarantine {
-		out = append(out, *q)
+	var out []QuarantinedTask
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, q := range sh.quarantine {
+			out = append(out, *q)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Task.ID < out[j].Task.ID })
 	return out
@@ -959,29 +1014,37 @@ func (m *Master) Quarantined() []QuarantinedTask {
 // budget (e.g. after the fault that poisoned it was fixed). The release
 // counts as a new submission in its job's stats.
 func (m *Master) ReleaseQuarantined(taskID string) error {
-	m.mu.Lock()
-	q, ok := m.quarantine[taskID]
-	if ok {
-		delete(m.quarantine, taskID)
+	// Only the task ID is known here, not its job, so scan the shards;
+	// releases are rare administrative operations.
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		q, ok := sh.quarantine[taskID]
+		if ok {
+			delete(sh.quarantine, taskID)
+		}
+		sh.mu.Unlock()
+		if ok {
+			return m.Submit(q.Task)
+		}
 	}
-	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("workqueue: task %q is not quarantined", taskID)
-	}
-	return m.Submit(q.Task)
+	return fmt.Errorf("workqueue: task %q is not quarantined", taskID)
 }
 
 func (m *Master) complete(r Result) {
 	tp := m.fr.Start()
 	var ackParent int64
-	m.mu.Lock()
-	delete(m.inflight, r.TaskID)
-	delete(m.attempts, r.TaskID)
-	if m.queuedAt != nil {
-		delete(m.queuedAt, r.TaskID)
+	// The entire ack path touches only the result's job shard: an ack
+	// for one job never contends with a push or requeue for another.
+	sh := m.shardFor(r.JobID)
+	sh.mu.Lock()
+	delete(sh.inflight, r.TaskID)
+	delete(sh.attempts, r.TaskID)
+	if sh.queuedAt != nil {
+		delete(sh.queuedAt, r.TaskID)
 	}
-	if m.taskSpans != nil {
-		if s := m.taskSpans[r.TaskID]; s != nil {
+	if sh.taskSpans != nil {
+		if s := sh.taskSpans[r.TaskID]; s != nil {
 			ackParent = s.SpanID()
 			if r.Err != "" {
 				s.SetAttr("error", r.Err)
@@ -993,12 +1056,12 @@ func (m *Master) complete(r Result) {
 			}
 			s.Finish()
 		}
-		delete(m.taskSpans, r.TaskID)
+		delete(sh.taskSpans, r.TaskID)
 	}
-	js, ok := m.stats[r.JobID]
+	js, ok := sh.stats[r.JobID]
 	if !ok {
 		js = &JobStats{JobID: r.JobID}
-		m.stats[r.JobID] = js
+		sh.stats[r.JobID] = js
 	}
 	if r.Err != "" {
 		js.Failed++
@@ -1008,8 +1071,8 @@ func (m *Master) complete(r Result) {
 	js.ExecTime += r.Elapsed
 	js.LastCompletion = time.Now()
 	jobDone := js.Done()
-	closed := m.closed
-	m.mu.Unlock()
+	closed := m.closed.Load()
+	sh.mu.Unlock()
 	m.fr.Probe(flightrec.ProbeMasterAck, tp, int64(len(r.Output)), ackParent)
 	if jobDone {
 		// Drop the drained job's scheduler priority entry so a
@@ -1030,9 +1093,14 @@ func (m *Master) complete(r Result) {
 // taskStateSizes reports the internal per-task map sizes; tests assert
 // they drain to zero after a run so long-lived masters cannot leak.
 func (m *Master) taskStateSizes() (inflight, attempts int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.inflight), len(m.attempts)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		inflight += len(sh.inflight)
+		attempts += len(sh.attempts)
+		sh.mu.Unlock()
+	}
+	return inflight, attempts
 }
 
 // Shutdown closes the task pool, waits for worker handlers spawned by
@@ -1046,18 +1114,19 @@ func (m *Master) Shutdown() {
 	}
 	m.sched.close()
 	m.wg.Wait()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if !m.closed.CompareAndSwap(false, true) {
 		return
 	}
-	m.closed = true
 	// Stop backed-off requeue timers: the tasks can never run (the pool
 	// is closed), and an already-fired timer sees closed and drops out.
-	for id, timer := range m.pending {
-		timer.Stop()
-		delete(m.pending, id)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, timer := range sh.pending {
+			timer.Stop()
+			delete(sh.pending, id)
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	close(m.results)
 }

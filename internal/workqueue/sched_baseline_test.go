@@ -1,0 +1,218 @@
+package workqueue
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/social-sensing/sstd/internal/obs/flightrec"
+)
+
+// This file freezes the pre-sharding single-mutex implementations as the
+// contention-benchmark baseline: mutexScheduler is a verbatim copy of
+// the old scheduler (one mutex + cond.Broadcast wakeups, a
+// context.AfterFunc allocation per blocking draw), and baselineMaster
+// replays the old Master's one-big-mutex bookkeeping for the
+// dispatch/ack cycle. BENCH_sched.json records both sides, so the
+// checked-in numbers carry their own baseline.
+
+type mutexScheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]Task // jobID -> FIFO queue
+	priority map[string]float64
+	order    []string // jobIDs with pending tasks, stable iteration
+	rng      *rand.Rand
+	closed   bool
+	pending  int
+}
+
+func newMutexScheduler(seed int64) *mutexScheduler {
+	s := &mutexScheduler{
+		queues:   make(map[string][]Task),
+		priority: make(map[string]float64),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *mutexScheduler) push(t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if _, ok := s.queues[t.JobID]; !ok {
+		s.order = append(s.order, t.JobID)
+	}
+	s.queues[t.JobID] = append(s.queues[t.JobID], t)
+	if _, ok := s.priority[t.JobID]; !ok {
+		s.priority[t.JobID] = 1
+	}
+	s.pending++
+	s.cond.Signal()
+}
+
+func (s *mutexScheduler) setPriority(jobID string, p float64) {
+	const minPriority = 1e-6
+	if p < minPriority {
+		p = minPriority
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.priority[jobID] = p
+}
+
+func (s *mutexScheduler) next(ctx context.Context) (Task, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending == 0 && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.closed || ctx.Err() != nil || s.pending == 0 {
+		return Task{}, false
+	}
+	return s.takeLocked(), true
+}
+
+func (s *mutexScheduler) tryNext() (Task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.pending == 0 {
+		return Task{}, false
+	}
+	return s.takeLocked(), true
+}
+
+func (s *mutexScheduler) takeLocked() Task {
+	jobID := s.pickJobLocked()
+	q := s.queues[jobID]
+	t := q[0]
+	if len(q) == 1 {
+		delete(s.queues, jobID)
+		s.removeOrderLocked(jobID)
+	} else {
+		s.queues[jobID] = q[1:]
+	}
+	s.pending--
+	return t
+}
+
+func (s *mutexScheduler) pickJobLocked() string {
+	total := 0.0
+	for _, id := range s.order {
+		total += s.priority[id]
+	}
+	r := s.rng.Float64() * total
+	acc := 0.0
+	for _, id := range s.order {
+		acc += s.priority[id]
+		if r < acc {
+			return id
+		}
+	}
+	return s.order[len(s.order)-1]
+}
+
+func (s *mutexScheduler) removeOrderLocked(jobID string) {
+	for i, id := range s.order {
+		if id == jobID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *mutexScheduler) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}
+
+// baselineMaster replays the old Master's single-mutex bookkeeping for
+// the dispatch→ack cycle: one lock serializing job stats, the in-flight
+// window and attempt counts for every job in the process. It keeps the
+// old code's side costs — results-channel delivery and the flight
+// recorder's ack probe — so the comparison isolates the locking change.
+type baselineMaster struct {
+	sched   *mutexScheduler
+	results chan Result
+	fr      *flightrec.Ring
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	stats    map[string]*JobStats
+	inflight map[string]Task
+	attempts map[string]int
+}
+
+func newBaselineMaster(seed int64) *baselineMaster {
+	return &baselineMaster{
+		sched:    newMutexScheduler(seed),
+		results:  make(chan Result, 256),
+		fr:       flightrec.Shared("bench-baseline"),
+		rng:      rand.New(rand.NewSource(seed + 1)),
+		stats:    make(map[string]*JobStats),
+		inflight: make(map[string]Task),
+		attempts: make(map[string]int),
+	}
+}
+
+func (m *baselineMaster) submit(t Task) {
+	m.mu.Lock()
+	js, ok := m.stats[t.JobID]
+	if !ok {
+		js = &JobStats{JobID: t.JobID, FirstSubmit: time.Now()}
+		m.stats[t.JobID] = js
+	}
+	js.Submitted++
+	m.mu.Unlock()
+	m.sched.push(t)
+}
+
+func (m *baselineMaster) stat(jobID string) JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js, ok := m.stats[jobID]; ok {
+		return *js
+	}
+	return JobStats{JobID: jobID}
+}
+
+func (m *baselineMaster) trackInflight(t Task) {
+	m.mu.Lock()
+	m.inflight[t.ID] = t
+	m.mu.Unlock()
+}
+
+func (m *baselineMaster) complete(r Result) {
+	tp := m.fr.Start()
+	m.mu.Lock()
+	delete(m.inflight, r.TaskID)
+	delete(m.attempts, r.TaskID)
+	js, ok := m.stats[r.JobID]
+	if !ok {
+		js = &JobStats{JobID: r.JobID}
+		m.stats[r.JobID] = js
+	}
+	if r.Err != "" {
+		js.Failed++
+	} else {
+		js.Completed++
+	}
+	js.ExecTime += r.Elapsed
+	js.LastCompletion = time.Now()
+	m.mu.Unlock()
+	m.fr.Probe(flightrec.ProbeMasterAck, tp, int64(len(r.Output)), 0)
+	m.results <- r
+}

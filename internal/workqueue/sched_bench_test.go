@@ -1,0 +1,248 @@
+package workqueue
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Contention benchmarks for the sharded scheduler + lock-free dispatch
+// path, each at 1/4/16/64 simulated workers against the frozen
+// single-mutex baseline (sched_baseline_test.go):
+//
+//	BenchmarkSchedulerPushNext       push → blocking draw, the bare pool
+//	BenchmarkSchedulerDispatchAck    submit → draw → in-flight → ack, the
+//	                                 master bookkeeping cycle
+//	BenchmarkSchedulerMixedContended the above plus priority retunes and
+//	                                 stats reads racing each other
+//
+// The sharded side always runs 8 shards so the comparison measures the
+// sharded data structure (not GOMAXPROCS, which is 1 on the CI box).
+// scripts/check.sh sched flattens the results into BENCH_sched.json,
+// which the benchdiff gate then tracks; the ≥4× acceptance ratio at 16
+// workers is sharded vs mutex ns/op within one snapshot.
+
+const benchShards = 8
+
+var benchWorkerCounts = []int{1, 4, 16, 64}
+
+// benchJob spreads goroutines over 16 jobs so both implementations see
+// a realistic multi-job pool (and the sharded one a populated hash).
+func benchJob(g int) string { return fmt.Sprintf("job%d", g%16) }
+
+// benchIDs precomputes a cycle of task IDs per simulated worker so ID
+// formatting stays out of the timed loop. A worker has at most one task
+// in flight, so reusing an ID after 1024 cycles never collides in the
+// in-flight maps.
+func benchIDs(workers int) [][]string {
+	ids := make([][]string, workers)
+	for g := range ids {
+		ids[g] = make([]string, 1024)
+		for i := range ids[g] {
+			ids[g][i] = fmt.Sprintf("w%d-%d", g, i)
+		}
+	}
+	return ids
+}
+
+// splitN runs workers goroutines, each executing fn(g, per) where the
+// per-goroutine iteration counts sum to at least b.N.
+func splitN(b *testing.B, workers int, fn func(g, per int)) {
+	per := b.N/workers + 1
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fn(g, per)
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSchedulerPushNext(b *testing.B) {
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("impl=sharded/workers=%d", workers), func(b *testing.B) {
+			s := newScheduler(1, benchShards)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				w := s.getWaiter()
+				defer s.putWaiter(w)
+				task := Task{ID: "t", JobID: benchJob(g)}
+				for i := 0; i < per; i++ {
+					s.push(task)
+					if _, ok := w.next(ctx); !ok {
+						b.Error("draw failed")
+						return
+					}
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("impl=mutex/workers=%d", workers), func(b *testing.B) {
+			s := newMutexScheduler(1)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				task := Task{ID: "t", JobID: benchJob(g)}
+				for i := 0; i < per; i++ {
+					s.push(task)
+					if _, ok := s.next(ctx); !ok {
+						b.Error("draw failed")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkSchedulerDispatchAck(b *testing.B) {
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("impl=sharded/workers=%d", workers), func(b *testing.B) {
+			m := NewMaster(MasterConfig{Seed: 1, SchedShards: benchShards, ResultBuffer: 256})
+			ids := benchIDs(workers)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range m.results {
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				w := m.sched.getWaiter()
+				defer m.sched.putWaiter(w)
+				w.preferred = uint32(g)
+				job := benchJob(g)
+				for i := 0; i < per; i++ {
+					id := ids[g][i%1024]
+					if err := m.Submit(Task{ID: id, JobID: job}); err != nil {
+						b.Error(err)
+						return
+					}
+					task, ok := w.next(ctx)
+					if !ok {
+						b.Error("draw failed")
+						return
+					}
+					m.trackInflight(task, "bench-worker")
+					m.complete(Result{TaskID: task.ID, JobID: task.JobID})
+				}
+			})
+			b.StopTimer()
+			m.Shutdown()
+			<-done
+		})
+		b.Run(fmt.Sprintf("impl=mutex/workers=%d", workers), func(b *testing.B) {
+			m := newBaselineMaster(1)
+			ids := benchIDs(workers)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range m.results {
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				job := benchJob(g)
+				for i := 0; i < per; i++ {
+					id := ids[g][i%1024]
+					m.submit(Task{ID: id, JobID: job})
+					task, ok := m.sched.next(ctx)
+					if !ok {
+						b.Error("draw failed")
+						return
+					}
+					m.trackInflight(task)
+					m.complete(Result{TaskID: task.ID, JobID: task.JobID})
+				}
+			})
+			b.StopTimer()
+			m.sched.close()
+			close(m.results)
+			<-done
+		})
+	}
+}
+
+func BenchmarkSchedulerMixedContended(b *testing.B) {
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("impl=sharded/workers=%d", workers), func(b *testing.B) {
+			m := NewMaster(MasterConfig{Seed: 1, SchedShards: benchShards, ResultBuffer: 256})
+			ids := benchIDs(workers)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range m.results {
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				w := m.sched.getWaiter()
+				defer m.sched.putWaiter(w)
+				w.preferred = uint32(g)
+				job := benchJob(g)
+				for i := 0; i < per; i++ {
+					id := ids[g][i%1024]
+					if err := m.Submit(Task{ID: id, JobID: job}); err != nil {
+						b.Error(err)
+						return
+					}
+					if i%64 == 0 {
+						m.SetJobPriority(job, 1+float64(i%7))
+						_ = m.Stats(job)
+					}
+					task, ok := w.next(ctx)
+					if !ok {
+						b.Error("draw failed")
+						return
+					}
+					m.trackInflight(task, "bench-worker")
+					m.complete(Result{TaskID: task.ID, JobID: task.JobID})
+				}
+			})
+			b.StopTimer()
+			m.Shutdown()
+			<-done
+		})
+		b.Run(fmt.Sprintf("impl=mutex/workers=%d", workers), func(b *testing.B) {
+			m := newBaselineMaster(1)
+			ids := benchIDs(workers)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range m.results {
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			splitN(b, workers, func(g, per int) {
+				job := benchJob(g)
+				for i := 0; i < per; i++ {
+					id := ids[g][i%1024]
+					m.submit(Task{ID: id, JobID: job})
+					if i%64 == 0 {
+						m.sched.setPriority(job, 1+float64(i%7))
+						_ = m.stat(job)
+					}
+					task, ok := m.sched.next(ctx)
+					if !ok {
+						b.Error("draw failed")
+						return
+					}
+					m.trackInflight(task)
+					m.complete(Result{TaskID: task.ID, JobID: task.JobID})
+				}
+			})
+			b.StopTimer()
+			m.sched.close()
+			close(m.results)
+			<-done
+		})
+	}
+}

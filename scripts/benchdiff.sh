@@ -3,7 +3,7 @@
 #
 # Re-runs the bench tier (scripts/check.sh bench) and compares every
 # benchmark's ns/op against the checked-in baselines (BENCH_obs.json,
-# BENCH_hmm.json, BENCH_wire.json). Exits non-zero if any benchmark regressed by more than
+# BENCH_hmm.json, BENCH_wire.json, BENCH_sched.json). Exits non-zero if any benchmark regressed by more than
 # BENCHDIFF_THRESHOLD percent (default 25). Benchmarks present only on
 # one side are reported but never fail the gate — CI machines differ, but
 # a >25% same-machine-format regression against the committed baseline is
@@ -16,7 +16,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${BENCHDIFF_THRESHOLD:-25}"
-BASELINES="BENCH_obs.json BENCH_hmm.json BENCH_wire.json"
+BASELINES="BENCH_obs.json BENCH_hmm.json BENCH_wire.json BENCH_sched.json"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

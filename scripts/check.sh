@@ -9,10 +9,12 @@
 #   scripts/check.sh wire       binary-codec batching smoke: differential/golden tests + 2-worker batched sweep
 #   scripts/check.sh flightrec  flight-recorder smoke: forced deep-dive dump in a 2-worker run
 #   scripts/check.sh telemetry  telemetry-plane smoke: SLO burn -> merged multi-host cluster trace
+#   scripts/check.sh sched      sharded-scheduler tier: fairness/invariant tests + contention benches -> BENCH_sched.json + 100k-claim sweep
 #   scripts/check.sh all        tier-1 + tier-2
 #
 # scripts/benchdiff.sh wraps the bench tier with a regression gate against
-# the checked-in BENCH_obs.json/BENCH_hmm.json/BENCH_wire.json baselines.
+# the checked-in BENCH_obs.json/BENCH_hmm.json/BENCH_wire.json/BENCH_sched.json
+# baselines.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -80,6 +82,22 @@ bench() {
 	echo "$out"
 	echo "$out" | bench_json >BENCH_hmm.json
 	echo "wrote BENCH_hmm.json ($(grep -c '"name"' BENCH_hmm.json) benchmarks)"
+
+	bench_sched
+}
+
+# The sharded-scheduler contention baseline: push/draw, dispatch/ack and
+# mixed (priority retunes + stats reads) cycles at 1/4/16/64 simulated
+# workers, each against the frozen single-mutex implementation
+# (sched_baseline_test.go) in the same snapshot — so the checked-in
+# BENCH_sched.json carries its own before/after pair and the ≥4×
+# 16-worker scheduler ratio is verifiable from one file.
+bench_sched() {
+	echo "== bench: go test -bench '^BenchmarkScheduler' on internal/workqueue =="
+	out=$(go test -run '^$' -bench '^BenchmarkScheduler' -benchmem ./internal/workqueue)
+	echo "$out"
+	echo "$out" | bench_json >BENCH_sched.json
+	echo "wrote BENCH_sched.json ($(grep -c '"name"' BENCH_sched.json) benchmarks)"
 }
 
 chaos() {
@@ -211,6 +229,22 @@ telemetry() {
 	echo "merged cluster trace OK: $dump ($(wc -c <"$dump") bytes)"
 }
 
+sched() {
+	# Sharded-scheduler tier: the fairness/invariant suite under -race
+	# (chi-squared P_u tracking across shards, cold-shard starvation,
+	# exactly-once under concurrency, the allocation-free idle loop and the
+	# DTM sharded-merge determinism), then the contention benches into
+	# BENCH_sched.json, then the 100k-claim load sweep at 1/4/16 workers.
+	echo "== sched: fairness + invariant tests under -race =="
+	go test -race -count=1 \
+		-run 'TestSchedulerWeightedFairnessAcrossShards|TestSchedulerColdShardNotStarved|TestSchedulerConcurrentExactlyOnce|TestSchedulerNextAllocFree|TestSchedulerFIFOWithinJob|TestSchedulerProperty' \
+		./internal/workqueue
+	go test -race -count=1 -run 'TestMergeOrderIndependentBits|TestMergeFailedTaskUnblocksShard' ./internal/dtm
+	bench_sched
+	echo "== sched: 100k-claim load sweep =="
+	go test -count=1 -v -run 'TestSchedulerLoadSweep100k' ./internal/workqueue
+}
+
 case "${1:-tier1}" in
 tier1) tier1 ;;
 race) race ;;
@@ -220,12 +254,13 @@ load) load ;;
 wire) wire ;;
 flightrec) flightrec ;;
 telemetry) telemetry ;;
+sched) sched ;;
 all)
 	tier1
 	race
 	;;
 *)
-	echo "usage: $0 [tier1|race|bench|chaos|load|wire|flightrec|telemetry|all]" >&2
+	echo "usage: $0 [tier1|race|bench|chaos|load|wire|flightrec|telemetry|sched|all]" >&2
 	exit 2
 	;;
 esac
